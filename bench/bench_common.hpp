@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every binary prints a self-contained table mirroring one table or figure of
+// the paper.  Sizes default to laptop scale and honour the environment
+// variable PANDORA_BENCH_SCALE (a float multiplier on the point counts).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pandora/common/timer.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/data/point_generators.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/hdbscan/core_distance.hpp"
+#include "pandora/spatial/emst.hpp"
+#include "pandora/spatial/kdtree.hpp"
+
+namespace pandora::bench {
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("PANDORA_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+inline index_t scaled(index_t n) {
+  const double s = bench_scale();
+  return static_cast<index_t>(static_cast<double>(n) * s);
+}
+
+/// Millions of points processed per second — the paper's throughput metric.
+inline double mpoints_per_sec(index_t n, double seconds) {
+  return seconds > 0 ? 1e-6 * static_cast<double>(n) / seconds : 0.0;
+}
+
+/// A dataset prepared for dendrogram benchmarking: the mutual-reachability
+/// MST is built once (timed) and shared across algorithms.
+struct PreparedDataset {
+  std::string name;
+  index_t n = 0;
+  int dim = 0;
+  graph::EdgeList mst;
+  double tree_build_seconds = 0;
+  double core_seconds = 0;
+  double mst_seconds = 0;
+};
+
+inline PreparedDataset prepare_dataset(const std::string& name, index_t n, int min_pts,
+                                       exec::Space space, std::uint64_t seed = 2024) {
+  PreparedDataset prepared;
+  prepared.name = name;
+  const spatial::PointSet points = data::make_dataset(name, n, seed);
+  prepared.n = points.size();
+  prepared.dim = points.dim();
+
+  Timer timer;
+  spatial::KdTree tree(points);
+  prepared.tree_build_seconds = timer.seconds();
+
+  timer.reset();
+  const auto core = hdbscan::core_distances(space, points, tree, min_pts);
+  prepared.core_seconds = timer.seconds();
+
+  timer.reset();
+  prepared.mst = spatial::mutual_reachability_mst(space, points, tree, core);
+  prepared.mst_seconds = timer.seconds();
+  return prepared;
+}
+
+/// Minimum wall-clock over `repeats` runs of `f` (the usual bench practice).
+template <class F>
+double best_of(int repeats, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    f();
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: %.2fx (set PANDORA_BENCH_SCALE to change), threads: %d\n",
+              bench_scale(), exec::max_threads());
+  std::printf("==============================================================================\n");
+}
+
+}  // namespace pandora::bench

@@ -1,0 +1,62 @@
+// Friends-of-Friends halo finding — the astronomy use case behind the
+// paper's HACC datasets.  FoF groups are exactly single-linkage clusters at
+// a fixed "linking length", so one dendrogram supports *every* linking
+// length: build it once, cut it many times.
+//
+//   $ ./cosmology_fof [n]
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/dendrogram/analysis.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/spatial/emst.hpp"
+#include "pandora/spatial/kdtree.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pandora;
+  const index_t n = argc > 1 ? std::atoi(argv[1]) : 200000;
+
+  // Soneira-Peebles hierarchical model: the classic synthetic stand-in for
+  // gravitationally clustered matter (galaxy surveys, HACC snapshots).
+  const spatial::PointSet universe = data::soneira_peebles(n, 3, 4, 1.6, 12, 1234);
+
+  Timer total;
+  spatial::KdTree tree(universe);
+  const graph::EdgeList mst = spatial::euclidean_mst(exec::Space::parallel, universe, tree);
+  const dendrogram::Dendrogram dendro =
+      dendrogram::pandora_dendrogram(mst, universe.size());
+  std::printf("built EMST + dendrogram for %d particles in %.2fs\n", universe.size(),
+              total.seconds());
+  std::printf("dendrogram height %d (skewness %.1f — cosmology data is extremely skewed)\n",
+              dendrogram::height(dendro), dendrogram::skewness(dendro));
+
+  // The mean inter-particle spacing sets the natural linking-length scale
+  // (b = 0.2 of mean spacing is the standard FoF choice).
+  const double mean_spacing = 1.0 / std::cbrt(static_cast<double>(universe.size()));
+  std::printf("\n%12s %10s %12s %14s\n", "link/spacing", "halos>=20", "largest", "in halos %");
+  for (const double b : {0.1, 0.2, 0.4, 0.8}) {
+    const std::vector<index_t> labels = dendrogram::cut_labels(dendro, b * mean_spacing);
+    std::map<index_t, index_t> sizes;
+    for (const index_t l : labels) ++sizes[l];
+    index_t halos = 0, largest = 0, in_halos = 0;
+    for (const auto& [_, s] : sizes) {
+      if (s >= 20) {
+        ++halos;
+        in_halos += s;
+      }
+      largest = std::max(largest, s);
+    }
+    std::printf("%12.1f %10d %12d %13.1f%%\n", b, halos, largest,
+                100.0 * in_halos / universe.size());
+  }
+  std::printf(
+      "\nEach row is one FoF catalogue; all of them reuse the single dendrogram —\n"
+      "the reason dendrogram construction throughput matters for cosmology.\n");
+  return 0;
+}

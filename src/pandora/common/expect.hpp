@@ -1,0 +1,32 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+/// Precondition checking.
+///
+/// Following the C++ Core Guidelines (I.5, I.6), public entry points validate
+/// their preconditions and report violations by throwing std::invalid_argument
+/// with a message naming the failed expectation.  Internal hot loops use plain
+/// assertions compiled out in release builds; these macros are for API
+/// boundaries where malformed input (disconnected "trees", NaN weights, ...)
+/// must be rejected deterministically.
+namespace pandora::detail {
+
+[[noreturn]] inline void throw_expect_failure(const char* cond, const char* file, int line,
+                                              const std::string& message) {
+  std::ostringstream os;
+  os << "pandora: precondition violated: " << cond;
+  if (!message.empty()) os << " (" << message << ")";
+  os << " at " << file << ":" << line;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace pandora::detail
+
+#define PANDORA_EXPECT(cond, message)                                                \
+  do {                                                                               \
+    if (!(cond)) ::pandora::detail::throw_expect_failure(#cond, __FILE__, __LINE__,  \
+                                                         (message));                 \
+  } while (false)

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace pandora {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** with a
+/// splitmix64-seeded state).  The standard library engines are not guaranteed
+/// to produce identical streams across implementations; experiments must be
+/// bit-reproducible, so the library carries its own generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    for (auto& w : s_) w = next();
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).  n must be positive.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Standard normal via Box-Muller (one value per call; simple and exact
+  /// enough for dataset generation).
+  double normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    while (u1 <= 1e-300) u1 = next_double();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pandora

@@ -1,0 +1,262 @@
+#include "pandora/data/point_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pandora/common/expect.hpp"
+
+namespace pandora::data {
+
+namespace {
+
+/// Uniform direction-ish offset inside the unit ball (rejection-free:
+/// Gaussian direction scaled by a radius with the right density).
+void ball_offset(Rng& rng, int dim, double radius, double* out) {
+  double norm2 = 0;
+  for (int d = 0; d < dim; ++d) {
+    out[d] = rng.normal();
+    norm2 += out[d] * out[d];
+  }
+  const double norm = std::sqrt(std::max(norm2, 1e-300));
+  const double r = radius * std::pow(rng.next_double(), 1.0 / dim);
+  for (int d = 0; d < dim; ++d) out[d] *= r / norm;
+}
+
+}  // namespace
+
+spatial::PointSet uniform_points(index_t n, int dim, std::uint64_t seed) {
+  spatial::PointSet points(dim, n);
+  Rng rng(seed);
+  for (double& c : points.coords()) c = rng.next_double();
+  return points;
+}
+
+spatial::PointSet normal_points(index_t n, int dim, std::uint64_t seed) {
+  spatial::PointSet points(dim, n);
+  Rng rng(seed);
+  for (double& c : points.coords()) c = rng.normal();
+  return points;
+}
+
+spatial::PointSet gaussian_blobs(index_t n, int dim, int clusters, double spread,
+                                 double noise_fraction, std::uint64_t seed) {
+  PANDORA_EXPECT(clusters > 0, "need at least one cluster");
+  spatial::PointSet points(dim, n);
+  Rng rng(seed);
+  std::vector<double> centers(static_cast<std::size_t>(clusters) * static_cast<std::size_t>(dim));
+  for (double& c : centers) c = rng.next_double();
+  for (index_t i = 0; i < n; ++i) {
+    if (rng.next_double() < noise_fraction) {
+      for (int d = 0; d < dim; ++d) points.at(i, d) = rng.next_double();
+      continue;
+    }
+    const auto c = static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(clusters)));
+    for (int d = 0; d < dim; ++d)
+      points.at(i, d) = centers[c * static_cast<std::size_t>(dim) + static_cast<std::size_t>(d)] +
+                        spread * rng.normal();
+  }
+  return points;
+}
+
+spatial::PointSet soneira_peebles(index_t n, int dim, int eta, double lambda, int depth,
+                                  std::uint64_t seed) {
+  PANDORA_EXPECT(eta >= 2 && lambda > 1.0 && depth >= 1, "invalid Soneira-Peebles parameters");
+  spatial::PointSet points(dim, n);
+  Rng rng(seed);
+
+  struct Frame {
+    std::vector<double> center;
+    double scale;
+    int level;
+    index_t first, count;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({std::vector<double>(static_cast<std::size_t>(dim), 0.5), 0.5, 0, 0, n});
+
+  std::vector<double> offset(static_cast<std::size_t>(dim));
+  while (!stack.empty()) {
+    Frame f = std::move(stack.back());
+    stack.pop_back();
+    if (f.count <= 0) continue;
+    if (f.level == depth || f.count == 1) {
+      // Leaf cluster: scatter the remaining budget inside the current sphere.
+      for (index_t i = 0; i < f.count; ++i) {
+        ball_offset(rng, dim, f.scale, offset.data());
+        for (int d = 0; d < dim; ++d)
+          points.at(f.first + i, d) =
+              f.center[static_cast<std::size_t>(d)] + offset[static_cast<std::size_t>(d)];
+      }
+      continue;
+    }
+    // Place eta subcluster centers inside the sphere, then split the point
+    // budget uniformly at random over them (multinomial via random draws).
+    std::vector<index_t> budget(static_cast<std::size_t>(eta), 0);
+    for (index_t i = 0; i < f.count; ++i)
+      ++budget[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(eta)))];
+    for (int c = 0; c < eta; ++c) {
+      if (budget[static_cast<std::size_t>(c)] == 0) continue;
+      ball_offset(rng, dim, f.scale, offset.data());
+      Frame child;
+      child.center.resize(static_cast<std::size_t>(dim));
+      for (int d = 0; d < dim; ++d)
+        child.center[static_cast<std::size_t>(d)] =
+            f.center[static_cast<std::size_t>(d)] + offset[static_cast<std::size_t>(d)];
+      child.scale = f.scale / lambda;
+      child.level = f.level + 1;
+      child.count = budget[static_cast<std::size_t>(c)];
+      child.first = f.first;
+      f.first += child.count;
+      stack.push_back(std::move(child));
+    }
+  }
+  return points;
+}
+
+spatial::PointSet trajectory_points(index_t n, int tracks, double noise, std::uint64_t seed) {
+  PANDORA_EXPECT(tracks > 0, "need at least one track");
+  spatial::PointSet points(2, n);
+  Rng rng(seed);
+  // Tracks are random-turn polylines; each point picks a track, a segment and
+  // a position along it, plus Gaussian cross-track noise.
+  constexpr int kWaypoints = 16;
+  std::vector<double> wx(static_cast<std::size_t>(tracks) * kWaypoints);
+  std::vector<double> wy(static_cast<std::size_t>(tracks) * kWaypoints);
+  for (int t = 0; t < tracks; ++t) {
+    double x = rng.next_double(), y = rng.next_double();
+    double heading = rng.uniform(0, 6.283185307179586);
+    for (int w = 0; w < kWaypoints; ++w) {
+      wx[static_cast<std::size_t>(t) * kWaypoints + static_cast<std::size_t>(w)] = x;
+      wy[static_cast<std::size_t>(t) * kWaypoints + static_cast<std::size_t>(w)] = y;
+      heading += rng.normal(0, 0.35);
+      const double step = 0.02 + 0.02 * rng.next_double();
+      x += step * std::cos(heading);
+      y += step * std::sin(heading);
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    const auto t = static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(tracks)));
+    const auto w = static_cast<std::size_t>(rng.next_below(kWaypoints - 1));
+    const double s = rng.next_double();
+    const std::size_t base = t * kWaypoints + w;
+    points.at(i, 0) = wx[base] + s * (wx[base + 1] - wx[base]) + noise * rng.normal();
+    points.at(i, 1) = wy[base] + s * (wy[base + 1] - wy[base]) + noise * rng.normal();
+  }
+  return points;
+}
+
+spatial::PointSet grid_road_points(index_t n, int cells, double jitter, std::uint64_t seed) {
+  PANDORA_EXPECT(cells > 0, "need at least one grid cell");
+  spatial::PointSet points(2, n);
+  Rng rng(seed);
+  const double cell = 1.0 / cells;
+  for (index_t i = 0; i < n; ++i) {
+    const bool horizontal = (rng.next_u64() & 1) != 0;
+    const double line = cell * static_cast<double>(
+                                   rng.next_below(static_cast<std::uint64_t>(cells) + 1));
+    const double along = rng.next_double();
+    const double across = line + jitter * rng.normal();
+    points.at(i, 0) = horizontal ? along : across;
+    points.at(i, 1) = horizontal ? across : along;
+  }
+  return points;
+}
+
+spatial::PointSet power_law_blobs(index_t n, int dim, int clusters, double alpha,
+                                  std::uint64_t seed) {
+  PANDORA_EXPECT(clusters > 0, "need at least one cluster");
+  spatial::PointSet points(dim, n);
+  Rng rng(seed);
+  // Cluster weights ~ (rank+1)^-alpha; scales vary over a decade, which is
+  // what produces the mid-range skewness of the VisualVar datasets.
+  std::vector<double> cumulative(static_cast<std::size_t>(clusters));
+  double total = 0;
+  for (int c = 0; c < clusters; ++c) {
+    total += std::pow(static_cast<double>(c + 1), -alpha);
+    cumulative[static_cast<std::size_t>(c)] = total;
+  }
+  std::vector<double> centers(static_cast<std::size_t>(clusters) * static_cast<std::size_t>(dim));
+  std::vector<double> scales(static_cast<std::size_t>(clusters));
+  for (double& c : centers) c = rng.next_double();
+  for (double& s : scales) s = 0.002 * std::pow(10.0, rng.next_double());
+  for (index_t i = 0; i < n; ++i) {
+    const double pick = rng.next_double() * total;
+    const auto c = static_cast<std::size_t>(
+        std::lower_bound(cumulative.begin(), cumulative.end(), pick) - cumulative.begin());
+    for (int d = 0; d < dim; ++d)
+      points.at(i, d) = centers[c * static_cast<std::size_t>(dim) + static_cast<std::size_t>(d)] +
+                        scales[c] * rng.normal();
+  }
+  return points;
+}
+
+spatial::PointSet similar_blobs(index_t n, int dim, int clusters, std::uint64_t seed) {
+  return gaussian_blobs(n, dim, clusters, 0.02, 0.0, seed);
+}
+
+spatial::PointSet mixed_features(index_t n, int dim, std::uint64_t seed) {
+  spatial::PointSet points(dim, n);
+  Rng rng(seed);
+  constexpr int kModes = 12;
+  std::vector<double> modes(static_cast<std::size_t>(kModes) * static_cast<std::size_t>(dim));
+  for (double& m : modes) m = rng.next_double();
+  for (index_t i = 0; i < n; ++i) {
+    const auto mode = static_cast<std::size_t>(rng.next_below(kModes));
+    for (int d = 0; d < dim; ++d) {
+      if (d % 2 == 0) {
+        // Mixture coordinate: clustered around one of the modes.
+        points.at(i, d) =
+            modes[mode * static_cast<std::size_t>(dim) + static_cast<std::size_t>(d)] +
+            0.03 * rng.normal();
+      } else {
+        // Heavy-tailed coordinate, as in consumption/intensity channels.
+        points.at(i, d) = std::exp(0.5 * rng.normal()) - 1.0;
+      }
+    }
+  }
+  return points;
+}
+
+const std::vector<DatasetSpec>& table2_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {"NgsimProxy", "Ngsimlocation3 (GPS locations)", 2, 600000},
+      {"RoadNetProxy", "RoadNetwork3 (road network)", 2, 400000},
+      {"Pamap2Proxy", "Pamap2 (activity monitoring)", 4, 380000},
+      {"FarmProxy", "Farm (VZ-features)", 5, 360000},
+      {"HouseholdProxy", "Household (power usage)", 7, 200000},
+      {"HaccProxy", "Hacc37M (cosmology)", 3, 1000000},
+      {"VisualVar2D", "VisualVar10M2D (GAN)", 2, 500000},
+      {"VisualVar3D", "VisualVar10M3D (GAN)", 3, 500000},
+      {"VisualSim5D", "VisualSim10M5D (GAN)", 5, 500000},
+      {"Normal2D", "Normal100M2D (random normal)", 2, 1000000},
+      {"Normal3D", "Normal100M3D (random normal)", 3, 500000},
+      {"Uniform2D", "Uniform100M2D (random uniform)", 2, 1000000},
+      {"Uniform3D", "Uniform100M3D (random uniform)", 3, 500000},
+  };
+  return specs;
+}
+
+spatial::PointSet make_dataset(const std::string& name, index_t n, std::uint64_t seed) {
+  const DatasetSpec* spec = nullptr;
+  for (const auto& s : table2_datasets())
+    if (s.name == name) spec = &s;
+  PANDORA_EXPECT(spec != nullptr, "unknown dataset name: " + name);
+  if (n <= 0) n = spec->default_n;
+
+  if (name == "NgsimProxy") return trajectory_points(n, 48, 0.0008, seed);
+  if (name == "RoadNetProxy") return grid_road_points(n, 24, 0.001, seed);
+  if (name == "Pamap2Proxy") return mixed_features(n, 4, seed);
+  if (name == "FarmProxy") return mixed_features(n, 5, seed);
+  if (name == "HouseholdProxy") return mixed_features(n, 7, seed);
+  if (name == "HaccProxy") return soneira_peebles(n, 3, 4, 1.6, 12, seed);
+  if (name == "VisualVar2D") return power_law_blobs(n, 2, 100, 1.2, seed);
+  if (name == "VisualVar3D") return power_law_blobs(n, 3, 100, 1.2, seed);
+  if (name == "VisualSim5D") return similar_blobs(n, 5, 64, seed);
+  if (name == "Normal2D") return normal_points(n, 2, seed);
+  if (name == "Normal3D") return normal_points(n, 3, seed);
+  if (name == "Uniform2D") return uniform_points(n, 2, seed);
+  if (name == "Uniform3D") return uniform_points(n, 3, seed);
+  PANDORA_EXPECT(false, "unreachable");
+  return {};
+}
+
+}  // namespace pandora::data

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pandora/common/rng.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+/// Synthetic point-cloud generators standing in for the paper's datasets
+/// (Table 2).  Real traces (HACC cosmology snapshots, NGSIM GPS, PAMAP2,
+/// UCI Household, VisualVar GAN data) are not redistributable, so each is
+/// replaced by a deterministic generator matched in dimensionality and in
+/// the *distribution shape* that drives dendrogram skewness; see DESIGN.md
+/// for the substitution rationale.
+namespace pandora::data {
+
+/// i.i.d. Uniform(0, 1)^dim.
+[[nodiscard]] spatial::PointSet uniform_points(index_t n, int dim, std::uint64_t seed);
+
+/// i.i.d. standard normal per coordinate.
+[[nodiscard]] spatial::PointSet normal_points(index_t n, int dim, std::uint64_t seed);
+
+/// `clusters` isotropic Gaussian blobs with centers uniform in [0,1]^dim and
+/// common standard deviation `spread`; a `noise_fraction` of points is
+/// replaced by uniform background noise.
+[[nodiscard]] spatial::PointSet gaussian_blobs(index_t n, int dim, int clusters, double spread,
+                                               double noise_fraction, std::uint64_t seed);
+
+/// Soneira-Peebles hierarchical model: the classic generator of galaxy-like
+/// fractal clustering (the HACC stand-in).  Each recursion level places `eta`
+/// subcluster centers inside a sphere shrunk by `lambda`; `depth` levels.
+[[nodiscard]] spatial::PointSet soneira_peebles(index_t n, int dim, int eta, double lambda,
+                                                int depth, std::uint64_t seed);
+
+/// Noisy polylines in 2-D: `tracks` random vehicle-like trajectories with
+/// points jittered around them (the NGSIM GPS stand-in).
+[[nodiscard]] spatial::PointSet trajectory_points(index_t n, int tracks, double noise,
+                                                  std::uint64_t seed);
+
+/// Points on a jittered 2-D street grid (the RoadNetwork stand-in).
+[[nodiscard]] spatial::PointSet grid_road_points(index_t n, int cells, double jitter,
+                                                 std::uint64_t seed);
+
+/// Gaussian mixture with power-law cluster sizes and per-cluster scales drawn
+/// over a decade (the VisualVar GAN-variability stand-in).
+[[nodiscard]] spatial::PointSet power_law_blobs(index_t n, int dim, int clusters, double alpha,
+                                                std::uint64_t seed);
+
+/// Equal-size, equal-scale blobs (the VisualSim stand-in; low skewness).
+[[nodiscard]] spatial::PointSet similar_blobs(index_t n, int dim, int clusters,
+                                              std::uint64_t seed);
+
+/// Sensor-like feature vectors: half the coordinates follow a K-mode Gaussian
+/// mixture, half are log-normal heavy tails (the PAMAP2/Farm/Household
+/// stand-in for 4-7 dimensional measurement data).
+[[nodiscard]] spatial::PointSet mixed_features(index_t n, int dim, std::uint64_t seed);
+
+/// One named dataset family per Table 2 row.
+struct DatasetSpec {
+  std::string name;        ///< short name used by benches ("HaccProxy", ...)
+  std::string paper_name;  ///< the Table 2 dataset it substitutes
+  int dim = 0;
+  index_t default_n = 0;   ///< laptop-scale default size
+};
+
+/// The Table 2 roster, in the paper's order.
+[[nodiscard]] const std::vector<DatasetSpec>& table2_datasets();
+
+/// Instantiates a Table 2 stand-in by name with `n` points (0 = default_n).
+[[nodiscard]] spatial::PointSet make_dataset(const std::string& name, index_t n,
+                                             std::uint64_t seed);
+
+}  // namespace pandora::data

@@ -1,0 +1,88 @@
+#include "pandora/data/tree_generators.hpp"
+
+namespace pandora::data {
+
+namespace {
+
+graph::EdgeList with_capacity(index_t num_vertices) {
+  graph::EdgeList edges;
+  if (num_vertices > 1) edges.reserve(static_cast<std::size_t>(num_vertices) - 1);
+  return edges;
+}
+
+}  // namespace
+
+graph::EdgeList star_tree(index_t num_vertices) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  for (index_t i = 1; i < num_vertices; ++i) edges.push_back({0, i, 0.0});
+  return edges;
+}
+
+graph::EdgeList path_tree(index_t num_vertices) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  for (index_t i = 1; i < num_vertices; ++i) edges.push_back({static_cast<index_t>(i - 1), i, 0.0});
+  return edges;
+}
+
+graph::EdgeList caterpillar_tree(index_t num_vertices) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  const index_t spine = num_vertices / 2;
+  for (index_t i = 1; i < spine; ++i) edges.push_back({static_cast<index_t>(i - 1), i, 0.0});
+  for (index_t i = spine; i < num_vertices; ++i) {
+    const index_t attach = spine > 0 ? static_cast<index_t>((i - spine) % spine) : 0;
+    edges.push_back({attach, i, 0.0});
+  }
+  return edges;
+}
+
+graph::EdgeList broom_tree(index_t num_vertices) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  const index_t handle = num_vertices / 2;
+  for (index_t i = 1; i < handle; ++i) edges.push_back({static_cast<index_t>(i - 1), i, 0.0});
+  const index_t hub = handle > 0 ? static_cast<index_t>(handle - 1) : 0;
+  for (index_t i = handle; i < num_vertices; ++i) edges.push_back({hub, i, 0.0});
+  return edges;
+}
+
+graph::EdgeList balanced_tree(index_t num_vertices) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  for (index_t i = 1; i < num_vertices; ++i)
+    edges.push_back({static_cast<index_t>((i - 1) / 2), i, 0.0});
+  return edges;
+}
+
+graph::EdgeList random_attachment_tree(index_t num_vertices, Rng& rng) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  for (index_t i = 1; i < num_vertices; ++i)
+    edges.push_back({static_cast<index_t>(rng.next_below(static_cast<std::uint64_t>(i))), i, 0.0});
+  return edges;
+}
+
+graph::EdgeList preferential_attachment_tree(index_t num_vertices, Rng& rng) {
+  graph::EdgeList edges = with_capacity(num_vertices);
+  if (num_vertices > 1) edges.push_back({0, 1, 0.0});
+  for (index_t i = 2; i < num_vertices; ++i) {
+    // Picking a uniform endpoint of a uniform existing edge weights vertices
+    // by their degree.
+    const auto& e = edges[static_cast<std::size_t>(rng.next_below(edges.size()))];
+    const index_t attach = rng.next_u64() & 1 ? e.u : e.v;
+    edges.push_back({attach, i, 0.0});
+  }
+  return edges;
+}
+
+void assign_random_weights(graph::EdgeList& edges, Rng& rng, int distinct_values) {
+  for (auto& e : edges) {
+    if (distinct_values > 0) {
+      e.weight = static_cast<double>(rng.next_below(static_cast<std::uint64_t>(distinct_values)));
+    } else {
+      e.weight = rng.next_double();
+    }
+  }
+}
+
+void assign_increasing_weights(graph::EdgeList& edges) {
+  for (std::size_t i = 0; i < edges.size(); ++i) edges[i].weight = static_cast<double>(i + 1);
+}
+
+}  // namespace pandora::data

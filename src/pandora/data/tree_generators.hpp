@@ -1,0 +1,48 @@
+#pragma once
+
+#include "pandora/common/rng.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/graph/edge.hpp"
+
+/// Synthetic MST topologies for tests and micro-benchmarks.
+///
+/// Dendrogram shape is driven by the tree topology and the weight ordering:
+/// a star with ascending weights produces the maximally skewed single-chain
+/// dendrogram of Theorem 4, a balanced binary topology the ideal log-height
+/// one.  These generators cover the spectrum so the property suite can sweep
+/// skewness from 1 to n/log n.
+namespace pandora::data {
+
+/// Star: vertex 0 is the hub; edge i connects 0 -- i+1.  The dendrogram is a
+/// single chain (the sorting lower-bound construction of Theorem 4).
+[[nodiscard]] graph::EdgeList star_tree(index_t num_vertices);
+
+/// Path 0 -- 1 -- 2 -- ... -- n-1.
+[[nodiscard]] graph::EdgeList path_tree(index_t num_vertices);
+
+/// Caterpillar: a spine of ~n/2 vertices, each with one leg.
+[[nodiscard]] graph::EdgeList caterpillar_tree(index_t num_vertices);
+
+/// Broom: a path for the first half, a star at its end for the second half.
+[[nodiscard]] graph::EdgeList broom_tree(index_t num_vertices);
+
+/// Complete binary tree topology (vertex i's children are 2i+1, 2i+2).
+[[nodiscard]] graph::EdgeList balanced_tree(index_t num_vertices);
+
+/// Random recursive tree: vertex i attaches to a uniformly random earlier
+/// vertex.  Typical height O(log n), irregular branching.
+[[nodiscard]] graph::EdgeList random_attachment_tree(index_t num_vertices, Rng& rng);
+
+/// Preferential-attachment tree: vertex i attaches to an endpoint of a random
+/// earlier edge, yielding high-degree hubs (skewed dendrograms).
+[[nodiscard]] graph::EdgeList preferential_attachment_tree(index_t num_vertices, Rng& rng);
+
+/// Assigns i.i.d. Uniform(0,1) weights.  With `distinct_values > 0`, weights
+/// are quantised to that many values to exercise tie handling.
+void assign_random_weights(graph::EdgeList& edges, Rng& rng, int distinct_values = 0);
+
+/// Assigns strictly increasing weights in edge order (w_i = i + 1), making
+/// the edge rank deterministic regardless of topology.
+void assign_increasing_weights(graph::EdgeList& edges);
+
+}  // namespace pandora::data

@@ -1,0 +1,180 @@
+#include "pandora/dendrogram/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pandora/common/expect.hpp"
+
+namespace pandora::dendrogram {
+
+namespace {
+
+/// Number of edge-node children of every edge node.
+std::vector<index_t> edge_child_counts(const Dendrogram& d) {
+  std::vector<index_t> counts(static_cast<std::size_t>(d.num_edges), 0);
+  for (index_t e = 1; e < d.num_edges; ++e)
+    ++counts[static_cast<std::size_t>(d.parent[static_cast<std::size_t>(e)])];
+  return counts;
+}
+
+}  // namespace
+
+NodeCounts classify_edges(const Dendrogram& d) {
+  NodeCounts counts;
+  const std::vector<index_t> edge_kids = edge_child_counts(d);
+  for (index_t e = 0; e < d.num_edges; ++e) {
+    switch (edge_kids[static_cast<std::size_t>(e)]) {
+      case 0: ++counts.leaf_edges; break;
+      case 1: ++counts.chain_edges; break;
+      default: ++counts.alpha_edges; break;
+    }
+  }
+  return counts;
+}
+
+std::vector<index_t> edge_depths(const Dendrogram& d) {
+  std::vector<index_t> depth(static_cast<std::size_t>(d.num_edges), 0);
+  for (index_t e = 0; e < d.num_edges; ++e) {
+    const index_t p = d.parent[static_cast<std::size_t>(e)];
+    depth[static_cast<std::size_t>(e)] = p == kNone ? 1 : depth[static_cast<std::size_t>(p)] + 1;
+  }
+  return depth;
+}
+
+index_t height(const Dendrogram& d) {
+  if (d.num_edges == 0) return 0;
+  const std::vector<index_t> depth = edge_depths(d);
+  return *std::max_element(depth.begin(), depth.end());
+}
+
+double skewness(const Dendrogram& d) {
+  if (d.num_edges <= 1) return 1.0;
+  return static_cast<double>(height(d)) / std::log2(static_cast<double>(d.num_edges));
+}
+
+std::vector<std::array<index_t, 2>> edge_children(const Dendrogram& d) {
+  std::vector<std::array<index_t, 2>> children(
+      static_cast<std::size_t>(d.num_edges), std::array<index_t, 2>{kNone, kNone});
+  auto add = [&](index_t parent, index_t child_node) {
+    auto& slots = children[static_cast<std::size_t>(parent)];
+    if (slots[0] == kNone) {
+      slots[0] = child_node;
+    } else {
+      slots[1] = child_node;
+    }
+  };
+  // Ascending node order fills slots deterministically: edge children first
+  // (they have smaller node ids), then vertex children.
+  for (index_t node = 1; node < d.num_nodes(); ++node) {
+    const index_t p = d.parent[static_cast<std::size_t>(node)];
+    if (p != kNone) add(p, node);
+  }
+  return children;
+}
+
+std::vector<index_t> cut_labels(const Dendrogram& d, double threshold) {
+  const index_t n = d.num_edges;
+  // Edges [first_kept, n) have weight <= threshold and merge their clusters;
+  // heavier edges are "cut".  weight is non-increasing, so binary search.
+  const auto it = std::partition_point(d.weight.begin(), d.weight.end(),
+                                       [&](double w) { return w > threshold; });
+  const auto first_kept = static_cast<index_t>(it - d.weight.begin());
+
+  // cluster_root[e]: the topmost ancestor of edge e that is itself kept.
+  std::vector<index_t> cluster_root(static_cast<std::size_t>(n), kNone);
+  for (index_t e = first_kept; e < n; ++e) {
+    const index_t p = d.parent[static_cast<std::size_t>(e)];
+    cluster_root[static_cast<std::size_t>(e)] =
+        (p == kNone || p < first_kept) ? e : cluster_root[static_cast<std::size_t>(p)];
+  }
+
+  std::vector<index_t> labels(static_cast<std::size_t>(d.num_vertices), kNone);
+  std::vector<index_t> dense(static_cast<std::size_t>(n) + 1, kNone);
+  index_t next_label = 0;
+  for (index_t v = 0; v < d.num_vertices; ++v) {
+    const index_t pe = d.parent[static_cast<std::size_t>(d.vertex_node(v))];
+    if (pe == kNone || pe < first_kept) {
+      labels[static_cast<std::size_t>(v)] = next_label++;  // singleton cluster
+      continue;
+    }
+    const index_t root = cluster_root[static_cast<std::size_t>(pe)];
+    if (dense[static_cast<std::size_t>(root)] == kNone)
+      dense[static_cast<std::size_t>(root)] = next_label++;
+    labels[static_cast<std::size_t>(v)] = dense[static_cast<std::size_t>(root)];
+  }
+  return labels;
+}
+
+std::vector<index_t> subtree_point_counts(const Dendrogram& d) {
+  std::vector<index_t> counts(static_cast<std::size_t>(d.num_edges), 0);
+  if (d.num_edges == 0) return counts;
+  for (index_t v = 0; v < d.num_vertices; ++v)
+    ++counts[static_cast<std::size_t>(d.parent[static_cast<std::size_t>(d.vertex_node(v))])];
+  // Parents are heavier (smaller index): a light-to-heavy sweep accumulates.
+  for (index_t e = d.num_edges - 1; e >= 1; --e)
+    counts[static_cast<std::size_t>(d.parent[static_cast<std::size_t>(e)])] +=
+        counts[static_cast<std::size_t>(e)];
+  return counts;
+}
+
+std::vector<LinkageRow> linkage_matrix(const Dendrogram& d) {
+  const index_t n = d.num_edges;
+  std::vector<LinkageRow> rows(static_cast<std::size_t>(n));
+  if (n == 0) return rows;
+  const std::vector<index_t> counts = subtree_point_counts(d);
+  const auto children = edge_children(d);
+  // SciPy cluster ids: [0, n_points) are the original points; the cluster
+  // created by row r gets id n_points + r.  Edge e (rank; 0 = heaviest) is
+  // the (n-1-e)-th merge, so its cluster id is n_points + (n - 1 - e).
+  auto cluster_id = [&](index_t node) {
+    if (d.is_vertex_node(node)) return node - d.num_edges;            // a point
+    return d.num_vertices + (n - 1 - node);                           // a merge
+  };
+  for (index_t e = 0; e < n; ++e) {
+    const index_t row = n - 1 - e;
+    LinkageRow& out = rows[static_cast<std::size_t>(row)];
+    index_t a = cluster_id(children[static_cast<std::size_t>(e)][0]);
+    index_t b = cluster_id(children[static_cast<std::size_t>(e)][1]);
+    if (a > b) std::swap(a, b);
+    out.cluster_a = a;
+    out.cluster_b = b;
+    out.distance = d.weight[static_cast<std::size_t>(e)];
+    out.size = counts[static_cast<std::size_t>(e)];
+  }
+  return rows;
+}
+
+void validate_dendrogram(const Dendrogram& d) {
+  PANDORA_EXPECT(static_cast<index_t>(d.parent.size()) == d.num_nodes(),
+                 "parent array size mismatch");
+  PANDORA_EXPECT(static_cast<index_t>(d.weight.size()) == d.num_edges,
+                 "weight array size mismatch");
+  if (d.num_edges == 0) return;
+
+  PANDORA_EXPECT(d.parent[0] == kNone, "the heaviest edge must be the root");
+  for (index_t e = 1; e < d.num_edges; ++e) {
+    const index_t p = d.parent[static_cast<std::size_t>(e)];
+    PANDORA_EXPECT(p != kNone, "only the heaviest edge may be the root");
+    PANDORA_EXPECT(p >= 0 && p < e, "an edge's parent must be a heavier edge");
+  }
+  for (index_t v = 0; v < d.num_vertices; ++v) {
+    const index_t p = d.parent[static_cast<std::size_t>(d.vertex_node(v))];
+    PANDORA_EXPECT(p >= 0 && p < d.num_edges, "vertex parent out of range");
+  }
+  for (index_t e = 0; e + 1 < d.num_edges; ++e)
+    PANDORA_EXPECT(d.weight[static_cast<std::size_t>(e)] >=
+                       d.weight[static_cast<std::size_t>(e) + 1],
+                   "weights must be sorted descending");
+
+  // Exactly two children per edge node (binary dendrogram, Section 2.2).
+  std::vector<index_t> total_children(static_cast<std::size_t>(d.num_edges), 0);
+  for (index_t node = 0; node < d.num_nodes(); ++node) {
+    const index_t p = d.parent[static_cast<std::size_t>(node)];
+    if (p != kNone) ++total_children[static_cast<std::size_t>(p)];
+  }
+  for (index_t e = 0; e < d.num_edges; ++e)
+    PANDORA_EXPECT(total_children[static_cast<std::size_t>(e)] == 2,
+                   "every edge node must have exactly two children");
+}
+
+}  // namespace pandora::dendrogram

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+
+namespace pandora::dendrogram {
+
+/// Edge-node classification counts (Section 3.1.2 / Figure 7).
+struct NodeCounts {
+  index_t leaf_edges = 0;   ///< two vertex children
+  index_t chain_edges = 0;  ///< one vertex child, one edge child
+  index_t alpha_edges = 0;  ///< two edge children
+};
+
+/// Classifies every edge node by how many of its children are edge nodes.
+[[nodiscard]] NodeCounts classify_edges(const Dendrogram& dendrogram);
+
+/// Depth of every edge node (root = 1); depth[e] <= e + 1 by the ancestors-
+/// are-heavier invariant, so a single ascending pass computes all depths.
+[[nodiscard]] std::vector<index_t> edge_depths(const Dendrogram& dendrogram);
+
+/// Height of the dendrogram: the longest chain of edge nodes from the root.
+[[nodiscard]] index_t height(const Dendrogram& dendrogram);
+
+/// Skewness (Section 3.1.3, Table 2 "Imb"): height / log2(n).
+/// A perfectly balanced dendrogram has skewness ~1.
+[[nodiscard]] double skewness(const Dendrogram& dendrogram);
+
+/// The two children of every edge node, vertex nodes included (node-id
+/// encoding of Dendrogram).  Every edge has exactly two; slots are filled in
+/// ascending child order for determinism.
+[[nodiscard]] std::vector<std::array<index_t, 2>> edge_children(const Dendrogram& dendrogram);
+
+/// Single-linkage flat clustering: labels points by the connected components
+/// obtained after removing every edge with weight > `threshold`.  Labels are
+/// dense in [0, num_clusters); singleton points get their own label.
+[[nodiscard]] std::vector<index_t> cut_labels(const Dendrogram& dendrogram, double threshold);
+
+/// Number of data points (vertex nodes) in the subtree under every edge node.
+[[nodiscard]] std::vector<index_t> subtree_point_counts(const Dendrogram& dendrogram);
+
+/// One merge step of the SciPy-style linkage matrix.
+struct LinkageRow {
+  index_t cluster_a = kNone;  ///< ids: [0, n_points) = points, then merges
+  index_t cluster_b = kNone;
+  double distance = 0.0;
+  index_t size = 0;           ///< points in the merged cluster
+};
+
+/// Converts the dendrogram into the (n_points - 1)-row linkage matrix used by
+/// scipy.cluster.hierarchy / sklearn AgglomerativeClustering: row r merges
+/// clusters `cluster_a` and `cluster_b` at `distance` into cluster
+/// n_points + r; rows are ordered by non-decreasing distance (edges processed
+/// lightest first).  This is the interoperability surface for downstream
+/// tooling (plotting, flat cuts, cophenetic analysis).
+[[nodiscard]] std::vector<LinkageRow> linkage_matrix(const Dendrogram& dendrogram);
+
+/// Structural validation of a dendrogram: exactly one root (the heaviest
+/// edge), parents always heavier than children, every edge node with exactly
+/// two children, weights non-increasing.  Throws std::invalid_argument on the
+/// first violated invariant.
+void validate_dendrogram(const Dendrogram& dendrogram);
+
+}  // namespace pandora::dendrogram

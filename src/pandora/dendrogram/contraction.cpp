@@ -1,0 +1,154 @@
+#include "pandora/dendrogram/contraction.hpp"
+
+#include <numeric>
+#include <span>
+#include <utility>
+
+#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/scan.hpp"
+#include "pandora/graph/union_find.hpp"
+
+namespace pandora::dendrogram {
+
+namespace detail {
+
+LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
+                               const std::vector<index_t>& v, const std::vector<index_t>& gid,
+                               index_t num_vertices, ContractionWorkspace& workspace) {
+  const size_type m = static_cast<size_type>(gid.size());
+  const size_type nv = num_vertices;
+  LevelResult r;
+  r.level.num_vertices = num_vertices;
+  r.level.num_edges = static_cast<index_t>(m);
+
+  // maxIncident(vertex): the incident edge with the largest global index
+  // (= the lightest incident edge).  Idempotent atomic-max scatter.
+  std::vector<index_t>& max_incident = workspace.max_incident;
+  max_incident.assign(static_cast<std::size_t>(nv), kNone);
+  exec::parallel_for(space, m, [&](size_type i) {
+    exec::atomic_fetch_max(max_incident[static_cast<std::size_t>(u[static_cast<std::size_t>(i)])],
+                           gid[static_cast<std::size_t>(i)]);
+    exec::atomic_fetch_max(max_incident[static_cast<std::size_t>(v[static_cast<std::size_t>(i)])],
+                           gid[static_cast<std::size_t>(i)]);
+  });
+
+  // Fused pass: sided parents (Eq. 1), α classification (Eq. 2) and the
+  // α count.  Every vertex's sided slot has exactly one writer (the winning
+  // edge), so no initialisation fill is needed.
+  r.level.sided_parent.resize(static_cast<std::size_t>(nv));
+  r.alpha.resize(static_cast<std::size_t>(m));
+  r.level.num_alpha = static_cast<index_t>(exec::parallel_sum(
+      space, m, size_type{0}, [&](size_type i) -> size_type {
+        const index_t g = gid[static_cast<std::size_t>(i)];
+        const index_t a = u[static_cast<std::size_t>(i)];
+        const index_t b = v[static_cast<std::size_t>(i)];
+        const bool owns_a = max_incident[static_cast<std::size_t>(a)] == g;
+        const bool owns_b = max_incident[static_cast<std::size_t>(b)] == g;
+        if (owns_a) r.level.sided_parent[static_cast<std::size_t>(a)] =
+            2 * static_cast<std::int64_t>(g);
+        if (owns_b) r.level.sided_parent[static_cast<std::size_t>(b)] =
+            2 * static_cast<std::int64_t>(g) + 1;
+        const index_t is_alpha = (!owns_a && !owns_b) ? 1 : 0;
+        r.alpha[static_cast<std::size_t>(i)] = is_alpha;
+        return is_alpha;
+      }));
+
+  if (r.level.num_alpha == 0) return r;  // final, chain-only level
+
+  // Contract every non-α edge: merge its endpoints into a supervertex.
+  graph::ConcurrentUnionFind uf(num_vertices);
+  exec::parallel_for(space, m, [&](size_type i) {
+    if (!r.alpha[static_cast<std::size_t>(i)])
+      uf.unite(u[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
+  });
+
+  // Compact the component representatives into dense next-level vertex ids:
+  // one find per vertex, reused for both the root flags and the relabelling.
+  std::vector<index_t>& representative = workspace.representative;
+  std::vector<index_t>& new_id = workspace.new_id;
+  representative.resize(static_cast<std::size_t>(nv));
+  new_id.resize(static_cast<std::size_t>(nv));
+  exec::parallel_for(space, nv, [&](size_type x) {
+    const index_t rep = uf.find(static_cast<index_t>(x));
+    representative[static_cast<std::size_t>(x)] = rep;
+    new_id[static_cast<std::size_t>(x)] = rep == x ? 1 : 0;
+  });
+  r.next_num_vertices = exec::exclusive_scan<index_t>(space, new_id, new_id);
+  r.level.vertex_map.resize(static_cast<std::size_t>(nv));
+  exec::parallel_for(space, nv, [&](size_type x) {
+    r.level.vertex_map[static_cast<std::size_t>(x)] =
+        new_id[static_cast<std::size_t>(representative[static_cast<std::size_t>(x)])];
+  });
+
+  // Emit the contracted tree: α-edges with relabelled endpoints, in the same
+  // (global-index) relative order for determinism.
+  std::vector<index_t>& position = workspace.position;
+  position.resize(static_cast<std::size_t>(m));
+  exec::exclusive_scan<index_t>(space, std::span<const index_t>(r.alpha),
+                                std::span<index_t>(position));
+  const auto na = static_cast<std::size_t>(r.level.num_alpha);
+  r.next_u.resize(na);
+  r.next_v.resize(na);
+  r.next_gid.resize(na);
+  exec::parallel_for(space, m, [&](size_type i) {
+    if (!r.alpha[static_cast<std::size_t>(i)]) return;
+    const auto p = static_cast<std::size_t>(position[static_cast<std::size_t>(i)]);
+    r.next_u[p] = r.level.vertex_map[static_cast<std::size_t>(u[static_cast<std::size_t>(i)])];
+    r.next_v[p] = r.level.vertex_map[static_cast<std::size_t>(v[static_cast<std::size_t>(i)])];
+    r.next_gid[p] = gid[static_cast<std::size_t>(i)];
+  });
+  return r;
+}
+
+LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
+                               const std::vector<index_t>& v, const std::vector<index_t>& gid,
+                               index_t num_vertices) {
+  ContractionWorkspace workspace;
+  return contract_one_level(space, u, v, gid, num_vertices, workspace);
+}
+
+}  // namespace detail
+
+ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
+                                     std::vector<index_t> v, std::vector<index_t> gid,
+                                     index_t num_vertices, index_t num_global_edges) {
+  ContractionHierarchy h;
+  h.num_global_edges = num_global_edges;
+  h.contraction_level.assign(static_cast<std::size_t>(num_global_edges), kNone);
+  h.supervertex.assign(static_cast<std::size_t>(num_global_edges), kNone);
+
+  detail::ContractionWorkspace workspace;
+  while (true) {
+    detail::LevelResult r =
+        detail::contract_one_level(space, u, v, gid, num_vertices, workspace);
+    const index_t level_index = h.num_levels();
+    const size_type m = static_cast<size_type>(gid.size());
+
+    if (r.level.num_alpha == 0) {
+      // Final level: its edges form the root chain of the dendrogram.
+      exec::parallel_for(space, m, [&](size_type i) {
+        h.contraction_level[static_cast<std::size_t>(gid[static_cast<std::size_t>(i)])] =
+            level_index;
+      });
+      h.levels.push_back(std::move(r.level));
+      break;
+    }
+
+    exec::parallel_for(space, m, [&](size_type i) {
+      if (r.alpha[static_cast<std::size_t>(i)]) return;
+      const index_t g = gid[static_cast<std::size_t>(i)];
+      h.contraction_level[static_cast<std::size_t>(g)] = level_index;
+      h.supervertex[static_cast<std::size_t>(g)] =
+          r.level.vertex_map[static_cast<std::size_t>(u[static_cast<std::size_t>(i)])];
+    });
+
+    u = std::move(r.next_u);
+    v = std::move(r.next_v);
+    gid = std::move(r.next_gid);
+    num_vertices = r.next_num_vertices;
+    h.levels.push_back(std::move(r.level));
+  }
+  return h;
+}
+
+}  // namespace pandora::dendrogram

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+
+namespace pandora::dendrogram {
+
+/// One level of the recursive tree contraction (Section 3.2).
+///
+/// A level is a tree whose vertices are supervertices of the previous level
+/// and whose edges are the previous level's α-edges, still identified by
+/// their *global* sorted index (0 = heaviest).  For every vertex the level
+/// stores its "sided parent": the dendrogram parent of the vertex node by
+/// Eq. (1) — the incident edge with the largest global index — encoded as
+/// `2*edge + side` where side says which endpoint of that edge the vertex is.
+/// The side bit distinguishes the two chains hanging below an edge node,
+/// e.g. the 13L / 13R chains of Figure 9.
+struct ContractionLevel {
+  index_t num_vertices = 0;
+  index_t num_edges = 0;
+  index_t num_alpha = 0;
+
+  /// Per vertex: 2*maxIncident + side.  Always set while the level has edges.
+  std::vector<std::int64_t> sided_parent;
+
+  /// Per vertex: containing supervertex at the next level.  Empty at the
+  /// final (chain-only) level, which is never contracted.
+  std::vector<index_t> vertex_map;
+};
+
+/// The full recursive contraction: MST -> α-MST -> β-MST -> ... until a level
+/// has no α-edges (at most ceil(log2(n+1)) levels, Section 4.2).
+///
+/// `contraction_level[g]` / `supervertex[g]` give, for global edge g, the
+/// level at which g was contracted away and the supervertex (vertex id of
+/// level contraction_level+1) that absorbed it.  Edges of the final level are
+/// marked with `supervertex == kNone`; they form the root chain.
+struct ContractionHierarchy {
+  std::vector<ContractionLevel> levels;
+  std::vector<index_t> contraction_level;
+  std::vector<index_t> supervertex;
+  index_t num_global_edges = 0;
+
+  [[nodiscard]] index_t num_levels() const { return static_cast<index_t>(levels.size()); }
+};
+
+namespace detail {
+
+/// Scratch buffers reused across contraction levels (allocation-free steady
+/// state; the first level sizes them, deeper levels shrink).
+struct ContractionWorkspace {
+  std::vector<index_t> max_incident;
+  std::vector<index_t> representative;
+  std::vector<index_t> new_id;
+  std::vector<index_t> position;
+};
+
+/// Classifies the edges of one level tree and contracts its non-α edges.
+/// Inputs: endpoints `u`/`v` (level-vertex ids) and global indices `gid` of
+/// the level's edges over `num_vertices` vertices.  On return, `level` is
+/// fully populated; if α-edges exist, `next_*` hold the contracted tree and
+/// `level.vertex_map` the vertex relabelling; the fate of each input edge is
+/// written through `alpha` (flag per edge).
+struct LevelResult {
+  ContractionLevel level;
+  std::vector<index_t> alpha;  ///< 0/1 per input edge
+  std::vector<index_t> next_u, next_v, next_gid;
+  index_t next_num_vertices = 0;
+};
+
+[[nodiscard]] LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
+                                             const std::vector<index_t>& v,
+                                             const std::vector<index_t>& gid,
+                                             index_t num_vertices,
+                                             ContractionWorkspace& workspace);
+
+/// Convenience overload with a private workspace (tests, one-shot callers).
+[[nodiscard]] LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
+                                             const std::vector<index_t>& v,
+                                             const std::vector<index_t>& gid,
+                                             index_t num_vertices);
+
+}  // namespace detail
+
+/// Builds the complete contraction hierarchy of the tree given by parallel
+/// arrays (`u[i]`, `v[i]`) with global edge indices `gid[i]` over
+/// `num_vertices` vertices.  `num_global_edges` sizes the per-global-edge
+/// fate arrays (pass the total edge count of the original MST).
+[[nodiscard]] ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
+                                                   std::vector<index_t> v,
+                                                   std::vector<index_t> gid,
+                                                   index_t num_vertices,
+                                                   index_t num_global_edges);
+
+}  // namespace pandora::dendrogram

@@ -1,0 +1,11 @@
+#include "pandora/dendrogram/dendrogram.hpp"
+
+#include <array>
+
+namespace pandora::dendrogram {
+
+// (Dendrogram is a plain aggregate; behaviour lives in analysis.cpp and the
+// construction algorithms.  This translation unit anchors the type for ODR
+// purposes and hosts nothing else by design.)
+
+}  // namespace pandora::dendrogram

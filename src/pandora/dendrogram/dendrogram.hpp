@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+
+namespace pandora::dendrogram {
+
+/// A single-linkage dendrogram (Section 3.1.2).
+///
+/// The dendrogram is a rooted binary tree over two kinds of nodes:
+///  * edge nodes  — one per MST edge, representing clusters; and
+///  * vertex nodes — one per MST vertex (data point), the leaves.
+///
+/// Edges are identified by their rank in the descending-weight order
+/// (0 = heaviest = the dendrogram root); `edge_order` maps that rank back to
+/// the caller's original edge index.  The structure is fully described by the
+/// parent function P: `parent[e]` for edge node e, `parent[num_edges + v]`
+/// for vertex node v; the root's parent is kNone.
+///
+/// Invariant (exploited throughout the library): the parent of an edge is
+/// always a heavier edge, i.e. `parent[e] < e` — ancestors precede their
+/// descendants in sorted order.
+struct Dendrogram {
+  index_t num_edges = 0;
+  index_t num_vertices = 0;
+
+  /// Parent edge of every node; size num_edges + num_vertices.
+  std::vector<index_t> parent;
+
+  /// weight[e] of sorted edge e; non-increasing.
+  std::vector<double> weight;
+
+  /// edge_order[e] = index of sorted edge e in the caller's edge list.
+  std::vector<index_t> edge_order;
+
+  [[nodiscard]] index_t num_nodes() const { return num_edges + num_vertices; }
+
+  /// Node id of edge e (identity; for symmetry with vertex_node).
+  [[nodiscard]] index_t edge_node(index_t e) const { return e; }
+
+  /// Node id of vertex v.
+  [[nodiscard]] index_t vertex_node(index_t v) const { return num_edges + v; }
+
+  /// True if the node id denotes a vertex (leaf) node.
+  [[nodiscard]] bool is_vertex_node(index_t node) const { return node >= num_edges; }
+
+  /// The root edge node (kNone for a single-vertex dendrogram).
+  [[nodiscard]] index_t root() const { return num_edges > 0 ? 0 : kNone; }
+};
+
+}  // namespace pandora::dendrogram

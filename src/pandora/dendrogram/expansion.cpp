@@ -1,0 +1,217 @@
+#include "pandora/dendrogram/expansion.hpp"
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/scan.hpp"
+#include "pandora/exec/sort.hpp"
+
+namespace pandora::dendrogram {
+
+namespace {
+
+/// Packs a chain key (>= -2) and an edge index into one sortable u64.
+/// Root-chain entries (key -2) sort first, so the heaviest root-chain edge —
+/// the global root — lands at position 0.
+std::uint64_t pack(std::int64_t chain_key, index_t edge) {
+  return (static_cast<std::uint64_t>(chain_key + 2) << 32) | static_cast<std::uint32_t>(edge);
+}
+
+constexpr std::int64_t kRootChain = -2;
+
+/// Turns the (chain, index)-sorted entries into parent pointers:
+/// chain boundaries attach to the chain's defining edge (or nothing, for the
+/// root chain); interior entries attach to their predecessor.
+void stitch_chains(exec::Space space, const std::vector<std::uint64_t>& packed,
+                   std::span<index_t> edge_parent) {
+  const size_type count = static_cast<size_type>(packed.size());
+  exec::parallel_for(space, count, [&](size_type p) {
+    const std::uint64_t entry = packed[static_cast<std::size_t>(p)];
+    const auto edge = static_cast<index_t>(entry & 0xffffffffu);
+    const std::uint64_t key_hi = entry >> 32;
+    const bool chain_first =
+        p == 0 || (packed[static_cast<std::size_t>(p - 1)] >> 32) != key_hi;
+    if (chain_first) {
+      const std::int64_t chain_key = static_cast<std::int64_t>(key_hi) - 2;
+      edge_parent[static_cast<std::size_t>(edge)] =
+          chain_key == kRootChain ? kNone : static_cast<index_t>(chain_key >> 1);
+    } else {
+      edge_parent[static_cast<std::size_t>(edge)] =
+          static_cast<index_t>(packed[static_cast<std::size_t>(p - 1)] & 0xffffffffu);
+    }
+  });
+}
+
+}  // namespace
+
+void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
+                       std::span<index_t> edge_parent, PhaseTimes* times) {
+  const size_type n_global = hierarchy.num_global_edges;
+  const index_t num_levels = hierarchy.num_levels();
+
+  Timer timer;
+  // Chain assignment: one entry per edge present in the hierarchy.
+  // (When expanding a sub-hierarchy — the single-level path — only some
+  // global indices are present; absent ones have contraction_level == kNone.)
+  std::vector<index_t> present(static_cast<std::size_t>(n_global));
+  exec::parallel_for(space, n_global, [&](size_type g) {
+    present[static_cast<std::size_t>(g)] =
+        hierarchy.contraction_level[static_cast<std::size_t>(g)] != kNone ? 1 : 0;
+  });
+  std::vector<index_t> slot(static_cast<std::size_t>(n_global));
+  const index_t num_present = exec::exclusive_scan<index_t>(space, present, slot);
+
+  std::vector<std::uint64_t> packed(static_cast<std::size_t>(num_present));
+  exec::parallel_for(space, n_global, [&](size_type gi) {
+    if (!present[static_cast<std::size_t>(gi)]) return;
+    const auto g = static_cast<index_t>(gi);
+    const index_t k = hierarchy.contraction_level[static_cast<std::size_t>(g)];
+    const index_t sv = hierarchy.supervertex[static_cast<std::size_t>(g)];
+
+    std::int64_t chain_key = kRootChain;
+    if (sv != kNone) {
+      // Scan levels upward for the first supervertex whose dendrogram parent
+      // is heavier (smaller global index) than g — Section 3.3.2.
+      index_t m = k + 1;
+      index_t vertex = sv;
+      for (;;) {
+        const ContractionLevel& level = hierarchy.levels[static_cast<std::size_t>(m)];
+        const std::int64_t sided = level.sided_parent[static_cast<std::size_t>(vertex)];
+        if (static_cast<index_t>(sided >> 1) < g) {
+          chain_key = sided;
+          break;
+        }
+        if (m + 1 >= num_levels) break;  // exhausted: root chain
+        vertex = level.vertex_map[static_cast<std::size_t>(vertex)];
+        ++m;
+      }
+    }
+    packed[static_cast<std::size_t>(slot[static_cast<std::size_t>(gi)])] = pack(chain_key, g);
+  });
+  if (times) times->add("expansion", timer.seconds());
+
+  timer.reset();
+  exec::radix_sort_u64(space, packed);
+  if (times) times->add("sort", timer.seconds());
+
+  timer.reset();
+  stitch_chains(space, packed, edge_parent);
+  if (times) times->add("expansion", timer.seconds());
+}
+
+void expand_single_level(exec::Space space, const SortedEdges& sorted,
+                         std::span<index_t> edge_parent, PhaseTimes* times) {
+  const index_t n = sorted.num_edges();
+  std::vector<index_t> gid(static_cast<std::size_t>(n));
+  std::iota(gid.begin(), gid.end(), index_t{0});
+
+  Timer timer;
+  detail::LevelResult base =
+      detail::contract_one_level(space, sorted.u, sorted.v, gid, sorted.num_vertices);
+  if (times) times->add("contraction", timer.seconds());
+
+  if (base.level.num_alpha == 0) {
+    // Chain-only tree: the whole dendrogram is the root chain.
+    timer.reset();
+    std::vector<std::uint64_t> packed(static_cast<std::size_t>(n));
+    exec::parallel_for(space, n, [&](size_type g) {
+      packed[static_cast<std::size_t>(g)] = pack(kRootChain, static_cast<index_t>(g));
+    });
+    exec::radix_sort_u64(space, packed);
+    stitch_chains(space, packed, edge_parent);
+    if (times) times->add("expansion", timer.seconds());
+    return;
+  }
+
+  // Full dendrogram of the α-MST via the multilevel machinery (the paper
+  // computes it "recursively applying the same edge contraction strategy").
+  timer.reset();
+  ContractionHierarchy alpha_hierarchy =
+      build_hierarchy(space, base.next_u, base.next_v, base.next_gid,
+                      base.next_num_vertices, n);
+  if (times) times->add("contraction", timer.seconds());
+  std::vector<index_t> alpha_parent(static_cast<std::size_t>(n), kNone);
+  expand_multilevel(space, alpha_hierarchy, alpha_parent, times);
+
+  // Walk-up insertion of every non-α edge (Section 3.3.1, Figure 10).
+  // The "slot" an edge lands in is the dendrogram node directly *below* its
+  // final position: either an α-edge, or the α-vertex it was contracted into
+  // when the walk stops at the very first step.  Encoding: edges as
+  // themselves, α-vertex V as n + V.
+  timer.reset();
+  const std::vector<std::int64_t>& sided1 = alpha_hierarchy.levels[0].sided_parent;
+  const size_type n64 = n;
+  std::vector<std::uint64_t> packed;
+  packed.resize(static_cast<std::size_t>(n - base.level.num_alpha));
+  {
+    std::vector<index_t> non_alpha(static_cast<std::size_t>(n), 0);
+    exec::parallel_for(space, n64, [&](size_type i) {
+      non_alpha[static_cast<std::size_t>(i)] = base.alpha[static_cast<std::size_t>(i)] ? 0 : 1;
+    });
+    std::vector<index_t> pos(static_cast<std::size_t>(n));
+    exec::exclusive_scan<index_t>(space, non_alpha, pos);
+
+    exec::parallel_for(space, n64, [&](size_type i) {
+      if (base.alpha[static_cast<std::size_t>(i)]) return;
+      const auto g = static_cast<index_t>(i);
+      const index_t supervertex =
+          base.level.vertex_map[static_cast<std::size_t>(sorted.u[static_cast<std::size_t>(i)])];
+      index_t below = n + supervertex;  // slot: start at the α-vertex node
+      index_t cur =
+          static_cast<index_t>(sided1[static_cast<std::size_t>(supervertex)] >> 1);
+      while (cur != kNone && cur > g) {
+        below = cur;
+        cur = alpha_parent[static_cast<std::size_t>(cur)];
+      }
+      packed[static_cast<std::size_t>(pos[static_cast<std::size_t>(i)])] =
+          (static_cast<std::uint64_t>(below) << 32) | static_cast<std::uint32_t>(g);
+    });
+  }
+  exec::radix_sort_u64(space, packed);
+
+  // Stitch the inserted chains and re-hang the α-edges below them.
+  // Reads go to the immutable α-dendrogram (`alpha_parent`), writes to the
+  // output, so the slot rewrites cannot race with the boundary reads.
+  const size_type count = static_cast<size_type>(packed.size());
+  exec::parallel_for(space, count, [&](size_type p) {
+    const auto edge = static_cast<index_t>(packed[static_cast<std::size_t>(p)] & 0xffffffffu);
+    const auto below =
+        static_cast<index_t>(packed[static_cast<std::size_t>(p)] >> 32);
+    const bool first =
+        p == 0 || (packed[static_cast<std::size_t>(p - 1)] >> 32) !=
+                      (packed[static_cast<std::size_t>(p)] >> 32);
+    const bool last =
+        p + 1 == count || (packed[static_cast<std::size_t>(p + 1)] >> 32) !=
+                              (packed[static_cast<std::size_t>(p)] >> 32);
+    if (first) {
+      // The node above the group: the α-vertex's sided parent for vertex
+      // slots, the α-edge's old dendrogram parent for edge slots.
+      edge_parent[static_cast<std::size_t>(edge)] =
+          below >= n ? static_cast<index_t>(sided1[static_cast<std::size_t>(below - n)] >> 1)
+                     : alpha_parent[static_cast<std::size_t>(below)];
+    } else {
+      edge_parent[static_cast<std::size_t>(edge)] =
+          static_cast<index_t>(packed[static_cast<std::size_t>(p - 1)] & 0xffffffffu);
+    }
+    if (last && below < n) {
+      // The α-edge now hangs below the lightest inserted edge of its group.
+      edge_parent[static_cast<std::size_t>(below)] = edge;
+    }
+  });
+
+  // α-edges whose slot was never rewritten keep their α-dendrogram parent.
+  std::vector<index_t> rewritten(static_cast<std::size_t>(n), 0);
+  exec::parallel_for(space, count, [&](size_type p) {
+    const auto below = static_cast<index_t>(packed[static_cast<std::size_t>(p)] >> 32);
+    if (below < n) rewritten[static_cast<std::size_t>(below)] = 1;
+  });
+  exec::parallel_for(space, n64, [&](size_type i) {
+    if (base.alpha[static_cast<std::size_t>(i)] && !rewritten[static_cast<std::size_t>(i)])
+      edge_parent[static_cast<std::size_t>(i)] = alpha_parent[static_cast<std::size_t>(i)];
+  });
+  if (times) times->add("expansion", timer.seconds());
+}
+
+}  // namespace pandora::dendrogram

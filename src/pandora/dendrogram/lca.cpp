@@ -1,0 +1,67 @@
+#include "pandora/dendrogram/lca.hpp"
+
+#include <algorithm>
+
+#include "pandora/common/expect.hpp"
+
+namespace pandora::dendrogram {
+
+DendrogramLca::DendrogramLca(const Dendrogram& dendrogram) : dendrogram_(&dendrogram) {
+  const index_t n = dendrogram.num_edges;
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  index_t max_depth = 0;
+  for (index_t e = 1; e < n; ++e) {
+    depth_[static_cast<std::size_t>(e)] =
+        depth_[static_cast<std::size_t>(dendrogram.parent[static_cast<std::size_t>(e)])] + 1;
+    max_depth = std::max(max_depth, depth_[static_cast<std::size_t>(e)]);
+  }
+  levels_ = 1;
+  while ((index_t{1} << levels_) <= max_depth) ++levels_;
+
+  up_.assign(static_cast<std::size_t>(levels_), std::vector<index_t>(static_cast<std::size_t>(n)));
+  if (n == 0) return;
+  for (index_t e = 0; e < n; ++e)
+    up_[0][static_cast<std::size_t>(e)] =
+        dendrogram.parent[static_cast<std::size_t>(e)] == kNone
+            ? e  // the root lifts to itself
+            : dendrogram.parent[static_cast<std::size_t>(e)];
+  for (index_t k = 1; k < levels_; ++k)
+    for (index_t e = 0; e < n; ++e)
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(e)] =
+          up_[static_cast<std::size_t>(k - 1)]
+             [static_cast<std::size_t>(up_[static_cast<std::size_t>(k - 1)]
+                                          [static_cast<std::size_t>(e)])];
+}
+
+index_t DendrogramLca::lca_edges(index_t a, index_t b) const {
+  // Lift the deeper node to the shallower's depth, then lift both together.
+  if (depth_[static_cast<std::size_t>(a)] < depth_[static_cast<std::size_t>(b)]) std::swap(a, b);
+  index_t delta = depth_[static_cast<std::size_t>(a)] - depth_[static_cast<std::size_t>(b)];
+  for (index_t k = 0; delta != 0; ++k, delta >>= 1)
+    if (delta & 1) a = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(a)];
+  if (a == b) return a;
+  for (index_t k = levels_ - 1; k >= 0; --k) {
+    const index_t ua = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(a)];
+    const index_t ub = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(b)];
+    if (ua != ub) {
+      a = ua;
+      b = ub;
+    }
+  }
+  return up_[0][static_cast<std::size_t>(a)];
+}
+
+index_t DendrogramLca::merge_edge(index_t vertex_a, index_t vertex_b) const {
+  PANDORA_EXPECT(vertex_a != vertex_b, "merge_edge needs two distinct points");
+  const Dendrogram& d = *dendrogram_;
+  const index_t ea = d.parent[static_cast<std::size_t>(d.vertex_node(vertex_a))];
+  const index_t eb = d.parent[static_cast<std::size_t>(d.vertex_node(vertex_b))];
+  return lca_edges(ea, eb);
+}
+
+double DendrogramLca::cophenetic_distance(index_t vertex_a, index_t vertex_b) const {
+  if (vertex_a == vertex_b) return 0.0;
+  return dendrogram_->weight[static_cast<std::size_t>(merge_edge(vertex_a, vertex_b))];
+}
+
+}  // namespace pandora::dendrogram

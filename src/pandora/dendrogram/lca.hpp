@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+
+namespace pandora::dendrogram {
+
+/// O(log h) Lowest-Common-Dendrogram-Ancestor queries via binary lifting,
+/// plus the cophenetic distance they induce.
+///
+/// Theorem 1 identifies Lcda(e_i, e_j) with the heaviest edge on the MST
+/// path between the edges; for data points this makes the dendrogram an
+/// oracle for the *cophenetic* (single-linkage merge) distance:
+/// cophenetic(u, v) = weight of the first cluster containing both u and v.
+/// Precomputation is O(n log h); queries never touch the MST again.
+class DendrogramLca {
+ public:
+  explicit DendrogramLca(const Dendrogram& dendrogram);
+
+  /// The LCDA of two edge nodes (each edge is its own ancestor).
+  [[nodiscard]] index_t lca_edges(index_t edge_a, index_t edge_b) const;
+
+  /// The first (lightest) cluster edge containing both data points.
+  [[nodiscard]] index_t merge_edge(index_t vertex_a, index_t vertex_b) const;
+
+  /// Single-linkage merge height of two data points; 0 for u == v.
+  [[nodiscard]] double cophenetic_distance(index_t vertex_a, index_t vertex_b) const;
+
+  /// Depth of an edge node (root = 0 here).
+  [[nodiscard]] index_t depth(index_t edge) const {
+    return depth_[static_cast<std::size_t>(edge)];
+  }
+
+ private:
+  const Dendrogram* dendrogram_;
+  index_t levels_ = 0;                      ///< lifting table height
+  std::vector<index_t> depth_;              ///< per edge node
+  std::vector<std::vector<index_t>> up_;    ///< up_[k][e] = 2^k-th ancestor
+};
+
+}  // namespace pandora::dendrogram

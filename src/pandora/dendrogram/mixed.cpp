@@ -1,0 +1,117 @@
+#include "pandora/dendrogram/mixed.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/graph/union_find.hpp"
+
+namespace pandora::dendrogram {
+
+namespace {
+
+/// Runs the Algorithm-2 merge step for one edge against shared state.  The
+/// per-component phase may call this concurrently for *vertex-disjoint*
+/// components: every touched slot (union-find entries, rep_edge roots,
+/// parent slots) belongs to exactly one component.
+void merge_edge(const SortedEdges& sorted, index_t i, graph::UnionFind& uf,
+                std::vector<index_t>& rep_edge, Dendrogram& dendrogram) {
+  const index_t eu = sorted.u[static_cast<std::size_t>(i)];
+  const index_t ev = sorted.v[static_cast<std::size_t>(i)];
+  for (const index_t x : {eu, ev}) {
+    const index_t r = uf.find(x);
+    if (rep_edge[static_cast<std::size_t>(r)] != kNone) {
+      dendrogram.parent[static_cast<std::size_t>(rep_edge[static_cast<std::size_t>(r)])] = i;
+    } else {
+      dendrogram.parent[static_cast<std::size_t>(dendrogram.vertex_node(x))] = i;
+    }
+  }
+  uf.unite(eu, ev);
+  rep_edge[static_cast<std::size_t>(uf.find(eu))] = i;
+}
+
+}  // namespace
+
+Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double top_fraction,
+                            PhaseTimes* times) {
+  PANDORA_EXPECT(top_fraction >= 0.0 && top_fraction <= 1.0,
+                 "top_fraction must be a fraction");
+  const index_t n = sorted.num_edges();
+  const index_t nv = sorted.num_vertices;
+
+  Dendrogram dendrogram;
+  dendrogram.num_edges = n;
+  dendrogram.num_vertices = nv;
+  dendrogram.weight = sorted.weight;
+  dendrogram.edge_order = sorted.order;
+  dendrogram.parent.assign(static_cast<std::size_t>(n) + static_cast<std::size_t>(nv), kNone);
+  if (n == 0) return dendrogram;
+
+  // Withhold the top_fraction heaviest edges (ranks [0, cut)).
+  const auto cut = std::min<index_t>(
+      n, std::max<index_t>(1, static_cast<index_t>(top_fraction * static_cast<double>(n))));
+
+  Timer timer;
+  // Subtree discovery: components of the light edges [cut, n).
+  graph::ConcurrentUnionFind components(nv);
+  exec::parallel_for(space, static_cast<size_type>(n) - cut, [&](size_type k) {
+    const auto i = static_cast<index_t>(cut + k);
+    components.unite(sorted.u[static_cast<std::size_t>(i)],
+                     sorted.v[static_cast<std::size_t>(i)]);
+  });
+
+  // Bucket the light edges by component.  Edges are appended in descending
+  // rank order (ascending weight reversed), so each bucket ends up sorted the
+  // way the bottom-up pass consumes it (back() = lightest first).
+  std::vector<index_t> component_of(static_cast<std::size_t>(n), kNone);
+  exec::parallel_for(space, static_cast<size_type>(n) - cut, [&](size_type k) {
+    const auto i = static_cast<index_t>(cut + k);
+    component_of[static_cast<std::size_t>(i)] =
+        components.find(sorted.u[static_cast<std::size_t>(i)]);
+  });
+  std::vector<std::vector<index_t>> buckets(static_cast<std::size_t>(nv));
+  for (index_t i = n - 1; i >= cut; --i)
+    buckets[static_cast<std::size_t>(component_of[static_cast<std::size_t>(i)])].push_back(i);
+  std::vector<index_t> roots;
+  for (index_t v = 0; v < nv; ++v)
+    if (!buckets[static_cast<std::size_t>(v)].empty()) roots.push_back(v);
+  if (times) times->add("split", timer.seconds());
+
+  // Phase 1: bottom-up per subtree, parallel over subtrees.  Shared state is
+  // safe because subtrees are vertex-disjoint (see merge_edge).
+  timer.reset();
+  graph::UnionFind uf(nv);
+  std::vector<index_t> rep_edge(static_cast<std::size_t>(nv), kNone);
+  if (space == exec::Space::parallel) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::size_t b = 0; b < roots.size(); ++b) {
+      const auto& bucket = buckets[static_cast<std::size_t>(roots[b])];
+      for (const index_t i : bucket) merge_edge(sorted, i, uf, rep_edge, dendrogram);
+    }
+  } else {
+    for (const index_t root : roots)
+      for (const index_t i : buckets[static_cast<std::size_t>(root)])
+        merge_edge(sorted, i, uf, rep_edge, dendrogram);
+  }
+  if (times) times->add("subtrees", timer.seconds());
+
+  // Phase 2: stitch the withheld top edges, lightest first — the same
+  // bottom-up recurrence continued over the whole tree.
+  timer.reset();
+  for (index_t i = cut - 1; i >= 0; --i) merge_edge(sorted, i, uf, rep_edge, dendrogram);
+  if (times) times->add("stitch", timer.seconds());
+  return dendrogram;
+}
+
+Dendrogram mixed_dendrogram(const graph::EdgeList& mst, index_t num_vertices, exec::Space space,
+                            double top_fraction, PhaseTimes* times) {
+  Timer timer;
+  const SortedEdges sorted = sort_edges(space, mst, num_vertices);
+  if (times) times->add("sort", timer.seconds());
+  return mixed_dendrogram(sorted, space, top_fraction, times);
+}
+
+}  // namespace pandora::dendrogram

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "pandora/common/timer.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+
+namespace pandora::dendrogram {
+
+/// Which expansion stage to run (Section 3.3).
+enum class ExpansionPolicy {
+  multilevel,    ///< Section 3.3.2: O(n log n), the paper's algorithm
+  single_level,  ///< Section 3.3.1: O(n h) walk-up; ablation / cross-check
+};
+
+/// Options for pandora_dendrogram.
+struct PandoraOptions {
+  exec::Space space = exec::Space::parallel;
+  ExpansionPolicy expansion = ExpansionPolicy::multilevel;
+  /// Reject inputs that are not spanning trees with finite weights.
+  bool validate_input = false;
+};
+
+/// PANDORA: parallel dendrogram construction by recursive tree contraction
+/// (Algorithm 3).  Work-optimal (O(n log n), Section 4) and expressed
+/// entirely in parallel loops, scans and sorts.
+///
+/// Phases recorded in `times`: "sort" (initial edge sort + chain radix sort),
+/// "contraction" (multilevel tree contraction), "expansion" (chain
+/// assignment + stitching).
+[[nodiscard]] Dendrogram pandora_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
+                                            const PandoraOptions& options = {},
+                                            PhaseTimes* times = nullptr);
+
+/// As above, starting from pre-sorted edges (skips the "sort" phase's initial
+/// sort; useful when the caller shares one sort across algorithms).
+[[nodiscard]] Dendrogram pandora_dendrogram(const SortedEdges& sorted,
+                                            const PandoraOptions& options = {},
+                                            PhaseTimes* times = nullptr);
+
+}  // namespace pandora::dendrogram

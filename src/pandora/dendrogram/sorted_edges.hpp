@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+
+namespace pandora::dendrogram {
+
+/// The MST in the canonical form every dendrogram algorithm in this library
+/// consumes: edges sorted by weight in descending order (Section 3.1.1), with
+/// ties broken by the original edge index.  The consistent tie order is what
+/// makes the dendrogram unique and lets independent algorithms (Pandora,
+/// union-find, top-down) be compared node-for-node.
+struct SortedEdges {
+  index_t num_vertices = 0;
+  std::vector<index_t> u;        ///< endpoint of sorted edge i
+  std::vector<index_t> v;        ///< other endpoint of sorted edge i
+  std::vector<double> weight;    ///< non-increasing
+  std::vector<index_t> order;    ///< sorted index -> original edge index
+
+  [[nodiscard]] index_t num_edges() const { return static_cast<index_t>(u.size()); }
+};
+
+/// Sorts `edges` descending by (weight, original index).  When
+/// `validate_input` is set, rejects inputs that are not spanning trees with
+/// finite non-negative weights.
+[[nodiscard]] SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges,
+                                     index_t num_vertices, bool validate_input = false);
+
+}  // namespace pandora::dendrogram

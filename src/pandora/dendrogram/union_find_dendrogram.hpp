@@ -1,0 +1,32 @@
+#pragma once
+
+#include "pandora/common/timer.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+
+namespace pandora::dendrogram {
+
+/// Bottom-up dendrogram construction with a union-find structure
+/// (Algorithm 2 of the paper) — the "UnionFind-MT" baseline [46].
+///
+/// Edges are processed from lightest to heaviest; each edge becomes the
+/// parent of the representative nodes of its endpoints' clusters.  The sort
+/// is parallel (under `space`) but the merge loop is inherently sequential —
+/// parents can come from arbitrarily distant parts of the tree, which is
+/// precisely the parallelisation obstacle PANDORA removes (Section 2.3.2).
+///
+/// Phases recorded in `times` (when given): "sort", "dendrogram".
+[[nodiscard]] Dendrogram union_find_dendrogram(const SortedEdges& sorted,
+                                               PhaseTimes* times = nullptr);
+
+/// Convenience overload that sorts internally.
+[[nodiscard]] Dendrogram union_find_dendrogram(const graph::EdgeList& mst,
+                                               index_t num_vertices,
+                                               exec::Space sort_space = exec::Space::parallel,
+                                               PhaseTimes* times = nullptr,
+                                               bool validate_input = false);
+
+}  // namespace pandora::dendrogram

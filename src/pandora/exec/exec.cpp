@@ -1,0 +1,13 @@
+#include "pandora/exec/space.hpp"
+
+#include <omp.h>
+
+namespace pandora::exec {
+
+const char* space_name(Space space) {
+  return space == Space::serial ? "serial" : "parallel";
+}
+
+int max_threads() { return omp_get_max_threads(); }
+
+}  // namespace pandora::exec

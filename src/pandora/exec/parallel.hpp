@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <type_traits>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+
+/// Data-parallel primitives: parallel_for and parallel_reduce, plus the
+/// relaxed atomic read-modify-write helpers GPU kernels rely on.
+///
+/// Every kernel in the library is written against these (never against raw
+/// OpenMP pragmas) so that the serial and parallel spaces execute the exact
+/// same code, mirroring the performance-portability claim of Section 5.
+namespace pandora::exec {
+
+/// Below this trip count the OpenMP fork/join overhead dominates; run serially.
+inline constexpr size_type kParallelForGrain = 2048;
+
+/// Apply `f(i)` for every i in [0, n).
+template <class F>
+void parallel_for(Space space, size_type n, F&& f) {
+  if (space == Space::parallel && n >= kParallelForGrain) {
+#pragma omp parallel for schedule(static)
+    for (size_type i = 0; i < n; ++i) f(i);
+  } else {
+    for (size_type i = 0; i < n; ++i) f(i);
+  }
+}
+
+/// Reduce `transform(i)` over i in [0, n) with the associative, commutative
+/// `combine`, starting from `identity`.
+template <class T, class Transform, class Combine>
+[[nodiscard]] T parallel_reduce(Space space, size_type n, T identity, Transform&& transform,
+                                Combine&& combine) {
+  if (space == Space::parallel && n >= kParallelForGrain) {
+    T result = identity;
+#pragma omp parallel
+    {
+      T local = identity;
+#pragma omp for schedule(static) nowait
+      for (size_type i = 0; i < n; ++i) local = combine(local, transform(i));
+#pragma omp critical(pandora_reduce)
+      result = combine(result, local);
+    }
+    return result;
+  }
+  T result = identity;
+  for (size_type i = 0; i < n; ++i) result = combine(result, transform(i));
+  return result;
+}
+
+/// Sum of `transform(i)` over [0, n).
+template <class T, class Transform>
+[[nodiscard]] T parallel_sum(Space space, size_type n, T identity, Transform&& transform) {
+  return parallel_reduce(space, n, identity, transform, [](T a, T b) { return a + b; });
+}
+
+/// Relaxed atomic max on an integral slot; returns nothing (used for
+/// idempotent "max of all writers wins" scatter patterns such as the
+/// maxIncident computation of Section 3.1).
+template <class T>
+void atomic_fetch_max(T& slot, T value) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(slot);
+  T current = ref.load(std::memory_order_relaxed);
+  while (current < value &&
+         !ref.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Relaxed atomic min on an integral slot.
+template <class T>
+void atomic_fetch_min(T& slot, T value) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(slot);
+  T current = ref.load(std::memory_order_relaxed);
+  while (current > value &&
+         !ref.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Relaxed atomic add; returns the previous value.
+template <class T>
+T atomic_fetch_add(T& slot, T value) {
+  static_assert(std::is_integral_v<T>);
+  std::atomic_ref<T> ref(slot);
+  return ref.fetch_add(value, std::memory_order_relaxed);
+}
+
+}  // namespace pandora::exec

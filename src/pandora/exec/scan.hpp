@@ -1,0 +1,77 @@
+#pragma once
+
+#include <omp.h>
+
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+
+/// Prefix sums.  Tree contraction is "equivalent to a prefix sum on an array
+/// with 2n entries" (Section 4.2); the compaction/relabelling steps of the
+/// contraction and the chain bucketing of the expansion are built on these.
+namespace pandora::exec {
+
+/// out[i] = sum of in[0..i-1]; returns the grand total.
+/// `in` and `out` may alias element-for-element.
+template <class T>
+T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
+  const size_type n = static_cast<size_type>(in.size());
+  if (space != Space::parallel || n < kParallelForGrain) {
+    T running{};
+    for (size_type i = 0; i < n; ++i) {
+      T v = in[i];
+      out[i] = running;
+      running += v;
+    }
+    return running;
+  }
+
+  const int num_threads = max_threads();
+  std::vector<T> partial(static_cast<std::size_t>(num_threads) + 1, T{});
+#pragma omp parallel num_threads(num_threads)
+  {
+    const int t = omp_get_thread_num();
+    const size_type lo = n * t / num_threads;
+    const size_type hi = n * (t + 1) / num_threads;
+    T local{};
+    for (size_type i = lo; i < hi; ++i) local += in[i];
+    partial[static_cast<std::size_t>(t) + 1] = local;
+#pragma omp barrier
+#pragma omp single
+    {
+      for (int k = 1; k <= num_threads; ++k) partial[k] += partial[k - 1];
+    }
+    T running = partial[t];
+    for (size_type i = lo; i < hi; ++i) {
+      T v = in[i];
+      out[i] = running;
+      running += v;
+    }
+  }
+  return partial[num_threads];
+}
+
+/// out[i] = sum of in[0..i]; returns the grand total.
+template <class T>
+T inclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
+  const size_type n = static_cast<size_type>(in.size());
+  T total = exclusive_scan(space, in, out);
+  // Convert exclusive to inclusive in place: shift by the element itself.
+  // (exclusive_scan already consumed in[i] before writing out[i], so when the
+  // buffers alias we recompute from neighbours instead.)
+  if (n == 0) return total;
+  if (in.data() == out.data()) {
+    // out currently holds the exclusive scan; walk backwards adding nothing is
+    // impossible without the originals, so recompute serially from the
+    // exclusive values: inclusive[i] = exclusive[i+1] (and total for the last).
+    for (size_type i = 0; i + 1 < n; ++i) out[i] = out[i + 1];
+    out[n - 1] = total;
+    return total;
+  }
+  parallel_for(space, n, [&](size_type i) { out[i] += in[i]; });
+  return total;
+}
+
+}  // namespace pandora::exec

@@ -1,0 +1,224 @@
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+
+/// Parallel sorting.
+///
+/// Two algorithms are provided, both stable:
+///  * `merge_sort` — comparison-based; used for the initial descending-weight
+///    edge sort of Section 3.1.1, where the comparator carries the tie-break
+///    on the original edge id that makes the dendrogram unique.
+///  * `radix_sort_u64` — an LSD radix sort over packed 64-bit keys; used for
+///    the (chain, index) sort of the expansion stage (Section 3.3.3), where
+///    the key space is dense and radix beats comparison sorting.  This mirrors
+///    the paper's observation that GPU dendrogram time is dominated by sorts
+///    and that radix-style sorts are the best-scaling primitive (Figure 12).
+namespace pandora::exec {
+
+namespace detail {
+
+/// Sort `v` into `num_chunks` sorted runs, then merge pairwise in rounds.
+template <class T, class Comp>
+void parallel_merge_sort(std::vector<T>& v, Comp comp) {
+  const size_type n = static_cast<size_type>(v.size());
+  const int num_threads = max_threads();
+  // Round chunk count down to a power of two for a clean pairwise merge tree.
+  int chunks = 1;
+  while (chunks * 2 <= num_threads) chunks *= 2;
+  if (chunks < 2 || n < kParallelForGrain) {
+    std::stable_sort(v.begin(), v.end(), comp);
+    return;
+  }
+
+  std::vector<size_type> bounds(static_cast<std::size_t>(chunks) + 1);
+  for (int c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
+
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int c = 0; c < chunks; ++c)
+    std::stable_sort(v.begin() + bounds[c], v.begin() + bounds[c + 1], comp);
+
+  std::vector<T> buffer(v.size());
+  T* src = v.data();
+  T* dst = buffer.data();
+  for (int width = 1; width < chunks; width *= 2) {
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int c = 0; c < chunks; c += 2 * width) {
+      const size_type lo = bounds[c];
+      const size_type mid = bounds[std::min(c + width, chunks)];
+      const size_type hi = bounds[std::min(c + 2 * width, chunks)];
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
+    }
+    std::swap(src, dst);
+  }
+  if (src != v.data()) std::memcpy(v.data(), src, sizeof(T) * static_cast<std::size_t>(n));
+}
+
+}  // namespace detail
+
+/// Stable comparison sort of `v` under `comp`.
+template <class T, class Comp>
+void merge_sort(Space space, std::vector<T>& v, Comp comp) {
+  if (space == Space::parallel) {
+    detail::parallel_merge_sort(v, comp);
+  } else {
+    std::stable_sort(v.begin(), v.end(), comp);
+  }
+}
+
+/// Stable LSD radix sort of 64-bit keys, ascending.  Passes whose byte is
+/// constant across all keys are skipped, so sorting keys bounded by 2^k costs
+/// ceil(k/8) scatter passes.
+inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
+  const size_type n = static_cast<size_type>(keys.size());
+  if (n < 2) return;
+  if (space != Space::parallel || n < kParallelForGrain) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+
+  // Determine which byte positions actually vary.
+  std::uint64_t all_or = 0, all_and = ~std::uint64_t{0};
+#pragma omp parallel for schedule(static) reduction(|: all_or) reduction(&: all_and)
+  for (size_type i = 0; i < n; ++i) {
+    all_or |= keys[i];
+    all_and &= keys[i];
+  }
+  const std::uint64_t varying = all_or & ~all_and;
+
+  const int num_threads = max_threads();
+  std::vector<std::uint64_t> buffer(keys.size());
+  std::uint64_t* src = keys.data();
+  std::uint64_t* dst = buffer.data();
+  // hist[t][b]: count of byte-value b in thread t's chunk.
+  std::vector<std::array<size_type, 256>> hist(static_cast<std::size_t>(num_threads));
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    if (((varying >> shift) & 0xff) == 0) continue;
+
+#pragma omp parallel num_threads(num_threads)
+    {
+      const int t = omp_get_thread_num();
+      const size_type lo = n * t / num_threads;
+      const size_type hi = n * (t + 1) / num_threads;
+      auto& h = hist[static_cast<std::size_t>(t)];
+      h.fill(0);
+      for (size_type i = lo; i < hi; ++i) ++h[(src[i] >> shift) & 0xff];
+#pragma omp barrier
+#pragma omp single
+      {
+        // Column-major exclusive scan: for byte b, thread t, the write base is
+        // (all counts of smaller bytes) + (counts of b in earlier threads).
+        size_type running = 0;
+        for (int b = 0; b < 256; ++b) {
+          for (int tt = 0; tt < num_threads; ++tt) {
+            size_type c = hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)];
+            hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)] = running;
+            running += c;
+          }
+        }
+      }
+      // `h` now holds this thread's write cursors; scatter preserves the
+      // relative order of equal bytes (stability).
+      for (size_type i = lo; i < hi; ++i) dst[h[(src[i] >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != keys.data())
+    std::memcpy(keys.data(), src, sizeof(std::uint64_t) * static_cast<std::size_t>(n));
+}
+
+/// Stable LSD radix sort of (key, value) pairs by key, ascending.  Used for
+/// the initial descending-weight edge argsort (keys are inverted weight bits,
+/// values the edge ids); stability implements the ascending-id tie-break.
+inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
+                          std::vector<index_t>& values) {
+  const size_type n = static_cast<size_type>(keys.size());
+  if (n < 2) return;
+  if (space != Space::parallel || n < kParallelForGrain) {
+    std::vector<std::pair<std::uint64_t, index_t>> pairs(static_cast<std::size_t>(n));
+    for (size_type i = 0; i < n; ++i)
+      pairs[static_cast<std::size_t>(i)] = {keys[static_cast<std::size_t>(i)],
+                                            values[static_cast<std::size_t>(i)]};
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_type i = 0; i < n; ++i) {
+      keys[static_cast<std::size_t>(i)] = pairs[static_cast<std::size_t>(i)].first;
+      values[static_cast<std::size_t>(i)] = pairs[static_cast<std::size_t>(i)].second;
+    }
+    return;
+  }
+
+  std::uint64_t all_or = 0, all_and = ~std::uint64_t{0};
+#pragma omp parallel for schedule(static) reduction(|: all_or) reduction(&: all_and)
+  for (size_type i = 0; i < n; ++i) {
+    all_or |= keys[i];
+    all_and &= keys[i];
+  }
+  const std::uint64_t varying = all_or & ~all_and;
+
+  const int num_threads = max_threads();
+  std::vector<std::uint64_t> key_buffer(keys.size());
+  std::vector<index_t> value_buffer(values.size());
+  std::uint64_t* ksrc = keys.data();
+  std::uint64_t* kdst = key_buffer.data();
+  index_t* vsrc = values.data();
+  index_t* vdst = value_buffer.data();
+  std::vector<std::array<size_type, 256>> hist(static_cast<std::size_t>(num_threads));
+
+  for (int pass = 0; pass < 8; ++pass) {
+    const int shift = pass * 8;
+    if (((varying >> shift) & 0xff) == 0) continue;
+#pragma omp parallel num_threads(num_threads)
+    {
+      const int t = omp_get_thread_num();
+      const size_type lo = n * t / num_threads;
+      const size_type hi = n * (t + 1) / num_threads;
+      auto& h = hist[static_cast<std::size_t>(t)];
+      h.fill(0);
+      for (size_type i = lo; i < hi; ++i) ++h[(ksrc[i] >> shift) & 0xff];
+#pragma omp barrier
+#pragma omp single
+      {
+        size_type running = 0;
+        for (int b = 0; b < 256; ++b) {
+          for (int tt = 0; tt < num_threads; ++tt) {
+            size_type c = hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)];
+            hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)] = running;
+            running += c;
+          }
+        }
+      }
+      for (size_type i = lo; i < hi; ++i) {
+        const size_type dst = h[(ksrc[i] >> shift) & 0xff]++;
+        kdst[dst] = ksrc[i];
+        vdst[dst] = vsrc[i];
+      }
+    }
+    std::swap(ksrc, kdst);
+    std::swap(vsrc, vdst);
+  }
+  if (ksrc != keys.data()) {
+    std::memcpy(keys.data(), ksrc, sizeof(std::uint64_t) * static_cast<std::size_t>(n));
+    std::memcpy(values.data(), vsrc, sizeof(index_t) * static_cast<std::size_t>(n));
+  }
+}
+
+/// Maps a non-negative double to a u64 preserving order (IEEE-754 bit trick;
+/// valid because distances/weights in this library are >= 0).
+inline std::uint64_t order_preserving_bits(double non_negative) {
+  return std::bit_cast<std::uint64_t>(non_negative);
+}
+
+}  // namespace pandora::exec

@@ -1,0 +1,26 @@
+#pragma once
+
+namespace pandora::exec {
+
+/// Execution space selector, the stand-in for Kokkos execution spaces.
+///
+/// The paper's implementation compiles one Kokkos source for serial CPU,
+/// multithreaded CPU and GPU backends.  This reproduction expresses every
+/// kernel through the same small set of parallel constructs (parallel loops,
+/// reductions, prefix sums, sorts) and dispatches them at runtime to either a
+/// plain sequential loop (`serial`) or an OpenMP team (`parallel`).  Keeping
+/// the selector at runtime lets a single benchmark binary measure both spaces
+/// on identical code, which is how the CPU-vs-accelerator comparisons of the
+/// evaluation section are reproduced on this machine.
+enum class Space {
+  serial,    ///< one thread; the sequential reference
+  parallel,  ///< all available cores via OpenMP; the accelerator stand-in
+};
+
+/// Human-readable space name for benchmark tables.
+const char* space_name(Space space);
+
+/// Number of worker threads the parallel space will use.
+int max_threads();
+
+}  // namespace pandora::exec

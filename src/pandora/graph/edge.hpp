@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+
+namespace pandora::graph {
+
+/// An undirected weighted edge.  Weights are the linkage distances (Euclidean
+/// or mutual-reachability); the library requires them to be finite and
+/// non-negative.
+struct WeightedEdge {
+  index_t u = kNone;
+  index_t v = kNone;
+  double weight = 0.0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+using EdgeList = std::vector<WeightedEdge>;
+
+/// Total weight of an edge list (used to compare MSTs, which are unique as
+/// edge sets only under total tie-ordering but always unique in weight).
+[[nodiscard]] inline double total_weight(const EdgeList& edges) {
+  double sum = 0;
+  for (const auto& e : edges) sum += e.weight;
+  return sum;
+}
+
+}  // namespace pandora::graph

@@ -1,0 +1,148 @@
+#include "pandora/graph/euler_tour.hpp"
+
+#include <utility>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/graph/tree.hpp"
+
+namespace pandora::graph {
+
+std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& next) {
+  const size_type n = static_cast<size_type>(next.size());
+  std::vector<index_t> distance(next.size(), 0);
+  std::vector<index_t> jump = next;
+  std::vector<index_t> jump_buffer(next.size());
+  std::vector<index_t> distance_buffer(next.size());
+
+  exec::parallel_for(space, n, [&](size_type i) {
+    distance[static_cast<std::size_t>(i)] =
+        jump[static_cast<std::size_t>(i)] == kNone ? 0 : 1;
+  });
+  // Pointer jumping: after round k every live pointer spans 2^k elements.
+  // (This is the O(n log n)-work formulation used on GPUs; the sequential
+  // alternative is a single O(n) walk, which is what makes the conversion
+  // unattractive there — Section 5.)
+  for (;;) {
+    bool any_live = false;
+    exec::parallel_for(space, n, [&](size_type i) {
+      const index_t j = jump[static_cast<std::size_t>(i)];
+      if (j == kNone) {
+        jump_buffer[static_cast<std::size_t>(i)] = kNone;
+        distance_buffer[static_cast<std::size_t>(i)] =
+            distance[static_cast<std::size_t>(i)];
+        return;
+      }
+      distance_buffer[static_cast<std::size_t>(i)] =
+          distance[static_cast<std::size_t>(i)] + distance[static_cast<std::size_t>(j)];
+      jump_buffer[static_cast<std::size_t>(i)] = jump[static_cast<std::size_t>(j)];
+    });
+    jump.swap(jump_buffer);
+    distance.swap(distance_buffer);
+    // Termination check (a reduction, like everything else here).
+    any_live = exec::parallel_reduce(
+                   space, n, size_type{0},
+                   [&](size_type i) {
+                     return jump[static_cast<std::size_t>(i)] == kNone ? size_type{0}
+                                                                       : size_type{1};
+                   },
+                   [](size_type a, size_type b) { return a + b; }) > 0;
+    if (!any_live) break;
+  }
+  return distance;
+}
+
+EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num_vertices,
+                           index_t root) {
+  PANDORA_EXPECT(root >= 0 && root < num_vertices, "root out of range");
+  const index_t n = static_cast<index_t>(edges.size());
+  EulerTour tour;
+  tour.root = root;
+  tour.parent_vertex.assign(static_cast<std::size_t>(num_vertices), kNone);
+  tour.parent_edge.assign(static_cast<std::size_t>(num_vertices), kNone);
+  tour.subtree_size.assign(static_cast<std::size_t>(num_vertices), 1);
+  tour.rank.assign(static_cast<std::size_t>(2) * static_cast<std::size_t>(n), 0);
+  if (n == 0) return tour;
+
+  const Adjacency adj = build_adjacency(edges, num_vertices);
+
+  // Successor of half-edge h = (u -> v): the half-edge out of v that follows
+  // (v -> u) in v's (cyclic) incidence order.  Positions of each half-edge in
+  // its endpoint's incidence list:
+  std::vector<index_t> slot_of(static_cast<std::size_t>(2) * static_cast<std::size_t>(n));
+  exec::parallel_for(space, num_vertices, [&](size_type v) {
+    const auto incident = adj.incident(static_cast<index_t>(v));
+    for (std::size_t k = 0; k < incident.size(); ++k) {
+      const auto& half = incident[k];
+      const auto& e = edges[static_cast<std::size_t>(half.edge)];
+      // Half-edge *into* v: 2e if v == e.v (u->v), else 2e+1.
+      const index_t into_v = e.v == static_cast<index_t>(v)
+                                 ? 2 * half.edge
+                                 : 2 * half.edge + 1;
+      slot_of[static_cast<std::size_t>(into_v)] = static_cast<index_t>(k);
+    }
+  });
+
+  std::vector<index_t> next(static_cast<std::size_t>(2) * static_cast<std::size_t>(n));
+  exec::parallel_for(space, static_cast<size_type>(2) * n, [&](size_type h) {
+    const auto edge = static_cast<index_t>(h / 2);
+    const bool forward = (h % 2) == 0;  // u -> v
+    const auto& e = edges[static_cast<std::size_t>(edge)];
+    const index_t head = forward ? e.v : e.u;  // the vertex this half-edge enters
+    const auto incident = adj.incident(head);
+    const index_t k = slot_of[static_cast<std::size_t>(h)];
+    const auto& next_half = incident[(static_cast<std::size_t>(k) + 1) % incident.size()];
+    // Leave `head` along the successor: 2e' if head == u', else 2e'+1.
+    const auto& ne = edges[static_cast<std::size_t>(next_half.edge)];
+    next[static_cast<std::size_t>(h)] =
+        ne.u == head ? 2 * next_half.edge : 2 * next_half.edge + 1;
+  });
+
+  // Root the tour: break the cycle before the first half-edge out of `root`.
+  const index_t first = [&] {
+    const auto incident = adj.incident(root);
+    const auto& half = incident[0];
+    const auto& e = edges[static_cast<std::size_t>(half.edge)];
+    return e.u == root ? 2 * half.edge : 2 * half.edge + 1;
+  }();
+  // The predecessor of `first` is the tail.
+  index_t tail = kNone;
+  {
+    // Find it in parallel (the unique h with next[h] == first).
+    std::vector<index_t> found(1, kNone);
+    exec::parallel_for(space, static_cast<size_type>(2) * n, [&](size_type h) {
+      if (next[static_cast<std::size_t>(h)] == first)
+        found[0] = static_cast<index_t>(h);  // unique writer
+    });
+    tail = found[0];
+  }
+  next[static_cast<std::size_t>(tail)] = kNone;
+
+  // Ranks from the tail distances.
+  const std::vector<index_t> to_tail = list_rank(space, next);
+  const index_t length = 2 * n;
+  exec::parallel_for(space, static_cast<size_type>(length), [&](size_type h) {
+    tour.rank[static_cast<std::size_t>(h)] =
+        length - 1 - to_tail[static_cast<std::size_t>(h)];
+  });
+
+  // Orientation: for edge e the direction ranked earlier descends the tree.
+  exec::parallel_for(space, static_cast<size_type>(n), [&](size_type e) {
+    const auto fwd = static_cast<std::size_t>(2 * e);
+    const auto bwd = fwd + 1;
+    const auto& edge = edges[static_cast<std::size_t>(e)];
+    const bool forward_down = tour.rank[fwd] < tour.rank[bwd];
+    const index_t child = forward_down ? edge.v : edge.u;
+    const index_t parent = forward_down ? edge.u : edge.v;
+    tour.parent_vertex[static_cast<std::size_t>(child)] = parent;
+    tour.parent_edge[static_cast<std::size_t>(child)] = static_cast<index_t>(e);
+    // Subtree size from the enter/exit span: (exit - enter + 1) / 2 vertices.
+    const index_t enter = forward_down ? tour.rank[fwd] : tour.rank[bwd];
+    const index_t exit = forward_down ? tour.rank[bwd] : tour.rank[fwd];
+    tour.subtree_size[static_cast<std::size_t>(child)] = (exit - enter + 1) / 2;
+  });
+  tour.subtree_size[static_cast<std::size_t>(root)] = num_vertices;
+  return tour;
+}
+
+}  // namespace pandora::graph

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+
+namespace pandora::graph {
+
+/// Parallel Euler tour of a tree, with parallel list ranking.
+///
+/// This is the classic substrate for top-down dendrogram construction and
+/// the alternative the paper evaluated for its contraction kernels
+/// (Section 5): an Euler tour makes tree splitting and subtree queries O(1),
+/// but *converting* an edge-list MST into a tour requires list ranking —
+/// pointer jumping with O(n log n) work and log n dependent rounds — which
+/// the paper found "expensive in practice, taking time comparable to the full
+/// dendrogram construction".  The implementation exists to reproduce that
+/// measurement (bench_ablation_expansion) and as a general tree utility.
+///
+/// Directed half-edge encoding: tree edge e yields half-edges 2e (u -> v)
+/// and 2e+1 (v -> u).
+struct EulerTour {
+  index_t root = kNone;
+  std::vector<index_t> rank;           ///< per half-edge: position in the tour [0, 2n)
+  std::vector<index_t> parent_vertex;  ///< per vertex: parent under `root` (kNone at root)
+  std::vector<index_t> parent_edge;    ///< per vertex: edge to the parent (kNone at root)
+  std::vector<index_t> subtree_size;   ///< per vertex: vertices in its subtree
+
+  [[nodiscard]] index_t num_vertices() const {
+    return static_cast<index_t>(parent_vertex.size());
+  }
+};
+
+/// Builds the Euler tour of `edges` (a spanning tree over `num_vertices`
+/// vertices) rooted at `root`.  All steps are parallel under `space`; the
+/// list ranking is pointer jumping (O(n log n) work by design — this mirrors
+/// the GPU cost model the paper discusses, not the best PRAM algorithm).
+[[nodiscard]] EulerTour build_euler_tour(exec::Space space, const EdgeList& edges,
+                                         index_t num_vertices, index_t root = 0);
+
+/// Parallel list ranking by pointer jumping: given `next` (successor index or
+/// kNone at the tail), returns for every element its distance to the tail.
+[[nodiscard]] std::vector<index_t> list_rank(exec::Space space,
+                                             const std::vector<index_t>& next);
+
+}  // namespace pandora::graph

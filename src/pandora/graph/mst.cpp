@@ -1,0 +1,110 @@
+#include "pandora/graph/mst.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/sort.hpp"
+#include "pandora/graph/union_find.hpp"
+
+namespace pandora::graph {
+
+EdgeList kruskal_mst(const EdgeList& edges, index_t num_vertices) {
+  PANDORA_EXPECT(num_vertices > 0, "graph must have at least one vertex");
+  std::vector<index_t> order(edges.size());
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return edges[static_cast<std::size_t>(a)].weight < edges[static_cast<std::size_t>(b)].weight;
+  });
+
+  EdgeList mst;
+  mst.reserve(static_cast<std::size_t>(num_vertices) - 1);
+  UnionFind uf(num_vertices);
+  for (index_t id : order) {
+    const auto& e = edges[static_cast<std::size_t>(id)];
+    if (uf.unite(e.u, e.v)) {
+      mst.push_back(e);
+      if (static_cast<index_t>(mst.size()) == num_vertices - 1) break;
+    }
+  }
+  PANDORA_EXPECT(static_cast<index_t>(mst.size()) == num_vertices - 1,
+                 "graph is not connected");
+  return mst;
+}
+
+EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_vertices) {
+  PANDORA_EXPECT(num_vertices > 0, "graph must have at least one vertex");
+  const size_type m = static_cast<size_type>(edges.size());
+  constexpr std::uint64_t kInfWeight = std::numeric_limits<std::uint64_t>::max();
+  // Sentinel for the atomic-min edge slots (kNone = -1 would win every min).
+  constexpr index_t kUnsetEdge = std::numeric_limits<index_t>::max();
+
+  ConcurrentUnionFind uf(num_vertices);
+  // Per-component minimum outgoing edge, two-phase to get an exact
+  // (weight, edge-id) lexicographic minimum without a 128-bit CAS:
+  // phase 1 races on weight bits, phase 2 races on edge id among weight ties.
+  std::vector<std::uint64_t> best_weight(static_cast<std::size_t>(num_vertices), kInfWeight);
+  std::vector<index_t> best_edge(static_cast<std::size_t>(num_vertices), kUnsetEdge);
+
+  std::vector<index_t> roots(static_cast<std::size_t>(num_vertices));
+  std::iota(roots.begin(), roots.end(), index_t{0});
+
+  EdgeList mst;
+  mst.reserve(static_cast<std::size_t>(num_vertices) - 1);
+
+  while (static_cast<index_t>(mst.size()) < num_vertices - 1) {
+    PANDORA_EXPECT(roots.size() > 1, "graph is not connected");
+
+    exec::parallel_for(space, m, [&](size_type i) {
+      const auto& e = edges[static_cast<std::size_t>(i)];
+      const index_t ru = uf.find(e.u);
+      const index_t rv = uf.find(e.v);
+      if (ru == rv) return;
+      const std::uint64_t wbits = exec::order_preserving_bits(e.weight);
+      exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(ru)], wbits);
+      exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(rv)], wbits);
+    });
+    exec::parallel_for(space, m, [&](size_type i) {
+      const auto& e = edges[static_cast<std::size_t>(i)];
+      const index_t ru = uf.find(e.u);
+      const index_t rv = uf.find(e.v);
+      if (ru == rv) return;
+      const std::uint64_t wbits = exec::order_preserving_bits(e.weight);
+      const auto id = static_cast<index_t>(i);
+      if (best_weight[static_cast<std::size_t>(ru)] == wbits)
+        exec::atomic_fetch_min(best_edge[static_cast<std::size_t>(ru)], id);
+      if (best_weight[static_cast<std::size_t>(rv)] == wbits)
+        exec::atomic_fetch_min(best_edge[static_cast<std::size_t>(rv)], id);
+    });
+
+    // Hooking: each component adds its selected edge unless a previous union
+    // this round already connected the two components (classic Borůvka
+    // cycle-avoidance via the union-find itself).
+    std::size_t before = mst.size();
+    for (index_t r : roots) {
+      const index_t picked = best_edge[static_cast<std::size_t>(r)];
+      if (picked == kUnsetEdge) continue;
+      const auto& e = edges[static_cast<std::size_t>(picked)];
+      if (uf.find(e.u) != uf.find(e.v)) {
+        uf.unite(e.u, e.v);
+        mst.push_back(e);
+      }
+    }
+    PANDORA_EXPECT(mst.size() > before, "graph is not connected");
+
+    // Compact the live roots and reset their selection slots.
+    std::vector<index_t> next_roots;
+    next_roots.reserve(roots.size() / 2 + 1);
+    for (index_t r : roots) {
+      if (uf.find(r) == r) next_roots.push_back(r);
+      best_weight[static_cast<std::size_t>(r)] = kInfWeight;
+      best_edge[static_cast<std::size_t>(r)] = kUnsetEdge;
+    }
+    roots.swap(next_roots);
+  }
+  return mst;
+}
+
+}  // namespace pandora::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+
+/// Minimum spanning trees of explicit weighted graphs.
+///
+/// Single-linkage clustering of graph data (Section 2.1) starts from an MST
+/// of the distance graph.  Kruskal is the sequential reference; Borůvka is
+/// the data-parallel algorithm whose structure (rounds of per-component
+/// minimum-edge selection + hooking) is what the paper's EMST substrate [39]
+/// also uses.  Ties are broken by edge position, making the MST unique, so
+/// both algorithms return the identical edge set.
+namespace pandora::graph {
+
+/// Kruskal's algorithm.  The graph must be connected.
+[[nodiscard]] EdgeList kruskal_mst(const EdgeList& edges, index_t num_vertices);
+
+/// Borůvka's algorithm, parallel over edges within each round.
+/// The graph must be connected.
+[[nodiscard]] EdgeList boruvka_mst(exec::Space space, const EdgeList& edges,
+                                   index_t num_vertices);
+
+}  // namespace pandora::graph

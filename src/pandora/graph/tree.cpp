@@ -1,0 +1,56 @@
+#include "pandora/graph/tree.hpp"
+
+#include <cmath>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/graph/union_find.hpp"
+
+namespace pandora::graph {
+
+Adjacency build_adjacency(const EdgeList& edges, index_t num_vertices) {
+  Adjacency adj;
+  adj.offset.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& e : edges) {
+    ++adj.offset[static_cast<std::size_t>(e.u) + 1];
+    ++adj.offset[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (index_t v = 0; v < num_vertices; ++v)
+    adj.offset[static_cast<std::size_t>(v) + 1] += adj.offset[v];
+  adj.entries.resize(edges.size() * 2);
+  std::vector<index_t> cursor(adj.offset.begin(), adj.offset.end() - 1);
+  for (index_t e = 0; e < static_cast<index_t>(edges.size()); ++e) {
+    const auto& edge = edges[static_cast<std::size_t>(e)];
+    adj.entries[static_cast<std::size_t>(cursor[edge.u]++)] = {e, edge.v};
+    adj.entries[static_cast<std::size_t>(cursor[edge.v]++)] = {e, edge.u};
+  }
+  return adj;
+}
+
+bool is_spanning_tree(const EdgeList& edges, index_t num_vertices) {
+  if (num_vertices <= 0) return false;
+  if (static_cast<index_t>(edges.size()) != num_vertices - 1) return false;
+  UnionFind uf(num_vertices);
+  for (const auto& e : edges) {
+    if (e.u < 0 || e.u >= num_vertices || e.v < 0 || e.v >= num_vertices) return false;
+    if (e.u == e.v) return false;
+    if (!uf.unite(e.u, e.v)) return false;  // cycle
+  }
+  return true;  // |E| = |V|-1 and acyclic implies connected
+}
+
+void validate_tree(const EdgeList& edges, index_t num_vertices) {
+  PANDORA_EXPECT(num_vertices > 0, "tree must have at least one vertex");
+  PANDORA_EXPECT(static_cast<index_t>(edges.size()) == num_vertices - 1,
+                 "a spanning tree over n vertices has exactly n-1 edges");
+  UnionFind uf(num_vertices);
+  for (const auto& e : edges) {
+    PANDORA_EXPECT(e.u >= 0 && e.u < num_vertices && e.v >= 0 && e.v < num_vertices,
+                   "edge endpoint out of range");
+    PANDORA_EXPECT(e.u != e.v, "self-loop in tree");
+    PANDORA_EXPECT(std::isfinite(e.weight) && e.weight >= 0.0,
+                   "edge weights must be finite and non-negative");
+    PANDORA_EXPECT(uf.unite(e.u, e.v), "cycle detected: input is not a tree");
+  }
+}
+
+}  // namespace pandora::graph

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/graph/edge.hpp"
+
+namespace pandora::graph {
+
+/// Compressed adjacency of an undirected graph: for vertex v, the incident
+/// half-edges live in entries [offset[v], offset[v+1]).  Each entry records
+/// the edge id and the opposite endpoint.
+struct Adjacency {
+  struct HalfEdge {
+    index_t edge = kNone;      ///< index into the originating edge list
+    index_t neighbor = kNone;  ///< opposite endpoint
+  };
+
+  std::vector<index_t> offset;   ///< size num_vertices + 1
+  std::vector<HalfEdge> entries;  ///< size 2 * num_edges
+
+  [[nodiscard]] std::span<const HalfEdge> incident(index_t v) const {
+    return {entries.data() + offset[v], entries.data() + offset[v + 1]};
+  }
+
+  [[nodiscard]] index_t num_vertices() const {
+    return static_cast<index_t>(offset.size()) - 1;
+  }
+};
+
+/// Builds the adjacency structure of `edges` over `num_vertices` vertices.
+[[nodiscard]] Adjacency build_adjacency(const EdgeList& edges, index_t num_vertices);
+
+/// True iff `edges` over `num_vertices` vertices forms a single spanning tree
+/// (connected, acyclic, |E| = |V| - 1, all endpoints in range, no self-loops).
+[[nodiscard]] bool is_spanning_tree(const EdgeList& edges, index_t num_vertices);
+
+/// Throws std::invalid_argument (with a description of the defect) unless
+/// `edges` is a spanning tree with finite non-negative weights.  Public
+/// dendrogram entry points call this when validation is requested.
+void validate_tree(const EdgeList& edges, index_t num_vertices);
+
+}  // namespace pandora::graph

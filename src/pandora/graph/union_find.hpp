@@ -1,0 +1,62 @@
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+
+namespace pandora::graph {
+
+/// Sequential disjoint-set structure with path halving.
+///
+/// Roots are canonical: unite always hooks the larger-id root below the
+/// smaller-id root, so the representative of every component is its minimum
+/// member id regardless of the order of operations.  That determinism is what
+/// lets the test-suite compare components across algorithms and spaces.
+class UnionFind {
+ public:
+  explicit UnionFind(index_t n);
+
+  /// Representative (minimum id) of x's component.
+  [[nodiscard]] index_t find(index_t x);
+
+  /// Merge the components of a and b; returns true if they were distinct.
+  bool unite(index_t a, index_t b);
+
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(parent_.size()); }
+
+  /// Number of distinct components remaining.
+  [[nodiscard]] index_t num_components();
+
+ private:
+  std::vector<index_t> parent_;
+};
+
+/// Lock-free disjoint-set structure usable from inside parallel_for, after
+/// the synchronisation-free GPU connected-components algorithm of Jaiganesh &
+/// Burtscher (HPDC'18) that the paper uses for its contraction kernels
+/// (Section 5): finds perform pointer jumping with opportunistic grandparent
+/// compression, and unions hook the larger root under the smaller root with a
+/// single CAS.  Parent pointers only ever decrease, which rules out cycles
+/// and makes the final representatives (component minima) identical to the
+/// sequential structure no matter how operations interleave.
+class ConcurrentUnionFind {
+ public:
+  explicit ConcurrentUnionFind(index_t n);
+
+  /// Reset to n singleton sets (reusing storage).
+  void reset(index_t n);
+
+  /// Representative of x's component.  Safe to call concurrently with unite.
+  index_t find(index_t x);
+
+  /// Merge the components of a and b.  Safe to call concurrently.
+  void unite(index_t a, index_t b);
+
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(parent_.size()); }
+
+ private:
+  std::vector<index_t> parent_;
+};
+
+}  // namespace pandora::graph

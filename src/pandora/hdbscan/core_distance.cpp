@@ -1,0 +1,14 @@
+#include "pandora/hdbscan/core_distance.hpp"
+
+#include "pandora/common/expect.hpp"
+#include "pandora/spatial/knn.hpp"
+
+namespace pandora::hdbscan {
+
+std::vector<double> core_distances(exec::Space space, const spatial::PointSet& points,
+                                   const spatial::KdTree& tree, int min_pts) {
+  PANDORA_EXPECT(min_pts >= 1, "minPts must be at least 1");
+  return spatial::kth_neighbor_distances(space, points, tree, min_pts - 1);
+}
+
+}  // namespace pandora::hdbscan

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora::hdbscan {
+
+/// HDBSCAN* core distance: the distance from each point to its minPts-th
+/// nearest neighbour, the point itself counted among the minPts (so
+/// minPts = 2 is the distance to the nearest other point, matching the
+/// paper's default "mpts = 2").  minPts = 1 yields zeros (plain
+/// single-linkage on Euclidean distance).
+[[nodiscard]] std::vector<double> core_distances(exec::Space space,
+                                                 const spatial::PointSet& points,
+                                                 const spatial::KdTree& tree, int min_pts);
+
+}  // namespace pandora::hdbscan

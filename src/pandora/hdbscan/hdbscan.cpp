@@ -1,0 +1,55 @@
+#include "pandora/hdbscan/hdbscan.hpp"
+
+#include "pandora/common/expect.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "pandora/hdbscan/core_distance.hpp"
+#include "pandora/spatial/emst.hpp"
+#include "pandora/spatial/kdtree.hpp"
+
+namespace pandora::hdbscan {
+
+HdbscanResult hdbscan(const spatial::PointSet& points, const HdbscanOptions& options) {
+  PANDORA_EXPECT(points.size() > 0, "need at least one point");
+  HdbscanResult result;
+  const exec::Space space = options.space;
+
+  Timer timer;
+  spatial::KdTree tree(points);
+  result.times.add("tree_build", timer.seconds());
+
+  timer.reset();
+  result.core_distances = core_distances(space, points, tree, options.min_pts);
+  result.times.add("core_distance", timer.seconds());
+
+  timer.reset();
+  result.mst = spatial::mutual_reachability_mst(space, points, tree, result.core_distances);
+  result.times.add("mst", timer.seconds());
+
+  if (options.dendrogram_algorithm == DendrogramAlgorithm::pandora) {
+    dendrogram::PandoraOptions pandora_options;
+    pandora_options.space = space;
+    result.dendrogram = dendrogram::pandora_dendrogram(result.mst, points.size(),
+                                                       pandora_options, &result.times);
+  } else {
+    result.dendrogram = dendrogram::union_find_dendrogram(result.mst, points.size(), space,
+                                                          &result.times);
+  }
+
+  timer.reset();
+  result.condensed_tree = build_condensed_tree(result.dendrogram, options.min_cluster_size);
+  result.times.add("condense", timer.seconds());
+
+  timer.reset();
+  ExtractOptions extract_options;
+  extract_options.method = options.cluster_selection_method;
+  extract_options.allow_single_cluster = options.allow_single_cluster;
+  extract_options.selection_epsilon = options.cluster_selection_epsilon;
+  FlatClustering flat = extract_clusters(result.condensed_tree, extract_options);
+  result.labels = std::move(flat.labels);
+  result.num_clusters = flat.num_clusters;
+  result.times.add("extract", timer.seconds());
+  return result;
+}
+
+}  // namespace pandora::hdbscan

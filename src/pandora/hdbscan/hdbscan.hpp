@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/timer.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/hdbscan/condensed_tree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora::hdbscan {
+
+/// Which dendrogram construction the pipeline uses — the axis of the paper's
+/// Figure 1 / Figure 15 comparisons.
+enum class DendrogramAlgorithm {
+  pandora,     ///< this paper (parallel tree contraction)
+  union_find,  ///< bottom-up union-find baseline (UnionFind-MT [46])
+};
+
+struct HdbscanOptions {
+  int min_pts = 2;                  ///< the paper's "mpts" (default 2, Section 6.5)
+  index_t min_cluster_size = 5;     ///< condensed-tree shedding threshold
+  exec::Space space = exec::Space::parallel;
+  DendrogramAlgorithm dendrogram_algorithm = DendrogramAlgorithm::pandora;
+  bool allow_single_cluster = false;
+  ClusterSelectionMethod cluster_selection_method = ClusterSelectionMethod::excess_of_mass;
+  double cluster_selection_epsilon = 0.0;  ///< see ExtractOptions
+};
+
+struct HdbscanResult {
+  std::vector<double> core_distances;
+  graph::EdgeList mst;                    ///< mutual-reachability EMST
+  dendrogram::Dendrogram dendrogram;
+  CondensedTree condensed_tree;
+  std::vector<index_t> labels;            ///< per point; kNone = noise
+  index_t num_clusters = 0;
+  /// Phases: "core_distance", "mst", "sort"/"contraction"/"expansion" (or
+  /// "dendrogram" for the union-find baseline), "condense", "extract".
+  PhaseTimes times;
+};
+
+/// The full HDBSCAN* pipeline (Section 6.5): core distances ->
+/// mutual-reachability EMST -> dendrogram -> condensed tree -> stability-
+/// optimal flat clusters.
+[[nodiscard]] HdbscanResult hdbscan(const spatial::PointSet& points,
+                                    const HdbscanOptions& options = {});
+
+}  // namespace pandora::hdbscan

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+/// Serialization: binary round-tripping for dendrograms and MSTs (so the
+/// expensive EMST/dendrogram stages can be checkpointed between tool runs)
+/// and text interchange (linkage CSV for SciPy-side analysis, XYZ-style CSV
+/// point clouds).  All binary formats carry a magic tag and explicit sizes
+/// and reject malformed input with std::invalid_argument.
+namespace pandora::io {
+
+/// Writes/reads a dendrogram in the library's binary container.
+void save_dendrogram(std::ostream& out, const dendrogram::Dendrogram& dendrogram);
+[[nodiscard]] dendrogram::Dendrogram load_dendrogram(std::istream& in);
+void save_dendrogram_file(const std::string& path, const dendrogram::Dendrogram& dendrogram);
+[[nodiscard]] dendrogram::Dendrogram load_dendrogram_file(const std::string& path);
+
+/// Writes/reads a weighted edge list (an MST checkpoint).
+void save_edges(std::ostream& out, const graph::EdgeList& edges, index_t num_vertices);
+[[nodiscard]] std::pair<graph::EdgeList, index_t> load_edges(std::istream& in);
+
+/// SciPy-compatible linkage CSV: one "id_a,id_b,distance,size" row per merge.
+void write_linkage_csv(std::ostream& out, const dendrogram::Dendrogram& dendrogram);
+
+/// Comma-separated point cloud, one point per row.
+void write_points_csv(std::ostream& out, const spatial::PointSet& points);
+[[nodiscard]] spatial::PointSet read_points_csv(std::istream& in);
+
+}  // namespace pandora::io

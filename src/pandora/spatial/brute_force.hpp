@@ -1,0 +1,25 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+/// O(n^2) reference implementations used as oracles by the test-suite.
+namespace pandora::spatial {
+
+/// k nearest neighbours of q by exhaustive scan, ascending (ties by index).
+[[nodiscard]] std::vector<Neighbor> brute_force_knn(const PointSet& points, index_t q, int k);
+
+/// Euclidean MST by Kruskal over the complete distance graph.
+[[nodiscard]] graph::EdgeList brute_force_emst(const PointSet& points);
+
+/// Mutual-reachability MST by Kruskal over the complete graph with
+/// d_mreach(p, q) = max(core(p), core(q), |p - q|).
+[[nodiscard]] graph::EdgeList brute_force_mreach_mst(const PointSet& points,
+                                                     std::span<const double> core_distances);
+
+}  // namespace pandora::spatial

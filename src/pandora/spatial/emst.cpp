@@ -1,0 +1,112 @@
+#include "pandora/spatial/emst.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/sort.hpp"
+#include "pandora/graph/union_find.hpp"
+
+namespace pandora::spatial {
+
+namespace {
+
+/// Shared Borůvka skeleton; `use_mreach` selects the metric (core_sq must be
+/// the squared core distances then).
+graph::EdgeList boruvka_emst(exec::Space space, const PointSet& points, KdTree& tree,
+                             const std::vector<double>& core_sq, bool use_mreach) {
+  const index_t n = points.size();
+  graph::EdgeList mst;
+  if (n <= 1) return mst;
+  mst.reserve(static_cast<std::size_t>(n) - 1);
+
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  // Sentinel for the atomic-min tie-break slots: must compare larger than
+  // every real point id (kNone would win every min).
+  constexpr index_t kUnset = std::numeric_limits<index_t>::max();
+  graph::ConcurrentUnionFind uf(n);
+  std::vector<index_t> component(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> best_weight(static_cast<std::size_t>(n), kInf);
+  std::vector<index_t> best_point(static_cast<std::size_t>(n), kUnset);
+  std::vector<Neighbor> point_best(static_cast<std::size_t>(n));
+  std::vector<index_t> roots(static_cast<std::size_t>(n));
+  std::iota(roots.begin(), roots.end(), index_t{0});
+
+  if (use_mreach) tree.annotate_min_core(space, core_sq);
+
+  while (static_cast<index_t>(mst.size()) < n - 1) {
+    exec::parallel_for(space, n, [&](size_type p) {
+      component[static_cast<std::size_t>(p)] = uf.find(static_cast<index_t>(p));
+    });
+    tree.annotate_components(space, component);
+
+    // Phase 1: every point finds its nearest foreign point; per-component
+    // minimum weight via atomic-min on the order-preserving distance bits.
+    exec::parallel_for(space, n, [&](size_type pi) {
+      const auto p = static_cast<index_t>(pi);
+      const index_t c = component[static_cast<std::size_t>(p)];
+      const Neighbor nb =
+          use_mreach ? tree.nearest_other_component_mreach(p, c, component, core_sq)
+                     : tree.nearest_other_component(p, c, component);
+      point_best[static_cast<std::size_t>(p)] = nb;
+      if (nb.index != kNone)
+        exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(c)],
+                               exec::order_preserving_bits(nb.squared_distance));
+    });
+    // Phase 2: among weight ties, the smallest point id wins (exact
+    // lexicographic (weight, point) minimum without a 128-bit CAS).
+    exec::parallel_for(space, n, [&](size_type pi) {
+      const auto p = static_cast<index_t>(pi);
+      const Neighbor nb = point_best[static_cast<std::size_t>(p)];
+      if (nb.index == kNone) return;
+      const index_t c = component[static_cast<std::size_t>(p)];
+      if (best_weight[static_cast<std::size_t>(c)] ==
+          exec::order_preserving_bits(nb.squared_distance))
+        exec::atomic_fetch_min(best_point[static_cast<std::size_t>(c)], p);
+    });
+
+    // Phase 3: hook the winners.  The union-find suppresses the duplicate
+    // when two components choose each other.
+    const std::size_t before = mst.size();
+    for (const index_t r : roots) {
+      const index_t p = best_point[static_cast<std::size_t>(r)];
+      if (p == kUnset) continue;
+      const Neighbor nb = point_best[static_cast<std::size_t>(p)];
+      if (uf.find(p) != uf.find(nb.index)) {
+        uf.unite(p, nb.index);
+        mst.push_back({p, nb.index, std::sqrt(nb.squared_distance)});
+      }
+    }
+    PANDORA_EXPECT(mst.size() > before, "Borůvka made no progress (duplicate points?)");
+
+    std::vector<index_t> next_roots;
+    next_roots.reserve(roots.size() / 2 + 1);
+    for (const index_t r : roots) {
+      if (uf.find(r) == r) next_roots.push_back(r);
+      best_weight[static_cast<std::size_t>(r)] = kInf;
+      best_point[static_cast<std::size_t>(r)] = kUnset;
+    }
+    roots.swap(next_roots);
+  }
+  return mst;
+}
+
+}  // namespace
+
+graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, KdTree& tree) {
+  return boruvka_emst(space, points, tree, {}, false);
+}
+
+graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points, KdTree& tree,
+                                        std::span<const double> core_distances) {
+  PANDORA_EXPECT(static_cast<index_t>(core_distances.size()) == points.size(),
+                 "one core distance per point required");
+  std::vector<double> core_sq(core_distances.size());
+  for (std::size_t i = 0; i < core_sq.size(); ++i)
+    core_sq[i] = core_distances[i] * core_distances[i];
+  return boruvka_emst(space, points, tree, core_sq, true);
+}
+
+}  // namespace pandora::spatial

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <span>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora::spatial {
+
+/// Euclidean minimum spanning tree via parallel Borůvka over the kd-tree —
+/// the stand-in for the single-tree GPU Borůvka of [39] that the paper's
+/// HDBSCAN* pipeline uses.  Each round every point queries its nearest
+/// neighbour outside its own component; per-component winners (exact
+/// (distance, point-id) lexicographic minima) hook the components together.
+/// Deterministic under distance ties.
+[[nodiscard]] graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points,
+                                            KdTree& tree);
+
+/// MST under the HDBSCAN* mutual-reachability metric
+/// d_mreach(p, q) = max(core(p), core(q), |p - q|), given per-point core
+/// distances (Section 6.5).  This is the "MST construction" phase of the
+/// paper's Figure 1/15 pipeline.
+[[nodiscard]] graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,
+                                                      KdTree& tree,
+                                                      std::span<const double> core_distances);
+
+}  // namespace pandora::spatial

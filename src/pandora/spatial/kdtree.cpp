@@ -1,0 +1,256 @@
+#include "pandora/spatial/kdtree.hpp"
+
+#include <numeric>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/exec/parallel.hpp"
+
+namespace pandora::spatial {
+
+KdTree::KdTree(const PointSet& points, int leaf_size)
+    : points_(&points), dim_(points.dim()), leaf_size_(std::max(leaf_size, 1)) {
+  PANDORA_EXPECT(dim_ > 0, "points must have positive dimension");
+  const index_t n = points.size();
+  perm_.resize(static_cast<std::size_t>(n));
+  std::iota(perm_.begin(), perm_.end(), index_t{0});
+  if (n > 0) build(0, n);
+}
+
+void KdTree::update_box(index_t node) {
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  const std::size_t base = static_cast<std::size_t>(node) * static_cast<std::size_t>(dim_);
+  for (int d = 0; d < dim_; ++d) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (index_t i = nd.begin; i < nd.end; ++i) {
+      const double c = points_->at(perm_[static_cast<std::size_t>(i)], d);
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    box_lo_[base + static_cast<std::size_t>(d)] = lo;
+    box_hi_[base + static_cast<std::size_t>(d)] = hi;
+  }
+}
+
+index_t KdTree::build(index_t begin, index_t end) {
+  const auto id = static_cast<index_t>(nodes_.size());
+  nodes_.push_back(Node{begin, end, kNone, kNone, 0, 0.0});
+  box_lo_.resize(box_lo_.size() + static_cast<std::size_t>(dim_));
+  box_hi_.resize(box_hi_.size() + static_cast<std::size_t>(dim_));
+  update_box(id);
+  if (end - begin <= leaf_size_) return id;
+
+  // Split the widest box extent at the median point.
+  const std::size_t base = static_cast<std::size_t>(id) * static_cast<std::size_t>(dim_);
+  int split_dim = 0;
+  double widest = -1;
+  for (int d = 0; d < dim_; ++d) {
+    const double extent = box_hi_[base + static_cast<std::size_t>(d)] -
+                          box_lo_[base + static_cast<std::size_t>(d)];
+    if (extent > widest) {
+      widest = extent;
+      split_dim = d;
+    }
+  }
+  const index_t mid = begin + (end - begin) / 2;
+  std::nth_element(perm_.begin() + begin, perm_.begin() + mid, perm_.begin() + end,
+                   [&](index_t a, index_t b) {
+                     const double ca = points_->at(a, split_dim);
+                     const double cb = points_->at(b, split_dim);
+                     if (ca != cb) return ca < cb;
+                     return a < b;  // deterministic partition under ties
+                   });
+  const double split_value = points_->at(perm_[static_cast<std::size_t>(mid)], split_dim);
+
+  const index_t left = build(begin, mid);
+  const index_t right = build(mid, end);
+  Node& nd = nodes_[static_cast<std::size_t>(id)];
+  nd.left = left;
+  nd.right = right;
+  nd.split_dim = split_dim;
+  nd.split_value = split_value;
+  return id;
+}
+
+double KdTree::box_squared_distance(index_t node, const double* query) const {
+  const std::size_t base = static_cast<std::size_t>(node) * static_cast<std::size_t>(dim_);
+  double sum = 0;
+  for (int d = 0; d < dim_; ++d) {
+    const double c = query[d];
+    const double lo = box_lo_[base + static_cast<std::size_t>(d)];
+    const double hi = box_hi_[base + static_cast<std::size_t>(d)];
+    const double diff = c < lo ? lo - c : (c > hi ? c - hi : 0.0);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+void KdTree::knn(index_t q, int k, std::vector<Neighbor>& out) const {
+  const index_t n = size();
+  out.clear();
+  k = std::min<index_t>(k, n - 1);
+  if (k <= 0) return;
+  out.reserve(static_cast<std::size_t>(k));
+  const double* query = points_->point(q).data();
+
+  // `out` stays sorted ascending; with <= 16 typical neighbours an insertion
+  // buffer beats a heap.
+  auto offer = [&](index_t p) {
+    if (p == q) return;
+    Neighbor cand{points_->squared_distance(q, p), p};
+    if (static_cast<int>(out.size()) == k && !(cand < out.back())) return;
+    auto pos = std::lower_bound(out.begin(), out.end(), cand);
+    out.insert(pos, cand);
+    if (static_cast<int>(out.size()) > k) out.pop_back();
+  };
+
+  // Depth-first with near-child preference.
+  auto visit = [&](auto&& self, index_t node) -> void {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (static_cast<int>(out.size()) == k &&
+        box_squared_distance(node, query) > out.back().squared_distance)
+      return;
+    if (nd.left == kNone) {
+      for (index_t i = nd.begin; i < nd.end; ++i) offer(perm_[static_cast<std::size_t>(i)]);
+      return;
+    }
+    const bool left_first = query[nd.split_dim] <= nd.split_value;
+    self(self, left_first ? nd.left : nd.right);
+    self(self, left_first ? nd.right : nd.left);
+  };
+  visit(visit, 0);
+}
+
+namespace {
+
+/// Plain Euclidean scoring for component queries.
+struct EuclideanScore {
+  const PointSet* points;
+  index_t q;
+
+  double point(index_t p) const { return points->squared_distance(q, p); }
+};
+
+}  // namespace
+
+template <class Score>
+void KdTree::search(const double* query, Neighbor& best, index_t my_component,
+                    std::span<const index_t> component, const Score& score) const {
+  // Iterative DFS; near child first.  Pruning uses strict '>' so equal-score
+  // candidates are still examined and the smallest index wins ties.
+  std::vector<index_t> stack;
+  stack.reserve(64);
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const index_t node = stack.back();
+    stack.pop_back();
+    if (!node_component_.empty() &&
+        node_component_[static_cast<std::size_t>(node)] == my_component)
+      continue;
+    double bound = box_squared_distance(node, query);
+    if constexpr (requires { score.extra_bound(node); }) {
+      bound = std::max(bound, score.extra_bound(node));
+    }
+    if (bound > best.squared_distance) continue;
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.left == kNone) {
+      for (index_t i = nd.begin; i < nd.end; ++i) {
+        const index_t p = perm_[static_cast<std::size_t>(i)];
+        if (component[static_cast<std::size_t>(p)] == my_component) continue;
+        Neighbor cand{score.point(p), p};
+        if (cand < best) best = cand;
+      }
+      continue;
+    }
+    const bool left_first = query[nd.split_dim] <= nd.split_value;
+    // Far child pushed first so the near child is processed next.
+    stack.push_back(left_first ? nd.right : nd.left);
+    stack.push_back(left_first ? nd.left : nd.right);
+  }
+}
+
+Neighbor KdTree::nearest_other_component(index_t q, index_t my_component,
+                                         std::span<const index_t> component) const {
+  Neighbor best;
+  const double* query = points_->point(q).data();
+  EuclideanScore score{points_, q};
+  search(query, best, my_component, component, score);
+  return best;
+}
+
+namespace {
+
+/// Mreach score with the per-node minimum-core bound wired in.
+struct MreachScoreBound {
+  const PointSet* points;
+  index_t q;
+  std::span<const double> core_sq;
+  const std::vector<double>* node_min_core;
+
+  double point(index_t p) const {
+    return std::max({points->squared_distance(q, p), core_sq[static_cast<std::size_t>(q)],
+                     core_sq[static_cast<std::size_t>(p)]});
+  }
+  double extra_bound(index_t node) const {
+    double b = core_sq[static_cast<std::size_t>(q)];
+    if (!node_min_core->empty())
+      b = std::max(b, (*node_min_core)[static_cast<std::size_t>(node)]);
+    return b;
+  }
+};
+
+}  // namespace
+
+Neighbor KdTree::nearest_other_component_mreach(index_t q, index_t my_component,
+                                                std::span<const index_t> component,
+                                                std::span<const double> core_sq) const {
+  Neighbor best;
+  const double* query = points_->point(q).data();
+  MreachScoreBound score{points_, q, core_sq, &node_min_core_};
+  search(query, best, my_component, component, score);
+  return best;
+}
+
+void KdTree::annotate_components(exec::Space space, std::span<const index_t> component) {
+  const auto num_nodes = static_cast<size_type>(nodes_.size());
+  node_component_.assign(nodes_.size(), kNone);
+  // Leaves in parallel, then internal nodes in reverse creation order
+  // (children always have larger ids than their parent).
+  exec::parallel_for(space, num_nodes, [&](size_type id) {
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.left != kNone) return;
+    index_t c = component[static_cast<std::size_t>(perm_[static_cast<std::size_t>(nd.begin)])];
+    for (index_t i = nd.begin + 1; i < nd.end && c != kNone; ++i)
+      if (component[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] != c) c = kNone;
+    node_component_[static_cast<std::size_t>(id)] = c;
+  });
+  for (size_type id = num_nodes - 1; id >= 0; --id) {
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.left == kNone) continue;
+    const index_t cl = node_component_[static_cast<std::size_t>(nd.left)];
+    const index_t cr = node_component_[static_cast<std::size_t>(nd.right)];
+    node_component_[static_cast<std::size_t>(id)] = (cl == cr) ? cl : kNone;
+  }
+}
+
+void KdTree::annotate_min_core(exec::Space space, std::span<const double> core_sq) {
+  const auto num_nodes = static_cast<size_type>(nodes_.size());
+  node_min_core_.assign(nodes_.size(), std::numeric_limits<double>::infinity());
+  exec::parallel_for(space, num_nodes, [&](size_type id) {
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.left != kNone) return;
+    double m = std::numeric_limits<double>::infinity();
+    for (index_t i = nd.begin; i < nd.end; ++i)
+      m = std::min(m, core_sq[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])]);
+    node_min_core_[static_cast<std::size_t>(id)] = m;
+  });
+  for (size_type id = num_nodes - 1; id >= 0; --id) {
+    const Node& nd = nodes_[static_cast<std::size_t>(id)];
+    if (nd.left == kNone) continue;
+    node_min_core_[static_cast<std::size_t>(id)] =
+        std::min(node_min_core_[static_cast<std::size_t>(nd.left)],
+                 node_min_core_[static_cast<std::size_t>(nd.right)]);
+  }
+}
+
+}  // namespace pandora::spatial

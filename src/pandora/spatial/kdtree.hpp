@@ -1,0 +1,96 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora::spatial {
+
+/// A neighbour candidate returned by queries (squared distance + point id).
+struct Neighbor {
+  double squared_distance = std::numeric_limits<double>::infinity();
+  index_t index = kNone;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.squared_distance != b.squared_distance) return a.squared_distance < b.squared_distance;
+    return a.index < b.index;
+  }
+};
+
+/// Balanced median-split kd-tree (the stand-in for ArborX's BVH).
+///
+/// Supports the two traversals the HDBSCAN* pipeline needs:
+///  * k-nearest-neighbour queries (core distances, Section 6.5), and
+///  * nearest-point-in-another-component queries for Borůvka EMST rounds
+///    ([39]); per-round component annotation prunes subtrees wholly inside
+///    the query's component, and an optional per-node core-distance minimum
+///    tightens mutual-reachability lower bounds.
+///
+/// Ties are broken on point index everywhere, so all query results — and the
+/// EMST built on them — are deterministic.
+class KdTree {
+ public:
+  /// Builds over `points` (kept by reference; must outlive the tree).
+  explicit KdTree(const PointSet& points, int leaf_size = 32);
+
+  /// k nearest neighbours of point `q`, excluding q itself, ascending.
+  /// `out` is resized to min(k, n-1).
+  void knn(index_t q, int k, std::vector<Neighbor>& out) const;
+
+  /// Nearest point to `q` under the Euclidean metric among points whose
+  /// `component[]` differs from `my_component`.  Uses the annotation set by
+  /// annotate_components to skip single-component subtrees.
+  [[nodiscard]] Neighbor nearest_other_component(index_t q, index_t my_component,
+                                                 std::span<const index_t> component) const;
+
+  /// As above under the mutual-reachability metric
+  /// d_mreach(p,q) = max(core(p), core(q), d(p,q)) with *squared* core
+  /// distances in `core_sq` (annotate_min_core must have been called).
+  [[nodiscard]] Neighbor nearest_other_component_mreach(index_t q, index_t my_component,
+                                                        std::span<const index_t> component,
+                                                        std::span<const double> core_sq) const;
+
+  /// Records, per node, the component id shared by all points below it (or
+  /// kNone if mixed).  Call once per Borůvka round.
+  void annotate_components(exec::Space space, std::span<const index_t> component);
+
+  /// Records, per node, the minimum squared core distance below it.
+  void annotate_min_core(exec::Space space, std::span<const double> core_sq);
+
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(perm_.size()); }
+
+ private:
+  struct Node {
+    index_t begin = 0, end = 0;       ///< range in perm_ (leaf and internal)
+    index_t left = kNone, right = kNone;
+    int split_dim = 0;
+    double split_value = 0;
+  };
+
+  index_t build(index_t begin, index_t end);
+  void update_box(index_t node);
+
+  template <class Score>
+  void search(const double* query, Neighbor& best, index_t my_component,
+              std::span<const index_t> component, const Score& score) const;
+
+  /// Squared distance from `query` to the node's bounding box.
+  [[nodiscard]] double box_squared_distance(index_t node, const double* query) const;
+
+  const PointSet* points_ = nullptr;
+  int dim_ = 0;
+  int leaf_size_ = 32;
+  std::vector<index_t> perm_;           ///< point ids, partitioned by node ranges
+  std::vector<Node> nodes_;             ///< nodes_[0] is the root
+  std::vector<double> box_lo_, box_hi_; ///< per node * dim bounding boxes
+  std::vector<index_t> node_component_; ///< per node; kNone = mixed
+  std::vector<double> node_min_core_;   ///< per node; min squared core below
+};
+
+}  // namespace pandora::spatial

@@ -1,0 +1,38 @@
+#include "pandora/spatial/knn.hpp"
+
+#include <cmath>
+#include <omp.h>
+
+#include "pandora/exec/parallel.hpp"
+
+namespace pandora::spatial {
+
+std::vector<double> kth_neighbor_distances(exec::Space space, const PointSet& points,
+                                           const KdTree& tree, int k) {
+  const index_t n = points.size();
+  std::vector<double> result(static_cast<std::size_t>(n), 0.0);
+  if (k <= 0 || n <= 1) return result;
+
+  if (space == exec::Space::parallel) {
+#pragma omp parallel
+    {
+      std::vector<Neighbor> scratch;
+#pragma omp for schedule(dynamic, 256)
+      for (index_t q = 0; q < n; ++q) {
+        tree.knn(q, k, scratch);
+        result[static_cast<std::size_t>(q)] =
+            scratch.empty() ? 0.0 : std::sqrt(scratch.back().squared_distance);
+      }
+    }
+  } else {
+    std::vector<Neighbor> scratch;
+    for (index_t q = 0; q < n; ++q) {
+      tree.knn(q, k, scratch);
+      result[static_cast<std::size_t>(q)] =
+          scratch.empty() ? 0.0 : std::sqrt(scratch.back().squared_distance);
+    }
+  }
+  return result;
+}
+
+}  // namespace pandora::spatial

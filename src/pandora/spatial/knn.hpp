@@ -1,0 +1,18 @@
+#pragma once
+
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora::spatial {
+
+/// Distance (not squared) from every point to its k-th nearest neighbour,
+/// excluding the point itself.  k <= 0 yields zeros.  Parallel over points.
+[[nodiscard]] std::vector<double> kth_neighbor_distances(exec::Space space,
+                                                         const PointSet& points,
+                                                         const KdTree& tree, int k);
+
+}  // namespace pandora::spatial

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+
+namespace pandora::spatial {
+
+/// A dense set of low-dimensional points (row-major, one row per point).
+///
+/// The paper targets 2-7 dimensional data (Table 2); dimensionality is a
+/// runtime value here, with the distance kernels specialised over small dims
+/// where it matters.
+class PointSet {
+ public:
+  PointSet() = default;
+  PointSet(int dim, index_t count)
+      : dim_(dim), coords_(static_cast<std::size_t>(count) * static_cast<std::size_t>(dim)) {}
+
+  [[nodiscard]] int dim() const { return dim_; }
+  [[nodiscard]] index_t size() const {
+    return dim_ == 0 ? 0 : static_cast<index_t>(coords_.size() / static_cast<std::size_t>(dim_));
+  }
+
+  [[nodiscard]] double& at(index_t point, int d) {
+    return coords_[static_cast<std::size_t>(point) * static_cast<std::size_t>(dim_) +
+                   static_cast<std::size_t>(d)];
+  }
+  [[nodiscard]] double at(index_t point, int d) const {
+    return coords_[static_cast<std::size_t>(point) * static_cast<std::size_t>(dim_) +
+                   static_cast<std::size_t>(d)];
+  }
+
+  [[nodiscard]] std::span<const double> point(index_t i) const {
+    return {coords_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dim_),
+            static_cast<std::size_t>(dim_)};
+  }
+
+  [[nodiscard]] const std::vector<double>& coords() const { return coords_; }
+  [[nodiscard]] std::vector<double>& coords() { return coords_; }
+
+  /// Squared Euclidean distance between points i and j.
+  [[nodiscard]] double squared_distance(index_t i, index_t j) const {
+    const double* a = coords_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dim_);
+    const double* b = coords_.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(dim_);
+    double sum = 0;
+    for (int d = 0; d < dim_; ++d) {
+      const double diff = a[d] - b[d];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
+  [[nodiscard]] double distance(index_t i, index_t j) const {
+    return std::sqrt(squared_distance(i, j));
+  }
+
+ private:
+  int dim_ = 0;
+  std::vector<double> coords_;
+};
+
+}  // namespace pandora::spatial

@@ -1,0 +1,125 @@
+// Flat-cluster extraction variants: excess-of-mass vs leaf selection and the
+// cluster-selection-epsilon filter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+
+namespace {
+
+using namespace pandora;
+using hdbscan::ClusterSelectionMethod;
+using hdbscan::HdbscanOptions;
+using spatial::PointSet;
+
+/// Blobs-of-blobs: four coarse groups, each made of three fine subclusters —
+/// a two-scale structure where leaf/EOM/epsilon genuinely differ.
+PointSet two_scale_data(index_t n) {
+  PointSet points(2, n);
+  Rng rng(37);
+  const double coarse[4][2] = {{0, 0}, {8, 0}, {0, 8}, {8, 8}};
+  for (index_t i = 0; i < n; ++i) {
+    const auto g = static_cast<std::size_t>(rng.next_below(4));
+    const auto s = static_cast<double>(rng.next_below(3));
+    points.at(i, 0) = coarse[g][0] + 0.6 * s + 0.02 * rng.normal();
+    points.at(i, 1) = coarse[g][1] + 0.02 * rng.normal();
+  }
+  return points;
+}
+
+TEST(Extraction, LeafSelectsAtLeastAsManyClustersAsEom) {
+  const PointSet points = two_scale_data(2400);
+  HdbscanOptions eom;
+  eom.min_pts = 4;
+  eom.min_cluster_size = 30;
+  HdbscanOptions leaf = eom;
+  leaf.cluster_selection_method = ClusterSelectionMethod::leaf;
+  const auto r_eom = hdbscan::hdbscan(points, eom);
+  const auto r_leaf = hdbscan::hdbscan(points, leaf);
+  EXPECT_GE(r_leaf.num_clusters, r_eom.num_clusters);
+  // The fine scale has 12 subclusters; leaf selection should find them.
+  EXPECT_GE(r_leaf.num_clusters, 10);
+}
+
+TEST(Extraction, LeafLabelsRefineEomLabels) {
+  // Every leaf cluster sits below some EOM cluster, so any two points sharing
+  // a leaf label must share an EOM label (when both are clustered).
+  const PointSet points = two_scale_data(1800);
+  HdbscanOptions eom;
+  eom.min_pts = 4;
+  eom.min_cluster_size = 25;
+  HdbscanOptions leaf = eom;
+  leaf.cluster_selection_method = ClusterSelectionMethod::leaf;
+  const auto r_eom = hdbscan::hdbscan(points, eom);
+  const auto r_leaf = hdbscan::hdbscan(points, leaf);
+  std::map<index_t, index_t> leaf_to_eom;
+  for (index_t p = 0; p < points.size(); ++p) {
+    const index_t l = r_leaf.labels[static_cast<std::size_t>(p)];
+    const index_t e = r_eom.labels[static_cast<std::size_t>(p)];
+    if (l == kNone || e == kNone) continue;
+    auto [it, fresh] = leaf_to_eom.try_emplace(l, e);
+    EXPECT_EQ(it->second, e) << "leaf cluster " << l << " straddles EOM clusters";
+  }
+}
+
+TEST(Extraction, EpsilonMergesFineClusters) {
+  const PointSet points = two_scale_data(2400);
+  HdbscanOptions fine;
+  fine.min_pts = 4;
+  fine.min_cluster_size = 30;
+  fine.cluster_selection_method = ClusterSelectionMethod::leaf;
+  HdbscanOptions merged = fine;
+  merged.cluster_selection_epsilon = 2.0;  // above the fine gap (~0.6), below the coarse (~8)
+  const auto r_fine = hdbscan::hdbscan(points, fine);
+  const auto r_merged = hdbscan::hdbscan(points, merged);
+  EXPECT_GT(r_fine.num_clusters, r_merged.num_clusters);
+  EXPECT_GE(r_merged.num_clusters, 2);
+  EXPECT_LE(r_merged.num_clusters, 6);  // the four coarse groups (some slack)
+}
+
+TEST(Extraction, EpsilonZeroIsIdentity) {
+  const PointSet points = two_scale_data(1200);
+  HdbscanOptions base;
+  base.min_pts = 4;
+  base.min_cluster_size = 20;
+  HdbscanOptions with_zero = base;
+  with_zero.cluster_selection_epsilon = 0.0;
+  const auto a = hdbscan::hdbscan(points, base);
+  const auto b = hdbscan::hdbscan(points, with_zero);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Extraction, SelectedClustersAreAnAntichain) {
+  // No selected cluster may have a selected ancestor, whatever the options.
+  const PointSet points = two_scale_data(1500);
+  for (const auto method :
+       {ClusterSelectionMethod::excess_of_mass, ClusterSelectionMethod::leaf}) {
+    for (const double eps : {0.0, 1.0, 3.0}) {
+      HdbscanOptions options;
+      options.min_pts = 4;
+      options.min_cluster_size = 20;
+      options.cluster_selection_method = method;
+      options.cluster_selection_epsilon = eps;
+      const auto result = hdbscan::hdbscan(points, options);
+      // Recompute the selected set through the public API.
+      hdbscan::ExtractOptions extract;
+      extract.method = method;
+      extract.selection_epsilon = eps;
+      const auto flat = hdbscan::extract_clusters(result.condensed_tree, extract);
+      std::set<index_t> sel(flat.selected_clusters.begin(), flat.selected_clusters.end());
+      for (const index_t c : sel) {
+        index_t cur = result.condensed_tree.clusters[static_cast<std::size_t>(c)].parent;
+        while (cur != kNone) {
+          EXPECT_FALSE(sel.contains(cur)) << "cluster " << c << " under selected " << cur;
+          cur = result.condensed_tree.clusters[static_cast<std::size_t>(cur)].parent;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace

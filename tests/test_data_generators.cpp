@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/data/tree_generators.hpp"
+#include "pandora/graph/tree.hpp"
+
+namespace {
+
+using namespace pandora;
+using spatial::PointSet;
+
+TEST(TreeGenerators, AllTopologiesAreSpanningTrees) {
+  Rng rng(1);
+  for (const index_t n : {2, 3, 10, 257, 1000}) {
+    EXPECT_TRUE(graph::is_spanning_tree(data::star_tree(n), n));
+    EXPECT_TRUE(graph::is_spanning_tree(data::path_tree(n), n));
+    EXPECT_TRUE(graph::is_spanning_tree(data::caterpillar_tree(n), n));
+    EXPECT_TRUE(graph::is_spanning_tree(data::broom_tree(n), n));
+    EXPECT_TRUE(graph::is_spanning_tree(data::balanced_tree(n), n));
+    EXPECT_TRUE(graph::is_spanning_tree(data::random_attachment_tree(n, rng), n));
+    EXPECT_TRUE(graph::is_spanning_tree(data::preferential_attachment_tree(n, rng), n));
+  }
+}
+
+TEST(TreeGenerators, WeightAssignments) {
+  graph::EdgeList edges = data::path_tree(100);
+  Rng rng(2);
+  data::assign_random_weights(edges, rng);
+  for (const auto& e : edges) {
+    EXPECT_GE(e.weight, 0.0);
+    EXPECT_LT(e.weight, 1.0);
+  }
+  data::assign_random_weights(edges, rng, 3);
+  for (const auto& e : edges) EXPECT_TRUE(e.weight == 0 || e.weight == 1 || e.weight == 2);
+  data::assign_increasing_weights(edges);
+  for (std::size_t i = 1; i < edges.size(); ++i) EXPECT_LT(edges[i - 1].weight, edges[i].weight);
+}
+
+TEST(PointGenerators, DeterministicForEqualSeeds) {
+  for (const auto& spec : data::table2_datasets()) {
+    const PointSet a = data::make_dataset(spec.name, 2000, 42);
+    const PointSet b = data::make_dataset(spec.name, 2000, 42);
+    ASSERT_EQ(a.coords(), b.coords()) << spec.name;
+    const PointSet c = data::make_dataset(spec.name, 2000, 43);
+    ASSERT_NE(a.coords(), c.coords()) << spec.name << " must vary with the seed";
+  }
+}
+
+TEST(PointGenerators, ShapesMatchSpecs) {
+  for (const auto& spec : data::table2_datasets()) {
+    const PointSet points = data::make_dataset(spec.name, 500, 7);
+    EXPECT_EQ(points.dim(), spec.dim) << spec.name;
+    EXPECT_EQ(points.size(), 500) << spec.name;
+    for (const double c : points.coords()) ASSERT_TRUE(std::isfinite(c)) << spec.name;
+  }
+}
+
+TEST(PointGenerators, DefaultSizesUsedWhenZeroRequested) {
+  const auto& specs = data::table2_datasets();
+  const PointSet points = data::make_dataset(specs[1].name, 0, 1);
+  EXPECT_EQ(points.size(), specs[1].default_n);
+}
+
+TEST(PointGenerators, UnknownNameIsRejected) {
+  EXPECT_THROW((void)data::make_dataset("NoSuchDataset", 100, 1), std::invalid_argument);
+}
+
+TEST(PointGenerators, UniformStaysInUnitCube) {
+  const PointSet points = data::uniform_points(5000, 4, 3);
+  for (const double c : points.coords()) {
+    ASSERT_GE(c, 0.0);
+    ASSERT_LT(c, 1.0);
+  }
+}
+
+TEST(PointGenerators, NormalHasRoughlyZeroMeanUnitVariance) {
+  const PointSet points = data::normal_points(20000, 2, 11);
+  double sum = 0, sum2 = 0;
+  for (const double c : points.coords()) {
+    sum += c;
+    sum2 += c * c;
+  }
+  const double mean = sum / static_cast<double>(points.coords().size());
+  const double var = sum2 / static_cast<double>(points.coords().size()) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(PointGenerators, SoneiraPeeblesIsHierarchicallyClustered) {
+  // Fractal clustering concentrates points: the fraction of pairwise-close
+  // pairs must vastly exceed a uniform cloud's.
+  const index_t n = 2000;
+  const PointSet clustered = data::soneira_peebles(n, 3, 4, 1.6, 12, 5);
+  const PointSet uniform = data::uniform_points(n, 3, 5);
+  auto close_pairs = [&](const PointSet& points, double radius) {
+    index_t count = 0;
+    for (index_t i = 0; i < 500; ++i)
+      for (index_t j = i + 1; j < 500; ++j)
+        if (points.squared_distance(i, j) < radius * radius) ++count;
+    return count;
+  };
+  EXPECT_GT(close_pairs(clustered, 0.01), 4 * close_pairs(uniform, 0.01));
+}
+
+TEST(PointGenerators, BlobsClusterAroundTheirCenters) {
+  const PointSet points = data::gaussian_blobs(3000, 2, 5, 0.01, 0.0, 9);
+  // With tiny spread and no noise, the nearest-neighbour distance is tiny
+  // for almost every point (tight blobs), unlike uniform data.
+  index_t close = 0;
+  for (index_t i = 1; i < 300; ++i)
+    if (points.squared_distance(i - 1, i) < 0.3 * 0.3) ++close;  // same-blob pairs mostly
+  EXPECT_GT(close, 50);
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "pandora/dendrogram/analysis.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/graph/union_find.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using dendrogram::Dendrogram;
+using pandora::testing::Topology;
+using pandora::testing::all_topologies;
+using pandora::testing::make_tree;
+using pandora::testing::topology_name;
+
+TEST(Analysis, HeightAndSkewnessOfExtremeShapes) {
+  // Star with ascending weights: a single chain, height n, skewness n/log2 n.
+  {
+    graph::EdgeList tree = data::star_tree(257);
+    data::assign_increasing_weights(tree);
+    const Dendrogram d = dendrogram::pandora_dendrogram(tree, 257);
+    EXPECT_EQ(dendrogram::height(d), 256);
+    EXPECT_NEAR(dendrogram::skewness(d), 256.0 / std::log2(256.0), 1e-9);
+  }
+  // Balanced binary tree with depth-ordered weights (shallow edges heavier):
+  // the top-down recursion halves components, so height stays O(log n).
+  {
+    graph::EdgeList tree = data::balanced_tree(256);
+    for (std::size_t i = 0; i < tree.size(); ++i)
+      tree[i].weight = static_cast<double>(tree.size() - i);
+    const Dendrogram d = dendrogram::pandora_dendrogram(tree, 256);
+    EXPECT_LE(dendrogram::height(d), 2 * 8 + 2);
+    EXPECT_LE(dendrogram::skewness(d), 2.5);
+  }
+}
+
+TEST(Analysis, EdgeDepthsAreParentDepthsPlusOne) {
+  const graph::EdgeList tree = make_tree(Topology::preferential, 800, 3);
+  const Dendrogram d = dendrogram::pandora_dendrogram(tree, 800);
+  const auto depth = dendrogram::edge_depths(d);
+  EXPECT_EQ(depth[0], 1);
+  for (index_t e = 1; e < d.num_edges; ++e)
+    EXPECT_EQ(depth[static_cast<std::size_t>(e)],
+              depth[static_cast<std::size_t>(d.parent[static_cast<std::size_t>(e)])] + 1);
+}
+
+TEST(Analysis, ClassificationCountsSumToEdges) {
+  for (const Topology topo : all_topologies()) {
+    const graph::EdgeList tree = make_tree(topo, 1000, 4);
+    const Dendrogram d = dendrogram::pandora_dendrogram(tree, 1000);
+    const auto counts = dendrogram::classify_edges(d);
+    EXPECT_EQ(counts.leaf_edges + counts.chain_edges + counts.alpha_edges, d.num_edges)
+        << topology_name(topo);
+    EXPECT_EQ(counts.alpha_edges, counts.leaf_edges - 1) << topology_name(topo);
+    EXPECT_LE(2 * counts.alpha_edges, d.num_edges - 1) << topology_name(topo);
+  }
+}
+
+TEST(Analysis, EdgeChildrenAreConsistentWithParents) {
+  const graph::EdgeList tree = make_tree(Topology::random_attach, 500, 9);
+  const Dendrogram d = dendrogram::pandora_dendrogram(tree, 500);
+  const auto children = dendrogram::edge_children(d);
+  index_t total = 0;
+  for (index_t e = 0; e < d.num_edges; ++e) {
+    for (const index_t child : children[static_cast<std::size_t>(e)]) {
+      ASSERT_NE(child, kNone) << "binary dendrogram: exactly two children";
+      EXPECT_EQ(d.parent[static_cast<std::size_t>(child)], e);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, d.num_nodes() - 1);  // everything except the root has a parent
+}
+
+/// Reference flat clustering: union-find over edges with weight <= t.
+std::vector<index_t> reference_cut(const graph::EdgeList& tree, index_t nv, double t) {
+  graph::UnionFind uf(nv);
+  for (const auto& e : tree)
+    if (e.weight <= t) uf.unite(e.u, e.v);
+  std::map<index_t, index_t> dense;
+  std::vector<index_t> labels(static_cast<std::size_t>(nv));
+  for (index_t v = 0; v < nv; ++v) {
+    const index_t r = uf.find(v);
+    auto [it, fresh] = dense.try_emplace(r, static_cast<index_t>(dense.size()));
+    labels[static_cast<std::size_t>(v)] = it->second;
+  }
+  return labels;
+}
+
+/// Two labelings describe the same partition iff they induce the same
+/// equivalence classes.
+bool same_partition(const std::vector<index_t>& a, const std::vector<index_t>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<index_t, index_t> fwd, bwd;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    auto [it1, f1] = fwd.try_emplace(a[i], b[i]);
+    if (it1->second != b[i]) return false;
+    auto [it2, f2] = bwd.try_emplace(b[i], a[i]);
+    if (it2->second != a[i]) return false;
+  }
+  return true;
+}
+
+class CutThresholds : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, CutThresholds,
+                         ::testing::Values(-1.0, 0.0, 0.1, 0.25, 0.5, 0.75, 0.99, 2.0));
+
+TEST_P(CutThresholds, CutLabelsMatchUnionFindComponents) {
+  const double t = GetParam();
+  for (const Topology topo : {Topology::random_attach, Topology::star, Topology::balanced}) {
+    const graph::EdgeList tree = make_tree(topo, 300, 5);
+    const Dendrogram d = dendrogram::pandora_dendrogram(tree, 300);
+    EXPECT_TRUE(same_partition(dendrogram::cut_labels(d, t), reference_cut(tree, 300, t)))
+        << topology_name(topo) << " t=" << t;
+  }
+}
+
+TEST(Analysis, CutAtExtremesIsAllSingletonsOrOneCluster) {
+  const graph::EdgeList tree = make_tree(Topology::caterpillar, 100, 2);
+  const Dendrogram d = dendrogram::pandora_dendrogram(tree, 100);
+  const auto singletons = dendrogram::cut_labels(d, -0.5);
+  std::vector<index_t> sorted_labels = singletons;
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+  for (index_t v = 0; v < 100; ++v) EXPECT_EQ(sorted_labels[static_cast<std::size_t>(v)], v);
+  const auto one = dendrogram::cut_labels(d, 1e9);
+  EXPECT_TRUE(std::all_of(one.begin(), one.end(), [](index_t l) { return l == 0; }));
+}
+
+TEST(Analysis, SubtreePointCountsSumCorrectly) {
+  const graph::EdgeList tree = make_tree(Topology::preferential, 400, 6);
+  const Dendrogram d = dendrogram::pandora_dendrogram(tree, 400);
+  const auto counts = dendrogram::subtree_point_counts(d);
+  EXPECT_EQ(counts[0], 400);  // the root holds every point
+  const auto children = dendrogram::edge_children(d);
+  for (index_t e = 0; e < d.num_edges; ++e) {
+    index_t from_children = 0;
+    for (const index_t child : children[static_cast<std::size_t>(e)])
+      from_children += d.is_vertex_node(child) ? 1 : counts[static_cast<std::size_t>(child)];
+    EXPECT_EQ(counts[static_cast<std::size_t>(e)], from_children) << e;
+  }
+}
+
+TEST(Analysis, LinkageMatrixIsScipyShaped) {
+  const graph::EdgeList tree = make_tree(Topology::random_attach, 300, 4);
+  const index_t nv = 300;
+  const Dendrogram d = dendrogram::pandora_dendrogram(tree, nv);
+  const auto rows = dendrogram::linkage_matrix(d);
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(nv - 1));
+
+  // Distances non-decreasing, sizes additive, ids refer only to existing
+  // clusters, every cluster consumed at most once.
+  std::vector<index_t> size_of(static_cast<std::size_t>(2 * nv - 1), 1);
+  std::vector<bool> consumed(static_cast<std::size_t>(2 * nv - 1), false);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (r > 0) {
+      ASSERT_GE(row.distance, rows[r - 1].distance);
+    }
+    ASSERT_LT(row.cluster_a, row.cluster_b);
+    ASSERT_LT(row.cluster_b, static_cast<index_t>(nv + r));
+    ASSERT_FALSE(consumed[static_cast<std::size_t>(row.cluster_a)]);
+    ASSERT_FALSE(consumed[static_cast<std::size_t>(row.cluster_b)]);
+    consumed[static_cast<std::size_t>(row.cluster_a)] = true;
+    consumed[static_cast<std::size_t>(row.cluster_b)] = true;
+    ASSERT_EQ(row.size, size_of[static_cast<std::size_t>(row.cluster_a)] +
+                            size_of[static_cast<std::size_t>(row.cluster_b)]);
+    size_of[static_cast<std::size_t>(nv + r)] = row.size;
+  }
+  EXPECT_EQ(rows.back().size, nv);  // the final merge holds everything
+}
+
+TEST(Analysis, LinkageMatrixSingleEdge) {
+  const graph::EdgeList tree{{0, 1, 4.2}};
+  const auto rows = dendrogram::linkage_matrix(dendrogram::pandora_dendrogram(tree, 2));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].cluster_a, 0);
+  EXPECT_EQ(rows[0].cluster_b, 1);
+  EXPECT_DOUBLE_EQ(rows[0].distance, 4.2);
+  EXPECT_EQ(rows[0].size, 2);
+}
+
+TEST(Analysis, ValidateRejectsCorruptedDendrograms) {
+  const graph::EdgeList tree = make_tree(Topology::path, 50, 1);
+  Dendrogram d = dendrogram::pandora_dendrogram(tree, 50);
+  EXPECT_NO_THROW(dendrogram::validate_dendrogram(d));
+
+  auto broken = d;
+  broken.parent[5] = 10;  // parent lighter than child
+  EXPECT_THROW(dendrogram::validate_dendrogram(broken), std::invalid_argument);
+
+  broken = d;
+  broken.parent[3] = kNone;  // second root
+  EXPECT_THROW(dendrogram::validate_dendrogram(broken), std::invalid_argument);
+
+  broken = d;
+  broken.parent[static_cast<std::size_t>(d.vertex_node(7))] = d.num_edges + 3;  // out of range
+  EXPECT_THROW(dendrogram::validate_dendrogram(broken), std::invalid_argument);
+
+  broken = d;
+  std::swap(broken.weight[0], broken.weight.back());  // weights not descending
+  EXPECT_THROW(dendrogram::validate_dendrogram(broken), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+// Cross-cutting determinism matrix: every pipeline output must be
+// bit-identical across execution spaces, repeats, AND OpenMP thread counts.
+// Determinism is a design invariant (canonical union-find representatives,
+// stable sorts, index tie-breaks) that the performance work must never break.
+
+#include <gtest/gtest.h>
+#include <omp.h>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/spatial/emst.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using pandora::testing::Topology;
+using pandora::testing::make_tree;
+
+/// Scoped OpenMP thread-count override.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) : saved_(omp_get_max_threads()) {
+    omp_set_num_threads(threads);
+  }
+  ~ThreadCountGuard() { omp_set_num_threads(saved_); }
+
+ private:
+  int saved_;
+};
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 8, 16),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST_P(ThreadSweep, PandoraDendrogramIsThreadCountInvariant) {
+  const graph::EdgeList tree = make_tree(Topology::preferential, 30000, 11, /*distinct=*/4);
+  const auto reference = dendrogram::pandora_dendrogram(tree, 30000);
+  ThreadCountGuard guard(GetParam());
+  const auto under_test = dendrogram::pandora_dendrogram(tree, 30000);
+  ASSERT_EQ(under_test.parent, reference.parent);
+  ASSERT_EQ(under_test.edge_order, reference.edge_order);
+}
+
+TEST_P(ThreadSweep, EmstIsThreadCountInvariant) {
+  const spatial::PointSet points = data::power_law_blobs(5000, 3, 12, 1.2, 5);
+  spatial::KdTree reference_tree(points);
+  const auto reference =
+      spatial::euclidean_mst(exec::Space::parallel, points, reference_tree);
+  ThreadCountGuard guard(GetParam());
+  spatial::KdTree tree(points);
+  const auto under_test = spatial::euclidean_mst(exec::Space::parallel, points, tree);
+  ASSERT_EQ(under_test.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_EQ(under_test[i], reference[i]) << "edge " << i;
+}
+
+TEST_P(ThreadSweep, HdbscanLabelsAreThreadCountInvariant) {
+  const spatial::PointSet points = data::gaussian_blobs(4000, 2, 6, 0.03, 0.1, 17);
+  hdbscan::HdbscanOptions options;
+  options.min_pts = 4;
+  options.min_cluster_size = 20;
+  const auto reference = hdbscan::hdbscan(points, options);
+  ThreadCountGuard guard(GetParam());
+  const auto under_test = hdbscan::hdbscan(points, options);
+  ASSERT_EQ(under_test.labels, reference.labels);
+  ASSERT_EQ(under_test.dendrogram.parent, reference.dendrogram.parent);
+}
+
+TEST(Determinism, RngStreamsAreStablePerSeed) {
+  Rng a(12345), b(12345), c(54321);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.next_u64();
+    ASSERT_EQ(va, b.next_u64());
+    diverged |= va != c.next_u64();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Determinism, GeneratorsAreThreadCountInvariant) {
+  // Generators are sequential by design; a thread-count change around them
+  // must not matter.  (Guards against someone parallelising them without
+  // per-point seeding.)
+  const auto reference = data::make_dataset("HaccProxy", 20000, 3);
+  ThreadCountGuard guard(2);
+  const auto under_test = data::make_dataset("HaccProxy", 20000, 3);
+  EXPECT_EQ(under_test.coords(), reference.coords());
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/graph/tree.hpp"
+#include "pandora/hdbscan/core_distance.hpp"
+#include "pandora/spatial/brute_force.hpp"
+#include "pandora/spatial/emst.hpp"
+
+namespace {
+
+using namespace pandora;
+using graph::EdgeList;
+using spatial::KdTree;
+using spatial::PointSet;
+
+double weight_of(const EdgeList& edges) { return graph::total_weight(edges); }
+
+class EmstSweep : public ::testing::TestWithParam<std::tuple<int, index_t>> {};  // (dim, n)
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EmstSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values<index_t>(2, 10, 100, 400)));
+
+TEST_P(EmstSweep, EuclideanMstMatchesBruteForceWeight) {
+  const auto& [dim, n] = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const PointSet points = data::uniform_points(n, dim, seed * 31 + 5);
+    const EdgeList expected = spatial::brute_force_emst(points);
+    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+      KdTree tree(points);
+      const EdgeList got = spatial::euclidean_mst(space, points, tree);
+      ASSERT_TRUE(graph::is_spanning_tree(got, n));
+      ASSERT_NEAR(weight_of(got), weight_of(expected), 1e-9 * std::max(1.0, weight_of(expected)))
+          << "dim=" << dim << " n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(EmstSweep, MutualReachabilityMstMatchesBruteForce) {
+  const auto& [dim, n] = GetParam();
+  if (n < 10) GTEST_SKIP() << "core distances need a few points";
+  const PointSet points = data::gaussian_blobs(n, dim, 4, 0.08, 0.1, 77);
+  KdTree tree(points);
+  const auto core = hdbscan::core_distances(exec::Space::parallel, points, tree, 4);
+  const EdgeList expected = spatial::brute_force_mreach_mst(points, core);
+  const EdgeList got = spatial::mutual_reachability_mst(exec::Space::parallel, points, tree, core);
+  ASSERT_TRUE(graph::is_spanning_tree(got, n));
+  EXPECT_NEAR(weight_of(got), weight_of(expected), 1e-9 * std::max(1.0, weight_of(expected)));
+}
+
+TEST(Emst, DeterministicAcrossSpacesAndRepeats) {
+  const PointSet points = data::power_law_blobs(3000, 2, 20, 1.2, 3);
+  KdTree tree_a(points);
+  const EdgeList first = spatial::euclidean_mst(exec::Space::parallel, points, tree_a);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+      KdTree tree(points);
+      const EdgeList again = spatial::euclidean_mst(space, points, tree);
+      ASSERT_EQ(again.size(), first.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(again[i].u, first[i].u) << i;
+        ASSERT_EQ(again[i].v, first[i].v) << i;
+        ASSERT_DOUBLE_EQ(again[i].weight, first[i].weight) << i;
+      }
+    }
+  }
+}
+
+TEST(Emst, ClusteredDataWithTiedDistances) {
+  // A perfect grid has massive distance ties; the MST must still be a
+  // spanning tree of exactly the right weight (n-1 unit edges).
+  const int side = 20;
+  PointSet points(2, side * side);
+  for (int x = 0; x < side; ++x)
+    for (int y = 0; y < side; ++y) {
+      points.at(x * side + y, 0) = x;
+      points.at(x * side + y, 1) = y;
+    }
+  KdTree tree(points);
+  const EdgeList mst = spatial::euclidean_mst(exec::Space::parallel, points, tree);
+  ASSERT_TRUE(graph::is_spanning_tree(mst, side * side));
+  EXPECT_NEAR(weight_of(mst), side * side - 1, 1e-9);
+}
+
+TEST(Emst, MinPtsOneReducesMreachToEuclidean) {
+  const PointSet points = data::uniform_points(300, 3, 8);
+  KdTree tree(points);
+  const auto core = hdbscan::core_distances(exec::Space::serial, points, tree, 1);
+  EXPECT_TRUE(std::all_of(core.begin(), core.end(), [](double c) { return c == 0.0; }));
+  KdTree tree2(points);
+  const EdgeList euclid = spatial::euclidean_mst(exec::Space::serial, points, tree2);
+  KdTree tree3(points);
+  const EdgeList mreach = spatial::mutual_reachability_mst(exec::Space::serial, points, tree3, core);
+  EXPECT_NEAR(weight_of(euclid), weight_of(mreach), 1e-9);
+}
+
+TEST(Emst, LargerMinPtsGivesHeavierMst) {
+  // Mutual reachability distances dominate Euclidean ones and grow with
+  // minPts, so the MST weight must be monotone in minPts.
+  const PointSet points = data::gaussian_blobs(500, 2, 6, 0.04, 0.05, 21);
+  double previous = 0.0;
+  for (const int min_pts : {1, 2, 4, 8, 16}) {
+    KdTree tree(points);
+    const auto core = hdbscan::core_distances(exec::Space::parallel, points, tree, min_pts);
+    const EdgeList mst = spatial::mutual_reachability_mst(exec::Space::parallel, points, tree, core);
+    const double w = weight_of(mst);
+    EXPECT_GE(w, previous - 1e-12) << "minPts=" << min_pts;
+    previous = w;
+  }
+}
+
+}  // namespace

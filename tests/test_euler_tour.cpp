@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pandora/graph/euler_tour.hpp"
+#include "pandora/graph/tree.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using graph::EulerTour;
+using pandora::testing::Topology;
+using pandora::testing::all_topologies;
+using pandora::testing::make_tree;
+using pandora::testing::topology_name;
+
+TEST(ListRank, DistancesToTail) {
+  // A simple chain 0 -> 1 -> 2 -> 3 -> tail.
+  const std::vector<index_t> next{1, 2, 3, kNone};
+  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    const auto distance = graph::list_rank(space, next);
+    EXPECT_EQ(distance, (std::vector<index_t>{3, 2, 1, 0}));
+  }
+}
+
+TEST(ListRank, LongPermutedList) {
+  // A list threaded through a permuted array, length 10k.
+  const index_t n = 10000;
+  Rng rng(3);
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i) + 1))]);
+  std::vector<index_t> next(static_cast<std::size_t>(n), kNone);
+  for (index_t k = 0; k + 1 < n; ++k)
+    next[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] =
+        order[static_cast<std::size_t>(k) + 1];
+  const auto distance = graph::list_rank(exec::Space::parallel, next);
+  for (index_t k = 0; k < n; ++k)
+    ASSERT_EQ(distance[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])],
+              n - 1 - k);
+}
+
+class EulerTourSweep : public ::testing::TestWithParam<Topology> {};
+INSTANTIATE_TEST_SUITE_P(Sweep, EulerTourSweep, ::testing::ValuesIn(all_topologies()),
+                         [](const auto& info) { return std::string(topology_name(info.param)); });
+
+TEST_P(EulerTourSweep, RanksAreAPermutationOfHalfEdges) {
+  const index_t nv = 500;
+  const graph::EdgeList tree = make_tree(GetParam(), nv, 1);
+  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    const EulerTour tour = graph::build_euler_tour(space, tree, nv, 0);
+    std::vector<index_t> sorted = tour.rank;
+    std::sort(sorted.begin(), sorted.end());
+    for (index_t h = 0; h < 2 * (nv - 1); ++h)
+      ASSERT_EQ(sorted[static_cast<std::size_t>(h)], h);
+  }
+}
+
+TEST_P(EulerTourSweep, ParentsMatchBfsFromRoot) {
+  const index_t nv = 400;
+  const graph::EdgeList tree = make_tree(GetParam(), nv, 2);
+  const EulerTour tour = graph::build_euler_tour(exec::Space::parallel, tree, nv, 0);
+
+  const graph::Adjacency adj = graph::build_adjacency(tree, nv);
+  std::vector<index_t> parent(static_cast<std::size_t>(nv), kNone);
+  std::vector<bool> seen(static_cast<std::size_t>(nv), false);
+  std::vector<index_t> queue{0};
+  seen[0] = true;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const index_t x = queue[head];
+    for (const auto& half : adj.incident(x)) {
+      if (seen[static_cast<std::size_t>(half.neighbor)]) continue;
+      seen[static_cast<std::size_t>(half.neighbor)] = true;
+      parent[static_cast<std::size_t>(half.neighbor)] = x;
+      queue.push_back(half.neighbor);
+    }
+  }
+  EXPECT_EQ(tour.parent_vertex[0], kNone);
+  for (index_t v = 1; v < nv; ++v)
+    ASSERT_EQ(tour.parent_vertex[static_cast<std::size_t>(v)],
+              parent[static_cast<std::size_t>(v)])
+        << "vertex " << v;
+}
+
+TEST_P(EulerTourSweep, SubtreeSizesMatchRecursiveCount) {
+  const index_t nv = 300;
+  const graph::EdgeList tree = make_tree(GetParam(), nv, 3);
+  const EulerTour tour = graph::build_euler_tour(exec::Space::parallel, tree, nv, 0);
+  // Accumulate sizes bottom-up over the BFS order implied by parent_vertex.
+  std::vector<index_t> expected(static_cast<std::size_t>(nv), 1);
+  // Children before parents: order vertices by decreasing BFS depth.
+  std::vector<index_t> depth(static_cast<std::size_t>(nv), 0);
+  std::vector<index_t> order(static_cast<std::size_t>(nv));
+  for (index_t v = 0; v < nv; ++v) {
+    order[static_cast<std::size_t>(v)] = v;
+    index_t cur = v, d = 0;
+    while (tour.parent_vertex[static_cast<std::size_t>(cur)] != kNone) {
+      cur = tour.parent_vertex[static_cast<std::size_t>(cur)];
+      ++d;
+    }
+    depth[static_cast<std::size_t>(v)] = d;
+  }
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return depth[static_cast<std::size_t>(a)] > depth[static_cast<std::size_t>(b)];
+  });
+  for (const index_t v : order)
+    if (tour.parent_vertex[static_cast<std::size_t>(v)] != kNone)
+      expected[static_cast<std::size_t>(tour.parent_vertex[static_cast<std::size_t>(v)])] +=
+          expected[static_cast<std::size_t>(v)];
+  for (index_t v = 0; v < nv; ++v)
+    ASSERT_EQ(tour.subtree_size[static_cast<std::size_t>(v)],
+              expected[static_cast<std::size_t>(v)])
+        << "vertex " << v;
+  EXPECT_EQ(tour.subtree_size[0], nv);
+}
+
+TEST(EulerTourEdgeCases, SingleEdgeAndAlternateRoots) {
+  const graph::EdgeList one{{0, 1, 1.0}};
+  const EulerTour tour = graph::build_euler_tour(exec::Space::serial, one, 2, 1);
+  EXPECT_EQ(tour.parent_vertex[0], 1);
+  EXPECT_EQ(tour.parent_vertex[1], kNone);
+  EXPECT_EQ(tour.subtree_size[1], 2);
+  EXPECT_THROW((void)graph::build_euler_tour(exec::Space::serial, one, 2, 5),
+               std::invalid_argument);
+}
+
+}  // namespace

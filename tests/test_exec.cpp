@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "pandora/common/rng.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/scan.hpp"
+#include "pandora/exec/sort.hpp"
+
+namespace {
+
+using namespace pandora;
+using exec::Space;
+
+class ExecBothSpaces : public ::testing::TestWithParam<Space> {};
+
+INSTANTIATE_TEST_SUITE_P(Spaces, ExecBothSpaces,
+                         ::testing::Values(Space::serial, Space::parallel),
+                         [](const auto& info) { return exec::space_name(info.param); });
+
+TEST_P(ExecBothSpaces, ParallelForCoversEveryIndex) {
+  const size_type n = 100000;
+  std::vector<int> hits(n, 0);
+  exec::parallel_for(GetParam(), n, [&](size_type i) { hits[static_cast<std::size_t>(i)]++; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST_P(ExecBothSpaces, ParallelForEmptyAndTiny) {
+  int count = 0;
+  exec::parallel_for(GetParam(), 0, [&](size_type) { ++count; });
+  EXPECT_EQ(count, 0);
+  exec::parallel_for(GetParam(), 3, [&](size_type) { ++count; });
+  EXPECT_EQ(count, 3);
+}
+
+TEST_P(ExecBothSpaces, ReduceSumMatchesSerial) {
+  const size_type n = 250007;
+  const auto sum = exec::parallel_sum(GetParam(), n, std::int64_t{0},
+                                      [](size_type i) { return static_cast<std::int64_t>(i); });
+  EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST_P(ExecBothSpaces, ReduceMaxMatchesSerial) {
+  const size_type n = 99991;
+  Rng rng(7);
+  std::vector<std::int64_t> values(n);
+  for (auto& v : values) v = static_cast<std::int64_t>(rng.next_below(1u << 30));
+  const auto maxval = exec::parallel_reduce(
+      GetParam(), n, std::int64_t{-1},
+      [&](size_type i) { return values[static_cast<std::size_t>(i)]; },
+      [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+  EXPECT_EQ(maxval, *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(ExecBothSpaces, ExclusiveScanMatchesReference) {
+  for (size_type n : {0, 1, 5, 4097, 250000}) {
+    Rng rng(static_cast<std::uint64_t>(n));
+    std::vector<index_t> in(static_cast<std::size_t>(n));
+    for (auto& v : in) v = static_cast<index_t>(rng.next_below(100));
+    std::vector<index_t> expected(in.size());
+    index_t running = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      expected[i] = running;
+      running += in[i];
+    }
+    std::vector<index_t> out(in.size());
+    const index_t total = exec::exclusive_scan<index_t>(GetParam(), in, out);
+    EXPECT_EQ(total, running) << "n=" << n;
+    EXPECT_EQ(out, expected) << "n=" << n;
+  }
+}
+
+TEST_P(ExecBothSpaces, ExclusiveScanAliasesInPlace) {
+  std::vector<index_t> data(100000, 1);
+  const index_t total = exec::exclusive_scan<index_t>(GetParam(), data, data);
+  EXPECT_EQ(total, 100000);
+  EXPECT_EQ(data[0], 0);
+  EXPECT_EQ(data[99999], 99999);
+}
+
+TEST_P(ExecBothSpaces, InclusiveScanMatchesReference) {
+  const size_type n = 123457;
+  std::vector<std::int64_t> in(static_cast<std::size_t>(n), 2);
+  std::vector<std::int64_t> out(in.size());
+  exec::inclusive_scan<std::int64_t>(GetParam(), in, out);
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out.back(), 2 * n);
+}
+
+TEST_P(ExecBothSpaces, MergeSortSortsAndIsStable) {
+  const size_type n = 200001;
+  Rng rng(11);
+  struct Item {
+    int key;
+    int tag;
+  };
+  std::vector<Item> items(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < items.size(); ++i)
+    items[i] = {static_cast<int>(rng.next_below(1000)), static_cast<int>(i)};
+  exec::merge_sort(GetParam(), items, [](const Item& a, const Item& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    ASSERT_LE(items[i - 1].key, items[i].key);
+    if (items[i - 1].key == items[i].key) {
+      ASSERT_LT(items[i - 1].tag, items[i].tag);  // stability
+    }
+  }
+}
+
+TEST_P(ExecBothSpaces, RadixSortMatchesStdSort) {
+  for (size_type n : {0, 1, 2, 4095, 4096, 250001}) {
+    Rng rng(static_cast<std::uint64_t>(n) + 3);
+    std::vector<std::uint64_t> keys(static_cast<std::size_t>(n));
+    for (auto& k : keys) k = rng.next_u64();
+    std::vector<std::uint64_t> expected = keys;
+    std::sort(expected.begin(), expected.end());
+    exec::radix_sort_u64(GetParam(), keys);
+    EXPECT_EQ(keys, expected) << "n=" << n;
+  }
+}
+
+TEST_P(ExecBothSpaces, RadixSortSkipsConstantBytesCorrectly) {
+  // Keys confined to the low 20 bits: most passes are skipped.
+  std::vector<std::uint64_t> keys;
+  Rng rng(5);
+  for (int i = 0; i < 300000; ++i) keys.push_back(rng.next_below(1u << 20));
+  std::vector<std::uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  exec::radix_sort_u64(GetParam(), keys);
+  EXPECT_EQ(keys, expected);
+}
+
+TEST(ExecAtomics, FetchMaxMinAdd) {
+  index_t slot = 5;
+  exec::atomic_fetch_max(slot, index_t{3});
+  EXPECT_EQ(slot, 5);
+  exec::atomic_fetch_max(slot, index_t{9});
+  EXPECT_EQ(slot, 9);
+  exec::atomic_fetch_min(slot, index_t{11});
+  EXPECT_EQ(slot, 9);
+  exec::atomic_fetch_min(slot, index_t{2});
+  EXPECT_EQ(slot, 2);
+  EXPECT_EQ(exec::atomic_fetch_add(slot, index_t{7}), 2);
+  EXPECT_EQ(slot, 9);
+}
+
+TEST(ExecAtomics, ConcurrentMaxFindsGlobalMax) {
+  index_t slot = -1;
+  const size_type n = 1 << 20;
+  exec::parallel_for(Space::parallel, n, [&](size_type i) {
+    exec::atomic_fetch_max(slot, static_cast<index_t>((i * 2654435761u) % 1000003));
+  });
+  EXPECT_EQ(slot, 1000002);  // the residue range is fully covered for n > 10^6
+}
+
+TEST(ExecOrderBits, PreservesOrderForNonNegativeDoubles) {
+  Rng rng(3);
+  double prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.next_double() * 1e9;
+    const double b = rng.next_double() * 1e9;
+    EXPECT_EQ(a < b, exec::order_preserving_bits(a) < exec::order_preserving_bits(b));
+    prev = a;
+  }
+  (void)prev;
+  EXPECT_LT(exec::order_preserving_bits(0.0), exec::order_preserving_bits(1e-300));
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Failure injection: every public entry point must reject malformed input
+// with std::invalid_argument (never crash, hang or silently mis-answer).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "pandora/dendrogram/analysis.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "pandora/graph/mst.hpp"
+#include "pandora/graph/tree.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using dendrogram::PandoraOptions;
+
+PandoraOptions validating() {
+  PandoraOptions options;
+  options.validate_input = true;
+  return options;
+}
+
+TEST(FailureInjection, CycleRejected) {
+  const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(cycle, 3, validating()),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, ForestRejected) {
+  const graph::EdgeList forest{{0, 1, 1.0}, {2, 3, 2.0}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(forest, 4, validating()),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, SelfLoopRejected) {
+  const graph::EdgeList self_loop{{0, 0, 1.0}, {0, 1, 2.0}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(self_loop, 2, validating()),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, OutOfRangeEndpointRejected) {
+  const graph::EdgeList bad{{0, 5, 1.0}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(bad, 2, validating()),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, NanAndNegativeWeightsRejected) {
+  const graph::EdgeList nan_edge{{0, 1, std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(nan_edge, 2, validating()),
+               std::invalid_argument);
+  const graph::EdgeList inf_edge{{0, 1, std::numeric_limits<double>::infinity()}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(inf_edge, 2, validating()),
+               std::invalid_argument);
+  const graph::EdgeList negative{{0, 1, -1.0}};
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(negative, 2, validating()),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, UnionFindBaselineValidatesToo) {
+  const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
+  EXPECT_THROW((void)dendrogram::union_find_dendrogram(cycle, 3, exec::Space::serial, nullptr,
+                                                       /*validate_input=*/true),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, ValidationOffMeansCallerContract) {
+  // Without validation the library trusts the caller (hot paths); a valid
+  // tree passes through both entry points unchanged.
+  const graph::EdgeList tree = pandora::testing::make_tree(
+      pandora::testing::Topology::random_attach, 128, 3);
+  EXPECT_NO_THROW((void)dendrogram::pandora_dendrogram(tree, 128));
+  EXPECT_NO_THROW((void)dendrogram::pandora_dendrogram(tree, 128, validating()));
+}
+
+TEST(FailureInjection, HdbscanRejectsEmptyInput) {
+  const spatial::PointSet empty(2, 0);
+  EXPECT_THROW((void)hdbscan::hdbscan(empty, {}), std::invalid_argument);
+}
+
+TEST(FailureInjection, HdbscanRejectsBadMinPts) {
+  spatial::PointSet points(2, 10);
+  hdbscan::HdbscanOptions options;
+  options.min_pts = 0;
+  EXPECT_THROW((void)hdbscan::hdbscan(points, options), std::invalid_argument);
+}
+
+TEST(FailureInjection, HdbscanRejectsBadMinClusterSize) {
+  spatial::PointSet points(2, 10);
+  hdbscan::HdbscanOptions options;
+  options.min_cluster_size = 0;
+  EXPECT_THROW((void)hdbscan::hdbscan(points, options), std::invalid_argument);
+}
+
+TEST(FailureInjection, MstRequiresConnectivity) {
+  const graph::EdgeList forest{{0, 1, 1.0}, {2, 3, 2.0}};
+  EXPECT_THROW((void)graph::kruskal_mst(forest, 4), std::invalid_argument);
+  EXPECT_THROW((void)graph::boruvka_mst(exec::Space::parallel, forest, 4),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, SinglePointHdbscanDegeneratesGracefully) {
+  spatial::PointSet one(3, 1);
+  one.at(0, 0) = 1.0;
+  const auto result = hdbscan::hdbscan(one, {});
+  EXPECT_EQ(result.labels.size(), 1u);
+  EXPECT_EQ(result.num_clusters, 0);
+}
+
+}  // namespace

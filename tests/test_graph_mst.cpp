@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pandora/common/rng.hpp"
+#include "pandora/graph/mst.hpp"
+#include "pandora/graph/tree.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using graph::EdgeList;
+using graph::WeightedEdge;
+
+/// Connected random graph: a random spanning tree plus extra random edges.
+EdgeList random_connected_graph(index_t n, index_t extra_edges, Rng& rng, int distinct = 0) {
+  EdgeList edges = data::random_attachment_tree(n, rng);
+  for (index_t i = 0; i < extra_edges; ++i) {
+    const auto u = static_cast<index_t>(rng.next_below(n));
+    auto v = static_cast<index_t>(rng.next_below(n));
+    if (u == v) v = (v + 1) % n;
+    edges.push_back({u, v, 0.0});
+  }
+  data::assign_random_weights(edges, rng, distinct);
+  return edges;
+}
+
+EdgeList sorted_copy(EdgeList edges) {
+  for (auto& e : edges)
+    if (e.u > e.v) std::swap(e.u, e.v);
+  std::sort(edges.begin(), edges.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return std::tie(a.weight, a.u, a.v) < std::tie(b.weight, b.u, b.v);
+  });
+  return edges;
+}
+
+class MstRandomGraphs : public ::testing::TestWithParam<std::tuple<index_t, index_t, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MstRandomGraphs,
+                         ::testing::Combine(::testing::Values<index_t>(2, 10, 100, 1000),
+                                            ::testing::Values<index_t>(0, 50, 500),
+                                            ::testing::Values(0, 5)));
+
+TEST_P(MstRandomGraphs, BoruvkaMatchesKruskalWeightAndSpansTree) {
+  const auto& [n, extra, distinct] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed * 977 + n);
+    const EdgeList graph = random_connected_graph(n, extra, rng, distinct);
+    const EdgeList kruskal = graph::kruskal_mst(graph, n);
+    ASSERT_TRUE(graph::is_spanning_tree(kruskal, n));
+    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+      const EdgeList boruvka = graph::boruvka_mst(space, graph, n);
+      ASSERT_TRUE(graph::is_spanning_tree(boruvka, n));
+      // MST weight is unique even under ties.
+      ASSERT_NEAR(graph::total_weight(boruvka), graph::total_weight(kruskal), 1e-9)
+          << "n=" << n << " extra=" << extra << " seed=" << seed;
+      if (distinct == 0) {
+        // Distinct weights: the MST itself is unique as an edge set.
+        ASSERT_EQ(sorted_copy(boruvka), sorted_copy(kruskal));
+      }
+    }
+  }
+}
+
+TEST(Mst, KruskalRejectsDisconnectedGraphs) {
+  const EdgeList two_components{{0, 1, 1.0}, {2, 3, 2.0}};
+  EXPECT_THROW((void)graph::kruskal_mst(two_components, 4), std::invalid_argument);
+  EXPECT_THROW((void)graph::boruvka_mst(exec::Space::serial, two_components, 4),
+               std::invalid_argument);
+}
+
+TEST(Mst, SingleVertexGraph) {
+  const EdgeList empty;
+  EXPECT_TRUE(graph::kruskal_mst(empty, 1).empty());
+  EXPECT_TRUE(graph::boruvka_mst(exec::Space::parallel, empty, 1).empty());
+}
+
+TEST(Mst, ParallelEdgesAndDuplicateWeights) {
+  // Two vertices, three parallel edges: the cheapest must win.
+  const EdgeList graph{{0, 1, 3.0}, {0, 1, 1.0}, {1, 0, 2.0}};
+  const EdgeList mst = graph::boruvka_mst(exec::Space::parallel, graph, 2);
+  ASSERT_EQ(mst.size(), 1u);
+  EXPECT_EQ(mst[0].weight, 1.0);
+}
+
+TEST(TreeValidation, AcceptsTreesRejectsDefects) {
+  Rng rng(3);
+  graph::EdgeList tree = data::random_attachment_tree(50, rng);
+  data::assign_random_weights(tree, rng);
+  EXPECT_NO_THROW(graph::validate_tree(tree, 50));
+  EXPECT_TRUE(graph::is_spanning_tree(tree, 50));
+
+  auto with_cycle = tree;
+  with_cycle.push_back({0, 1, 1.0});
+  EXPECT_FALSE(graph::is_spanning_tree(with_cycle, 50));
+
+  auto self_loop = tree;
+  self_loop[0] = {5, 5, 1.0};
+  EXPECT_THROW(graph::validate_tree(self_loop, 50), std::invalid_argument);
+
+  auto out_of_range = tree;
+  out_of_range[0].v = 50;
+  EXPECT_THROW(graph::validate_tree(out_of_range, 50), std::invalid_argument);
+}
+
+TEST(Adjacency, IncidenceListsAreComplete) {
+  Rng rng(4);
+  graph::EdgeList tree = data::caterpillar_tree(101);
+  data::assign_random_weights(tree, rng);
+  const graph::Adjacency adj = graph::build_adjacency(tree, 101);
+  EXPECT_EQ(adj.num_vertices(), 101);
+  // Every edge appears exactly twice across incidence lists.
+  std::vector<int> seen(tree.size(), 0);
+  for (index_t v = 0; v < 101; ++v)
+    for (const auto& half : adj.incident(v)) {
+      ++seen[static_cast<std::size_t>(half.edge)];
+      const auto& e = tree[static_cast<std::size_t>(half.edge)];
+      EXPECT_TRUE((e.u == v && e.v == half.neighbor) || (e.v == v && e.u == half.neighbor));
+    }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](int c) { return c == 2; }));
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pandora/common/rng.hpp"
+#include "pandora/data/tree_generators.hpp"
+#include "pandora/graph/edge.hpp"
+
+namespace pandora::testing {
+
+/// The tree topologies the property suites sweep over; they cover the
+/// skewness spectrum from a single chain (star) to balanced.
+enum class Topology {
+  star,
+  path,
+  caterpillar,
+  broom,
+  balanced,
+  random_attach,
+  preferential,
+};
+
+inline const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::star: return "star";
+    case Topology::path: return "path";
+    case Topology::caterpillar: return "caterpillar";
+    case Topology::broom: return "broom";
+    case Topology::balanced: return "balanced";
+    case Topology::random_attach: return "random_attach";
+    case Topology::preferential: return "preferential";
+  }
+  return "?";
+}
+
+inline std::vector<Topology> all_topologies() {
+  return {Topology::star,     Topology::path,          Topology::caterpillar,
+          Topology::broom,    Topology::balanced,      Topology::random_attach,
+          Topology::preferential};
+}
+
+/// Builds a weighted tree: `distinct_weights == 0` draws continuous weights,
+/// positive values quantise them to stress tie handling.
+inline graph::EdgeList make_tree(Topology topology, index_t num_vertices, std::uint64_t seed,
+                                 int distinct_weights = 0) {
+  Rng rng(seed);
+  graph::EdgeList edges;
+  switch (topology) {
+    case Topology::star: edges = data::star_tree(num_vertices); break;
+    case Topology::path: edges = data::path_tree(num_vertices); break;
+    case Topology::caterpillar: edges = data::caterpillar_tree(num_vertices); break;
+    case Topology::broom: edges = data::broom_tree(num_vertices); break;
+    case Topology::balanced: edges = data::balanced_tree(num_vertices); break;
+    case Topology::random_attach: edges = data::random_attachment_tree(num_vertices, rng); break;
+    case Topology::preferential:
+      edges = data::preferential_attachment_tree(num_vertices, rng);
+      break;
+  }
+  data::assign_random_weights(edges, rng, distinct_weights);
+  return edges;
+}
+
+}  // namespace pandora::testing

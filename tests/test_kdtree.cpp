@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/spatial/brute_force.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/knn.hpp"
+
+namespace {
+
+using namespace pandora;
+using spatial::KdTree;
+using spatial::Neighbor;
+using spatial::PointSet;
+
+class KnnSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};  // (dim, k)
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KnnSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 7),
+                                            ::testing::Values(1, 2, 8, 16)));
+
+TEST_P(KnnSweep, MatchesBruteForce) {
+  const auto& [dim, k] = GetParam();
+  const PointSet points = data::uniform_points(400, dim, 17 + static_cast<unsigned>(dim));
+  const KdTree tree(points);
+  std::vector<Neighbor> got;
+  for (index_t q = 0; q < points.size(); q += 7) {
+    tree.knn(q, k, got);
+    const std::vector<Neighbor> expected = spatial::brute_force_knn(points, q, k);
+    ASSERT_EQ(got.size(), expected.size()) << "q=" << q;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_DOUBLE_EQ(got[i].squared_distance, expected[i].squared_distance)
+          << "q=" << q << " i=" << i;
+      ASSERT_EQ(got[i].index, expected[i].index) << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST(KdTree, KnnWithDuplicatePointsIsDeterministic) {
+  // Ten copies of each of 40 locations: distance ties everywhere; ties must
+  // resolve by index.
+  PointSet points(2, 400);
+  Rng rng(3);
+  for (index_t i = 0; i < 40; ++i) {
+    const double x = rng.next_double(), y = rng.next_double();
+    for (index_t c = 0; c < 10; ++c) {
+      points.at(i * 10 + c, 0) = x;
+      points.at(i * 10 + c, 1) = y;
+    }
+  }
+  const KdTree tree(points);
+  std::vector<Neighbor> got;
+  for (index_t q = 0; q < points.size(); q += 13) {
+    tree.knn(q, 5, got);
+    const auto expected = spatial::brute_force_knn(points, q, 5);
+    for (std::size_t i = 0; i < got.size(); ++i) ASSERT_EQ(got[i].index, expected[i].index);
+    // The nine colocated copies dominate the neighbour list.
+    EXPECT_DOUBLE_EQ(got[0].squared_distance, 0.0);
+  }
+}
+
+TEST(KdTree, KnnRequestLargerThanDataset) {
+  const PointSet points = data::uniform_points(5, 3, 1);
+  const KdTree tree(points);
+  std::vector<Neighbor> got;
+  tree.knn(0, 100, got);
+  EXPECT_EQ(got.size(), 4u);  // everything except the query itself
+}
+
+TEST(KdTree, NearestOtherComponentHonorsFilterAndAnnotation) {
+  const PointSet points = data::uniform_points(500, 2, 5);
+  KdTree tree(points);
+  // Components: left half-plane (0), right half-plane (1).
+  std::vector<index_t> component(500);
+  for (index_t i = 0; i < 500; ++i) component[static_cast<std::size_t>(i)] =
+      points.at(i, 0) < 0.5 ? 0 : 1;
+  tree.annotate_components(exec::Space::serial, component);
+
+  for (index_t q = 0; q < 500; q += 11) {
+    const index_t mine = component[static_cast<std::size_t>(q)];
+    const Neighbor got = tree.nearest_other_component(q, mine, component);
+    // Brute force reference.
+    Neighbor expected;
+    for (index_t p = 0; p < 500; ++p) {
+      if (component[static_cast<std::size_t>(p)] == mine) continue;
+      const Neighbor cand{points.squared_distance(q, p), p};
+      if (cand < expected) expected = cand;
+    }
+    ASSERT_EQ(got.index, expected.index) << "q=" << q;
+    ASSERT_DOUBLE_EQ(got.squared_distance, expected.squared_distance);
+  }
+}
+
+TEST(KdTree, NearestOtherComponentMreachMatchesBruteForce) {
+  const PointSet points = data::gaussian_blobs(300, 3, 5, 0.05, 0.1, 9);
+  KdTree tree(points);
+  const KdTree& const_tree = tree;
+  // Core distances (minPts = 4 -> 3rd neighbour).
+  std::vector<Neighbor> scratch;
+  std::vector<double> core_sq(300);
+  for (index_t q = 0; q < 300; ++q) {
+    const_tree.knn(q, 3, scratch);
+    core_sq[static_cast<std::size_t>(q)] = scratch.back().squared_distance;
+  }
+  std::vector<index_t> component(300);
+  for (index_t i = 0; i < 300; ++i) component[static_cast<std::size_t>(i)] = i % 7;
+  tree.annotate_components(exec::Space::parallel, component);
+  tree.annotate_min_core(exec::Space::parallel, core_sq);
+
+  for (index_t q = 0; q < 300; q += 5) {
+    const index_t mine = component[static_cast<std::size_t>(q)];
+    const Neighbor got = tree.nearest_other_component_mreach(q, mine, component, core_sq);
+    Neighbor expected;
+    for (index_t p = 0; p < 300; ++p) {
+      if (component[static_cast<std::size_t>(p)] == mine) continue;
+      const double score = std::max({points.squared_distance(q, p),
+                                     core_sq[static_cast<std::size_t>(q)],
+                                     core_sq[static_cast<std::size_t>(p)]});
+      const Neighbor cand{score, p};
+      if (cand < expected) expected = cand;
+    }
+    ASSERT_EQ(got.index, expected.index) << "q=" << q;
+    ASSERT_DOUBLE_EQ(got.squared_distance, expected.squared_distance);
+  }
+}
+
+TEST(KdTree, KthNeighborDistancesSerialEqualsParallel) {
+  const PointSet points = data::normal_points(2000, 3, 12);
+  const KdTree tree(points);
+  const auto serial = spatial::kth_neighbor_distances(exec::Space::serial, points, tree, 4);
+  const auto parallel = spatial::kth_neighbor_distances(exec::Space::parallel, points, tree, 4);
+  EXPECT_EQ(serial, parallel);
+  // And each equals brute force.
+  for (index_t q = 0; q < 2000; q += 97) {
+    const auto expected = spatial::brute_force_knn(points, q, 4);
+    EXPECT_DOUBLE_EQ(serial[static_cast<std::size_t>(q)],
+                     std::sqrt(expected.back().squared_distance));
+  }
+}
+
+}  // namespace

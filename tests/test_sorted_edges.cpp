@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using dendrogram::SortedEdges;
+using pandora::testing::Topology;
+using pandora::testing::make_tree;
+
+TEST(SortedEdges, DescendingWeightsWithStableTieBreak) {
+  const graph::EdgeList tree = make_tree(Topology::random_attach, 500, 7, /*distinct=*/3);
+  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    const SortedEdges sorted = dendrogram::sort_edges(space, tree, 500);
+    ASSERT_EQ(sorted.num_edges(), 499);
+    for (index_t i = 1; i < sorted.num_edges(); ++i) {
+      const double prev = sorted.weight[static_cast<std::size_t>(i - 1)];
+      const double cur = sorted.weight[static_cast<std::size_t>(i)];
+      ASSERT_GE(prev, cur);
+      if (prev == cur) {
+        ASSERT_LT(sorted.order[static_cast<std::size_t>(i - 1)],
+                  sorted.order[static_cast<std::size_t>(i)])
+            << "ties must keep original edge order";
+      }
+    }
+  }
+}
+
+TEST(SortedEdges, OrderIsAPermutationCarryingEndpoints) {
+  const graph::EdgeList tree = make_tree(Topology::preferential, 300, 3, 0);
+  const SortedEdges sorted = dendrogram::sort_edges(exec::Space::parallel, tree, 300);
+  std::vector<bool> seen(tree.size(), false);
+  for (index_t i = 0; i < sorted.num_edges(); ++i) {
+    const index_t original = sorted.order[static_cast<std::size_t>(i)];
+    ASSERT_GE(original, 0);
+    ASSERT_LT(original, static_cast<index_t>(tree.size()));
+    ASSERT_FALSE(seen[static_cast<std::size_t>(original)]);
+    seen[static_cast<std::size_t>(original)] = true;
+    const auto& e = tree[static_cast<std::size_t>(original)];
+    EXPECT_EQ(sorted.u[static_cast<std::size_t>(i)], e.u);
+    EXPECT_EQ(sorted.v[static_cast<std::size_t>(i)], e.v);
+    EXPECT_EQ(sorted.weight[static_cast<std::size_t>(i)], e.weight);
+  }
+}
+
+TEST(SortedEdges, SerialAndParallelAgreeExactly) {
+  const graph::EdgeList tree = make_tree(Topology::caterpillar, 20000, 11, /*distinct=*/2);
+  const SortedEdges a = dendrogram::sort_edges(exec::Space::serial, tree, 20000);
+  const SortedEdges b = dendrogram::sort_edges(exec::Space::parallel, tree, 20000);
+  EXPECT_EQ(a.order, b.order);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.v, b.v);
+}
+
+TEST(SortedEdges, ValidationRejectsNonTrees) {
+  graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  EXPECT_THROW((void)dendrogram::sort_edges(exec::Space::serial, cycle, 3, true),
+               std::invalid_argument);
+  graph::EdgeList nan_weight{{0, 1, std::numeric_limits<double>::quiet_NaN()}};
+  EXPECT_THROW((void)dendrogram::sort_edges(exec::Space::serial, nan_weight, 2, true),
+               std::invalid_argument);
+}
+
+}  // namespace

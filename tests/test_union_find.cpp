@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "pandora/common/rng.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/graph/union_find.hpp"
+
+namespace {
+
+using namespace pandora;
+using graph::ConcurrentUnionFind;
+using graph::UnionFind;
+
+TEST(UnionFind, SingletonsAreTheirOwnRepresentatives) {
+  UnionFind uf(10);
+  for (index_t i = 0; i < 10; ++i) EXPECT_EQ(uf.find(i), i);
+  EXPECT_EQ(uf.num_components(), 10);
+}
+
+TEST(UnionFind, UniteReturnsWhetherComponentsWereDistinct) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_FALSE(uf.unite(2, 1));
+  EXPECT_EQ(uf.num_components(), 1);
+}
+
+TEST(UnionFind, RepresentativeIsComponentMinimum) {
+  UnionFind uf(100);
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i)
+    uf.unite(static_cast<index_t>(rng.next_below(100)), static_cast<index_t>(rng.next_below(100)));
+  // Recompute components by brute force over the find() closure and check
+  // every representative is its component's minimum element.
+  std::map<index_t, index_t> min_of_rep;
+  for (index_t v = 0; v < 100; ++v) {
+    const index_t r = uf.find(v);
+    auto [it, inserted] = min_of_rep.try_emplace(r, v);
+    if (!inserted) it->second = std::min(it->second, v);
+  }
+  for (const auto& [rep, minimum] : min_of_rep) EXPECT_EQ(rep, minimum);
+}
+
+TEST(ConcurrentUnionFindTest, MatchesSequentialOnRandomOperations) {
+  const index_t n = 2000;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    std::vector<std::pair<index_t, index_t>> ops;
+    for (int i = 0; i < 4000; ++i)
+      ops.emplace_back(static_cast<index_t>(rng.next_below(n)),
+                       static_cast<index_t>(rng.next_below(n)));
+
+    UnionFind sequential(n);
+    for (auto [a, b] : ops) sequential.unite(a, b);
+
+    ConcurrentUnionFind concurrent(n);
+    exec::parallel_for(exec::Space::parallel, static_cast<size_type>(ops.size()),
+                       [&](size_type i) {
+                         concurrent.unite(ops[static_cast<std::size_t>(i)].first,
+                                          ops[static_cast<std::size_t>(i)].second);
+                       });
+    for (index_t v = 0; v < n; ++v)
+      ASSERT_EQ(concurrent.find(v), sequential.find(v)) << "vertex " << v << " seed " << seed;
+  }
+}
+
+TEST(ConcurrentUnionFindTest, ParallelChainAndStarUnions) {
+  const index_t n = 100000;
+  ConcurrentUnionFind uf(n);
+  exec::parallel_for(exec::Space::parallel, n - 1,
+                     [&](size_type i) { uf.unite(static_cast<index_t>(i), static_cast<index_t>(i + 1)); });
+  for (index_t v : {index_t{0}, index_t{1}, n / 2, n - 1}) EXPECT_EQ(uf.find(v), 0);
+
+  ConcurrentUnionFind star(n);
+  exec::parallel_for(exec::Space::parallel, n - 1,
+                     [&](size_type i) { star.unite(n - 1, static_cast<index_t>(i)); });
+  for (index_t v : {index_t{0}, n / 3, n - 1}) EXPECT_EQ(star.find(v), 0);
+}
+
+TEST(ConcurrentUnionFindTest, ResetRestoresSingletons) {
+  ConcurrentUnionFind uf(10);
+  uf.unite(1, 2);
+  uf.unite(3, 4);
+  uf.reset(6);
+  EXPECT_EQ(uf.size(), 6);
+  for (index_t v = 0; v < 6; ++v) EXPECT_EQ(uf.find(v), v);
+}
+
+}  // namespace
