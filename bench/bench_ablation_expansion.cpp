@@ -11,26 +11,25 @@
 #include "pandora/common/rng.hpp"
 #include "pandora/data/tree_generators.hpp"
 #include "pandora/dendrogram/analysis.hpp"
-#include "pandora/dendrogram/pandora.hpp"
 #include "pandora/graph/euler_tour.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
 namespace {
 
-void run_case(const std::string& label, const graph::EdgeList& tree, index_t nv) {
-  dendrogram::PandoraOptions multilevel;
-  multilevel.space = exec::Space::parallel;
-  dendrogram::PandoraOptions single;
-  single.space = exec::Space::parallel;
-  single.expansion = dendrogram::ExpansionPolicy::single_level;
+void run_case(const exec::Executor& executor, const std::string& label,
+              const graph::EdgeList& tree, index_t nv) {
+  const auto multilevel = Pipeline::on(executor);
+  const auto single =
+      Pipeline::on(executor).with_expansion(dendrogram::ExpansionPolicy::single_level);
 
-  const auto dendro = dendrogram::pandora_dendrogram(tree, nv, multilevel);
+  const auto dendro = multilevel.build_dendrogram(tree, nv);
   const double t_multi = bench::best_of(3, [&] {
-    (void)dendrogram::pandora_dendrogram(tree, nv, multilevel);
+    (void)multilevel.build_dendrogram(tree, nv);
   });
   const double t_single = bench::best_of(3, [&] {
-    (void)dendrogram::pandora_dendrogram(tree, nv, single);
+    (void)single.build_dendrogram(tree, nv);
   });
   std::printf("%-28s %9d %10.1f | %12.3fs %14.3fs | %8.1fx\n", label.c_str(), nv - 1,
               dendrogram::skewness(dendro), t_multi, t_single, t_single / t_multi);
@@ -42,6 +41,7 @@ int main() {
   bench::print_header("Ablation: multilevel expansion vs single-level walk-up",
                       "Sections 3.3.1 vs 3.3.2 (work-optimality claim of Section 4)");
 
+  const exec::Executor executor(exec::Space::parallel);
   const index_t nv = bench::scaled(400000);
   std::printf("%-28s %9s %10s | %12s %14s | %8s\n", "tree", "edges", "skewness",
               "multilevel", "single-level", "ratio");
@@ -50,38 +50,38 @@ int main() {
   {
     graph::EdgeList tree = data::preferential_attachment_tree(nv, rng);
     data::assign_random_weights(tree, rng);
-    run_case("preferential-attachment", tree, nv);
+    run_case(executor, "preferential-attachment", tree, nv);
   }
   {
     graph::EdgeList tree = data::random_attachment_tree(nv, rng);
     data::assign_random_weights(tree, rng);
-    run_case("random-attachment", tree, nv);
+    run_case(executor, "random-attachment", tree, nv);
   }
   {
     graph::EdgeList tree = data::caterpillar_tree(nv);
     data::assign_random_weights(tree, rng);
-    run_case("caterpillar", tree, nv);
+    run_case(executor, "caterpillar", tree, nv);
   }
   {
     graph::EdgeList tree = data::balanced_tree(nv);
     data::assign_random_weights(tree, rng);
-    run_case("balanced", tree, nv);
+    run_case(executor, "balanced", tree, nv);
   }
   {
     const bench::PreparedDataset prepared =
-        bench::prepare_dataset("HaccProxy", nv, 2, exec::Space::parallel);
-    run_case("HaccProxy EMST", prepared.mst, prepared.n);
+        bench::prepare_dataset("HaccProxy", nv, 2, executor);
+    run_case(executor, "HaccProxy EMST", prepared.mst, prepared.n);
 
     // Section 5's rejected alternative: converting the edge-list MST into an
     // Euler tour (parallel list ranking) before any dendrogram work.  The
     // paper's finding to reproduce: the conversion alone costs about as much
     // as the entire contraction-based dendrogram construction.
     const double t_euler = bench::best_of(3, [&] {
-      (void)graph::build_euler_tour(exec::Space::parallel, prepared.mst, prepared.n, 0);
+      (void)graph::build_euler_tour(executor, prepared.mst, prepared.n, 0);
     });
-    dendrogram::PandoraOptions options;
+    const auto pipeline = Pipeline::on(executor);
     const double t_full = bench::best_of(3, [&] {
-      (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, options);
+      (void)pipeline.build_dendrogram(prepared.mst, prepared.n);
     });
     std::printf(
         "\nEuler-tour conversion (Section 5 alternative) on HaccProxy EMST:\n"

@@ -27,11 +27,11 @@ std::vector<std::uint64_t> random_keys(std::int64_t n) {
 }
 
 void BM_RadixSort(benchmark::State& state) {
-  const auto space = state.range(1) ? exec::Space::parallel : exec::Space::serial;
+  const exec::Executor executor(state.range(1) ? exec::Space::parallel : exec::Space::serial);
   const auto base = random_keys(state.range(0));
   for (auto _ : state) {
     auto keys = base;
-    exec::radix_sort_u64(space, keys);
+    exec::radix_sort_u64(executor, keys);
     benchmark::DoNotOptimize(keys.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -48,22 +48,22 @@ void BM_StdSort(benchmark::State& state) {
 }
 
 void BM_MergeSort(benchmark::State& state) {
-  const auto space = state.range(1) ? exec::Space::parallel : exec::Space::serial;
+  const exec::Executor executor(state.range(1) ? exec::Space::parallel : exec::Space::serial);
   const auto base = random_keys(state.range(0));
   for (auto _ : state) {
     auto keys = base;
-    exec::merge_sort(space, keys, std::less<>{});
+    exec::merge_sort(executor, keys, std::less<>{});
     benchmark::DoNotOptimize(keys.data());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 
 void BM_ExclusiveScan(benchmark::State& state) {
-  const auto space = state.range(1) ? exec::Space::parallel : exec::Space::serial;
+  const exec::Executor executor(state.range(1) ? exec::Space::parallel : exec::Space::serial);
   std::vector<index_t> in(static_cast<std::size_t>(state.range(0)), 1);
   std::vector<index_t> out(in.size());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(exec::exclusive_scan<index_t>(space, in, out));
+    benchmark::DoNotOptimize(exec::exclusive_scan<index_t>(executor, in, out));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -77,8 +77,9 @@ void BM_UnionFindContraction(benchmark::State& state) {
   graph::EdgeList tree = data::preferential_attachment_tree(n, rng);
   for (auto _ : state) {
     if (concurrent) {
+      static const exec::Executor parallel_executor(exec::Space::parallel);
       graph::ConcurrentUnionFind uf(n);
-      exec::parallel_for(exec::Space::parallel, static_cast<size_type>(tree.size()),
+      exec::parallel_for(parallel_executor, static_cast<size_type>(tree.size()),
                          [&](size_type i) {
                            uf.unite(tree[static_cast<std::size_t>(i)].u,
                                     tree[static_cast<std::size_t>(i)].v);

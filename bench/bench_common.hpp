@@ -14,6 +14,7 @@
 #include "pandora/common/timer.hpp"
 #include "pandora/common/types.hpp"
 #include "pandora/data/point_generators.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/core_distance.hpp"
@@ -53,7 +54,7 @@ struct PreparedDataset {
 };
 
 inline PreparedDataset prepare_dataset(const std::string& name, index_t n, int min_pts,
-                                       exec::Space space, std::uint64_t seed = 2024) {
+                                       const exec::Executor& exec, std::uint64_t seed = 2024) {
   PreparedDataset prepared;
   prepared.name = name;
   const spatial::PointSet points = data::make_dataset(name, n, seed);
@@ -65,11 +66,11 @@ inline PreparedDataset prepare_dataset(const std::string& name, index_t n, int m
   prepared.tree_build_seconds = timer.seconds();
 
   timer.reset();
-  const auto core = hdbscan::core_distances(space, points, tree, min_pts);
+  const auto core = hdbscan::core_distances(exec, points, tree, min_pts);
   prepared.core_seconds = timer.seconds();
 
   timer.reset();
-  prepared.mst = spatial::mutual_reachability_mst(space, points, tree, core);
+  prepared.mst = spatial::mutual_reachability_mst(exec, points, tree, core);
   prepared.mst_seconds = timer.seconds();
   return prepared;
 }

@@ -10,8 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "pandora/dendrogram/pandora.hpp"
-#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
@@ -52,19 +51,23 @@ int main() {
   double baseline_dendro = 0;
   double pandora_dendro = 0;
   for (const Config& config : configs) {
+    const exec::Executor mst_executor(config.mst_space);
+    const exec::Executor dendro_executor(config.dendro_space);
     const bench::PreparedDataset prepared =
-        bench::prepare_dataset("HaccProxy", n, /*min_pts=*/2, config.mst_space);
+        bench::prepare_dataset("HaccProxy", n, /*min_pts=*/2, mst_executor);
     double dendro_seconds = 0;
     if (config.pandora) {
-      dendrogram::PandoraOptions options;
-      options.space = config.dendro_space;
+      const auto pipeline = Pipeline::on(dendro_executor);
       dendro_seconds = bench::best_of(3, [&] {
-        (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, options);
+        (void)pipeline.build_dendrogram(prepared.mst, prepared.n);
       });
       pandora_dendro = dendro_seconds;
     } else {
+      const auto pipeline = Pipeline::on(dendro_executor)
+                                .with_dendrogram_algorithm(
+                                    hdbscan::DendrogramAlgorithm::union_find);
       dendro_seconds = bench::best_of(3, [&] {
-        (void)dendrogram::union_find_dendrogram(prepared.mst, prepared.n, config.dendro_space);
+        (void)pipeline.build_dendrogram(prepared.mst, prepared.n);
       });
       baseline_dendro = dendro_seconds;  // config (b) is measured last of the two
     }

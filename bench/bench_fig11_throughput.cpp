@@ -12,12 +12,13 @@
 
 #include "bench_common.hpp"
 #include "pandora/dendrogram/mixed.hpp"
-#include "pandora/dendrogram/pandora.hpp"
-#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
 int main() {
+  const exec::Executor parallel_executor(exec::Space::parallel);
+  const exec::Executor serial_executor(exec::Space::serial);
   bench::print_header("Dendrogram construction throughput (MPoints/sec, higher is better)",
                       "Figure 11 (plus the Section 2.3.3 mixed baseline)");
 
@@ -26,23 +27,24 @@ int main() {
   for (const auto& spec : data::table2_datasets()) {
     const index_t n = bench::scaled(static_cast<index_t>(spec.default_n / 2));
     const bench::PreparedDataset prepared =
-        bench::prepare_dataset(spec.name, n, /*min_pts=*/2, exec::Space::parallel);
+        bench::prepare_dataset(spec.name, n, /*min_pts=*/2, parallel_executor);
 
+    const auto uf_pipeline = Pipeline::on(parallel_executor)
+                                 .with_dendrogram_algorithm(
+                                     hdbscan::DendrogramAlgorithm::union_find);
     const double t_uf = bench::best_of(3, [&] {
-      (void)dendrogram::union_find_dendrogram(prepared.mst, prepared.n, exec::Space::parallel);
+      (void)uf_pipeline.build_dendrogram(prepared.mst, prepared.n);
     });
     const double t_mixed = bench::best_of(3, [&] {
-      (void)dendrogram::mixed_dendrogram(prepared.mst, prepared.n, exec::Space::parallel, 0.1);
+      (void)dendrogram::mixed_dendrogram(parallel_executor, prepared.mst, prepared.n, 0.1);
     });
-    dendrogram::PandoraOptions serial_options;
-    serial_options.space = exec::Space::serial;
+    const auto serial_pipeline = Pipeline::on(serial_executor);
     const double t_serial = bench::best_of(3, [&] {
-      (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, serial_options);
+      (void)serial_pipeline.build_dendrogram(prepared.mst, prepared.n);
     });
-    dendrogram::PandoraOptions parallel_options;
-    parallel_options.space = exec::Space::parallel;
+    const auto parallel_pipeline = Pipeline::on(parallel_executor);
     const double t_parallel = bench::best_of(3, [&] {
-      (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, parallel_options);
+      (void)parallel_pipeline.build_dendrogram(prepared.mst, prepared.n);
     });
 
     std::printf("%-16s %9d | %12.1f %12.1f %12.1f %12.1f | %8.1fx\n", spec.name.c_str(),

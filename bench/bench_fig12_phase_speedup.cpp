@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
@@ -21,17 +21,19 @@ struct PhaseSeconds {
 
 PhaseSeconds run_pipeline(const std::string& name, index_t n, exec::Space space) {
   PhaseSeconds out;
-  const bench::PreparedDataset prepared = bench::prepare_dataset(name, n, 2, space);
+  const exec::Executor executor(space);
+  const bench::PreparedDataset prepared = bench::prepare_dataset(name, n, 2, executor);
   out.mst = prepared.mst_seconds;
-  PhaseTimes times;
-  dendrogram::PandoraOptions options;
-  options.space = space;
+  // The profiler hook replaces the old PhaseTimes* out-param plumbing.
+  exec::PhaseTimesProfiler profiler;
+  executor.set_profiler(&profiler);
   Timer timer;
-  (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, options, &times);
+  (void)Pipeline::on(executor).build_dendrogram(prepared.mst, prepared.n);
   out.dendrogram = timer.seconds();
-  out.sort = times.get("sort");
-  out.contraction = times.get("contraction");
-  out.expansion = times.get("expansion");
+  executor.set_profiler(nullptr);
+  out.sort = profiler.times().get("sort");
+  out.contraction = profiler.times().get("contraction");
+  out.expansion = profiler.times().get("expansion");
   return out;
 }
 

@@ -8,7 +8,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
@@ -20,13 +20,15 @@ int main() {
   std::printf("%-14s | %10s %12s %11s\n", "dataset", "sort", "contraction", "expansion");
   for (const auto& name : datasets) {
     const index_t n = bench::scaled(400000);
-    const bench::PreparedDataset prepared =
-        bench::prepare_dataset(name, n, 2, exec::Space::parallel);
-    PhaseTimes times;
-    dendrogram::PandoraOptions options;
-    options.space = exec::Space::parallel;
+    const exec::Executor executor(exec::Space::parallel);
+    const bench::PreparedDataset prepared = bench::prepare_dataset(name, n, 2, executor);
+    exec::PhaseTimesProfiler profiler;
+    executor.set_profiler(&profiler);
+    const auto pipeline = Pipeline::on(executor);
     for (int repeat = 0; repeat < 5; ++repeat)  // accumulate to smooth noise
-      (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, options, &times);
+      (void)pipeline.build_dendrogram(prepared.mst, prepared.n);
+    executor.set_profiler(nullptr);
+    const PhaseTimes& times = profiler.times();
     const double sort = times.get("sort");
     const double contraction = times.get("contraction");
     const double expansion = times.get("expansion");

@@ -3,6 +3,10 @@
 // The reproduced shape: the baseline peaks immediately and slowly decays;
 // PANDORA's throughput *grows* with n until the parallel hardware saturates,
 // overtaking the baseline at a modest crossover size.
+//
+// This bench re-runs the dendrogram many times per size, so it also reports
+// the Executor workspace's steady-state behaviour: scratch allocations per
+// iteration after the first call (expected: 0 — every buffer is recycled).
 
 #include <cstdio>
 #include <string>
@@ -10,11 +14,7 @@
 
 #include "bench_common.hpp"
 #include "pandora/common/rng.hpp"
-#include "pandora/dendrogram/pandora.hpp"
-#include "pandora/dendrogram/union_find_dendrogram.hpp"
-#include "pandora/hdbscan/core_distance.hpp"
-#include "pandora/spatial/emst.hpp"
-#include "pandora/spatial/kdtree.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
@@ -30,28 +30,36 @@ spatial::PointSet subsample(const spatial::PointSet& points, index_t n, std::uin
   return out;
 }
 
-void run_series(const std::string& dataset) {
+void run_series(const exec::Executor& executor, const std::string& dataset) {
   const index_t full_n = bench::scaled(2000000);
   const spatial::PointSet full = data::make_dataset(dataset, full_n, 11);
   std::printf("\n--- %s (subsampled from %d points) ---\n", dataset.c_str(), full.size());
-  std::printf("%10s %18s %18s\n", "samples", "UnionFind [MP/s]", "Pandora-MT [MP/s]");
+  std::printf("%10s %18s %18s %14s %14s\n", "samples", "UnionFind [MP/s]", "Pandora-MT [MP/s]",
+              "warm allocs", "steady allocs");
   for (index_t n = 10000; n <= full_n; n *= 4) {
     const spatial::PointSet points = subsample(full, n, 5 + static_cast<std::uint64_t>(n));
     spatial::KdTree tree(points);
-    const auto core = hdbscan::core_distances(exec::Space::parallel, points, tree, 2);
     const graph::EdgeList mst =
-        spatial::mutual_reachability_mst(exec::Space::parallel, points, tree, core);
+        Pipeline::on(executor).with_min_pts(2).build_mst(points, tree);
 
-    const double t_uf = bench::best_of(3, [&] {
-      (void)dendrogram::union_find_dendrogram(mst, n, exec::Space::parallel);
-    });
-    dendrogram::PandoraOptions options;
-    options.space = exec::Space::parallel;
-    const double t_pandora = bench::best_of(3, [&] {
-      (void)dendrogram::pandora_dendrogram(mst, n, options);
-    });
-    std::printf("%10d %18.1f %18.1f\n", n, bench::mpoints_per_sec(n, t_uf),
-                bench::mpoints_per_sec(n, t_pandora));
+    const auto baseline = Pipeline::on(executor).with_dendrogram_algorithm(
+        hdbscan::DendrogramAlgorithm::union_find);
+    const double t_uf = bench::best_of(3, [&] { (void)baseline.build_dendrogram(mst, n); });
+
+    const auto pandora_pipeline = Pipeline::on(executor);
+    // Warm-up call: the workspace sizes itself for this n (counting misses),
+    // then the timed repeats should run allocation-free out of the arena.
+    executor.workspace().reset_stats();
+    (void)pandora_pipeline.build_dendrogram(mst, n);
+    const exec::Workspace::Stats warm = executor.workspace().stats();
+    executor.workspace().reset_stats();
+    const int repeats = 3;
+    const double t_pandora =
+        bench::best_of(repeats, [&] { (void)pandora_pipeline.build_dendrogram(mst, n); });
+    const exec::Workspace::Stats steady = executor.workspace().stats();
+    std::printf("%10d %18.1f %18.1f %14zu %14.1f\n", n, bench::mpoints_per_sec(n, t_uf),
+                bench::mpoints_per_sec(n, t_pandora), warm.misses,
+                static_cast<double>(steady.misses) / repeats);
   }
 }
 
@@ -60,11 +68,13 @@ void run_series(const std::string& dataset) {
 int main() {
   bench::print_header("Throughput vs sample count (dendrogram construction)",
                       "Figure 14 (Hacc497M and Normal300M2 sampling curves)");
-  run_series("HaccProxy");
-  run_series("Normal2D");
+  exec::Executor executor(exec::Space::parallel);
+  run_series(executor, "HaccProxy");
+  run_series(executor, "Normal2D");
   std::printf(
       "\nExpected shape (paper): UnionFind flat/slowly decaying from the start;\n"
       "Pandora rising with n until saturation (~1e6 there), crossing UnionFind at\n"
-      "moderate sizes (~3e4 there).\n");
+      "moderate sizes (~3e4 there).  'steady allocs' should be 0: repeated queries\n"
+      "on one Executor recycle every scratch buffer from its workspace arena.\n");
   return 0;
 }

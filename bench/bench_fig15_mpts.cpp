@@ -12,30 +12,29 @@
 #include <string>
 
 #include "bench_common.hpp"
-#include "pandora/dendrogram/pandora.hpp"
-#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
 namespace {
 
-void run_dataset(const std::string& name) {
+void run_dataset(const exec::Executor& executor, const std::string& name) {
   std::printf("\n--- %s ---\n", name.c_str());
   std::printf("%6s | %13s %14s | %13s %14s | %9s\n", "mpts", "Ttotal(base)",
               "Tdendro(base)", "Ttotal(ours)", "Tdendro(ours)", "speedup");
   const index_t n = bench::scaled(400000);
   double first_uf = 0, last_uf = 0, first_pandora = 0, last_pandora = 0;
   for (const int mpts : {2, 4, 8, 16}) {
-    const bench::PreparedDataset prepared =
-        bench::prepare_dataset(name, n, mpts, exec::Space::parallel);
+    const bench::PreparedDataset prepared = bench::prepare_dataset(name, n, mpts, executor);
 
+    const auto baseline = Pipeline::on(executor).with_dendrogram_algorithm(
+        hdbscan::DendrogramAlgorithm::union_find);
     const double t_uf = bench::best_of(3, [&] {
-      (void)dendrogram::union_find_dendrogram(prepared.mst, prepared.n, exec::Space::parallel);
+      (void)baseline.build_dendrogram(prepared.mst, prepared.n);
     });
-    dendrogram::PandoraOptions options;
-    options.space = exec::Space::parallel;
+    const auto pandora_pipeline = Pipeline::on(executor);
     const double t_pandora = bench::best_of(3, [&] {
-      (void)dendrogram::pandora_dendrogram(prepared.mst, prepared.n, options);
+      (void)pandora_pipeline.build_dendrogram(prepared.mst, prepared.n);
     });
     if (mpts == 2) {
       first_uf = t_uf;
@@ -58,8 +57,9 @@ void run_dataset(const std::string& name) {
 int main() {
   bench::print_header("HDBSCAN* (EMST + dendrogram) vs minPts",
                       "Figure 15 (Hacc37M and Uniform100M3D, mpts sweep)");
-  run_dataset("HaccProxy");
-  run_dataset("Uniform3D");
+  exec::Executor executor(exec::Space::parallel);
+  run_dataset(executor, "HaccProxy");
+  run_dataset(executor, "Uniform3D");
   std::printf(
       "\nExpected shape (paper): times grow with mpts; the baseline's dendrogram time\n"
       "grows 1.6-2.4x across the sweep vs 1.1-1.5x for Pandora, so the end-to-end\n"

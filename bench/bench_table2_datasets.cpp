@@ -10,11 +10,12 @@
 
 #include "bench_common.hpp"
 #include "pandora/dendrogram/analysis.hpp"
-#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
 
 using namespace pandora;
 
 int main() {
+  const exec::Executor executor(exec::Space::parallel);
   bench::print_header("Dataset roster and dendrogram imbalance", "Table 2");
 
   std::printf("%-16s %-34s %4s %9s %8s %10s\n", "name", "substitutes", "dim", "npts",
@@ -22,8 +23,8 @@ int main() {
   for (const auto& spec : data::table2_datasets()) {
     const index_t n = bench::scaled(static_cast<index_t>(spec.default_n / 4));
     const bench::PreparedDataset prepared =
-        bench::prepare_dataset(spec.name, n, /*min_pts=*/2, exec::Space::parallel);
-    const auto dendro = dendrogram::pandora_dendrogram(prepared.mst, prepared.n);
+        bench::prepare_dataset(spec.name, n, /*min_pts=*/2, executor);
+    const auto dendro = Pipeline::on(executor).build_dendrogram(prepared.mst, prepared.n);
     std::printf("%-16s %-34s %4d %9d %8d %10.1f\n", spec.name.c_str(),
                 spec.paper_name.c_str(), prepared.dim, prepared.n,
                 dendrogram::height(dendro), dendrogram::skewness(dendro));

@@ -16,7 +16,7 @@
 #include "pandora/data/point_generators.hpp"
 #include "pandora/dendrogram/analysis.hpp"
 #include "pandora/dendrogram/lca.hpp"
-#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
 #include "pandora/io/io.hpp"
 #include "pandora/spatial/emst.hpp"
 #include "pandora/spatial/kdtree.hpp"
@@ -31,9 +31,9 @@ int main(int argc, char** argv) {
     const spatial::PointSet points = data::make_dataset("VisualVar2D", n, 7);
     Timer timer;
     spatial::KdTree tree(points);
-    const graph::EdgeList mst =
-        spatial::euclidean_mst(exec::Space::parallel, points, tree);
-    const auto dendro = dendrogram::pandora_dendrogram(mst, points.size());
+    const exec::Executor executor(exec::Space::parallel);
+    const graph::EdgeList mst = spatial::euclidean_mst(executor, points, tree);
+    const auto dendro = Pipeline::on(executor).build_dendrogram(mst, points.size());
     std::printf("producer: EMST + dendrogram for %d points in %.2fs\n", points.size(),
                 timer.seconds());
     io::save_dendrogram_file(checkpoint, dendro);

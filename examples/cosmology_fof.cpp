@@ -14,7 +14,7 @@
 
 #include "pandora/data/point_generators.hpp"
 #include "pandora/dendrogram/analysis.hpp"
-#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
 #include "pandora/spatial/emst.hpp"
 #include "pandora/spatial/kdtree.hpp"
 
@@ -26,11 +26,12 @@ int main(int argc, char** argv) {
   // gravitationally clustered matter (galaxy surveys, HACC snapshots).
   const spatial::PointSet universe = data::soneira_peebles(n, 3, 4, 1.6, 12, 1234);
 
+  const exec::Executor executor(exec::Space::parallel);
   Timer total;
   spatial::KdTree tree(universe);
-  const graph::EdgeList mst = spatial::euclidean_mst(exec::Space::parallel, universe, tree);
+  const graph::EdgeList mst = spatial::euclidean_mst(executor, universe, tree);
   const dendrogram::Dendrogram dendro =
-      dendrogram::pandora_dendrogram(mst, universe.size());
+      Pipeline::on(executor).build_dendrogram(mst, universe.size());
   std::printf("built EMST + dendrogram for %d particles in %.2fs\n", universe.size(),
               total.seconds());
   std::printf("dendrogram height %d (skewness %.1f — cosmology data is extremely skewed)\n",

@@ -9,14 +9,13 @@
 
 #include "pandora/data/point_generators.hpp"
 #include "pandora/dendrogram/analysis.hpp"
-#include "pandora/dendrogram/pandora.hpp"
-#include "pandora/hdbscan/core_distance.hpp"
-#include "pandora/spatial/emst.hpp"
+#include "pandora/pipeline.hpp"
 #include "pandora/spatial/kdtree.hpp"
 
 int main(int argc, char** argv) {
   using namespace pandora;
   const index_t n = argc > 1 ? std::atoi(argv[1]) : 30000;
+  const exec::Executor executor(exec::Space::parallel);
 
   std::printf("single-linkage dendrogram shape across dataset families (n=%d, mpts=2)\n\n",
               n);
@@ -25,10 +24,9 @@ int main(int argc, char** argv) {
   for (const auto& spec : data::table2_datasets()) {
     const spatial::PointSet points = data::make_dataset(spec.name, n, 7);
     spatial::KdTree tree(points);
-    const auto core = hdbscan::core_distances(exec::Space::parallel, points, tree, 2);
-    const graph::EdgeList mst =
-        spatial::mutual_reachability_mst(exec::Space::parallel, points, tree, core);
-    const dendrogram::Dendrogram dendro = dendrogram::pandora_dendrogram(mst, points.size());
+    const auto pipeline = Pipeline::on(executor).with_min_pts(2);
+    const graph::EdgeList mst = pipeline.build_mst(points, tree);
+    const dendrogram::Dendrogram dendro = pipeline.build_dendrogram(mst, points.size());
     const auto counts = dendrogram::classify_edges(dendro);
     // Chain fraction implies how much a single contraction shrinks the tree.
     const double alpha_fraction =

@@ -14,7 +14,7 @@
 #include <map>
 
 #include "pandora/data/point_generators.hpp"
-#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/pipeline.hpp"
 
 int main(int argc, char** argv) {
   using namespace pandora;
@@ -24,14 +24,13 @@ int main(int argc, char** argv) {
   // implicit background sparsity — hard for flat DBSCAN, natural for HDBSCAN*.
   const spatial::PointSet points = data::power_law_blobs(n, 2, 40, 1.3, 7);
 
-  hdbscan::HdbscanOptions options;
-  options.min_pts = 4;
-  options.min_cluster_size = 25;
+  const exec::Executor executor(exec::Space::parallel);
+  const auto pipeline = Pipeline::on(executor).with_min_pts(4).with_min_cluster_size(25);
 
-  const hdbscan::HdbscanResult result = hdbscan::hdbscan(points, options);
+  const hdbscan::HdbscanResult result = pipeline.run_hdbscan(points);
 
   std::printf("HDBSCAN* on %d points (minPts=%d, minClusterSize=%d)\n", points.size(),
-              options.min_pts, options.min_cluster_size);
+              4, 25);
   std::printf("clusters found: %d\n", result.num_clusters);
   const auto noise = static_cast<index_t>(
       std::count(result.labels.begin(), result.labels.end(), kNone));
@@ -52,8 +51,10 @@ int main(int argc, char** argv) {
 
   // Cross-check against the union-find baseline: identical output, slower
   // dendrogram.
-  options.dendrogram_algorithm = hdbscan::DendrogramAlgorithm::union_find;
-  const hdbscan::HdbscanResult baseline = hdbscan::hdbscan(points, options);
+  auto baseline_pipeline = pipeline;  // copy: builders are cheap values
+  const hdbscan::HdbscanResult baseline =
+      baseline_pipeline.with_dendrogram_algorithm(hdbscan::DendrogramAlgorithm::union_find)
+          .run_hdbscan(points);
   std::printf("\nbaseline (union-find) agrees: %s\n",
               baseline.labels == result.labels ? "yes" : "NO (bug!)");
   std::printf("dendrogram time: pandora %.4fs vs union-find %.4fs\n",

@@ -11,12 +11,16 @@
 
 #include "pandora/data/point_generators.hpp"
 #include "pandora/dendrogram/analysis.hpp"
-#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
 #include "pandora/spatial/emst.hpp"
 #include "pandora/spatial/kdtree.hpp"
 
 int main() {
   using namespace pandora;
+
+  // 0. The execution context: backend choice + reusable scratch arena +
+  //    optional profiler.  Construct one and reuse it for every query.
+  const exec::Executor executor(exec::Space::parallel);
 
   // 1. Some clustered 2-D data: four Gaussian blobs, 2000 points.
   const spatial::PointSet points = data::gaussian_blobs(
@@ -25,17 +29,20 @@ int main() {
 
   // 2. Its Euclidean minimum spanning tree (parallel Borůvka over a kd-tree).
   spatial::KdTree tree(points);
-  const graph::EdgeList mst =
-      spatial::euclidean_mst(exec::Space::parallel, points, tree);
+  const graph::EdgeList mst = spatial::euclidean_mst(executor, points, tree);
   std::printf("EMST: %zu edges over %d points\n", mst.size(), points.size());
 
-  // 3. The dendrogram, via PANDORA (recursive tree contraction).  PhaseTimes
-  //    shows where the time goes (sort / contraction / expansion).
-  PhaseTimes times;
-  dendrogram::PandoraOptions options;          // parallel space, multilevel expansion
-  options.validate_input = true;               // we are no hot loop: check the tree
+  // 3. The dendrogram, via PANDORA (recursive tree contraction).  A profiler
+  //    attached to the executor shows where the time goes
+  //    (sort / contraction / expansion).
+  exec::PhaseTimesProfiler profiler;
+  executor.set_profiler(&profiler);
   const dendrogram::Dendrogram dendro =
-      dendrogram::pandora_dendrogram(mst, points.size(), options, &times);
+      Pipeline::on(executor)
+          .with_validation()                    // we are no hot loop: check the tree
+          .build_dendrogram(mst, points.size());
+  executor.set_profiler(nullptr);
+  const PhaseTimes& times = profiler.times();
 
   std::printf("dendrogram: root edge weight %.4f, height %d, skewness %.1f\n",
               dendro.weight[0], dendrogram::height(dendro), dendrogram::skewness(dendro));

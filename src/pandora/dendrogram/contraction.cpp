@@ -12,7 +12,7 @@ namespace pandora::dendrogram {
 
 namespace detail {
 
-LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
+LevelResult contract_one_level(const exec::Executor& exec, const std::vector<index_t>& u,
                                const std::vector<index_t>& v, const std::vector<index_t>& gid,
                                index_t num_vertices, ContractionWorkspace& workspace) {
   const size_type m = static_cast<size_type>(gid.size());
@@ -23,9 +23,9 @@ LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
 
   // maxIncident(vertex): the incident edge with the largest global index
   // (= the lightest incident edge).  Idempotent atomic-max scatter.
-  std::vector<index_t>& max_incident = workspace.max_incident;
+  std::vector<index_t>& max_incident = *workspace.max_incident;
   max_incident.assign(static_cast<std::size_t>(nv), kNone);
-  exec::parallel_for(space, m, [&](size_type i) {
+  exec::parallel_for(exec, m, [&](size_type i) {
     exec::atomic_fetch_max(max_incident[static_cast<std::size_t>(u[static_cast<std::size_t>(i)])],
                            gid[static_cast<std::size_t>(i)]);
     exec::atomic_fetch_max(max_incident[static_cast<std::size_t>(v[static_cast<std::size_t>(i)])],
@@ -38,7 +38,7 @@ LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
   r.level.sided_parent.resize(static_cast<std::size_t>(nv));
   r.alpha.resize(static_cast<std::size_t>(m));
   r.level.num_alpha = static_cast<index_t>(exec::parallel_sum(
-      space, m, size_type{0}, [&](size_type i) -> size_type {
+      exec, m, size_type{0}, [&](size_type i) -> size_type {
         const index_t g = gid[static_cast<std::size_t>(i)];
         const index_t a = u[static_cast<std::size_t>(i)];
         const index_t b = v[static_cast<std::size_t>(i)];
@@ -57,40 +57,40 @@ LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
 
   // Contract every non-α edge: merge its endpoints into a supervertex.
   graph::ConcurrentUnionFind uf(num_vertices);
-  exec::parallel_for(space, m, [&](size_type i) {
+  exec::parallel_for(exec, m, [&](size_type i) {
     if (!r.alpha[static_cast<std::size_t>(i)])
       uf.unite(u[static_cast<std::size_t>(i)], v[static_cast<std::size_t>(i)]);
   });
 
   // Compact the component representatives into dense next-level vertex ids:
   // one find per vertex, reused for both the root flags and the relabelling.
-  std::vector<index_t>& representative = workspace.representative;
-  std::vector<index_t>& new_id = workspace.new_id;
+  std::vector<index_t>& representative = *workspace.representative;
+  std::vector<index_t>& new_id = *workspace.new_id;
   representative.resize(static_cast<std::size_t>(nv));
   new_id.resize(static_cast<std::size_t>(nv));
-  exec::parallel_for(space, nv, [&](size_type x) {
+  exec::parallel_for(exec, nv, [&](size_type x) {
     const index_t rep = uf.find(static_cast<index_t>(x));
     representative[static_cast<std::size_t>(x)] = rep;
     new_id[static_cast<std::size_t>(x)] = rep == x ? 1 : 0;
   });
-  r.next_num_vertices = exec::exclusive_scan<index_t>(space, new_id, new_id);
+  r.next_num_vertices = exec::exclusive_scan<index_t>(exec, new_id, new_id);
   r.level.vertex_map.resize(static_cast<std::size_t>(nv));
-  exec::parallel_for(space, nv, [&](size_type x) {
+  exec::parallel_for(exec, nv, [&](size_type x) {
     r.level.vertex_map[static_cast<std::size_t>(x)] =
         new_id[static_cast<std::size_t>(representative[static_cast<std::size_t>(x)])];
   });
 
   // Emit the contracted tree: α-edges with relabelled endpoints, in the same
   // (global-index) relative order for determinism.
-  std::vector<index_t>& position = workspace.position;
+  std::vector<index_t>& position = *workspace.position;
   position.resize(static_cast<std::size_t>(m));
-  exec::exclusive_scan<index_t>(space, std::span<const index_t>(r.alpha),
+  exec::exclusive_scan<index_t>(exec, std::span<const index_t>(r.alpha),
                                 std::span<index_t>(position));
   const auto na = static_cast<std::size_t>(r.level.num_alpha);
   r.next_u.resize(na);
   r.next_v.resize(na);
   r.next_gid.resize(na);
-  exec::parallel_for(space, m, [&](size_type i) {
+  exec::parallel_for(exec, m, [&](size_type i) {
     if (!r.alpha[static_cast<std::size_t>(i)]) return;
     const auto p = static_cast<std::size_t>(position[static_cast<std::size_t>(i)]);
     r.next_u[p] = r.level.vertex_map[static_cast<std::size_t>(u[static_cast<std::size_t>(i)])];
@@ -100,16 +100,23 @@ LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
   return r;
 }
 
+LevelResult contract_one_level(const exec::Executor& exec, const std::vector<index_t>& u,
+                               const std::vector<index_t>& v, const std::vector<index_t>& gid,
+                               index_t num_vertices) {
+  ContractionWorkspace workspace(exec.workspace(), num_vertices,
+                                 static_cast<index_t>(gid.size()));
+  return contract_one_level(exec, u, v, gid, num_vertices, workspace);
+}
+
 LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
                                const std::vector<index_t>& v, const std::vector<index_t>& gid,
                                index_t num_vertices) {
-  ContractionWorkspace workspace;
-  return contract_one_level(space, u, v, gid, num_vertices, workspace);
+  return contract_one_level(exec::default_executor(space), u, v, gid, num_vertices);
 }
 
 }  // namespace detail
 
-ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
+ContractionHierarchy build_hierarchy(const exec::Executor& exec, std::vector<index_t> u,
                                      std::vector<index_t> v, std::vector<index_t> gid,
                                      index_t num_vertices, index_t num_global_edges) {
   ContractionHierarchy h;
@@ -117,16 +124,17 @@ ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
   h.contraction_level.assign(static_cast<std::size_t>(num_global_edges), kNone);
   h.supervertex.assign(static_cast<std::size_t>(num_global_edges), kNone);
 
-  detail::ContractionWorkspace workspace;
+  detail::ContractionWorkspace workspace(exec.workspace(), num_vertices,
+                                         static_cast<index_t>(gid.size()));
   while (true) {
     detail::LevelResult r =
-        detail::contract_one_level(space, u, v, gid, num_vertices, workspace);
+        detail::contract_one_level(exec, u, v, gid, num_vertices, workspace);
     const index_t level_index = h.num_levels();
     const size_type m = static_cast<size_type>(gid.size());
 
     if (r.level.num_alpha == 0) {
       // Final level: its edges form the root chain of the dendrogram.
-      exec::parallel_for(space, m, [&](size_type i) {
+      exec::parallel_for(exec, m, [&](size_type i) {
         h.contraction_level[static_cast<std::size_t>(gid[static_cast<std::size_t>(i)])] =
             level_index;
       });
@@ -134,7 +142,7 @@ ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
       break;
     }
 
-    exec::parallel_for(space, m, [&](size_type i) {
+    exec::parallel_for(exec, m, [&](size_type i) {
       if (r.alpha[static_cast<std::size_t>(i)]) return;
       const index_t g = gid[static_cast<std::size_t>(i)];
       h.contraction_level[static_cast<std::size_t>(g)] = level_index;
@@ -149,6 +157,13 @@ ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
     h.levels.push_back(std::move(r.level));
   }
   return h;
+}
+
+ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
+                                     std::vector<index_t> v, std::vector<index_t> gid,
+                                     index_t num_vertices, index_t num_global_edges) {
+  return build_hierarchy(exec::default_executor(space), std::move(u), std::move(v),
+                         std::move(gid), num_vertices, num_global_edges);
 }
 
 }  // namespace pandora::dendrogram

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 
 namespace pandora::dendrogram {
@@ -50,12 +51,24 @@ struct ContractionHierarchy {
 namespace detail {
 
 /// Scratch buffers reused across contraction levels (allocation-free steady
-/// state; the first level sizes them, deeper levels shrink).
+/// state; the first level sizes them, deeper levels shrink).  Constructed
+/// from an Executor's Workspace the buffers are leased *at the base-level
+/// sizes* (`num_vertices` vertex slots, `num_edges` edge slots — deeper
+/// levels only shrink), so they are also reused across calls and the
+/// workspace's hit/miss statistics reflect the real footprint;
+/// default-constructed they are private vectors.
 struct ContractionWorkspace {
-  std::vector<index_t> max_incident;
-  std::vector<index_t> representative;
-  std::vector<index_t> new_id;
-  std::vector<index_t> position;
+  ContractionWorkspace() = default;
+  ContractionWorkspace(exec::Workspace& workspace, index_t num_vertices, index_t num_edges)
+      : max_incident(workspace.take_uninit<index_t>(num_vertices)),
+        representative(workspace.take_uninit<index_t>(num_vertices)),
+        new_id(workspace.take_uninit<index_t>(num_vertices)),
+        position(workspace.take_uninit<index_t>(num_edges)) {}
+
+  exec::Workspace::Lease<index_t> max_incident;
+  exec::Workspace::Lease<index_t> representative;
+  exec::Workspace::Lease<index_t> new_id;
+  exec::Workspace::Lease<index_t> position;
 };
 
 /// Classifies the edges of one level tree and contracts its non-α edges.
@@ -71,13 +84,22 @@ struct LevelResult {
   index_t next_num_vertices = 0;
 };
 
-[[nodiscard]] LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
+[[nodiscard]] LevelResult contract_one_level(const exec::Executor& exec,
+                                             const std::vector<index_t>& u,
                                              const std::vector<index_t>& v,
                                              const std::vector<index_t>& gid,
                                              index_t num_vertices,
                                              ContractionWorkspace& workspace);
 
 /// Convenience overload with a private workspace (tests, one-shot callers).
+[[nodiscard]] LevelResult contract_one_level(const exec::Executor& exec,
+                                             const std::vector<index_t>& u,
+                                             const std::vector<index_t>& v,
+                                             const std::vector<index_t>& gid,
+                                             index_t num_vertices);
+
+/// Deprecated shim over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
                                              const std::vector<index_t>& v,
                                              const std::vector<index_t>& gid,
@@ -89,6 +111,15 @@ struct LevelResult {
 /// arrays (`u[i]`, `v[i]`) with global edge indices `gid[i]` over
 /// `num_vertices` vertices.  `num_global_edges` sizes the per-global-edge
 /// fate arrays (pass the total edge count of the original MST).
+[[nodiscard]] ContractionHierarchy build_hierarchy(const exec::Executor& exec,
+                                                   std::vector<index_t> u,
+                                                   std::vector<index_t> v,
+                                                   std::vector<index_t> gid,
+                                                   index_t num_vertices,
+                                                   index_t num_global_edges);
+
+/// Deprecated shim over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
                                                    std::vector<index_t> v,
                                                    std::vector<index_t> gid,

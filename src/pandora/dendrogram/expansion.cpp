@@ -24,10 +24,10 @@ constexpr std::int64_t kRootChain = -2;
 /// Turns the (chain, index)-sorted entries into parent pointers:
 /// chain boundaries attach to the chain's defining edge (or nothing, for the
 /// root chain); interior entries attach to their predecessor.
-void stitch_chains(exec::Space space, const std::vector<std::uint64_t>& packed,
+void stitch_chains(const exec::Executor& exec, const std::vector<std::uint64_t>& packed,
                    std::span<index_t> edge_parent) {
   const size_type count = static_cast<size_type>(packed.size());
-  exec::parallel_for(space, count, [&](size_type p) {
+  exec::parallel_for(exec, count, [&](size_type p) {
     const std::uint64_t entry = packed[static_cast<std::size_t>(p)];
     const auto edge = static_cast<index_t>(entry & 0xffffffffu);
     const std::uint64_t key_hi = entry >> 32;
@@ -46,25 +46,29 @@ void stitch_chains(exec::Space space, const std::vector<std::uint64_t>& packed,
 
 }  // namespace
 
-void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
-                       std::span<index_t> edge_parent, PhaseTimes* times) {
+void expand_multilevel(const exec::Executor& exec, const ContractionHierarchy& hierarchy,
+                       std::span<index_t> edge_parent) {
   const size_type n_global = hierarchy.num_global_edges;
   const index_t num_levels = hierarchy.num_levels();
+  exec::Workspace& workspace = exec.workspace();
 
   Timer timer;
   // Chain assignment: one entry per edge present in the hierarchy.
   // (When expanding a sub-hierarchy — the single-level path — only some
   // global indices are present; absent ones have contraction_level == kNone.)
-  std::vector<index_t> present(static_cast<std::size_t>(n_global));
-  exec::parallel_for(space, n_global, [&](size_type g) {
+  auto present_lease = workspace.take_uninit<index_t>(n_global);
+  std::vector<index_t>& present = *present_lease;
+  exec::parallel_for(exec, n_global, [&](size_type g) {
     present[static_cast<std::size_t>(g)] =
         hierarchy.contraction_level[static_cast<std::size_t>(g)] != kNone ? 1 : 0;
   });
-  std::vector<index_t> slot(static_cast<std::size_t>(n_global));
-  const index_t num_present = exec::exclusive_scan<index_t>(space, present, slot);
+  auto slot_lease = workspace.take_uninit<index_t>(n_global);
+  std::vector<index_t>& slot = *slot_lease;
+  const index_t num_present = exec::exclusive_scan<index_t>(exec, present, slot);
 
-  std::vector<std::uint64_t> packed(static_cast<std::size_t>(num_present));
-  exec::parallel_for(space, n_global, [&](size_type gi) {
+  auto packed_lease = workspace.take_uninit<std::uint64_t>(num_present);
+  std::vector<std::uint64_t>& packed = *packed_lease;
+  exec::parallel_for(exec, n_global, [&](size_type gi) {
     if (!present[static_cast<std::size_t>(gi)]) return;
     const auto g = static_cast<index_t>(gi);
     const index_t k = hierarchy.contraction_level[static_cast<std::size_t>(g)];
@@ -90,38 +94,47 @@ void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
     }
     packed[static_cast<std::size_t>(slot[static_cast<std::size_t>(gi)])] = pack(chain_key, g);
   });
-  if (times) times->add("expansion", timer.seconds());
+  exec.record_phase("expansion", timer.seconds());
 
   timer.reset();
-  exec::radix_sort_u64(space, packed);
-  if (times) times->add("sort", timer.seconds());
+  exec::radix_sort_u64(exec, packed);
+  exec.record_phase("sort", timer.seconds());
 
   timer.reset();
-  stitch_chains(space, packed, edge_parent);
-  if (times) times->add("expansion", timer.seconds());
+  stitch_chains(exec, packed, edge_parent);
+  exec.record_phase("expansion", timer.seconds());
 }
 
-void expand_single_level(exec::Space space, const SortedEdges& sorted,
-                         std::span<index_t> edge_parent, PhaseTimes* times) {
+void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
+                       std::span<index_t> edge_parent, PhaseTimes* times) {
+  const exec::Executor& executor = exec::default_executor(space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  expand_multilevel(executor, hierarchy, edge_parent);
+}
+
+void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
+                         std::span<index_t> edge_parent) {
   const index_t n = sorted.num_edges();
+  exec::Workspace& workspace = exec.workspace();
   std::vector<index_t> gid(static_cast<std::size_t>(n));
   std::iota(gid.begin(), gid.end(), index_t{0});
 
   Timer timer;
   detail::LevelResult base =
-      detail::contract_one_level(space, sorted.u, sorted.v, gid, sorted.num_vertices);
-  if (times) times->add("contraction", timer.seconds());
+      detail::contract_one_level(exec, sorted.u, sorted.v, gid, sorted.num_vertices);
+  exec.record_phase("contraction", timer.seconds());
 
   if (base.level.num_alpha == 0) {
     // Chain-only tree: the whole dendrogram is the root chain.
     timer.reset();
-    std::vector<std::uint64_t> packed(static_cast<std::size_t>(n));
-    exec::parallel_for(space, n, [&](size_type g) {
+    auto packed_lease = workspace.take_uninit<std::uint64_t>(n);
+    std::vector<std::uint64_t>& packed = *packed_lease;
+    exec::parallel_for(exec, n, [&](size_type g) {
       packed[static_cast<std::size_t>(g)] = pack(kRootChain, static_cast<index_t>(g));
     });
-    exec::radix_sort_u64(space, packed);
-    stitch_chains(space, packed, edge_parent);
-    if (times) times->add("expansion", timer.seconds());
+    exec::radix_sort_u64(exec, packed);
+    stitch_chains(exec, packed, edge_parent);
+    exec.record_phase("expansion", timer.seconds());
     return;
   }
 
@@ -129,11 +142,12 @@ void expand_single_level(exec::Space space, const SortedEdges& sorted,
   // computes it "recursively applying the same edge contraction strategy").
   timer.reset();
   ContractionHierarchy alpha_hierarchy =
-      build_hierarchy(space, base.next_u, base.next_v, base.next_gid,
+      build_hierarchy(exec, base.next_u, base.next_v, base.next_gid,
                       base.next_num_vertices, n);
-  if (times) times->add("contraction", timer.seconds());
-  std::vector<index_t> alpha_parent(static_cast<std::size_t>(n), kNone);
-  expand_multilevel(space, alpha_hierarchy, alpha_parent, times);
+  exec.record_phase("contraction", timer.seconds());
+  auto alpha_parent_lease = workspace.take<index_t>(n, kNone);
+  std::vector<index_t>& alpha_parent = *alpha_parent_lease;
+  expand_multilevel(exec, alpha_hierarchy, alpha_parent);
 
   // Walk-up insertion of every non-α edge (Section 3.3.1, Figure 10).
   // The "slot" an edge lands in is the dendrogram node directly *below* its
@@ -143,17 +157,19 @@ void expand_single_level(exec::Space space, const SortedEdges& sorted,
   timer.reset();
   const std::vector<std::int64_t>& sided1 = alpha_hierarchy.levels[0].sided_parent;
   const size_type n64 = n;
-  std::vector<std::uint64_t> packed;
-  packed.resize(static_cast<std::size_t>(n - base.level.num_alpha));
+  auto packed_lease = workspace.take_uninit<std::uint64_t>(n - base.level.num_alpha);
+  std::vector<std::uint64_t>& packed = *packed_lease;
   {
-    std::vector<index_t> non_alpha(static_cast<std::size_t>(n), 0);
-    exec::parallel_for(space, n64, [&](size_type i) {
+    auto non_alpha_lease = workspace.take<index_t>(n, 0);
+    std::vector<index_t>& non_alpha = *non_alpha_lease;
+    exec::parallel_for(exec, n64, [&](size_type i) {
       non_alpha[static_cast<std::size_t>(i)] = base.alpha[static_cast<std::size_t>(i)] ? 0 : 1;
     });
-    std::vector<index_t> pos(static_cast<std::size_t>(n));
-    exec::exclusive_scan<index_t>(space, non_alpha, pos);
+    auto pos_lease = workspace.take_uninit<index_t>(n);
+    std::vector<index_t>& pos = *pos_lease;
+    exec::exclusive_scan<index_t>(exec, non_alpha, pos);
 
-    exec::parallel_for(space, n64, [&](size_type i) {
+    exec::parallel_for(exec, n64, [&](size_type i) {
       if (base.alpha[static_cast<std::size_t>(i)]) return;
       const auto g = static_cast<index_t>(i);
       const index_t supervertex =
@@ -169,13 +185,13 @@ void expand_single_level(exec::Space space, const SortedEdges& sorted,
           (static_cast<std::uint64_t>(below) << 32) | static_cast<std::uint32_t>(g);
     });
   }
-  exec::radix_sort_u64(space, packed);
+  exec::radix_sort_u64(exec, packed);
 
   // Stitch the inserted chains and re-hang the α-edges below them.
   // Reads go to the immutable α-dendrogram (`alpha_parent`), writes to the
   // output, so the slot rewrites cannot race with the boundary reads.
   const size_type count = static_cast<size_type>(packed.size());
-  exec::parallel_for(space, count, [&](size_type p) {
+  exec::parallel_for(exec, count, [&](size_type p) {
     const auto edge = static_cast<index_t>(packed[static_cast<std::size_t>(p)] & 0xffffffffu);
     const auto below =
         static_cast<index_t>(packed[static_cast<std::size_t>(p)] >> 32);
@@ -202,16 +218,24 @@ void expand_single_level(exec::Space space, const SortedEdges& sorted,
   });
 
   // α-edges whose slot was never rewritten keep their α-dendrogram parent.
-  std::vector<index_t> rewritten(static_cast<std::size_t>(n), 0);
-  exec::parallel_for(space, count, [&](size_type p) {
+  auto rewritten_lease = workspace.take<index_t>(n, 0);
+  std::vector<index_t>& rewritten = *rewritten_lease;
+  exec::parallel_for(exec, count, [&](size_type p) {
     const auto below = static_cast<index_t>(packed[static_cast<std::size_t>(p)] >> 32);
     if (below < n) rewritten[static_cast<std::size_t>(below)] = 1;
   });
-  exec::parallel_for(space, n64, [&](size_type i) {
+  exec::parallel_for(exec, n64, [&](size_type i) {
     if (base.alpha[static_cast<std::size_t>(i)] && !rewritten[static_cast<std::size_t>(i)])
       edge_parent[static_cast<std::size_t>(i)] = alpha_parent[static_cast<std::size_t>(i)];
   });
-  if (times) times->add("expansion", timer.seconds());
+  exec.record_phase("expansion", timer.seconds());
+}
+
+void expand_single_level(exec::Space space, const SortedEdges& sorted,
+                         std::span<index_t> edge_parent, PhaseTimes* times) {
+  const exec::Executor& executor = exec::default_executor(space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  expand_single_level(executor, sorted, edge_parent);
 }
 
 }  // namespace pandora::dendrogram

@@ -6,6 +6,7 @@
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/contraction.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 
 namespace pandora::dendrogram {
@@ -21,8 +22,14 @@ namespace pandora::dendrogram {
 /// all others to their predecessor (the "sorting + stitching" step).
 ///
 /// Writes `edge_parent[g]` for every global edge g present in `hierarchy`;
-/// other entries are left untouched.  Phases recorded: "expansion" (level
-/// scans + stitching), "sort" (the radix sort).
+/// other entries are left untouched.  Phases recorded with the Executor's
+/// profiler: "expansion" (level scans + stitching), "sort" (the radix sort).
+void expand_multilevel(const exec::Executor& exec, const ContractionHierarchy& hierarchy,
+                       std::span<index_t> edge_parent);
+
+/// Deprecated shim over the per-thread default executor; `times` (when given)
+/// receives the phases via a scoped profiler.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
                        std::span<index_t> edge_parent, PhaseTimes* times = nullptr);
 
@@ -36,6 +43,11 @@ void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
 /// behaviour Figure-level ablations quantify.
 ///
 /// Writes `edge_parent[g]` for every edge of `sorted`.
+void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
+                         std::span<index_t> edge_parent);
+
+/// Deprecated shim over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 void expand_single_level(exec::Space space, const SortedEdges& sorted,
                          std::span<index_t> edge_parent, PhaseTimes* times = nullptr);
 

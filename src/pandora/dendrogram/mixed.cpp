@@ -35,8 +35,8 @@ void merge_edge(const SortedEdges& sorted, index_t i, graph::UnionFind& uf,
 
 }  // namespace
 
-Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double top_fraction,
-                            PhaseTimes* times) {
+Dendrogram mixed_dendrogram(const exec::Executor& exec, const SortedEdges& sorted,
+                            double top_fraction) {
   PANDORA_EXPECT(top_fraction >= 0.0 && top_fraction <= 1.0,
                  "top_fraction must be a fraction");
   const index_t n = sorted.num_edges();
@@ -57,7 +57,7 @@ Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double
   Timer timer;
   // Subtree discovery: components of the light edges [cut, n).
   graph::ConcurrentUnionFind components(nv);
-  exec::parallel_for(space, static_cast<size_type>(n) - cut, [&](size_type k) {
+  exec::parallel_for(exec, static_cast<size_type>(n) - cut, [&](size_type k) {
     const auto i = static_cast<index_t>(cut + k);
     components.unite(sorted.u[static_cast<std::size_t>(i)],
                      sorted.v[static_cast<std::size_t>(i)]);
@@ -66,8 +66,9 @@ Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double
   // Bucket the light edges by component.  Edges are appended in descending
   // rank order (ascending weight reversed), so each bucket ends up sorted the
   // way the bottom-up pass consumes it (back() = lightest first).
-  std::vector<index_t> component_of(static_cast<std::size_t>(n), kNone);
-  exec::parallel_for(space, static_cast<size_type>(n) - cut, [&](size_type k) {
+  auto component_of_lease = exec.workspace().take<index_t>(n, kNone);
+  std::vector<index_t>& component_of = *component_of_lease;
+  exec::parallel_for(exec, static_cast<size_type>(n) - cut, [&](size_type k) {
     const auto i = static_cast<index_t>(cut + k);
     component_of[static_cast<std::size_t>(i)] =
         components.find(sorted.u[static_cast<std::size_t>(i)]);
@@ -78,15 +79,16 @@ Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double
   std::vector<index_t> roots;
   for (index_t v = 0; v < nv; ++v)
     if (!buckets[static_cast<std::size_t>(v)].empty()) roots.push_back(v);
-  if (times) times->add("split", timer.seconds());
+  exec.record_phase("split", timer.seconds());
 
   // Phase 1: bottom-up per subtree, parallel over subtrees.  Shared state is
   // safe because subtrees are vertex-disjoint (see merge_edge).
   timer.reset();
   graph::UnionFind uf(nv);
   std::vector<index_t> rep_edge(static_cast<std::size_t>(nv), kNone);
-  if (space == exec::Space::parallel) {
-#pragma omp parallel for schedule(dynamic, 1)
+  if (exec.space() == exec::Space::parallel) {
+    const int num_threads = exec.num_threads();
+#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
     for (std::size_t b = 0; b < roots.size(); ++b) {
       const auto& bucket = buckets[static_cast<std::size_t>(roots[b])];
       for (const index_t i : bucket) merge_edge(sorted, i, uf, rep_edge, dendrogram);
@@ -96,22 +98,36 @@ Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double
       for (const index_t i : buckets[static_cast<std::size_t>(root)])
         merge_edge(sorted, i, uf, rep_edge, dendrogram);
   }
-  if (times) times->add("subtrees", timer.seconds());
+  exec.record_phase("subtrees", timer.seconds());
 
   // Phase 2: stitch the withheld top edges, lightest first — the same
   // bottom-up recurrence continued over the whole tree.
   timer.reset();
   for (index_t i = cut - 1; i >= 0; --i) merge_edge(sorted, i, uf, rep_edge, dendrogram);
-  if (times) times->add("stitch", timer.seconds());
+  exec.record_phase("stitch", timer.seconds());
   return dendrogram;
+}
+
+Dendrogram mixed_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
+                            index_t num_vertices, double top_fraction) {
+  Timer timer;
+  const SortedEdges sorted = sort_edges(exec, mst, num_vertices);
+  exec.record_phase("sort", timer.seconds());
+  return mixed_dendrogram(exec, sorted, top_fraction);
+}
+
+Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double top_fraction,
+                            PhaseTimes* times) {
+  const exec::Executor& executor = exec::default_executor(space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  return mixed_dendrogram(executor, sorted, top_fraction);
 }
 
 Dendrogram mixed_dendrogram(const graph::EdgeList& mst, index_t num_vertices, exec::Space space,
                             double top_fraction, PhaseTimes* times) {
-  Timer timer;
-  const SortedEdges sorted = sort_edges(space, mst, num_vertices);
-  if (times) times->add("sort", timer.seconds());
-  return mixed_dendrogram(sorted, space, top_fraction, times);
+  const exec::Executor& executor = exec::default_executor(space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  return mixed_dendrogram(executor, mst, num_vertices, top_fraction);
 }
 
 }  // namespace pandora::dendrogram

@@ -4,6 +4,7 @@
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
@@ -23,12 +24,26 @@ namespace pandora::dendrogram {
 /// weakness: on skewed dendrograms one subtree holds almost all edges, so the
 /// parallel phase degenerates to the sequential baseline (the load-imbalance
 /// argument of Section 2.3.3).
+///
+/// Phases recorded with the Executor's profiler: "split", "subtrees",
+/// "stitch" (and "sort" for the EdgeList overload).
+[[nodiscard]] Dendrogram mixed_dendrogram(const exec::Executor& exec,
+                                          const SortedEdges& sorted,
+                                          double top_fraction = 0.1);
+
+/// Convenience overload that sorts internally.
+[[nodiscard]] Dendrogram mixed_dendrogram(const exec::Executor& exec,
+                                          const graph::EdgeList& mst, index_t num_vertices,
+                                          double top_fraction = 0.1);
+
+/// Deprecated shims over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] Dendrogram mixed_dendrogram(const SortedEdges& sorted,
                                           exec::Space space = exec::Space::parallel,
                                           double top_fraction = 0.1,
                                           PhaseTimes* times = nullptr);
 
-/// Convenience overload that sorts internally.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] Dendrogram mixed_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
                                           exec::Space space = exec::Space::parallel,
                                           double top_fraction = 0.1,

@@ -8,11 +8,10 @@
 
 namespace pandora::dendrogram {
 
-Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& options,
-                              PhaseTimes* times) {
+Dendrogram pandora_dendrogram(const exec::Executor& exec, const SortedEdges& sorted,
+                              const PandoraOptions& options) {
   const index_t n = sorted.num_edges();
   const index_t nv = sorted.num_vertices;
-  const exec::Space space = options.space;
 
   Dendrogram dendrogram;
   dendrogram.num_edges = n;
@@ -25,12 +24,13 @@ Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& o
   std::span<index_t> edge_parent(dendrogram.parent.data(), static_cast<std::size_t>(n));
 
   if (options.expansion == ExpansionPolicy::single_level) {
-    expand_single_level(space, sorted, edge_parent, times);
+    expand_single_level(exec, sorted, edge_parent);
     // Vertex parents by Eq. (1): recompute maxIncident of the original tree.
     // (The single-level path does not retain its base level, so one extra
     // linear pass; negligible next to the walk itself.)
-    std::vector<index_t> max_incident(static_cast<std::size_t>(nv), kNone);
-    exec::parallel_for(space, n, [&](size_type i) {
+    auto max_incident_lease = exec.workspace().take<index_t>(nv, kNone);
+    std::vector<index_t>& max_incident = *max_incident_lease;
+    exec::parallel_for(exec, n, [&](size_type i) {
       exec::atomic_fetch_max(
           max_incident[static_cast<std::size_t>(sorted.u[static_cast<std::size_t>(i)])],
           static_cast<index_t>(i));
@@ -38,7 +38,7 @@ Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& o
           max_incident[static_cast<std::size_t>(sorted.v[static_cast<std::size_t>(i)])],
           static_cast<index_t>(i));
     });
-    exec::parallel_for(space, nv, [&](size_type x) {
+    exec::parallel_for(exec, nv, [&](size_type x) {
       dendrogram.parent[static_cast<std::size_t>(n + x)] =
           max_incident[static_cast<std::size_t>(x)];
     });
@@ -48,27 +48,41 @@ Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& o
   Timer timer;
   std::vector<index_t> gid(static_cast<std::size_t>(n));
   std::iota(gid.begin(), gid.end(), index_t{0});
-  ContractionHierarchy hierarchy = build_hierarchy(space, sorted.u, sorted.v, std::move(gid),
+  ContractionHierarchy hierarchy = build_hierarchy(exec, sorted.u, sorted.v, std::move(gid),
                                                    nv, n);
-  if (times) times->add("contraction", timer.seconds());
+  exec.record_phase("contraction", timer.seconds());
 
-  expand_multilevel(space, hierarchy, edge_parent, times);
+  expand_multilevel(exec, hierarchy, edge_parent);
 
   // Vertex parents by Eq. (1), straight from the base level's sided parents.
   const std::vector<std::int64_t>& sided0 = hierarchy.levels[0].sided_parent;
-  exec::parallel_for(space, nv, [&](size_type x) {
+  exec::parallel_for(exec, nv, [&](size_type x) {
     dendrogram.parent[static_cast<std::size_t>(n + x)] =
         static_cast<index_t>(sided0[static_cast<std::size_t>(x)] >> 1);
   });
   return dendrogram;
 }
 
+Dendrogram pandora_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
+                              index_t num_vertices, const PandoraOptions& options) {
+  Timer timer;
+  SortedEdges sorted = sort_edges(exec, mst, num_vertices, options.validate_input);
+  exec.record_phase("sort", timer.seconds());
+  return pandora_dendrogram(exec, sorted, options);
+}
+
+Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& options,
+                              PhaseTimes* times) {
+  const exec::Executor& executor = exec::default_executor(options.space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  return pandora_dendrogram(executor, sorted, options);
+}
+
 Dendrogram pandora_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
                               const PandoraOptions& options, PhaseTimes* times) {
-  Timer timer;
-  SortedEdges sorted = sort_edges(options.space, mst, num_vertices, options.validate_input);
-  if (times) times->add("sort", timer.seconds());
-  return pandora_dendrogram(sorted, options, times);
+  const exec::Executor& executor = exec::default_executor(options.space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  return pandora_dendrogram(executor, mst, num_vertices, options);
 }
 
 }  // namespace pandora::dendrogram

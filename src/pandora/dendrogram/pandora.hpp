@@ -4,6 +4,7 @@
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
@@ -17,6 +18,8 @@ enum class ExpansionPolicy {
 
 /// Options for pandora_dendrogram.
 struct PandoraOptions {
+  /// Consulted only by the deprecated `Space`-less overloads; the Executor
+  /// overloads take their space from the executor.
   exec::Space space = exec::Space::parallel;
   ExpansionPolicy expansion = ExpansionPolicy::multilevel;
   /// Reject inputs that are not spanning trees with finite weights.
@@ -27,15 +30,27 @@ struct PandoraOptions {
 /// (Algorithm 3).  Work-optimal (O(n log n), Section 4) and expressed
 /// entirely in parallel loops, scans and sorts.
 ///
-/// Phases recorded in `times`: "sort" (initial edge sort + chain radix sort),
-/// "contraction" (multilevel tree contraction), "expansion" (chain
-/// assignment + stitching).
+/// Phases recorded with the Executor's profiler: "sort" (initial edge sort +
+/// chain radix sort), "contraction" (multilevel tree contraction),
+/// "expansion" (chain assignment + stitching).
+[[nodiscard]] Dendrogram pandora_dendrogram(const exec::Executor& exec,
+                                            const graph::EdgeList& mst, index_t num_vertices,
+                                            const PandoraOptions& options = {});
+
+/// As above, starting from pre-sorted edges (skips the "sort" phase's initial
+/// sort; useful when the caller shares one sort across algorithms).
+[[nodiscard]] Dendrogram pandora_dendrogram(const exec::Executor& exec,
+                                            const SortedEdges& sorted,
+                                            const PandoraOptions& options = {});
+
+/// Deprecated shims over the per-thread default executor of `options.space`;
+/// `times` (when given) receives the phases via a scoped profiler.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of PandoraOptions::space")
 [[nodiscard]] Dendrogram pandora_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
                                             const PandoraOptions& options = {},
                                             PhaseTimes* times = nullptr);
 
-/// As above, starting from pre-sorted edges (skips the "sort" phase's initial
-/// sort; useful when the caller shares one sort across algorithms).
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of PandoraOptions::space")
 [[nodiscard]] Dendrogram pandora_dendrogram(const SortedEdges& sorted,
                                             const PandoraOptions& options = {},
                                             PhaseTimes* times = nullptr);

@@ -8,8 +8,8 @@
 
 namespace pandora::dendrogram {
 
-SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges, index_t num_vertices,
-                       bool validate_input) {
+SortedEdges sort_edges(const exec::Executor& exec, const graph::EdgeList& edges,
+                       index_t num_vertices, bool validate_input) {
   if (validate_input) graph::validate_tree(edges, num_vertices);
 
   const size_type n = static_cast<size_type>(edges.size());
@@ -17,13 +17,14 @@ SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges, index_t 
   std::iota(order.begin(), order.end(), index_t{0});
   // Descending by weight via a stable radix argsort on inverted weight bits;
   // stability keeps equal weights in ascending original index — the
-  // canonical tie-break of Section 3.1.1.
-  std::vector<std::uint64_t> keys(edges.size());
-  exec::parallel_for(space, n, [&](size_type i) {
+  // canonical tie-break of Section 3.1.1.  The key buffer is leased scratch.
+  auto keys_lease = exec.workspace().take_uninit<std::uint64_t>(n);
+  std::vector<std::uint64_t>& keys = *keys_lease;
+  exec::parallel_for(exec, n, [&](size_type i) {
     keys[static_cast<std::size_t>(i)] =
         ~exec::order_preserving_bits(edges[static_cast<std::size_t>(i)].weight);
   });
-  exec::radix_sort_kv(space, keys, order);
+  exec::radix_sort_kv(exec, keys, order);
 
   SortedEdges sorted;
   sorted.num_vertices = num_vertices;
@@ -31,13 +32,18 @@ SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges, index_t 
   sorted.v.resize(edges.size());
   sorted.weight.resize(edges.size());
   sorted.order = std::move(order);
-  exec::parallel_for(space, n, [&](size_type i) {
+  exec::parallel_for(exec, n, [&](size_type i) {
     const auto& e = edges[static_cast<std::size_t>(sorted.order[static_cast<std::size_t>(i)])];
     sorted.u[static_cast<std::size_t>(i)] = e.u;
     sorted.v[static_cast<std::size_t>(i)] = e.v;
     sorted.weight[static_cast<std::size_t>(i)] = e.weight;
   });
   return sorted;
+}
+
+SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges, index_t num_vertices,
+                       bool validate_input) {
+  return sort_edges(exec::default_executor(space), edges, num_vertices, validate_input);
 }
 
 }  // namespace pandora::dendrogram

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
@@ -26,6 +27,11 @@ struct SortedEdges {
 /// Sorts `edges` descending by (weight, original index).  When
 /// `validate_input` is set, rejects inputs that are not spanning trees with
 /// finite non-negative weights.
+[[nodiscard]] SortedEdges sort_edges(const exec::Executor& exec, const graph::EdgeList& edges,
+                                     index_t num_vertices, bool validate_input = false);
+
+/// Deprecated shim over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges,
                                      index_t num_vertices, bool validate_input = false);
 

@@ -97,7 +97,13 @@ Dendrogram top_down_dendrogram(const SortedEdges& sorted) {
 }
 
 Dendrogram top_down_dendrogram(const graph::EdgeList& mst, index_t num_vertices) {
-  return top_down_dendrogram(sort_edges(exec::Space::serial, mst, num_vertices));
+  return top_down_dendrogram(
+      sort_edges(exec::default_executor(exec::Space::serial), mst, num_vertices));
+}
+
+Dendrogram top_down_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
+                               index_t num_vertices) {
+  return top_down_dendrogram(sort_edges(exec, mst, num_vertices));
 }
 
 }  // namespace pandora::dendrogram

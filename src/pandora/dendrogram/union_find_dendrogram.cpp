@@ -4,7 +4,7 @@
 
 namespace pandora::dendrogram {
 
-Dendrogram union_find_dendrogram(const SortedEdges& sorted, PhaseTimes* times) {
+Dendrogram union_find_dendrogram(const exec::Executor& exec, const SortedEdges& sorted) {
   const index_t n = sorted.num_edges();
   const index_t nv = sorted.num_vertices;
 
@@ -38,17 +38,34 @@ Dendrogram union_find_dendrogram(const SortedEdges& sorted, PhaseTimes* times) {
     uf.unite(eu, ev);
     rep_edge[static_cast<std::size_t>(uf.find(eu))] = i;
   }
-  if (times) times->add("dendrogram", timer.seconds());
+  exec.record_phase("dendrogram", timer.seconds());
   return dendrogram;
+}
+
+Dendrogram union_find_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
+                                 index_t num_vertices, bool validate_input) {
+  Timer timer;
+  SortedEdges sorted = sort_edges(exec, mst, num_vertices, validate_input);
+  exec.record_phase("sort", timer.seconds());
+  return union_find_dendrogram(exec, sorted);
+}
+
+Dendrogram union_find_dendrogram(const SortedEdges& sorted, PhaseTimes* times) {
+  const exec::Executor& executor = exec::default_executor(exec::Space::serial);
+  exec::ScopedPhaseTimes scope(executor, times);
+  return union_find_dendrogram(executor, sorted);
+}
+
+Dendrogram union_find_dendrogram(const SortedEdges& sorted) {
+  return union_find_dendrogram(exec::default_executor(exec::Space::serial), sorted);
 }
 
 Dendrogram union_find_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
                                  exec::Space sort_space, PhaseTimes* times,
                                  bool validate_input) {
-  Timer timer;
-  SortedEdges sorted = sort_edges(sort_space, mst, num_vertices, validate_input);
-  if (times) times->add("sort", timer.seconds());
-  return union_find_dendrogram(sorted, times);
+  const exec::Executor& executor = exec::default_executor(sort_space);
+  exec::ScopedPhaseTimes scope(executor, times);
+  return union_find_dendrogram(executor, mst, num_vertices, validate_input);
 }
 
 }  // namespace pandora::dendrogram

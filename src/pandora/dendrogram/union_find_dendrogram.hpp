@@ -4,6 +4,7 @@
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
@@ -14,15 +15,34 @@ namespace pandora::dendrogram {
 ///
 /// Edges are processed from lightest to heaviest; each edge becomes the
 /// parent of the representative nodes of its endpoints' clusters.  The sort
-/// is parallel (under `space`) but the merge loop is inherently sequential —
-/// parents can come from arbitrarily distant parts of the tree, which is
-/// precisely the parallelisation obstacle PANDORA removes (Section 2.3.2).
+/// is parallel (under the executor) but the merge loop is inherently
+/// sequential — parents can come from arbitrarily distant parts of the tree,
+/// which is precisely the parallelisation obstacle PANDORA removes
+/// (Section 2.3.2).
 ///
-/// Phases recorded in `times` (when given): "sort", "dendrogram".
-[[nodiscard]] Dendrogram union_find_dendrogram(const SortedEdges& sorted,
-                                               PhaseTimes* times = nullptr);
+/// Phases recorded with the Executor's profiler: "sort" (EdgeList overload),
+/// "dendrogram".
+[[nodiscard]] Dendrogram union_find_dendrogram(const exec::Executor& exec,
+                                               const SortedEdges& sorted);
 
 /// Convenience overload that sorts internally.
+[[nodiscard]] Dendrogram union_find_dendrogram(const exec::Executor& exec,
+                                               const graph::EdgeList& mst,
+                                               index_t num_vertices,
+                                               bool validate_input = false);
+
+/// Deprecated shims over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+[[nodiscard]] Dendrogram union_find_dendrogram(const SortedEdges& sorted,
+                                               PhaseTimes* times);
+
+/// (The old SortedEdges signature defaulted `times` to nullptr; that exact
+/// call now resolves to the Executor-less overload above with an explicit
+/// nullptr, or to the new API when an Executor is passed.)
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+[[nodiscard]] Dendrogram union_find_dendrogram(const SortedEdges& sorted);
+
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] Dendrogram union_find_dendrogram(const graph::EdgeList& mst,
                                                index_t num_vertices,
                                                exec::Space sort_space = exec::Space::parallel,

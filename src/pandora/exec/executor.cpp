@@ -1,0 +1,24 @@
+#include "pandora/exec/executor.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+
+namespace pandora::exec {
+
+int Executor::num_threads() const {
+  if (space_ == Space::serial) return 1;
+  // An explicit budget is honoured verbatim (the OpenMP runtime may still
+  // grant fewer; every kernel chunks by the granted team size).  With no
+  // budget the OpenMP default applies.
+  if (requested_threads_ > 0) return requested_threads_;
+  return omp_get_max_threads();
+}
+
+const Executor& default_executor(Space space) {
+  thread_local Executor serial_executor(Space::serial);
+  thread_local Executor parallel_executor(Space::parallel);
+  return space == Space::serial ? serial_executor : parallel_executor;
+}
+
+}  // namespace pandora::exec

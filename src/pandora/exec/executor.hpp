@@ -1,0 +1,288 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pandora/common/timer.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/exec/space.hpp"
+
+/// The execution context of the library: `Executor`.
+///
+/// The paper's implementation expresses every kernel against Kokkos execution
+/// space *instances* — objects carrying the backend choice, resources and
+/// reusable scratch memory.  This reproduction mirrors that design: an
+/// `Executor` owns (a) the space selection (serial / OpenMP, extensible to a
+/// future GPU backend), (b) a thread budget, (c) a reusable `Workspace` arena
+/// that amortises scratch-buffer allocations across repeated dendrogram /
+/// HDBSCAN* calls on same-sized inputs, and (d) an optional `Profiler` hook
+/// that subsumes the old `PhaseTimes*` out-parameters.  Every kernel takes a
+/// `const Executor&`; the old bare-`Space` signatures survive as deprecated
+/// shims that forward to a per-thread default executor.
+namespace pandora::exec {
+
+/// Deprecation marker for the old `Space`-enum API.  Define
+/// PANDORA_NO_DEPRECATION_WARNINGS to silence (e.g. for a gradual migration).
+#if defined(PANDORA_NO_DEPRECATION_WARNINGS)
+#define PANDORA_DEPRECATED(msg)
+#else
+#define PANDORA_DEPRECATED(msg) [[deprecated(msg)]]
+#endif
+
+/// Below this trip count the OpenMP fork/join overhead dominates; kernels run
+/// serially.  (Previously lived in parallel.hpp; the Executor needs it to
+/// answer `parallelize(n)`.)
+inline constexpr size_type kParallelForGrain = 2048;
+
+/// A pool of recycled heap buffers, one free list per element type.
+///
+/// Kernels lease scratch vectors with `take` / `take_uninit`; when the lease
+/// goes out of scope the vector returns to the pool with its capacity intact,
+/// so a second call with same-sized inputs performs no heap allocation.  The
+/// free lists are LIFO: identical call sequences acquire identical buffers,
+/// preserving bit-for-bit determinism of anything that (incorrectly) depended
+/// on buffer addresses.
+///
+/// Not thread-safe: one Workspace belongs to one Executor and kernels on an
+/// Executor run one at a time (parallelism happens *inside* kernels).
+class Workspace {
+  struct PoolBase {
+    virtual ~PoolBase() = default;
+    virtual void drop_free_buffers() = 0;
+  };
+  template <class T>
+  struct Pool final : PoolBase {
+    std::vector<std::vector<T>> free;
+    void drop_free_buffers() override {
+      free.clear();
+      free.shrink_to_fit();
+    }
+  };
+
+ public:
+  /// Allocation statistics, exposed so tests and the repeated-query benches
+  /// can assert/report the steady-state "no new allocations" property.
+  struct Stats {
+    std::size_t takes = 0;   ///< leases served
+    std::size_t hits = 0;    ///< served from a buffer whose capacity sufficed
+    std::size_t misses = 0;  ///< required a fresh heap allocation (or growth)
+  };
+
+  /// RAII lease of a scratch vector.  Default-constructed leases own a plain
+  /// vector and return it to no pool (used by workspace-less fallbacks).
+  /// A lease must not outlive its Workspace.
+  template <class T>
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : v_(std::move(other.v_)), home_(std::exchange(other.home_, nullptr)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        v_ = std::move(other.v_);
+        home_ = std::exchange(other.home_, nullptr);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] std::vector<T>& operator*() noexcept { return v_; }
+    [[nodiscard]] const std::vector<T>& operator*() const noexcept { return v_; }
+    [[nodiscard]] std::vector<T>* operator->() noexcept { return &v_; }
+    [[nodiscard]] const std::vector<T>* operator->() const noexcept { return &v_; }
+    [[nodiscard]] std::vector<T>& get() noexcept { return v_; }
+
+   private:
+    friend class Workspace;
+    Lease(std::vector<T>&& v, Pool<T>* home) : v_(std::move(v)), home_(home) {}
+    void release() {
+      if (home_ != nullptr) {
+        home_->free.push_back(std::move(v_));
+        home_ = nullptr;
+      }
+    }
+
+    std::vector<T> v_;
+    Pool<T>* home_ = nullptr;
+  };
+
+  /// Lease a vector of `n` elements, every element set to `fill` (the
+  /// behaviour of constructing `std::vector<T>(n, fill)`).
+  template <class T>
+  [[nodiscard]] Lease<T> take(size_type n, const T& fill = T{}) {
+    Lease<T> lease = take_uninit<T>(n);
+    lease->assign(static_cast<std::size_t>(n), fill);
+    return lease;
+  }
+
+  /// Lease a vector resized to `n` elements with unspecified contents (the
+  /// recycled buffer's previous values, or value-initialised on first use).
+  /// For scratch that is fully overwritten before being read.
+  template <class T>
+  [[nodiscard]] Lease<T> take_uninit(size_type n) {
+    auto& pool = pool_of<T>();
+    std::vector<T> v;
+    if (!pool.free.empty()) {
+      v = std::move(pool.free.back());
+      pool.free.pop_back();
+    }
+    ++stats_.takes;
+    if (v.capacity() >= static_cast<std::size_t>(n)) {
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    v.resize(static_cast<std::size_t>(n));
+    return Lease<T>(std::move(v), &pool);
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  /// Drop every cached (free) buffer — the arena returns to its empty
+  /// state.  The pools themselves survive, so leases still outstanding keep
+  /// valid home pointers and simply return their buffers afterwards.
+  void clear() {
+    for (auto& [_, pool] : pools_) pool->drop_free_buffers();
+  }
+
+ private:
+  template <class T>
+  Pool<T>& pool_of() {
+    auto& slot = pools_[std::type_index(typeid(T))];
+    if (slot == nullptr) slot = std::make_unique<Pool<T>>();
+    return static_cast<Pool<T>&>(*slot);
+  }
+
+  std::unordered_map<std::type_index, std::unique_ptr<PoolBase>> pools_;
+  Stats stats_;
+};
+
+/// Receives per-phase timings from the library's drivers ("sort",
+/// "contraction", "expansion", "mst", ...).  Attach one to an Executor to
+/// observe a pipeline; this subsumes the old `PhaseTimes*` out-parameters.
+class Profiler {
+ public:
+  virtual ~Profiler() = default;
+  virtual void on_phase(std::string_view phase, double seconds) = 0;
+};
+
+/// A Profiler accumulating into a PhaseTimes (owned or external), optionally
+/// chaining to another profiler so nested scopes all observe the phases.
+class PhaseTimesProfiler final : public Profiler {
+ public:
+  PhaseTimesProfiler() = default;
+  explicit PhaseTimesProfiler(PhaseTimes* sink, Profiler* next = nullptr)
+      : sink_(sink), next_(next) {}
+
+  void on_phase(std::string_view phase, double seconds) override {
+    times().add(std::string(phase), seconds);
+    if (next_ != nullptr) next_->on_phase(phase, seconds);
+  }
+
+  [[nodiscard]] PhaseTimes& times() noexcept { return sink_ != nullptr ? *sink_ : own_; }
+  [[nodiscard]] const PhaseTimes& times() const noexcept {
+    return sink_ != nullptr ? *sink_ : own_;
+  }
+
+ private:
+  PhaseTimes own_;
+  PhaseTimes* sink_ = nullptr;
+  Profiler* next_ = nullptr;
+};
+
+/// The reusable execution context every kernel takes by const reference.
+///
+/// Cheap to construct, but meant to be constructed once and reused: the
+/// workspace arena only pays off across repeated calls.  The workspace and
+/// profiler are logically part of the execution *context*, not the kernel
+/// inputs, so they are mutable behind the const interface (exactly like
+/// Kokkos execution-space instances, whose scratch arenas are mutable too).
+///
+/// Not thread-safe: do not run two kernels on the same Executor concurrently
+/// (parallelism happens inside kernels, governed by `num_threads`).
+class Executor {
+ public:
+  explicit Executor(Space space = Space::parallel, int num_threads = 0)
+      : space_(space), requested_threads_(num_threads) {}
+
+  [[nodiscard]] Space space() const noexcept { return space_; }
+
+  /// Human-readable name for benchmark tables.
+  [[nodiscard]] const char* name() const { return space_name(space_); }
+
+  /// The thread budget: 1 for the serial space; for the parallel space the
+  /// constructor-requested count, or the OpenMP default when 0 was requested.
+  [[nodiscard]] int num_threads() const;
+
+  /// True when a kernel over `n` items should take its parallel path.
+  [[nodiscard]] bool parallelize(size_type n) const {
+    return space_ == Space::parallel && n >= kParallelForGrain && num_threads() > 1;
+  }
+
+  /// The scratch-buffer arena (see Workspace).
+  [[nodiscard]] Workspace& workspace() const noexcept { return workspace_; }
+
+  /// The attached profiler, or nullptr.  Non-owning.
+  [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
+  void set_profiler(Profiler* profiler) const noexcept { profiler_ = profiler; }
+
+  /// Record a phase duration with the attached profiler (no-op when none).
+  void record_phase(std::string_view phase, double seconds) const {
+    if (profiler_ != nullptr) profiler_->on_phase(phase, seconds);
+  }
+
+  /// Run `f()` and record its duration under `phase`.
+  template <class F>
+  void phase(std::string_view phase_name, F&& f) const {
+    if (profiler_ == nullptr) {
+      f();
+      return;
+    }
+    Timer timer;
+    f();
+    profiler_->on_phase(phase_name, timer.seconds());
+  }
+
+ private:
+  Space space_;
+  int requested_threads_;
+  mutable Workspace workspace_;
+  mutable Profiler* profiler_ = nullptr;
+};
+
+/// The per-thread default executor of a space — the context behind the
+/// deprecated `Space`-enum shims.  Old-style callers share its workspace, so
+/// they too amortise allocations across calls; per-thread storage keeps the
+/// shims safe under concurrent callers.
+[[nodiscard]] const Executor& default_executor(Space space);
+
+/// Scope guard bridging the old `PhaseTimes*` out-params to the profiler
+/// hook: installs a PhaseTimesProfiler writing to `times` (chained to any
+/// profiler already attached) for the guard's lifetime.  With a null `times`
+/// the guard does nothing.
+class ScopedPhaseTimes {
+ public:
+  ScopedPhaseTimes(const Executor& executor, PhaseTimes* times)
+      : executor_(executor), saved_(executor.profiler()), adapter_(times, executor.profiler()) {
+    if (times != nullptr) executor_.set_profiler(&adapter_);
+  }
+  ScopedPhaseTimes(const ScopedPhaseTimes&) = delete;
+  ScopedPhaseTimes& operator=(const ScopedPhaseTimes&) = delete;
+  ~ScopedPhaseTimes() { executor_.set_profiler(saved_); }
+
+ private:
+  const Executor& executor_;
+  Profiler* saved_;
+  PhaseTimesProfiler adapter_;
+};
+
+}  // namespace pandora::exec

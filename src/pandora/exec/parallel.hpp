@@ -1,10 +1,13 @@
 #pragma once
 
+#include <omp.h>
+
 #include <atomic>
 #include <type_traits>
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 
 /// Data-parallel primitives: parallel_for and parallel_reduce, plus the
@@ -13,37 +16,65 @@
 /// Every kernel in the library is written against these (never against raw
 /// OpenMP pragmas) so that the serial and parallel spaces execute the exact
 /// same code, mirroring the performance-portability claim of Section 5.
+/// All primitives take the `Executor` execution context; the bare-`Space`
+/// overloads are deprecated shims over the per-thread default executors.
 namespace pandora::exec {
-
-/// Below this trip count the OpenMP fork/join overhead dominates; run serially.
-inline constexpr size_type kParallelForGrain = 2048;
 
 /// Apply `f(i)` for every i in [0, n).
 template <class F>
-void parallel_for(Space space, size_type n, F&& f) {
-  if (space == Space::parallel && n >= kParallelForGrain) {
-#pragma omp parallel for schedule(static)
+void parallel_for(const Executor& exec, size_type n, F&& f) {
+  if (exec.parallelize(n)) {
+    const int num_threads = exec.num_threads();
+#pragma omp parallel for schedule(static) num_threads(num_threads)
     for (size_type i = 0; i < n; ++i) f(i);
   } else {
     for (size_type i = 0; i < n; ++i) f(i);
   }
 }
 
-/// Reduce `transform(i)` over i in [0, n) with the associative, commutative
-/// `combine`, starting from `identity`.
+template <class F>
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+void parallel_for(Space space, size_type n, F&& f) {
+  parallel_for(default_executor(space), n, static_cast<F&&>(f));
+}
+
+/// Reduce `transform(i)` over i in [0, n) with the associative `combine`,
+/// starting from `identity`.
+///
+/// Each thread folds a contiguous index chunk into a private accumulator;
+/// the per-thread partials are then combined *sequentially in thread-id
+/// order* after the parallel region.  Because chunk t covers indices strictly
+/// before chunk t+1, the overall combine order is left-to-right over [0, n),
+/// so `combine` only has to be associative — it need NOT be commutative.
+/// (The previous implementation merged partials inside an OpenMP `critical`
+/// section in whatever order threads arrived: that both serialised the
+/// combines behind a lock and produced a nondeterministic combine order,
+/// which is wrong for non-commutative operators and for floating-point
+/// reproducibility.)
 template <class T, class Transform, class Combine>
-[[nodiscard]] T parallel_reduce(Space space, size_type n, T identity, Transform&& transform,
-                                Combine&& combine) {
-  if (space == Space::parallel && n >= kParallelForGrain) {
-    T result = identity;
-#pragma omp parallel
+[[nodiscard]] T parallel_reduce(const Executor& exec, size_type n, T identity,
+                                Transform&& transform, Combine&& combine) {
+  if (exec.parallelize(n)) {
+    const int num_threads = exec.num_threads();
+    std::vector<T> partial(static_cast<std::size_t>(num_threads), identity);
+    int team = 1;
+#pragma omp parallel num_threads(num_threads)
     {
+      // Chunk by the team size OpenMP actually granted, so every index is
+      // covered even if fewer than `num_threads` threads materialise.
+      const int nt = omp_get_num_threads();
+      const int t = omp_get_thread_num();
+#pragma omp single
+      team = nt;
+      const size_type lo = n * t / nt;
+      const size_type hi = n * (t + 1) / nt;
       T local = identity;
-#pragma omp for schedule(static) nowait
-      for (size_type i = 0; i < n; ++i) local = combine(local, transform(i));
-#pragma omp critical(pandora_reduce)
-      result = combine(result, local);
+      for (size_type i = lo; i < hi; ++i) local = combine(local, transform(i));
+      partial[static_cast<std::size_t>(t)] = std::move(local);
     }
+    T result = identity;
+    for (int t = 0; t < team; ++t)
+      result = combine(std::move(result), std::move(partial[static_cast<std::size_t>(t)]));
     return result;
   }
   T result = identity;
@@ -51,10 +82,27 @@ template <class T, class Transform, class Combine>
   return result;
 }
 
+template <class T, class Transform, class Combine>
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+[[nodiscard]] T parallel_reduce(Space space, size_type n, T identity, Transform&& transform,
+                                Combine&& combine) {
+  return parallel_reduce(default_executor(space), n, std::move(identity),
+                         static_cast<Transform&&>(transform), static_cast<Combine&&>(combine));
+}
+
 /// Sum of `transform(i)` over [0, n).
 template <class T, class Transform>
+[[nodiscard]] T parallel_sum(const Executor& exec, size_type n, T identity,
+                             Transform&& transform) {
+  return parallel_reduce(exec, n, std::move(identity), static_cast<Transform&&>(transform),
+                         [](T a, T b) { return a + b; });
+}
+
+template <class T, class Transform>
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] T parallel_sum(Space space, size_type n, T identity, Transform&& transform) {
-  return parallel_reduce(space, n, identity, transform, [](T a, T b) { return a + b; });
+  return parallel_sum(default_executor(space), n, std::move(identity),
+                      static_cast<Transform&&>(transform));
 }
 
 /// Relaxed atomic max on an integral slot; returns nothing (used for

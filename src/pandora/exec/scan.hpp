@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/exec/parallel.hpp"
 #include "pandora/exec/space.hpp"
 
 /// Prefix sums.  Tree contraction is "equivalent to a prefix sum on an array
@@ -16,9 +18,9 @@ namespace pandora::exec {
 /// out[i] = sum of in[0..i-1]; returns the grand total.
 /// `in` and `out` may alias element-for-element.
 template <class T>
-T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
+T exclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) {
   const size_type n = static_cast<size_type>(in.size());
-  if (space != Space::parallel || n < kParallelForGrain) {
+  if (!exec.parallelize(n)) {
     T running{};
     for (size_type i = 0; i < n; ++i) {
       T v = in[i];
@@ -28,10 +30,14 @@ T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
     return running;
   }
 
-  const int num_threads = max_threads();
-  std::vector<T> partial(static_cast<std::size_t>(num_threads) + 1, T{});
-#pragma omp parallel num_threads(num_threads)
+  const int max_team = exec.num_threads();
+  std::vector<T> partial(static_cast<std::size_t>(max_team) + 1, T{});
+  int team = 1;
+#pragma omp parallel num_threads(max_team)
   {
+    // Chunk by the team size OpenMP actually granted, so every index is
+    // covered even if fewer than `max_team` threads materialise.
+    const int num_threads = omp_get_num_threads();
     const int t = omp_get_thread_num();
     const size_type lo = n * t / num_threads;
     const size_type hi = n * (t + 1) / num_threads;
@@ -41,6 +47,7 @@ T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
 #pragma omp barrier
 #pragma omp single
     {
+      team = num_threads;
       for (int k = 1; k <= num_threads; ++k) partial[k] += partial[k - 1];
     }
     T running = partial[t];
@@ -50,14 +57,20 @@ T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
       running += v;
     }
   }
-  return partial[num_threads];
+  return partial[team];
+}
+
+template <class T>
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
+  return exclusive_scan<T>(default_executor(space), in, out);
 }
 
 /// out[i] = sum of in[0..i]; returns the grand total.
 template <class T>
-T inclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
+T inclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) {
   const size_type n = static_cast<size_type>(in.size());
-  T total = exclusive_scan(space, in, out);
+  T total = exclusive_scan<T>(exec, in, out);
   // Convert exclusive to inclusive in place: shift by the element itself.
   // (exclusive_scan already consumed in[i] before writing out[i], so when the
   // buffers alias we recompute from neighbours instead.)
@@ -70,8 +83,14 @@ T inclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
     out[n - 1] = total;
     return total;
   }
-  parallel_for(space, n, [&](size_type i) { out[i] += in[i]; });
+  parallel_for(exec, n, [&](size_type i) { out[i] += in[i]; });
   return total;
+}
+
+template <class T>
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+T inclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
+  return inclusive_scan<T>(default_executor(space), in, out);
 }
 
 }  // namespace pandora::exec

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 
 /// Parallel sorting.
@@ -24,15 +25,22 @@
 ///    the key space is dense and radix beats comparison sorting.  This mirrors
 ///    the paper's observation that GPU dendrogram time is dominated by sorts
 ///    and that radix-style sorts are the best-scaling primitive (Figure 12).
+///
+/// All scratch (ping-pong buffers, per-thread histograms) is leased from the
+/// Executor's Workspace, so repeated sorts on same-sized inputs allocate
+/// nothing after the first call.
 namespace pandora::exec {
+
+/// Per-thread radix histogram: count (then write cursor) per byte value.
+using RadixHistogram = std::array<size_type, 256>;
 
 namespace detail {
 
 /// Sort `v` into `num_chunks` sorted runs, then merge pairwise in rounds.
 template <class T, class Comp>
-void parallel_merge_sort(std::vector<T>& v, Comp comp) {
+void parallel_merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
   const size_type n = static_cast<size_type>(v.size());
-  const int num_threads = max_threads();
+  const int num_threads = exec.num_threads();
   // Round chunk count down to a power of two for a clean pairwise merge tree.
   int chunks = 1;
   while (chunks * 2 <= num_threads) chunks *= 2;
@@ -44,15 +52,15 @@ void parallel_merge_sort(std::vector<T>& v, Comp comp) {
   std::vector<size_type> bounds(static_cast<std::size_t>(chunks) + 1);
   for (int c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
 
-#pragma omp parallel for schedule(dynamic, 1)
+#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
   for (int c = 0; c < chunks; ++c)
     std::stable_sort(v.begin() + bounds[c], v.begin() + bounds[c + 1], comp);
 
-  std::vector<T> buffer(v.size());
+  auto buffer = exec.workspace().template take_uninit<T>(n);
   T* src = v.data();
-  T* dst = buffer.data();
+  T* dst = buffer->data();
   for (int width = 1; width < chunks; width *= 2) {
-#pragma omp parallel for schedule(dynamic, 1)
+#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
     for (int c = 0; c < chunks; c += 2 * width) {
       const size_type lo = bounds[c];
       const size_type mid = bounds[std::min(c + width, chunks)];
@@ -64,44 +72,56 @@ void parallel_merge_sort(std::vector<T>& v, Comp comp) {
   if (src != v.data()) std::memcpy(v.data(), src, sizeof(T) * static_cast<std::size_t>(n));
 }
 
+/// Which byte positions vary across `keys` (constant passes are skipped, so
+/// sorting keys bounded by 2^k costs ceil(k/8) scatter passes).
+inline std::uint64_t varying_bytes(const Executor& exec, const std::uint64_t* keys,
+                                   size_type n) {
+  std::uint64_t all_or = 0, all_and = ~std::uint64_t{0};
+  const int num_threads = exec.num_threads();
+#pragma omp parallel for schedule(static) num_threads(num_threads) \
+    reduction(|: all_or) reduction(&: all_and)
+  for (size_type i = 0; i < n; ++i) {
+    all_or |= keys[i];
+    all_and &= keys[i];
+  }
+  return all_or & ~all_and;
+}
+
 }  // namespace detail
 
 /// Stable comparison sort of `v` under `comp`.
 template <class T, class Comp>
-void merge_sort(Space space, std::vector<T>& v, Comp comp) {
-  if (space == Space::parallel) {
-    detail::parallel_merge_sort(v, comp);
+void merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
+  if (exec.space() == Space::parallel) {
+    detail::parallel_merge_sort(exec, v, comp);
   } else {
     std::stable_sort(v.begin(), v.end(), comp);
   }
 }
 
-/// Stable LSD radix sort of 64-bit keys, ascending.  Passes whose byte is
-/// constant across all keys are skipped, so sorting keys bounded by 2^k costs
-/// ceil(k/8) scatter passes.
-inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
+template <class T, class Comp>
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+void merge_sort(Space space, std::vector<T>& v, Comp comp) {
+  merge_sort(default_executor(space), v, static_cast<Comp&&>(comp));
+}
+
+/// Stable LSD radix sort of 64-bit keys, ascending.
+inline void radix_sort_u64(const Executor& exec, std::vector<std::uint64_t>& keys) {
   const size_type n = static_cast<size_type>(keys.size());
   if (n < 2) return;
-  if (space != Space::parallel || n < kParallelForGrain) {
+  if (!exec.parallelize(n)) {
     std::sort(keys.begin(), keys.end());
     return;
   }
 
-  // Determine which byte positions actually vary.
-  std::uint64_t all_or = 0, all_and = ~std::uint64_t{0};
-#pragma omp parallel for schedule(static) reduction(|: all_or) reduction(&: all_and)
-  for (size_type i = 0; i < n; ++i) {
-    all_or |= keys[i];
-    all_and &= keys[i];
-  }
-  const std::uint64_t varying = all_or & ~all_and;
-
-  const int num_threads = max_threads();
-  std::vector<std::uint64_t> buffer(keys.size());
+  const std::uint64_t varying = detail::varying_bytes(exec, keys.data(), n);
+  const int num_threads = exec.num_threads();
+  auto buffer = exec.workspace().take_uninit<std::uint64_t>(n);
   std::uint64_t* src = keys.data();
-  std::uint64_t* dst = buffer.data();
+  std::uint64_t* dst = buffer->data();
   // hist[t][b]: count of byte-value b in thread t's chunk.
-  std::vector<std::array<size_type, 256>> hist(static_cast<std::size_t>(num_threads));
+  auto hist_lease = exec.workspace().take_uninit<RadixHistogram>(num_threads);
+  std::vector<RadixHistogram>& hist = *hist_lease;
 
   for (int pass = 0; pass < 8; ++pass) {
     const int shift = pass * 8;
@@ -109,9 +129,12 @@ inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
 
 #pragma omp parallel num_threads(num_threads)
     {
+      // Chunk by the team size OpenMP actually granted, so every index is
+      // covered even if fewer than `num_threads` threads materialise.
+      const int nt = omp_get_num_threads();
       const int t = omp_get_thread_num();
-      const size_type lo = n * t / num_threads;
-      const size_type hi = n * (t + 1) / num_threads;
+      const size_type lo = n * t / nt;
+      const size_type hi = n * (t + 1) / nt;
       auto& h = hist[static_cast<std::size_t>(t)];
       h.fill(0);
       for (size_type i = lo; i < hi; ++i) ++h[(src[i] >> shift) & 0xff];
@@ -122,7 +145,7 @@ inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
         // (all counts of smaller bytes) + (counts of b in earlier threads).
         size_type running = 0;
         for (int b = 0; b < 256; ++b) {
-          for (int tt = 0; tt < num_threads; ++tt) {
+          for (int tt = 0; tt < nt; ++tt) {
             size_type c = hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)];
             hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)] = running;
             running += c;
@@ -139,15 +162,21 @@ inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
     std::memcpy(keys.data(), src, sizeof(std::uint64_t) * static_cast<std::size_t>(n));
 }
 
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
+  radix_sort_u64(default_executor(space), keys);
+}
+
 /// Stable LSD radix sort of (key, value) pairs by key, ascending.  Used for
 /// the initial descending-weight edge argsort (keys are inverted weight bits,
 /// values the edge ids); stability implements the ascending-id tie-break.
-inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
+inline void radix_sort_kv(const Executor& exec, std::vector<std::uint64_t>& keys,
                           std::vector<index_t>& values) {
   const size_type n = static_cast<size_type>(keys.size());
   if (n < 2) return;
-  if (space != Space::parallel || n < kParallelForGrain) {
-    std::vector<std::pair<std::uint64_t, index_t>> pairs(static_cast<std::size_t>(n));
+  if (!exec.parallelize(n)) {
+    auto pairs_lease = exec.workspace().take_uninit<std::pair<std::uint64_t, index_t>>(n);
+    auto& pairs = *pairs_lease;
     for (size_type i = 0; i < n; ++i)
       pairs[static_cast<std::size_t>(i)] = {keys[static_cast<std::size_t>(i)],
                                             values[static_cast<std::size_t>(i)]};
@@ -160,31 +189,27 @@ inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
     return;
   }
 
-  std::uint64_t all_or = 0, all_and = ~std::uint64_t{0};
-#pragma omp parallel for schedule(static) reduction(|: all_or) reduction(&: all_and)
-  for (size_type i = 0; i < n; ++i) {
-    all_or |= keys[i];
-    all_and &= keys[i];
-  }
-  const std::uint64_t varying = all_or & ~all_and;
-
-  const int num_threads = max_threads();
-  std::vector<std::uint64_t> key_buffer(keys.size());
-  std::vector<index_t> value_buffer(values.size());
+  const std::uint64_t varying = detail::varying_bytes(exec, keys.data(), n);
+  const int num_threads = exec.num_threads();
+  auto key_buffer = exec.workspace().take_uninit<std::uint64_t>(n);
+  auto value_buffer = exec.workspace().take_uninit<index_t>(n);
   std::uint64_t* ksrc = keys.data();
-  std::uint64_t* kdst = key_buffer.data();
+  std::uint64_t* kdst = key_buffer->data();
   index_t* vsrc = values.data();
-  index_t* vdst = value_buffer.data();
-  std::vector<std::array<size_type, 256>> hist(static_cast<std::size_t>(num_threads));
+  index_t* vdst = value_buffer->data();
+  auto hist_lease = exec.workspace().take_uninit<RadixHistogram>(num_threads);
+  std::vector<RadixHistogram>& hist = *hist_lease;
 
   for (int pass = 0; pass < 8; ++pass) {
     const int shift = pass * 8;
     if (((varying >> shift) & 0xff) == 0) continue;
 #pragma omp parallel num_threads(num_threads)
     {
+      // Chunk by the granted team size, as in radix_sort_u64 above.
+      const int nt = omp_get_num_threads();
       const int t = omp_get_thread_num();
-      const size_type lo = n * t / num_threads;
-      const size_type hi = n * (t + 1) / num_threads;
+      const size_type lo = n * t / nt;
+      const size_type hi = n * (t + 1) / nt;
       auto& h = hist[static_cast<std::size_t>(t)];
       h.fill(0);
       for (size_type i = lo; i < hi; ++i) ++h[(ksrc[i] >> shift) & 0xff];
@@ -193,7 +218,7 @@ inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
       {
         size_type running = 0;
         for (int b = 0; b < 256; ++b) {
-          for (int tt = 0; tt < num_threads; ++tt) {
+          for (int tt = 0; tt < nt; ++tt) {
             size_type c = hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)];
             hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)] = running;
             running += c;
@@ -213,6 +238,12 @@ inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
     std::memcpy(keys.data(), ksrc, sizeof(std::uint64_t) * static_cast<std::size_t>(n));
     std::memcpy(values.data(), vsrc, sizeof(index_t) * static_cast<std::size_t>(n));
   }
+}
+
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
+                          std::vector<index_t>& values) {
+  radix_sort_kv(default_executor(space), keys, values);
 }
 
 /// Maps a non-negative double to a u64 preserving order (IEEE-754 bit trick;

@@ -8,14 +8,14 @@
 
 namespace pandora::graph {
 
-std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& next) {
+std::vector<index_t> list_rank(const exec::Executor& exec, const std::vector<index_t>& next) {
   const size_type n = static_cast<size_type>(next.size());
   std::vector<index_t> distance(next.size(), 0);
   std::vector<index_t> jump = next;
   std::vector<index_t> jump_buffer(next.size());
   std::vector<index_t> distance_buffer(next.size());
 
-  exec::parallel_for(space, n, [&](size_type i) {
+  exec::parallel_for(exec, n, [&](size_type i) {
     distance[static_cast<std::size_t>(i)] =
         jump[static_cast<std::size_t>(i)] == kNone ? 0 : 1;
   });
@@ -25,7 +25,7 @@ std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& ne
   // unattractive there — Section 5.)
   for (;;) {
     bool any_live = false;
-    exec::parallel_for(space, n, [&](size_type i) {
+    exec::parallel_for(exec, n, [&](size_type i) {
       const index_t j = jump[static_cast<std::size_t>(i)];
       if (j == kNone) {
         jump_buffer[static_cast<std::size_t>(i)] = kNone;
@@ -41,7 +41,7 @@ std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& ne
     distance.swap(distance_buffer);
     // Termination check (a reduction, like everything else here).
     any_live = exec::parallel_reduce(
-                   space, n, size_type{0},
+                   exec, n, size_type{0},
                    [&](size_type i) {
                      return jump[static_cast<std::size_t>(i)] == kNone ? size_type{0}
                                                                        : size_type{1};
@@ -52,8 +52,8 @@ std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& ne
   return distance;
 }
 
-EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num_vertices,
-                           index_t root) {
+EulerTour build_euler_tour(const exec::Executor& exec, const EdgeList& edges,
+                           index_t num_vertices, index_t root) {
   PANDORA_EXPECT(root >= 0 && root < num_vertices, "root out of range");
   const index_t n = static_cast<index_t>(edges.size());
   EulerTour tour;
@@ -70,7 +70,7 @@ EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num
   // (v -> u) in v's (cyclic) incidence order.  Positions of each half-edge in
   // its endpoint's incidence list:
   std::vector<index_t> slot_of(static_cast<std::size_t>(2) * static_cast<std::size_t>(n));
-  exec::parallel_for(space, num_vertices, [&](size_type v) {
+  exec::parallel_for(exec, num_vertices, [&](size_type v) {
     const auto incident = adj.incident(static_cast<index_t>(v));
     for (std::size_t k = 0; k < incident.size(); ++k) {
       const auto& half = incident[k];
@@ -84,7 +84,7 @@ EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num
   });
 
   std::vector<index_t> next(static_cast<std::size_t>(2) * static_cast<std::size_t>(n));
-  exec::parallel_for(space, static_cast<size_type>(2) * n, [&](size_type h) {
+  exec::parallel_for(exec, static_cast<size_type>(2) * n, [&](size_type h) {
     const auto edge = static_cast<index_t>(h / 2);
     const bool forward = (h % 2) == 0;  // u -> v
     const auto& e = edges[static_cast<std::size_t>(edge)];
@@ -110,7 +110,7 @@ EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num
   {
     // Find it in parallel (the unique h with next[h] == first).
     std::vector<index_t> found(1, kNone);
-    exec::parallel_for(space, static_cast<size_type>(2) * n, [&](size_type h) {
+    exec::parallel_for(exec, static_cast<size_type>(2) * n, [&](size_type h) {
       if (next[static_cast<std::size_t>(h)] == first)
         found[0] = static_cast<index_t>(h);  // unique writer
     });
@@ -119,15 +119,15 @@ EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num
   next[static_cast<std::size_t>(tail)] = kNone;
 
   // Ranks from the tail distances.
-  const std::vector<index_t> to_tail = list_rank(space, next);
+  const std::vector<index_t> to_tail = list_rank(exec, next);
   const index_t length = 2 * n;
-  exec::parallel_for(space, static_cast<size_type>(length), [&](size_type h) {
+  exec::parallel_for(exec, static_cast<size_type>(length), [&](size_type h) {
     tour.rank[static_cast<std::size_t>(h)] =
         length - 1 - to_tail[static_cast<std::size_t>(h)];
   });
 
   // Orientation: for edge e the direction ranked earlier descends the tree.
-  exec::parallel_for(space, static_cast<size_type>(n), [&](size_type e) {
+  exec::parallel_for(exec, static_cast<size_type>(n), [&](size_type e) {
     const auto fwd = static_cast<std::size_t>(2 * e);
     const auto bwd = fwd + 1;
     const auto& edge = edges[static_cast<std::size_t>(e)];
@@ -143,6 +143,15 @@ EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num
   });
   tour.subtree_size[static_cast<std::size_t>(root)] = num_vertices;
   return tour;
+}
+
+std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& next) {
+  return list_rank(exec::default_executor(space), next);
+}
+
+EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num_vertices,
+                           index_t root) {
+  return build_euler_tour(exec::default_executor(space), edges, num_vertices, root);
 }
 
 }  // namespace pandora::graph

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
@@ -34,14 +35,24 @@ struct EulerTour {
 };
 
 /// Builds the Euler tour of `edges` (a spanning tree over `num_vertices`
-/// vertices) rooted at `root`.  All steps are parallel under `space`; the
-/// list ranking is pointer jumping (O(n log n) work by design — this mirrors
-/// the GPU cost model the paper discusses, not the best PRAM algorithm).
-[[nodiscard]] EulerTour build_euler_tour(exec::Space space, const EdgeList& edges,
+/// vertices) rooted at `root`.  All steps are parallel under the executor;
+/// the list ranking is pointer jumping (O(n log n) work by design — this
+/// mirrors the GPU cost model the paper discusses, not the best PRAM
+/// algorithm).
+[[nodiscard]] EulerTour build_euler_tour(const exec::Executor& exec, const EdgeList& edges,
                                          index_t num_vertices, index_t root = 0);
 
 /// Parallel list ranking by pointer jumping: given `next` (successor index or
 /// kNone at the tail), returns for every element its distance to the tail.
+[[nodiscard]] std::vector<index_t> list_rank(const exec::Executor& exec,
+                                             const std::vector<index_t>& next);
+
+/// Deprecated shims over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+[[nodiscard]] EulerTour build_euler_tour(exec::Space space, const EdgeList& edges,
+                                         index_t num_vertices, index_t root = 0);
+
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] std::vector<index_t> list_rank(exec::Space space,
                                              const std::vector<index_t>& next);
 

@@ -34,7 +34,8 @@ EdgeList kruskal_mst(const EdgeList& edges, index_t num_vertices) {
   return mst;
 }
 
-EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_vertices) {
+EdgeList boruvka_mst(const exec::Executor& exec, const EdgeList& edges,
+                     index_t num_vertices) {
   PANDORA_EXPECT(num_vertices > 0, "graph must have at least one vertex");
   const size_type m = static_cast<size_type>(edges.size());
   constexpr std::uint64_t kInfWeight = std::numeric_limits<std::uint64_t>::max();
@@ -57,7 +58,7 @@ EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_verti
   while (static_cast<index_t>(mst.size()) < num_vertices - 1) {
     PANDORA_EXPECT(roots.size() > 1, "graph is not connected");
 
-    exec::parallel_for(space, m, [&](size_type i) {
+    exec::parallel_for(exec, m, [&](size_type i) {
       const auto& e = edges[static_cast<std::size_t>(i)];
       const index_t ru = uf.find(e.u);
       const index_t rv = uf.find(e.v);
@@ -66,7 +67,7 @@ EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_verti
       exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(ru)], wbits);
       exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(rv)], wbits);
     });
-    exec::parallel_for(space, m, [&](size_type i) {
+    exec::parallel_for(exec, m, [&](size_type i) {
       const auto& e = edges[static_cast<std::size_t>(i)];
       const index_t ru = uf.find(e.u);
       const index_t rv = uf.find(e.v);
@@ -105,6 +106,10 @@ EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_verti
     roots.swap(next_roots);
   }
   return mst;
+}
+
+EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_vertices) {
+  return boruvka_mst(exec::default_executor(space), edges, num_vertices);
 }
 
 }  // namespace pandora::graph

@@ -1,5 +1,7 @@
 #include "pandora/hdbscan/condensed_tree.hpp"
 
+#include "pandora/common/timer.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <vector>
@@ -258,6 +260,15 @@ FlatClustering extract_clusters(const CondensedTree& tree, bool allow_single_clu
   ExtractOptions options;
   options.allow_single_cluster = allow_single_cluster;
   return extract_clusters(tree, options);
+}
+
+CondensedTree build_condensed_tree(const exec::Executor& exec,
+                                   const dendrogram::Dendrogram& dendrogram,
+                                   index_t min_cluster_size) {
+  Timer timer;
+  CondensedTree tree = build_condensed_tree(dendrogram, min_cluster_size);
+  exec.record_phase("condense", timer.seconds());
+  return tree;
 }
 
 }  // namespace pandora::hdbscan

@@ -4,6 +4,7 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/exec/executor.hpp"
 
 namespace pandora::hdbscan {
 
@@ -41,6 +42,12 @@ struct CondensedTree {
 /// Builds the condensed tree from a dendrogram.  `min_cluster_size >= 1`;
 /// with 1, every split is a true split and the tree mirrors the dendrogram.
 [[nodiscard]] CondensedTree build_condensed_tree(const dendrogram::Dendrogram& dendrogram,
+                                                 index_t min_cluster_size);
+
+/// Executor overload for API uniformity; the walk is sequential today, but
+/// the "condense" phase is recorded with the executor's profiler.
+[[nodiscard]] CondensedTree build_condensed_tree(const exec::Executor& exec,
+                                                 const dendrogram::Dendrogram& dendrogram,
                                                  index_t min_cluster_size);
 
 /// Flat clusters by excess-of-mass stability optimisation.

@@ -5,10 +5,15 @@
 
 namespace pandora::hdbscan {
 
-std::vector<double> core_distances(exec::Space space, const spatial::PointSet& points,
+std::vector<double> core_distances(const exec::Executor& exec, const spatial::PointSet& points,
                                    const spatial::KdTree& tree, int min_pts) {
   PANDORA_EXPECT(min_pts >= 1, "minPts must be at least 1");
-  return spatial::kth_neighbor_distances(space, points, tree, min_pts - 1);
+  return spatial::kth_neighbor_distances(exec, points, tree, min_pts - 1);
+}
+
+std::vector<double> core_distances(exec::Space space, const spatial::PointSet& points,
+                                   const spatial::KdTree& tree, int min_pts) {
+  return core_distances(exec::default_executor(space), points, tree, min_pts);
 }
 
 }  // namespace pandora::hdbscan

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "pandora/spatial/point_set.hpp"
@@ -14,6 +15,12 @@ namespace pandora::hdbscan {
 /// minPts = 2 is the distance to the nearest other point, matching the
 /// paper's default "mpts = 2").  minPts = 1 yields zeros (plain
 /// single-linkage on Euclidean distance).
+[[nodiscard]] std::vector<double> core_distances(const exec::Executor& exec,
+                                                 const spatial::PointSet& points,
+                                                 const spatial::KdTree& tree, int min_pts);
+
+/// Deprecated shim over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] std::vector<double> core_distances(exec::Space space,
                                                  const spatial::PointSet& points,
                                                  const spatial::KdTree& tree, int min_pts);

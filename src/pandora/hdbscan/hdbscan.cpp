@@ -9,36 +9,34 @@
 
 namespace pandora::hdbscan {
 
-HdbscanResult hdbscan(const spatial::PointSet& points, const HdbscanOptions& options) {
+HdbscanResult hdbscan(const exec::Executor& exec, const spatial::PointSet& points,
+                      const HdbscanOptions& options) {
   PANDORA_EXPECT(points.size() > 0, "need at least one point");
   HdbscanResult result;
-  const exec::Space space = options.space;
+  // Capture every phase in result.times, chaining to any profiler the caller
+  // attached to the executor (so both observers see the same breakdown).
+  exec::ScopedPhaseTimes scope(exec, &result.times);
 
   Timer timer;
   spatial::KdTree tree(points);
-  result.times.add("tree_build", timer.seconds());
+  exec.record_phase("tree_build", timer.seconds());
 
   timer.reset();
-  result.core_distances = core_distances(space, points, tree, options.min_pts);
-  result.times.add("core_distance", timer.seconds());
+  result.core_distances = core_distances(exec, points, tree, options.min_pts);
+  exec.record_phase("core_distance", timer.seconds());
 
   timer.reset();
-  result.mst = spatial::mutual_reachability_mst(space, points, tree, result.core_distances);
-  result.times.add("mst", timer.seconds());
+  result.mst = spatial::mutual_reachability_mst(exec, points, tree, result.core_distances);
+  exec.record_phase("mst", timer.seconds());
 
   if (options.dendrogram_algorithm == DendrogramAlgorithm::pandora) {
-    dendrogram::PandoraOptions pandora_options;
-    pandora_options.space = space;
-    result.dendrogram = dendrogram::pandora_dendrogram(result.mst, points.size(),
-                                                       pandora_options, &result.times);
+    result.dendrogram = dendrogram::pandora_dendrogram(exec, result.mst, points.size());
   } else {
-    result.dendrogram = dendrogram::union_find_dendrogram(result.mst, points.size(), space,
-                                                          &result.times);
+    result.dendrogram = dendrogram::union_find_dendrogram(exec, result.mst, points.size());
   }
 
-  timer.reset();
-  result.condensed_tree = build_condensed_tree(result.dendrogram, options.min_cluster_size);
-  result.times.add("condense", timer.seconds());
+  result.condensed_tree =
+      build_condensed_tree(exec, result.dendrogram, options.min_cluster_size);
 
   timer.reset();
   ExtractOptions extract_options;
@@ -48,8 +46,12 @@ HdbscanResult hdbscan(const spatial::PointSet& points, const HdbscanOptions& opt
   FlatClustering flat = extract_clusters(result.condensed_tree, extract_options);
   result.labels = std::move(flat.labels);
   result.num_clusters = flat.num_clusters;
-  result.times.add("extract", timer.seconds());
+  exec.record_phase("extract", timer.seconds());
   return result;
+}
+
+HdbscanResult hdbscan(const spatial::PointSet& points, const HdbscanOptions& options) {
+  return hdbscan(exec::default_executor(options.space), points, options);
 }
 
 }  // namespace pandora::hdbscan

@@ -5,6 +5,7 @@
 #include "pandora/common/timer.hpp"
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/condensed_tree.hpp"
@@ -22,6 +23,8 @@ enum class DendrogramAlgorithm {
 struct HdbscanOptions {
   int min_pts = 2;                  ///< the paper's "mpts" (default 2, Section 6.5)
   index_t min_cluster_size = 5;     ///< condensed-tree shedding threshold
+  /// Consulted only by the deprecated Executor-less overload; the Executor
+  /// overload takes its space from the executor.
   exec::Space space = exec::Space::parallel;
   DendrogramAlgorithm dendrogram_algorithm = DendrogramAlgorithm::pandora;
   bool allow_single_cluster = false;
@@ -38,12 +41,21 @@ struct HdbscanResult {
   index_t num_clusters = 0;
   /// Phases: "core_distance", "mst", "sort"/"contraction"/"expansion" (or
   /// "dendrogram" for the union-find baseline), "condense", "extract".
+  /// Also forwarded to any Profiler attached to the Executor.
   PhaseTimes times;
 };
 
 /// The full HDBSCAN* pipeline (Section 6.5): core distances ->
 /// mutual-reachability EMST -> dendrogram -> condensed tree -> stability-
-/// optimal flat clusters.
+/// optimal flat clusters.  Repeated calls on one Executor reuse its
+/// workspace arena, so steady-state queries allocate far less than the
+/// first call.
+[[nodiscard]] HdbscanResult hdbscan(const exec::Executor& exec,
+                                    const spatial::PointSet& points,
+                                    const HdbscanOptions& options = {});
+
+/// Deprecated shim over the per-thread default executor of `options.space`.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of HdbscanOptions::space")
 [[nodiscard]] HdbscanResult hdbscan(const spatial::PointSet& points,
                                     const HdbscanOptions& options = {});
 

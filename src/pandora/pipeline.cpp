@@ -1,0 +1,45 @@
+#include "pandora/pipeline.hpp"
+
+#include "pandora/common/timer.hpp"
+#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "pandora/hdbscan/core_distance.hpp"
+#include "pandora/spatial/emst.hpp"
+
+namespace pandora {
+
+dendrogram::SortedEdges Pipeline::sort_edges(const graph::EdgeList& mst,
+                                             index_t num_vertices) const {
+  return dendrogram::sort_edges(*executor_, mst, num_vertices, validate_input_);
+}
+
+dendrogram::Dendrogram Pipeline::build_dendrogram(const graph::EdgeList& mst,
+                                                  index_t num_vertices) const {
+  if (options_.dendrogram_algorithm == hdbscan::DendrogramAlgorithm::union_find)
+    return dendrogram::union_find_dendrogram(*executor_, mst, num_vertices, validate_input_);
+  return dendrogram::pandora_dendrogram(*executor_, mst, num_vertices, pandora_options());
+}
+
+dendrogram::Dendrogram Pipeline::build_dendrogram(const dendrogram::SortedEdges& sorted) const {
+  if (options_.dendrogram_algorithm == hdbscan::DendrogramAlgorithm::union_find)
+    return dendrogram::union_find_dendrogram(*executor_, sorted);
+  return dendrogram::pandora_dendrogram(*executor_, sorted, pandora_options());
+}
+
+std::vector<double> Pipeline::core_distances(const spatial::PointSet& points,
+                                             const spatial::KdTree& tree) const {
+  return hdbscan::core_distances(*executor_, points, tree, options_.min_pts);
+}
+
+graph::EdgeList Pipeline::build_mst(const spatial::PointSet& points,
+                                    spatial::KdTree& tree) const {
+  if (options_.min_pts <= 1) return spatial::euclidean_mst(*executor_, points, tree);
+  const std::vector<double> core =
+      hdbscan::core_distances(*executor_, points, tree, options_.min_pts);
+  return spatial::mutual_reachability_mst(*executor_, points, tree, core);
+}
+
+hdbscan::HdbscanResult Pipeline::run_hdbscan(const spatial::PointSet& points) const {
+  return hdbscan::hdbscan(*executor_, points, options_);
+}
+
+}  // namespace pandora

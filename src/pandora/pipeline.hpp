@@ -1,0 +1,129 @@
+#pragma once
+
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora {
+
+/// The fluent front door of the library: one builder configuring the whole
+/// clustering pipeline against an Executor, replacing ad-hoc
+/// `PandoraOptions` / `HdbscanOptions` field-poking at call sites:
+///
+///   exec::Executor executor;                       // reused across queries
+///   auto dendrogram = Pipeline::on(executor)
+///                         .with_min_pts(4)
+///                         .build_dendrogram(mst, num_vertices);
+///   auto clusters   = Pipeline::on(executor)
+///                         .with_min_pts(4)
+///                         .with_min_cluster_size(25)
+///                         .run_hdbscan(points);
+///
+/// The builder holds a reference to the executor (it must outlive any
+/// terminal call) and plain option values; it is cheap to copy and every
+/// `with_*` returns *this for chaining.  Terminal operations delegate to the
+/// Executor-based free functions, so repeated calls on one executor reuse
+/// its workspace arena and report phases to its profiler.
+class Pipeline {
+ public:
+  [[nodiscard]] static Pipeline on(const exec::Executor& executor) { return Pipeline(executor); }
+
+  // --- configuration -------------------------------------------------------
+
+  /// HDBSCAN* minPts (core-distance neighbour count).  Default 2.
+  Pipeline& with_min_pts(int min_pts) {
+    options_.min_pts = min_pts;
+    return *this;
+  }
+
+  /// Condensed-tree shedding threshold.  Default 5.
+  Pipeline& with_min_cluster_size(index_t min_cluster_size) {
+    options_.min_cluster_size = min_cluster_size;
+    return *this;
+  }
+
+  /// Which dendrogram algorithm the pipeline runs (PANDORA by default).
+  Pipeline& with_dendrogram_algorithm(hdbscan::DendrogramAlgorithm algorithm) {
+    options_.dendrogram_algorithm = algorithm;
+    return *this;
+  }
+
+  /// PANDORA expansion policy (multilevel by default).
+  Pipeline& with_expansion(dendrogram::ExpansionPolicy policy) {
+    expansion_ = policy;
+    return *this;
+  }
+
+  /// Validate that dendrogram inputs are spanning trees with finite weights.
+  Pipeline& with_validation(bool validate = true) {
+    validate_input_ = validate;
+    return *this;
+  }
+
+  Pipeline& allow_single_cluster(bool allow = true) {
+    options_.allow_single_cluster = allow;
+    return *this;
+  }
+
+  Pipeline& with_cluster_selection(hdbscan::ClusterSelectionMethod method) {
+    options_.cluster_selection_method = method;
+    return *this;
+  }
+
+  Pipeline& with_selection_epsilon(double epsilon) {
+    options_.cluster_selection_epsilon = epsilon;
+    return *this;
+  }
+
+  // --- terminal operations --------------------------------------------------
+
+  /// Canonical descending-(weight, id) edge sort (Section 3.1.1).
+  [[nodiscard]] dendrogram::SortedEdges sort_edges(const graph::EdgeList& mst,
+                                                   index_t num_vertices) const;
+
+  /// Dendrogram of an MST via the configured algorithm.
+  [[nodiscard]] dendrogram::Dendrogram build_dendrogram(const graph::EdgeList& mst,
+                                                        index_t num_vertices) const;
+
+  /// Dendrogram from pre-sorted edges (shares one sort across algorithms).
+  [[nodiscard]] dendrogram::Dendrogram build_dendrogram(
+      const dendrogram::SortedEdges& sorted) const;
+
+  /// Per-point core distances at the configured minPts.
+  [[nodiscard]] std::vector<double> core_distances(const spatial::PointSet& points,
+                                                   const spatial::KdTree& tree) const;
+
+  /// Euclidean MST (minPts == 1) or mutual-reachability MST (minPts > 1).
+  [[nodiscard]] graph::EdgeList build_mst(const spatial::PointSet& points,
+                                          spatial::KdTree& tree) const;
+
+  /// The full HDBSCAN* pipeline.
+  [[nodiscard]] hdbscan::HdbscanResult run_hdbscan(const spatial::PointSet& points) const;
+
+  [[nodiscard]] const exec::Executor& executor() const { return *executor_; }
+
+ private:
+  explicit Pipeline(const exec::Executor& executor) : executor_(&executor) {}
+
+  [[nodiscard]] dendrogram::PandoraOptions pandora_options() const {
+    dendrogram::PandoraOptions options;
+    // options.space is left at its default: the Executor overloads take the
+    // space from the executor and never read it.
+    options.expansion = expansion_;
+    options.validate_input = validate_input_;
+    return options;
+  }
+
+  const exec::Executor* executor_;
+  hdbscan::HdbscanOptions options_;
+  dendrogram::ExpansionPolicy expansion_ = dendrogram::ExpansionPolicy::multilevel;
+  bool validate_input_ = false;
+};
+
+}  // namespace pandora

@@ -15,7 +15,7 @@ namespace {
 
 /// Shared Borůvka skeleton; `use_mreach` selects the metric (core_sq must be
 /// the squared core distances then).
-graph::EdgeList boruvka_emst(exec::Space space, const PointSet& points, KdTree& tree,
+graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points, KdTree& tree,
                              const std::vector<double>& core_sq, bool use_mreach) {
   const index_t n = points.size();
   graph::EdgeList mst;
@@ -34,17 +34,17 @@ graph::EdgeList boruvka_emst(exec::Space space, const PointSet& points, KdTree& 
   std::vector<index_t> roots(static_cast<std::size_t>(n));
   std::iota(roots.begin(), roots.end(), index_t{0});
 
-  if (use_mreach) tree.annotate_min_core(space, core_sq);
+  if (use_mreach) tree.annotate_min_core(exec, core_sq);
 
   while (static_cast<index_t>(mst.size()) < n - 1) {
-    exec::parallel_for(space, n, [&](size_type p) {
+    exec::parallel_for(exec, n, [&](size_type p) {
       component[static_cast<std::size_t>(p)] = uf.find(static_cast<index_t>(p));
     });
-    tree.annotate_components(space, component);
+    tree.annotate_components(exec, component);
 
     // Phase 1: every point finds its nearest foreign point; per-component
     // minimum weight via atomic-min on the order-preserving distance bits.
-    exec::parallel_for(space, n, [&](size_type pi) {
+    exec::parallel_for(exec, n, [&](size_type pi) {
       const auto p = static_cast<index_t>(pi);
       const index_t c = component[static_cast<std::size_t>(p)];
       const Neighbor nb =
@@ -57,7 +57,7 @@ graph::EdgeList boruvka_emst(exec::Space space, const PointSet& points, KdTree& 
     });
     // Phase 2: among weight ties, the smallest point id wins (exact
     // lexicographic (weight, point) minimum without a 128-bit CAS).
-    exec::parallel_for(space, n, [&](size_type pi) {
+    exec::parallel_for(exec, n, [&](size_type pi) {
       const auto p = static_cast<index_t>(pi);
       const Neighbor nb = point_best[static_cast<std::size_t>(p)];
       if (nb.index == kNone) return;
@@ -95,18 +95,29 @@ graph::EdgeList boruvka_emst(exec::Space space, const PointSet& points, KdTree& 
 
 }  // namespace
 
-graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, KdTree& tree) {
-  return boruvka_emst(space, points, tree, {}, false);
+graph::EdgeList euclidean_mst(const exec::Executor& exec, const PointSet& points,
+                              KdTree& tree) {
+  return boruvka_emst(exec, points, tree, {}, false);
 }
 
-graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points, KdTree& tree,
+graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, KdTree& tree) {
+  return euclidean_mst(exec::default_executor(space), points, tree);
+}
+
+graph::EdgeList mutual_reachability_mst(const exec::Executor& exec, const PointSet& points,
+                                        KdTree& tree,
                                         std::span<const double> core_distances) {
   PANDORA_EXPECT(static_cast<index_t>(core_distances.size()) == points.size(),
                  "one core distance per point required");
   std::vector<double> core_sq(core_distances.size());
   for (std::size_t i = 0; i < core_sq.size(); ++i)
     core_sq[i] = core_distances[i] * core_distances[i];
-  return boruvka_emst(space, points, tree, core_sq, true);
+  return boruvka_emst(exec, points, tree, core_sq, true);
+}
+
+graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points, KdTree& tree,
+                                        std::span<const double> core_distances) {
+  return mutual_reachability_mst(exec::default_executor(space), points, tree, core_distances);
 }
 
 }  // namespace pandora::spatial

@@ -3,6 +3,7 @@
 #include <span>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/spatial/kdtree.hpp"
@@ -16,13 +17,23 @@ namespace pandora::spatial {
 /// neighbour outside its own component; per-component winners (exact
 /// (distance, point-id) lexicographic minima) hook the components together.
 /// Deterministic under distance ties.
-[[nodiscard]] graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points,
+[[nodiscard]] graph::EdgeList euclidean_mst(const exec::Executor& exec, const PointSet& points,
                                             KdTree& tree);
 
 /// MST under the HDBSCAN* mutual-reachability metric
 /// d_mreach(p, q) = max(core(p), core(q), |p - q|), given per-point core
 /// distances (Section 6.5).  This is the "MST construction" phase of the
 /// paper's Figure 1/15 pipeline.
+[[nodiscard]] graph::EdgeList mutual_reachability_mst(const exec::Executor& exec,
+                                                      const PointSet& points, KdTree& tree,
+                                                      std::span<const double> core_distances);
+
+/// Deprecated shims over the per-thread default executor.
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+[[nodiscard]] graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points,
+                                            KdTree& tree);
+
+PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,
                                                       KdTree& tree,
                                                       std::span<const double> core_distances);

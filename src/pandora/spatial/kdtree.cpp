@@ -211,12 +211,13 @@ Neighbor KdTree::nearest_other_component_mreach(index_t q, index_t my_component,
   return best;
 }
 
-void KdTree::annotate_components(exec::Space space, std::span<const index_t> component) {
+void KdTree::annotate_components(const exec::Executor& exec,
+                                 std::span<const index_t> component) {
   const auto num_nodes = static_cast<size_type>(nodes_.size());
   node_component_.assign(nodes_.size(), kNone);
   // Leaves in parallel, then internal nodes in reverse creation order
   // (children always have larger ids than their parent).
-  exec::parallel_for(space, num_nodes, [&](size_type id) {
+  exec::parallel_for(exec, num_nodes, [&](size_type id) {
     const Node& nd = nodes_[static_cast<std::size_t>(id)];
     if (nd.left != kNone) return;
     index_t c = component[static_cast<std::size_t>(perm_[static_cast<std::size_t>(nd.begin)])];
@@ -233,10 +234,11 @@ void KdTree::annotate_components(exec::Space space, std::span<const index_t> com
   }
 }
 
-void KdTree::annotate_min_core(exec::Space space, std::span<const double> core_sq) {
+void KdTree::annotate_min_core(const exec::Executor& exec,
+                               std::span<const double> core_sq) {
   const auto num_nodes = static_cast<size_type>(nodes_.size());
   node_min_core_.assign(nodes_.size(), std::numeric_limits<double>::infinity());
-  exec::parallel_for(space, num_nodes, [&](size_type id) {
+  exec::parallel_for(exec, num_nodes, [&](size_type id) {
     const Node& nd = nodes_[static_cast<std::size_t>(id)];
     if (nd.left != kNone) return;
     double m = std::numeric_limits<double>::infinity();
@@ -251,6 +253,14 @@ void KdTree::annotate_min_core(exec::Space space, std::span<const double> core_s
         std::min(node_min_core_[static_cast<std::size_t>(nd.left)],
                  node_min_core_[static_cast<std::size_t>(nd.right)]);
   }
+}
+
+void KdTree::annotate_components(exec::Space space, std::span<const index_t> component) {
+  annotate_components(exec::default_executor(space), component);
+}
+
+void KdTree::annotate_min_core(exec::Space space, std::span<const double> core_sq) {
+  annotate_min_core(exec::default_executor(space), core_sq);
 }
 
 }  // namespace pandora::spatial

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/spatial/point_set.hpp"
 
@@ -58,9 +59,16 @@ class KdTree {
 
   /// Records, per node, the component id shared by all points below it (or
   /// kNone if mixed).  Call once per Borůvka round.
-  void annotate_components(exec::Space space, std::span<const index_t> component);
+  void annotate_components(const exec::Executor& exec, std::span<const index_t> component);
 
   /// Records, per node, the minimum squared core distance below it.
+  void annotate_min_core(const exec::Executor& exec, std::span<const double> core_sq);
+
+  /// Deprecated shims over the per-thread default executor.
+  PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
+  void annotate_components(exec::Space space, std::span<const index_t> component);
+
+  PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
   void annotate_min_core(exec::Space space, std::span<const double> core_sq);
 
   [[nodiscard]] index_t size() const { return static_cast<index_t>(perm_.size()); }

@@ -7,14 +7,15 @@
 
 namespace pandora::spatial {
 
-std::vector<double> kth_neighbor_distances(exec::Space space, const PointSet& points,
+std::vector<double> kth_neighbor_distances(const exec::Executor& exec, const PointSet& points,
                                            const KdTree& tree, int k) {
   const index_t n = points.size();
   std::vector<double> result(static_cast<std::size_t>(n), 0.0);
   if (k <= 0 || n <= 1) return result;
 
-  if (space == exec::Space::parallel) {
-#pragma omp parallel
+  if (exec.space() == exec::Space::parallel) {
+    const int num_threads = exec.num_threads();
+#pragma omp parallel num_threads(num_threads)
     {
       std::vector<Neighbor> scratch;
 #pragma omp for schedule(dynamic, 256)
@@ -33,6 +34,11 @@ std::vector<double> kth_neighbor_distances(exec::Space space, const PointSet& po
     }
   }
   return result;
+}
+
+std::vector<double> kth_neighbor_distances(exec::Space space, const PointSet& points,
+                                           const KdTree& tree, int k) {
+  return kth_neighbor_distances(exec::default_executor(space), points, tree, k);
 }
 
 }  // namespace pandora::spatial

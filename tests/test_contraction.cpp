@@ -23,10 +23,10 @@ using pandora::testing::make_tree;
 using pandora::testing::topology_name;
 
 ContractionHierarchy hierarchy_of(const graph::EdgeList& tree, index_t nv, exec::Space space) {
-  const SortedEdges sorted = dendrogram::sort_edges(space, tree, nv);
+  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(space), tree, nv);
   std::vector<index_t> gid(static_cast<std::size_t>(sorted.num_edges()));
   std::iota(gid.begin(), gid.end(), index_t{0});
-  return dendrogram::build_hierarchy(space, sorted.u, sorted.v, std::move(gid), nv,
+  return dendrogram::build_hierarchy(exec::default_executor(space), sorted.u, sorted.v, std::move(gid), nv,
                                      sorted.num_edges());
 }
 
@@ -99,11 +99,10 @@ TEST_P(ContractionSweep, VertexMapsComposeToConnectedPartitions) {
 TEST_P(ContractionSweep, SidedParentsAreIncidentEdges) {
   const auto& [topo, nv] = GetParam();
   const graph::EdgeList tree = make_tree(topo, nv, 2);
-  const SortedEdges sorted = dendrogram::sort_edges(exec::Space::serial, tree, nv);
+  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, nv);
   std::vector<index_t> gid(static_cast<std::size_t>(sorted.num_edges()));
   std::iota(gid.begin(), gid.end(), index_t{0});
-  const ContractionHierarchy h = dendrogram::build_hierarchy(
-      exec::Space::serial, sorted.u, sorted.v, std::move(gid), nv, sorted.num_edges());
+  const ContractionHierarchy h = dendrogram::build_hierarchy(exec::default_executor(exec::Space::serial), sorted.u, sorted.v, std::move(gid), nv, sorted.num_edges());
 
   // Level 0 sided parents are Eq. (1): the lightest incident edge, with the
   // side bit naming the endpoint.
@@ -140,7 +139,7 @@ TEST(Contraction, AlphaCountMatchesDendrogramClassification) {
   for (const Topology topo : all_topologies()) {
     const graph::EdgeList tree = make_tree(topo, 600, 5);
     const ContractionHierarchy h = hierarchy_of(tree, 600, exec::Space::parallel);
-    const auto d = dendrogram::pandora_dendrogram(tree, 600);
+    const auto d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 600);
     const auto counts = dendrogram::classify_edges(d);
     EXPECT_EQ(h.levels[0].num_alpha, counts.alpha_edges) << topology_name(topo);
     // And the paper's identity n_alpha = n_leaf - 1.

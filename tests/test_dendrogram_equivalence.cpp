@@ -47,16 +47,16 @@ TEST_P(EquivalenceTest, PandoraMatchesUnionFindAllSpacesAndPolicies) {
   const auto& [topo, n, distinct] = GetParam();
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     const graph::EdgeList tree = make_tree(topo, n, seed, distinct);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(tree, n);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, n);
     dendrogram::validate_dendrogram(reference);
 
     for (const Space space : {Space::serial, Space::parallel}) {
       for (const ExpansionPolicy policy :
            {ExpansionPolicy::multilevel, ExpansionPolicy::single_level}) {
         PandoraOptions options;
-        options.space = space;
         options.expansion = policy;
-        const Dendrogram ours = dendrogram::pandora_dendrogram(tree, n, options);
+        const Dendrogram ours =
+            dendrogram::pandora_dendrogram(exec::default_executor(space), tree, n, options);
         ASSERT_EQ(ours.parent, reference.parent)
             << topology_name(topo) << " n=" << n << " seed=" << seed
             << " space=" << exec::space_name(space)
@@ -73,7 +73,7 @@ TEST_P(EquivalenceTest, TopDownAgreesOnSmallTrees) {
   if (n > 300) GTEST_SKIP() << "top-down oracle is O(n h); small sizes only";
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const graph::EdgeList tree = make_tree(topo, n, seed, distinct);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(tree, n);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, n);
     const Dendrogram top_down = dendrogram::top_down_dendrogram(tree, n);
     ASSERT_EQ(top_down.parent, reference.parent)
         << topology_name(topo) << " n=" << n << " seed=" << seed;
@@ -82,7 +82,8 @@ TEST_P(EquivalenceTest, TopDownAgreesOnSmallTrees) {
 
 TEST(EquivalenceEdgeCases, SingleVertex) {
   const graph::EdgeList empty;
-  const Dendrogram d = dendrogram::pandora_dendrogram(empty, 1);
+  const Dendrogram d =
+      dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), empty, 1);
   EXPECT_EQ(d.num_edges, 0);
   EXPECT_EQ(d.num_vertices, 1);
   EXPECT_EQ(d.parent, std::vector<index_t>{kNone});
@@ -92,9 +93,7 @@ TEST(EquivalenceEdgeCases, SingleVertex) {
 TEST(EquivalenceEdgeCases, SingleEdge) {
   const graph::EdgeList tree{{0, 1, 2.5}};
   for (const Space space : {Space::serial, Space::parallel}) {
-    PandoraOptions options;
-    options.space = space;
-    const Dendrogram d = dendrogram::pandora_dendrogram(tree, 2, options);
+    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(space), tree, 2);
     EXPECT_EQ(d.parent[0], kNone);             // the lone edge is the root
     EXPECT_EQ(d.parent[d.vertex_node(0)], 0);  // both vertices hang below it
     EXPECT_EQ(d.parent[d.vertex_node(1)], 0);
@@ -107,20 +106,21 @@ TEST(EquivalenceEdgeCases, AllWeightsEqual) {
   // three algorithms must still agree exactly.
   for (const Topology topo : all_topologies()) {
     const graph::EdgeList tree = make_tree(topo, 128, /*seed=*/1, /*distinct=*/1);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(tree, 128);
-    const Dendrogram ours = dendrogram::pandora_dendrogram(tree, 128);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, 128);
+    const Dendrogram ours =
+        dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), tree, 128);
     ASSERT_EQ(ours.parent, reference.parent) << topology_name(topo);
   }
 }
 
 TEST(EquivalenceEdgeCases, DeterministicAcrossRepeatsAndSpaces) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 3000, 42, 0);
-  const Dendrogram first = dendrogram::pandora_dendrogram(tree, 3000);
+  const Dendrogram first =
+      dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), tree, 3000);
   for (int repeat = 0; repeat < 3; ++repeat) {
     for (const Space space : {Space::serial, Space::parallel}) {
-      PandoraOptions options;
-      options.space = space;
-      const Dendrogram d = dendrogram::pandora_dendrogram(tree, 3000, options);
+      const Dendrogram d =
+          dendrogram::pandora_dendrogram(exec::default_executor(space), tree, 3000);
       ASSERT_EQ(d.parent, first.parent) << "repeat " << repeat;
     }
   }
@@ -130,8 +130,9 @@ TEST(EquivalenceLarge, RandomTreesTenThousandVertices) {
   for (const Topology topo : {Topology::preferential, Topology::random_attach,
                               Topology::star, Topology::balanced}) {
     const graph::EdgeList tree = make_tree(topo, 10000, 9, 0);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(tree, 10000);
-    const Dendrogram ours = dendrogram::pandora_dendrogram(tree, 10000);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, 10000);
+    const Dendrogram ours =
+        dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), tree, 10000);
     ASSERT_EQ(ours.parent, reference.parent) << topology_name(topo);
     dendrogram::validate_dendrogram(ours);
   }

@@ -39,9 +39,9 @@ INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 8, 16)
 
 TEST_P(ThreadSweep, PandoraDendrogramIsThreadCountInvariant) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 30000, 11, /*distinct=*/4);
-  const auto reference = dendrogram::pandora_dendrogram(tree, 30000);
+  const auto reference = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 30000);
   ThreadCountGuard guard(GetParam());
-  const auto under_test = dendrogram::pandora_dendrogram(tree, 30000);
+  const auto under_test = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 30000);
   ASSERT_EQ(under_test.parent, reference.parent);
   ASSERT_EQ(under_test.edge_order, reference.edge_order);
 }
@@ -50,10 +50,10 @@ TEST_P(ThreadSweep, EmstIsThreadCountInvariant) {
   const spatial::PointSet points = data::power_law_blobs(5000, 3, 12, 1.2, 5);
   spatial::KdTree reference_tree(points);
   const auto reference =
-      spatial::euclidean_mst(exec::Space::parallel, points, reference_tree);
+      spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, reference_tree);
   ThreadCountGuard guard(GetParam());
   spatial::KdTree tree(points);
-  const auto under_test = spatial::euclidean_mst(exec::Space::parallel, points, tree);
+  const auto under_test = spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, tree);
   ASSERT_EQ(under_test.size(), reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i)
     ASSERT_EQ(under_test[i], reference[i]) << "edge " << i;
@@ -64,11 +64,60 @@ TEST_P(ThreadSweep, HdbscanLabelsAreThreadCountInvariant) {
   hdbscan::HdbscanOptions options;
   options.min_pts = 4;
   options.min_cluster_size = 20;
-  const auto reference = hdbscan::hdbscan(points, options);
+  const auto reference = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
   ThreadCountGuard guard(GetParam());
-  const auto under_test = hdbscan::hdbscan(points, options);
+  const auto under_test = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
   ASSERT_EQ(under_test.labels, reference.labels);
   ASSERT_EQ(under_test.dendrogram.parent, reference.dendrogram.parent);
+}
+
+TEST(Determinism, WorkspaceReuseIsBitIdenticalAcrossRepeatedCalls) {
+  // The Executor's workspace hands repeated calls recycled buffers with stale
+  // contents; results must nevertheless be bit-identical call after call,
+  // and identical to a fresh-executor run (the arena is invisible).
+  const graph::EdgeList tree = make_tree(Topology::preferential, 25000, 19, /*distinct=*/4);
+  const exec::Executor fresh(exec::Space::parallel);
+  const auto reference = dendrogram::pandora_dendrogram(fresh, tree, 25000);
+
+  const exec::Executor reused(exec::Space::parallel);
+  for (int repeat = 0; repeat < 4; ++repeat) {
+    const auto d = dendrogram::pandora_dendrogram(reused, tree, 25000);
+    ASSERT_EQ(d.parent, reference.parent) << "repeat " << repeat;
+    ASSERT_EQ(d.edge_order, reference.edge_order) << "repeat " << repeat;
+    ASSERT_EQ(d.weight, reference.weight) << "repeat " << repeat;
+  }
+  // And the steady state really is allocation-free, so the identical results
+  // above genuinely exercised recycled buffers.
+  reused.workspace().reset_stats();
+  (void)dendrogram::pandora_dendrogram(reused, tree, 25000);
+  EXPECT_EQ(reused.workspace().stats().misses, 0u);
+}
+
+TEST(Determinism, WorkspaceReuseAcrossDifferentInputSizes) {
+  // Shrinking and regrowing inputs on one executor must not leak state
+  // between calls.
+  const exec::Executor executor(exec::Space::parallel);
+  for (const index_t n : {20000, 500, 20000, 7777, 20000}) {
+    const graph::EdgeList tree = make_tree(Topology::random_attach, n, 23, 0);
+    const exec::Executor isolated(exec::Space::parallel);
+    const auto expected = dendrogram::pandora_dendrogram(isolated, tree, n);
+    const auto got = dendrogram::pandora_dendrogram(executor, tree, n);
+    ASSERT_EQ(got.parent, expected.parent) << "n=" << n;
+  }
+}
+
+TEST(Determinism, HdbscanOnReusedExecutorIsBitIdentical) {
+  const spatial::PointSet points = data::gaussian_blobs(3000, 2, 5, 0.03, 0.1, 29);
+  hdbscan::HdbscanOptions options;
+  options.min_pts = 4;
+  options.min_cluster_size = 15;
+  const exec::Executor executor(exec::Space::parallel);
+  const auto first = hdbscan::hdbscan(executor, points, options);
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    const auto again = hdbscan::hdbscan(executor, points, options);
+    ASSERT_EQ(again.labels, first.labels);
+    ASSERT_EQ(again.dendrogram.parent, first.dendrogram.parent);
+  }
 }
 
 TEST(Determinism, RngStreamsAreStablePerSeed) {

@@ -1,0 +1,182 @@
+// The Executor execution context: workspace arena semantics (lease recycling,
+// allocation stats, determinism of reuse), thread budget resolution, and the
+// Profiler hook that subsumes the old PhaseTimes* out-params.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pandora/data/tree_generators.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using pandora::testing::Topology;
+using pandora::testing::make_tree;
+
+TEST(Workspace, TakeFillsAndSizes) {
+  exec::Workspace workspace;
+  auto lease = workspace.take<index_t>(100, kNone);
+  EXPECT_EQ(lease->size(), 100u);
+  for (const index_t v : *lease) EXPECT_EQ(v, kNone);
+  auto uninit = workspace.take_uninit<double>(7);
+  EXPECT_EQ(uninit->size(), 7u);
+}
+
+TEST(Workspace, ReleasedBuffersAreRecycled) {
+  exec::Workspace workspace;
+  const index_t* first_data = nullptr;
+  {
+    auto lease = workspace.take<index_t>(5000, 0);
+    first_data = lease->data();
+  }  // lease returns the buffer to the pool
+  EXPECT_EQ(workspace.stats().takes, 1u);
+  EXPECT_EQ(workspace.stats().misses, 1u);
+  {
+    auto lease = workspace.take<index_t>(5000, 0);
+    // Same-size re-acquisition reuses the identical heap buffer (LIFO pool).
+    EXPECT_EQ(lease->data(), first_data);
+  }
+  EXPECT_EQ(workspace.stats().takes, 2u);
+  EXPECT_EQ(workspace.stats().hits, 1u);
+  EXPECT_EQ(workspace.stats().misses, 1u);
+}
+
+TEST(Workspace, SmallerRequestIsAHitLargerIsAMiss) {
+  exec::Workspace workspace;
+  { auto lease = workspace.take<index_t>(1000, 0); }
+  workspace.reset_stats();
+  { auto lease = workspace.take<index_t>(500, 0); }  // shrinking: capacity suffices
+  EXPECT_EQ(workspace.stats().hits, 1u);
+  { auto lease = workspace.take<index_t>(2000, 0); }  // growing: reallocation
+  EXPECT_EQ(workspace.stats().misses, 1u);
+}
+
+TEST(Workspace, ConcurrentLeasesGetDistinctBuffers) {
+  exec::Workspace workspace;
+  auto a = workspace.take<index_t>(64, 1);
+  auto b = workspace.take<index_t>(64, 2);
+  EXPECT_NE(a->data(), b->data());
+  EXPECT_EQ((*a)[0], 1);
+  EXPECT_EQ((*b)[0], 2);
+}
+
+TEST(Workspace, ClearDropsCachedBuffers) {
+  exec::Workspace workspace;
+  { auto lease = workspace.take<index_t>(4096, 0); }
+  workspace.clear();
+  workspace.reset_stats();
+  { auto lease = workspace.take<index_t>(4096, 0); }
+  EXPECT_EQ(workspace.stats().misses, 1u);
+}
+
+TEST(Workspace, ClearWithOutstandingLeaseIsSafe) {
+  // clear() drops only the *free* buffers; a live lease keeps a valid home
+  // and simply returns its buffer afterwards.
+  exec::Workspace workspace;
+  auto lease = workspace.take<index_t>(256, 7);
+  workspace.clear();
+  EXPECT_EQ((*lease)[0], 7);          // the leased buffer is untouched
+  lease = exec::Workspace::Lease<index_t>{};  // release into the cleared pool
+  workspace.reset_stats();
+  { auto again = workspace.take<index_t>(256, 0); }
+  EXPECT_EQ(workspace.stats().hits, 1u) << "the returned buffer is reusable";
+}
+
+TEST(Executor, ThreadBudgetResolution) {
+  EXPECT_EQ(exec::Executor(exec::Space::serial).num_threads(), 1);
+  EXPECT_EQ(exec::Executor(exec::Space::serial, 8).num_threads(), 1);
+  EXPECT_EQ(exec::Executor(exec::Space::parallel, 3).num_threads(), 3);
+  EXPECT_GE(exec::Executor(exec::Space::parallel).num_threads(), 1);
+  EXPECT_STREQ(exec::Executor(exec::Space::serial).name(), "serial");
+  EXPECT_STREQ(exec::Executor(exec::Space::parallel).name(), "parallel");
+}
+
+TEST(Executor, ParallelizeRespectsGrainSpaceAndBudget) {
+  const exec::Executor serial(exec::Space::serial);
+  EXPECT_FALSE(serial.parallelize(1 << 20));
+  const exec::Executor budget_one(exec::Space::parallel, 1);
+  EXPECT_FALSE(budget_one.parallelize(1 << 20));
+  const exec::Executor parallel(exec::Space::parallel, 4);
+  EXPECT_FALSE(parallel.parallelize(exec::kParallelForGrain - 1));
+  EXPECT_TRUE(parallel.parallelize(exec::kParallelForGrain));
+}
+
+TEST(Executor, RecordPhaseWithoutProfilerIsANoop) {
+  const exec::Executor executor(exec::Space::serial);
+  EXPECT_EQ(executor.profiler(), nullptr);
+  executor.record_phase("anything", 1.0);  // must not crash
+}
+
+TEST(Executor, ProfilerReceivesPhases) {
+  const exec::Executor executor(exec::Space::serial);
+  exec::PhaseTimesProfiler profiler;
+  executor.set_profiler(&profiler);
+  executor.record_phase("alpha", 0.25);
+  executor.record_phase("alpha", 0.25);
+  executor.phase("beta", [] {});
+  executor.set_profiler(nullptr);
+  EXPECT_DOUBLE_EQ(profiler.times().get("alpha"), 0.5);
+  EXPECT_GE(profiler.times().get("beta"), 0.0);
+  EXPECT_EQ(profiler.times().all().count("beta"), 1u);
+}
+
+TEST(Executor, ScopedPhaseTimesChainsAndRestores) {
+  const exec::Executor executor(exec::Space::serial);
+  exec::PhaseTimesProfiler outer;
+  executor.set_profiler(&outer);
+  PhaseTimes inner;
+  {
+    exec::ScopedPhaseTimes scope(executor, &inner);
+    executor.record_phase("x", 1.0);
+  }
+  executor.set_profiler(nullptr);
+  // Both the scoped sink and the previously attached profiler observed "x".
+  EXPECT_DOUBLE_EQ(inner.get("x"), 1.0);
+  EXPECT_DOUBLE_EQ(outer.times().get("x"), 1.0);
+}
+
+TEST(Executor, ScopedPhaseTimesWithNullSinkIsTransparent) {
+  const exec::Executor executor(exec::Space::serial);
+  exec::PhaseTimesProfiler outer;
+  executor.set_profiler(&outer);
+  {
+    exec::ScopedPhaseTimes scope(executor, nullptr);
+    executor.record_phase("y", 2.0);
+  }
+  executor.set_profiler(nullptr);
+  EXPECT_DOUBLE_EQ(outer.times().get("y"), 2.0);
+}
+
+TEST(Executor, RepeatedDendrogramsAllocateNothingAfterWarmup) {
+  // The acceptance property of the workspace arena: on same-sized inputs,
+  // the second and later pipeline runs are served entirely from recycled
+  // buffers.
+  const graph::EdgeList tree = make_tree(Topology::preferential, 20000, 3, 0);
+  const exec::Executor executor(exec::Space::parallel);
+  (void)dendrogram::pandora_dendrogram(executor, tree, 20000);  // warm-up
+  executor.workspace().reset_stats();
+  (void)dendrogram::pandora_dendrogram(executor, tree, 20000);
+  EXPECT_GT(executor.workspace().stats().takes, 0u);
+  EXPECT_EQ(executor.workspace().stats().misses, 0u)
+      << "steady-state dendrogram construction must reuse every scratch buffer";
+}
+
+TEST(Executor, DefaultExecutorsAreDistinctPerSpace) {
+  const exec::Executor& serial = exec::default_executor(exec::Space::serial);
+  const exec::Executor& parallel = exec::default_executor(exec::Space::parallel);
+  EXPECT_NE(&serial, &parallel);
+  EXPECT_EQ(serial.space(), exec::Space::serial);
+  EXPECT_EQ(parallel.space(), exec::Space::parallel);
+  // Stable addresses: repeated lookups return the same context (that is what
+  // makes the deprecated shims amortise allocations too).
+  EXPECT_EQ(&serial, &exec::default_executor(exec::Space::serial));
+}
+
+}  // namespace

@@ -46,9 +46,9 @@ graph::EdgeList inverted_y_tree() {
 TEST_P(InvertedY, HandComputedParents) {
   const auto& [space, policy] = GetParam();
   PandoraOptions options;
-  options.space = space;
   options.expansion = policy;
-  const Dendrogram d = dendrogram::pandora_dendrogram(inverted_y_tree(), 8, options);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(space),
+                                                      inverted_y_tree(), 8, options);
 
   // Edge parents: the root chain is {0}; chains {1,3,5} and {2,4,6} hang off
   // its two sides.
@@ -76,10 +76,10 @@ TEST_P(InvertedY, HandComputedParents) {
 }
 
 TEST(InvertedYContraction, OneAlphaEdgeTwoLevels) {
-  const auto sorted = dendrogram::sort_edges(exec::Space::serial, inverted_y_tree(), 8);
+  const auto sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), inverted_y_tree(), 8);
   std::vector<index_t> gid(7);
   std::iota(gid.begin(), gid.end(), index_t{0});
-  const auto h = dendrogram::build_hierarchy(exec::Space::serial, sorted.u, sorted.v,
+  const auto h = dendrogram::build_hierarchy(exec::default_executor(exec::Space::serial), sorted.u, sorted.v,
                                              std::move(gid), 8, 7);
   ASSERT_EQ(h.num_levels(), 2);
   EXPECT_EQ(h.levels[0].num_alpha, 1);
@@ -111,7 +111,8 @@ TEST(Expansion, StarIsASingleRootChain) {
   for (const auto policy : {ExpansionPolicy::multilevel, ExpansionPolicy::single_level}) {
     PandoraOptions options;
     options.expansion = policy;
-    const Dendrogram d = dendrogram::pandora_dendrogram(tree, 1000, options);
+    const Dendrogram d = dendrogram::pandora_dendrogram(
+        exec::default_executor(exec::Space::parallel), tree, 1000, options);
     EXPECT_EQ(d.parent[0], kNone);
     for (index_t e = 1; e < d.num_edges; ++e)
       ASSERT_EQ(d.parent[static_cast<std::size_t>(e)], e - 1);
@@ -127,8 +128,9 @@ TEST(Expansion, PoliciesAgreeUnderHeavyTies) {
     PandoraOptions multi;
     PandoraOptions single;
     single.expansion = ExpansionPolicy::single_level;
-    const Dendrogram a = dendrogram::pandora_dendrogram(tree, 20000, multi);
-    const Dendrogram b = dendrogram::pandora_dendrogram(tree, 20000, single);
+    const exec::Executor executor(exec::Space::parallel);
+    const Dendrogram a = dendrogram::pandora_dendrogram(executor, tree, 20000, multi);
+    const Dendrogram b = dendrogram::pandora_dendrogram(executor, tree, 20000, single);
     ASSERT_EQ(a.parent, b.parent);
     dendrogram::validate_dendrogram(a);
   }
@@ -140,18 +142,19 @@ TEST(Expansion, DeepChainOfBridgesExercisesManyLevels) {
   graph::EdgeList tree = data::balanced_tree(4096);
   pandora::Rng rng(9);
   data::assign_random_weights(tree, rng);
-  const auto sorted = dendrogram::sort_edges(exec::Space::serial, tree, 4096);
+  const auto sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, 4096);
   std::vector<index_t> gid(sorted.u.size());
   std::iota(gid.begin(), gid.end(), index_t{0});
-  const auto h = dendrogram::build_hierarchy(exec::Space::serial, sorted.u, sorted.v,
+  const auto h = dendrogram::build_hierarchy(exec::default_executor(exec::Space::serial), sorted.u, sorted.v,
                                              std::move(gid), 4096, 4095);
   EXPECT_GE(h.num_levels(), 3) << "random balanced trees need multiple contraction levels";
 
+  const exec::Executor executor(exec::Space::parallel);
   const Dendrogram reference =
-      dendrogram::pandora_dendrogram(tree, 4096, PandoraOptions{});
+      dendrogram::pandora_dendrogram(executor, tree, 4096, PandoraOptions{});
   PandoraOptions single;
   single.expansion = ExpansionPolicy::single_level;
-  const Dendrogram b = dendrogram::pandora_dendrogram(tree, 4096, single);
+  const Dendrogram b = dendrogram::pandora_dendrogram(executor, tree, 4096, single);
   EXPECT_EQ(reference.parent, b.parent);
 }
 

@@ -75,7 +75,7 @@ TEST(KdTree, NearestOtherComponentHonorsFilterAndAnnotation) {
   std::vector<index_t> component(500);
   for (index_t i = 0; i < 500; ++i) component[static_cast<std::size_t>(i)] =
       points.at(i, 0) < 0.5 ? 0 : 1;
-  tree.annotate_components(exec::Space::serial, component);
+  tree.annotate_components(exec::default_executor(exec::Space::serial), component);
 
   for (index_t q = 0; q < 500; q += 11) {
     const index_t mine = component[static_cast<std::size_t>(q)];
@@ -105,8 +105,8 @@ TEST(KdTree, NearestOtherComponentMreachMatchesBruteForce) {
   }
   std::vector<index_t> component(300);
   for (index_t i = 0; i < 300; ++i) component[static_cast<std::size_t>(i)] = i % 7;
-  tree.annotate_components(exec::Space::parallel, component);
-  tree.annotate_min_core(exec::Space::parallel, core_sq);
+  tree.annotate_components(exec::default_executor(exec::Space::parallel), component);
+  tree.annotate_min_core(exec::default_executor(exec::Space::parallel), core_sq);
 
   for (index_t q = 0; q < 300; q += 5) {
     const index_t mine = component[static_cast<std::size_t>(q)];
@@ -128,8 +128,8 @@ TEST(KdTree, NearestOtherComponentMreachMatchesBruteForce) {
 TEST(KdTree, KthNeighborDistancesSerialEqualsParallel) {
   const PointSet points = data::normal_points(2000, 3, 12);
   const KdTree tree(points);
-  const auto serial = spatial::kth_neighbor_distances(exec::Space::serial, points, tree, 4);
-  const auto parallel = spatial::kth_neighbor_distances(exec::Space::parallel, points, tree, 4);
+  const auto serial = spatial::kth_neighbor_distances(exec::default_executor(exec::Space::serial), points, tree, 4);
+  const auto parallel = spatial::kth_neighbor_distances(exec::default_executor(exec::Space::parallel), points, tree, 4);
   EXPECT_EQ(serial, parallel);
   // And each equals brute force.
   for (index_t q = 0; q < 2000; q += 97) {

@@ -33,9 +33,10 @@ TEST_P(MixedSweep, MatchesUnionFindExactly) {
   const auto& [topo, n, fraction] = GetParam();
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const graph::EdgeList tree = make_tree(topo, n, seed, seed == 2 ? 3 : 0);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(tree, n);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, n);
     for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
-      const Dendrogram mixed = dendrogram::mixed_dendrogram(tree, n, space, fraction);
+      const Dendrogram mixed =
+          dendrogram::mixed_dendrogram(exec::default_executor(space), tree, n, fraction);
       ASSERT_EQ(mixed.parent, reference.parent)
           << topology_name(topo) << " n=" << n << " fraction=" << fraction
           << " space=" << exec::space_name(space) << " seed=" << seed;
@@ -45,8 +46,12 @@ TEST_P(MixedSweep, MatchesUnionFindExactly) {
 
 TEST(Mixed, PhaseTimesSplitSubtreesStitch) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 50000, 1);
-  PhaseTimes times;
-  (void)dendrogram::mixed_dendrogram(tree, 50000, exec::Space::parallel, 0.1, &times);
+  const exec::Executor executor(exec::Space::parallel);
+  exec::PhaseTimesProfiler profiler;
+  executor.set_profiler(&profiler);
+  (void)dendrogram::mixed_dendrogram(executor, tree, 50000, 0.1);
+  executor.set_profiler(nullptr);
+  const PhaseTimes& times = profiler.times();
   EXPECT_GT(times.get("sort"), 0.0);
   EXPECT_GT(times.get("split"), 0.0);
   EXPECT_GT(times.get("subtrees"), 0.0);
@@ -55,10 +60,10 @@ TEST(Mixed, PhaseTimesSplitSubtreesStitch) {
 
 TEST(Mixed, RejectsBadFraction) {
   const graph::EdgeList tree = make_tree(Topology::path, 10, 1);
-  EXPECT_THROW(
-      (void)dendrogram::mixed_dendrogram(tree, 10, exec::Space::serial, -0.1),
-      std::invalid_argument);
-  EXPECT_THROW((void)dendrogram::mixed_dendrogram(tree, 10, exec::Space::serial, 1.5),
+  const exec::Executor executor(exec::Space::serial);
+  EXPECT_THROW((void)dendrogram::mixed_dendrogram(executor, tree, 10, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)dendrogram::mixed_dendrogram(executor, tree, 10, 1.5),
                std::invalid_argument);
 }
 
@@ -81,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LcaSweep, ::testing::ValuesIn(all_topologies()),
 TEST_P(LcaSweep, MatchesBruteForceOnAllPairs) {
   const index_t nv = 150;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 5);
-  const Dendrogram d = dendrogram::pandora_dendrogram(tree, nv);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
   const dendrogram::DendrogramLca lca(d);
   for (index_t a = 0; a < d.num_edges; a += 3)
     for (index_t b = 0; b < d.num_edges; b += 5)
@@ -93,7 +98,7 @@ TEST_P(LcaSweep, CopheneticDistanceIsMaxEdgeOnTreePath) {
   // the heaviest edge weight on the MST path between them.
   const index_t nv = 120;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 11);
-  const Dendrogram d = dendrogram::pandora_dendrogram(tree, nv);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
   const dendrogram::DendrogramLca lca(d);
   const graph::Adjacency adj = graph::build_adjacency(tree, nv);
 
@@ -123,7 +128,7 @@ TEST_P(LcaSweep, CopheneticDistanceIsMaxEdgeOnTreePath) {
 
 TEST(Lca, SelfDistanceIsZeroAndSymmetry) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 200, 2);
-  const Dendrogram d = dendrogram::pandora_dendrogram(tree, 200);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 200);
   const dendrogram::DendrogramLca lca(d);
   EXPECT_EQ(lca.cophenetic_distance(5, 5), 0.0);
   for (index_t a = 0; a < 200; a += 17)
@@ -133,7 +138,7 @@ TEST(Lca, SelfDistanceIsZeroAndSymmetry) {
 
 TEST(Lca, DepthsMatchAnalysis) {
   const graph::EdgeList tree = make_tree(Topology::broom, 300, 4);
-  const Dendrogram d = dendrogram::pandora_dendrogram(tree, 300);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 300);
   const dendrogram::DendrogramLca lca(d);
   for (index_t e = 1; e < d.num_edges; ++e)
     EXPECT_EQ(lca.depth(e),
