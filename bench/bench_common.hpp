@@ -6,6 +6,7 @@
 // the paper.  Sizes default to laptop scale and honour the environment
 // variable PANDORA_BENCH_SCALE (a float multiplier on the point counts).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -86,6 +87,140 @@ double best_of(int repeats, F&& f) {
   }
   return best;
 }
+
+/// Wall-clock samples of repeated runs, with the order statistics the JSON
+/// artifacts track across PRs (median for the headline, p90 for tail noise,
+/// min for the classic best-of number).
+struct Measurement {
+  std::vector<double> samples;  ///< seconds, in run order
+
+  [[nodiscard]] double quantile(double q) const {
+    if (samples.empty()) return 0.0;
+    std::vector<double> s = samples;
+    std::sort(s.begin(), s.end());
+    const double pos = q * static_cast<double>(s.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, s.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return s[lo] + (s[hi] - s[lo]) * frac;
+  }
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p90() const { return quantile(0.9); }
+  [[nodiscard]] double best() const {
+    return samples.empty() ? 0.0 : *std::min_element(samples.begin(), samples.end());
+  }
+};
+
+template <class F>
+Measurement measure(int repeats, F&& f) {
+  Measurement m;
+  m.samples.reserve(static_cast<std::size_t>(repeats));
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    f();
+    m.samples.push_back(timer.seconds());
+  }
+  return m;
+}
+
+/// Machine-readable benchmark emitter.  When the environment variable
+/// PANDORA_BENCH_JSON_DIR names a directory, the report writes
+/// `<dir>/BENCH_<name>.json` on destruction:
+///
+///   {"bench": "fig11", "threads": 8, "scale": 1.0,
+///    "rows": [{"dataset": "HaccProxy", "n": 500000, ...}, ...]}
+///
+/// so the perf trajectory (median/p90 wall times, steady-state allocations)
+/// can be diffed across PRs.  With the variable unset the report is inert and
+/// the bench prints its usual human-readable table only.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {
+    if (const char* dir = std::getenv("PANDORA_BENCH_JSON_DIR")) dir_ = dir;
+  }
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  ~JsonReport() { write(); }
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+  JsonReport& field(const char* key, const std::string& value) {
+    append_key(key);
+    row_ += '"';
+    for (const char c : value) {
+      if (c == '"' || c == '\\') row_ += '\\';
+      row_ += c;
+    }
+    row_ += '"';
+    return *this;
+  }
+  JsonReport& field(const char* key, double value) {
+    append_key(key);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    row_ += buf;
+    return *this;
+  }
+  JsonReport& field(const char* key, std::int64_t value) {
+    append_key(key);
+    row_ += std::to_string(value);
+    return *this;
+  }
+  JsonReport& field(const char* key, index_t value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonReport& field(const char* key, std::size_t value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  /// Emits `<key>_median`, `<key>_p90` and `<key>_best` seconds fields.
+  JsonReport& timing(const char* key, const Measurement& m) {
+    field((std::string(key) + "_median").c_str(), m.median());
+    field((std::string(key) + "_p90").c_str(), m.p90());
+    field((std::string(key) + "_best").c_str(), m.best());
+    return *this;
+  }
+
+  void end_row() {
+    if (!rows_.empty()) rows_ += ",\n    ";
+    rows_ += '{' + row_ + '}';
+    row_.clear();
+  }
+
+ private:
+  void append_key(const char* key) {
+    if (!row_.empty()) row_ += ", ";
+    row_ += '"';
+    row_ += key;
+    row_ += "\": ";
+  }
+
+  void write() const {
+    if (!enabled()) return;
+    const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    if (rows_.empty()) {
+      // Keep the artifact parseable even if the bench exited before any row.
+      std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n  \"scale\": %.6g,\n"
+                      "  \"rows\": []\n}\n",
+                   name_.c_str(), exec::max_threads(), bench_scale());
+    } else {
+      std::fprintf(f,
+                   "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n  \"scale\": %.6g,\n"
+                   "  \"rows\": [\n    %s\n  ]\n}\n",
+                   name_.c_str(), exec::max_threads(), bench_scale(), rows_.c_str());
+    }
+    std::fclose(f);
+  }
+
+  std::string name_;
+  std::string dir_;
+  std::string row_;   ///< fields of the row being built
+  std::string rows_;  ///< completed rows, comma-joined
+};
 
 inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================================\n");

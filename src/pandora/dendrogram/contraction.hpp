@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "pandora/common/types.hpp"
@@ -19,17 +20,22 @@ namespace pandora::dendrogram {
 /// `2*edge + side` where side says which endpoint of that edge the vertex is.
 /// The side bit distinguishes the two chains hanging below an edge node,
 /// e.g. the 13L / 13R chains of Figure 9.
+///
+/// Levels are trivially copyable *views*: their per-vertex arrays are spans
+/// into flat storage leased from the building Executor's Workspace (see
+/// ContractionHierarchy), so repeated hierarchies on one Executor allocate
+/// nothing after warm-up.
 struct ContractionLevel {
   index_t num_vertices = 0;
   index_t num_edges = 0;
   index_t num_alpha = 0;
 
   /// Per vertex: 2*maxIncident + side.  Always set while the level has edges.
-  std::vector<std::int64_t> sided_parent;
+  std::span<const std::int64_t> sided_parent;
 
   /// Per vertex: containing supervertex at the next level.  Empty at the
   /// final (chain-only) level, which is never contracted.
-  std::vector<index_t> vertex_map;
+  std::span<const index_t> vertex_map;
 };
 
 /// The full recursive contraction: MST -> α-MST -> β-MST -> ... until a level
@@ -39,82 +45,68 @@ struct ContractionLevel {
 /// level at which g was contracted away and the supervertex (vertex id of
 /// level contraction_level+1) that absorbed it.  Edges of the final level are
 /// marked with `supervertex == kNone`; they form the root chain.
+///
+/// All storage is leased from the building Executor's Workspace arena (the
+/// per-level vertex arrays concatenate into two flat blocks of at most
+/// 2*num_vertices entries each, since levels at least halve).  The hierarchy
+/// is move-only and must not outlive the Executor it was built on.
 struct ContractionHierarchy {
-  std::vector<ContractionLevel> levels;
-  std::vector<index_t> contraction_level;
-  std::vector<index_t> supervertex;
+  std::span<const ContractionLevel> levels;
+  std::span<const index_t> contraction_level;
+  std::span<const index_t> supervertex;
   index_t num_global_edges = 0;
 
   [[nodiscard]] index_t num_levels() const { return static_cast<index_t>(levels.size()); }
+
+  /// Backing storage for the spans above (leased; do not touch directly).
+  exec::Workspace::Lease<ContractionLevel> levels_store;
+  exec::Workspace::Lease<std::int64_t> sided_store;
+  exec::Workspace::Lease<index_t> map_store;
+  exec::Workspace::Lease<index_t> fate_store;
 };
 
 namespace detail {
 
-/// Scratch buffers reused across contraction levels (allocation-free steady
-/// state; the first level sizes them, deeper levels shrink).  Constructed
-/// from an Executor's Workspace the buffers are leased *at the base-level
-/// sizes* (`num_vertices` vertex slots, `num_edges` edge slots — deeper
-/// levels only shrink), so they are also reused across calls and the
-/// workspace's hit/miss statistics reflect the real footprint;
-/// default-constructed they are private vectors.
-struct ContractionWorkspace {
-  ContractionWorkspace() = default;
-  ContractionWorkspace(exec::Workspace& workspace, index_t num_vertices, index_t num_edges)
-      : max_incident(workspace.take_uninit<index_t>(num_vertices)),
-        representative(workspace.take_uninit<index_t>(num_vertices)),
-        new_id(workspace.take_uninit<index_t>(num_vertices)),
-        position(workspace.take_uninit<index_t>(num_edges)) {}
-
-  exec::Workspace::Lease<index_t> max_incident;
-  exec::Workspace::Lease<index_t> representative;
-  exec::Workspace::Lease<index_t> new_id;
-  exec::Workspace::Lease<index_t> position;
-};
-
 /// Classifies the edges of one level tree and contracts its non-α edges.
 /// Inputs: endpoints `u`/`v` (level-vertex ids) and global indices `gid` of
-/// the level's edges over `num_vertices` vertices.  On return, `level` is
-/// fully populated; if α-edges exist, `next_*` hold the contracted tree and
-/// `level.vertex_map` the vertex relabelling; the fate of each input edge is
-/// written through `alpha` (flag per edge).
+/// the level's edges over `num_vertices` vertices; an empty `gid` means the
+/// identity mapping (edge i has global index i), which is the base level of
+/// the canonical sorted MST.  On return, `level` is fully populated; if
+/// α-edges exist, `next_*` hold the contracted tree and `level.vertex_map`
+/// the vertex relabelling; the fate of each input edge is readable from
+/// `alpha` (flag per edge).  The result owns its storage as Workspace leases
+/// and must not outlive the Executor.
 struct LevelResult {
   ContractionLevel level;
-  std::vector<index_t> alpha;  ///< 0/1 per input edge
-  std::vector<index_t> next_u, next_v, next_gid;
+  std::span<const index_t> alpha;  ///< 0/1 per input edge
+  std::span<const index_t> next_u, next_v, next_gid;
   index_t next_num_vertices = 0;
+
+  /// Backing storage for the spans above (leased; do not touch directly).
+  exec::Workspace::Lease<std::int64_t> sided_store;
+  exec::Workspace::Lease<index_t> map_store;
+  exec::Workspace::Lease<index_t> alpha_store;
+  exec::Workspace::Lease<index_t> next_store;
 };
 
 [[nodiscard]] LevelResult contract_one_level(const exec::Executor& exec,
-                                             const std::vector<index_t>& u,
-                                             const std::vector<index_t>& v,
-                                             const std::vector<index_t>& gid,
-                                             index_t num_vertices,
-                                             ContractionWorkspace& workspace);
-
-/// Convenience overload with a private workspace (tests, one-shot callers).
-[[nodiscard]] LevelResult contract_one_level(const exec::Executor& exec,
-                                             const std::vector<index_t>& u,
-                                             const std::vector<index_t>& v,
-                                             const std::vector<index_t>& gid,
-                                             index_t num_vertices);
-
-/// Deprecated shim over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] LevelResult contract_one_level(exec::Space space, const std::vector<index_t>& u,
-                                             const std::vector<index_t>& v,
-                                             const std::vector<index_t>& gid,
+                                             std::span<const index_t> u,
+                                             std::span<const index_t> v,
+                                             std::span<const index_t> gid,
                                              index_t num_vertices);
 
 }  // namespace detail
 
 /// Builds the complete contraction hierarchy of the tree given by parallel
 /// arrays (`u[i]`, `v[i]`) with global edge indices `gid[i]` over
-/// `num_vertices` vertices.  `num_global_edges` sizes the per-global-edge
-/// fate arrays (pass the total edge count of the original MST).
+/// `num_vertices` vertices; an empty `gid` means the identity mapping (the
+/// common case — the canonical sorted MST — which then needs no materialised
+/// iota at all).  `num_global_edges` sizes the per-global-edge fate arrays
+/// (pass the total edge count of the original MST).
 [[nodiscard]] ContractionHierarchy build_hierarchy(const exec::Executor& exec,
-                                                   std::vector<index_t> u,
-                                                   std::vector<index_t> v,
-                                                   std::vector<index_t> gid,
+                                                   std::span<const index_t> u,
+                                                   std::span<const index_t> v,
+                                                   std::span<const index_t> gid,
                                                    index_t num_vertices,
                                                    index_t num_global_edges);
 

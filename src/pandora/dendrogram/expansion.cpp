@@ -1,7 +1,6 @@
 #include "pandora/dendrogram/expansion.hpp"
 
 #include <cstdint>
-#include <numeric>
 #include <vector>
 
 #include "pandora/exec/parallel.hpp"
@@ -24,7 +23,7 @@ constexpr std::int64_t kRootChain = -2;
 /// Turns the (chain, index)-sorted entries into parent pointers:
 /// chain boundaries attach to the chain's defining edge (or nothing, for the
 /// root chain); interior entries attach to their predecessor.
-void stitch_chains(const exec::Executor& exec, const std::vector<std::uint64_t>& packed,
+void stitch_chains(const exec::Executor& exec, std::span<const std::uint64_t> packed,
                    std::span<index_t> edge_parent) {
   const size_type count = static_cast<size_type>(packed.size());
   exec::parallel_for(exec, count, [&](size_type p) {
@@ -57,17 +56,18 @@ void expand_multilevel(const exec::Executor& exec, const ContractionHierarchy& h
   // (When expanding a sub-hierarchy — the single-level path — only some
   // global indices are present; absent ones have contraction_level == kNone.)
   auto present_lease = workspace.take_uninit<index_t>(n_global);
-  std::vector<index_t>& present = *present_lease;
+  const std::span<index_t> present = present_lease.span();
   exec::parallel_for(exec, n_global, [&](size_type g) {
     present[static_cast<std::size_t>(g)] =
         hierarchy.contraction_level[static_cast<std::size_t>(g)] != kNone ? 1 : 0;
   });
   auto slot_lease = workspace.take_uninit<index_t>(n_global);
-  std::vector<index_t>& slot = *slot_lease;
-  const index_t num_present = exec::exclusive_scan<index_t>(exec, present, slot);
+  const std::span<index_t> slot = slot_lease.span();
+  const index_t num_present =
+      exec::exclusive_scan<index_t>(exec, std::span<const index_t>(present), slot);
 
   auto packed_lease = workspace.take_uninit<std::uint64_t>(num_present);
-  std::vector<std::uint64_t>& packed = *packed_lease;
+  const std::span<std::uint64_t> packed = packed_lease.span();
   exec::parallel_for(exec, n_global, [&](size_type gi) {
     if (!present[static_cast<std::size_t>(gi)]) return;
     const auto g = static_cast<index_t>(gi);
@@ -116,19 +116,18 @@ void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
                          std::span<index_t> edge_parent) {
   const index_t n = sorted.num_edges();
   exec::Workspace& workspace = exec.workspace();
-  std::vector<index_t> gid(static_cast<std::size_t>(n));
-  std::iota(gid.begin(), gid.end(), index_t{0});
 
   Timer timer;
+  // Empty gid: the base level's edges carry their identity global indices.
   detail::LevelResult base =
-      detail::contract_one_level(exec, sorted.u, sorted.v, gid, sorted.num_vertices);
+      detail::contract_one_level(exec, sorted.u, sorted.v, {}, sorted.num_vertices);
   exec.record_phase("contraction", timer.seconds());
 
   if (base.level.num_alpha == 0) {
     // Chain-only tree: the whole dendrogram is the root chain.
     timer.reset();
     auto packed_lease = workspace.take_uninit<std::uint64_t>(n);
-    std::vector<std::uint64_t>& packed = *packed_lease;
+    const std::span<std::uint64_t> packed = packed_lease.span();
     exec::parallel_for(exec, n, [&](size_type g) {
       packed[static_cast<std::size_t>(g)] = pack(kRootChain, static_cast<index_t>(g));
     });
@@ -146,7 +145,7 @@ void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
                       base.next_num_vertices, n);
   exec.record_phase("contraction", timer.seconds());
   auto alpha_parent_lease = workspace.take<index_t>(n, kNone);
-  std::vector<index_t>& alpha_parent = *alpha_parent_lease;
+  const std::span<index_t> alpha_parent = alpha_parent_lease.span();
   expand_multilevel(exec, alpha_hierarchy, alpha_parent);
 
   // Walk-up insertion of every non-α edge (Section 3.3.1, Figure 10).
@@ -155,19 +154,19 @@ void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
   // when the walk stops at the very first step.  Encoding: edges as
   // themselves, α-vertex V as n + V.
   timer.reset();
-  const std::vector<std::int64_t>& sided1 = alpha_hierarchy.levels[0].sided_parent;
+  const std::span<const std::int64_t> sided1 = alpha_hierarchy.levels[0].sided_parent;
   const size_type n64 = n;
   auto packed_lease = workspace.take_uninit<std::uint64_t>(n - base.level.num_alpha);
-  std::vector<std::uint64_t>& packed = *packed_lease;
+  const std::span<std::uint64_t> packed = packed_lease.span();
   {
     auto non_alpha_lease = workspace.take<index_t>(n, 0);
-    std::vector<index_t>& non_alpha = *non_alpha_lease;
+    const std::span<index_t> non_alpha = non_alpha_lease.span();
     exec::parallel_for(exec, n64, [&](size_type i) {
       non_alpha[static_cast<std::size_t>(i)] = base.alpha[static_cast<std::size_t>(i)] ? 0 : 1;
     });
     auto pos_lease = workspace.take_uninit<index_t>(n);
-    std::vector<index_t>& pos = *pos_lease;
-    exec::exclusive_scan<index_t>(exec, non_alpha, pos);
+    const std::span<index_t> pos = pos_lease.span();
+    exec::exclusive_scan<index_t>(exec, std::span<const index_t>(non_alpha), pos);
 
     exec::parallel_for(exec, n64, [&](size_type i) {
       if (base.alpha[static_cast<std::size_t>(i)]) return;
@@ -219,7 +218,7 @@ void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
 
   // α-edges whose slot was never rewritten keep their α-dendrogram parent.
   auto rewritten_lease = workspace.take<index_t>(n, 0);
-  std::vector<index_t>& rewritten = *rewritten_lease;
+  const std::span<index_t> rewritten = rewritten_lease.span();
   exec::parallel_for(exec, count, [&](size_type p) {
     const auto below = static_cast<index_t>(packed[static_cast<std::size_t>(p)] >> 32);
     if (below < n) rewritten[static_cast<std::size_t>(below)] = 1;

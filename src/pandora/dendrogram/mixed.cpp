@@ -67,7 +67,7 @@ Dendrogram mixed_dendrogram(const exec::Executor& exec, const SortedEdges& sorte
   // rank order (ascending weight reversed), so each bucket ends up sorted the
   // way the bottom-up pass consumes it (back() = lightest first).
   auto component_of_lease = exec.workspace().take<index_t>(n, kNone);
-  std::vector<index_t>& component_of = *component_of_lease;
+  const std::span<index_t> component_of = component_of_lease.span();
   exec::parallel_for(exec, static_cast<size_type>(n) - cut, [&](size_type k) {
     const auto i = static_cast<index_t>(cut + k);
     component_of[static_cast<std::size_t>(i)] =
@@ -111,9 +111,10 @@ Dendrogram mixed_dendrogram(const exec::Executor& exec, const SortedEdges& sorte
 Dendrogram mixed_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
                             index_t num_vertices, double top_fraction) {
   Timer timer;
-  const SortedEdges sorted = sort_edges(exec, mst, num_vertices);
+  const std::shared_ptr<const SortedEdges> sorted =
+      sorted_edges_cached(exec, mst, num_vertices);
   exec.record_phase("sort", timer.seconds());
-  return mixed_dendrogram(exec, sorted, top_fraction);
+  return mixed_dendrogram(exec, *sorted, top_fraction);
 }
 
 Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double top_fraction,

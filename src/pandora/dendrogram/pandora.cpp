@@ -1,27 +1,24 @@
 #include "pandora/dendrogram/pandora.hpp"
 
-#include <numeric>
-
 #include "pandora/dendrogram/contraction.hpp"
 #include "pandora/dendrogram/expansion.hpp"
 #include "pandora/exec/parallel.hpp"
 
 namespace pandora::dendrogram {
 
-Dendrogram pandora_dendrogram(const exec::Executor& exec, const SortedEdges& sorted,
-                              const PandoraOptions& options) {
+void pandora_dendrogram_into(const exec::Executor& exec, const SortedEdges& sorted,
+                             const PandoraOptions& options, Dendrogram& out) {
   const index_t n = sorted.num_edges();
   const index_t nv = sorted.num_vertices;
 
-  Dendrogram dendrogram;
-  dendrogram.num_edges = n;
-  dendrogram.num_vertices = nv;
-  dendrogram.weight = sorted.weight;
-  dendrogram.edge_order = sorted.order;
-  dendrogram.parent.assign(static_cast<std::size_t>(n) + static_cast<std::size_t>(nv), kNone);
-  if (n == 0) return dendrogram;  // single data point: the vertex is the root
+  out.num_edges = n;
+  out.num_vertices = nv;
+  out.weight = sorted.weight;        // copy-assign: reuses capacity
+  out.edge_order = sorted.order;
+  out.parent.assign(static_cast<std::size_t>(n) + static_cast<std::size_t>(nv), kNone);
+  if (n == 0) return;  // single data point: the vertex is the root
 
-  std::span<index_t> edge_parent(dendrogram.parent.data(), static_cast<std::size_t>(n));
+  std::span<index_t> edge_parent(out.parent.data(), static_cast<std::size_t>(n));
 
   if (options.expansion == ExpansionPolicy::single_level) {
     expand_single_level(exec, sorted, edge_parent);
@@ -29,7 +26,7 @@ Dendrogram pandora_dendrogram(const exec::Executor& exec, const SortedEdges& sor
     // (The single-level path does not retain its base level, so one extra
     // linear pass; negligible next to the walk itself.)
     auto max_incident_lease = exec.workspace().take<index_t>(nv, kNone);
-    std::vector<index_t>& max_incident = *max_incident_lease;
+    const std::span<index_t> max_incident = max_incident_lease.span();
     exec::parallel_for(exec, n, [&](size_type i) {
       exec::atomic_fetch_max(
           max_incident[static_cast<std::size_t>(sorted.u[static_cast<std::size_t>(i)])],
@@ -39,36 +36,50 @@ Dendrogram pandora_dendrogram(const exec::Executor& exec, const SortedEdges& sor
           static_cast<index_t>(i));
     });
     exec::parallel_for(exec, nv, [&](size_type x) {
-      dendrogram.parent[static_cast<std::size_t>(n + x)] =
+      out.parent[static_cast<std::size_t>(n + x)] =
           max_incident[static_cast<std::size_t>(x)];
     });
-    return dendrogram;
+    return;
   }
 
   Timer timer;
-  std::vector<index_t> gid(static_cast<std::size_t>(n));
-  std::iota(gid.begin(), gid.end(), index_t{0});
-  ContractionHierarchy hierarchy = build_hierarchy(exec, sorted.u, sorted.v, std::move(gid),
-                                                   nv, n);
+  // The base level's global indices are the identity, so no gid iota is ever
+  // materialised (the contraction reads the loop index directly).
+  ContractionHierarchy hierarchy = build_hierarchy(exec, sorted.u, sorted.v, {}, nv, n);
   exec.record_phase("contraction", timer.seconds());
 
   expand_multilevel(exec, hierarchy, edge_parent);
 
   // Vertex parents by Eq. (1), straight from the base level's sided parents.
-  const std::vector<std::int64_t>& sided0 = hierarchy.levels[0].sided_parent;
+  const std::span<const std::int64_t> sided0 = hierarchy.levels[0].sided_parent;
   exec::parallel_for(exec, nv, [&](size_type x) {
-    dendrogram.parent[static_cast<std::size_t>(n + x)] =
+    out.parent[static_cast<std::size_t>(n + x)] =
         static_cast<index_t>(sided0[static_cast<std::size_t>(x)] >> 1);
   });
+}
+
+void pandora_dendrogram_into(const exec::Executor& exec, const graph::EdgeList& mst,
+                             index_t num_vertices, const PandoraOptions& options,
+                             Dendrogram& out) {
+  Timer timer;
+  const std::shared_ptr<const SortedEdges> sorted =
+      sorted_edges_cached(exec, mst, num_vertices, options.validate_input);
+  exec.record_phase("sort", timer.seconds());
+  pandora_dendrogram_into(exec, *sorted, options, out);
+}
+
+Dendrogram pandora_dendrogram(const exec::Executor& exec, const SortedEdges& sorted,
+                              const PandoraOptions& options) {
+  Dendrogram dendrogram;
+  pandora_dendrogram_into(exec, sorted, options, dendrogram);
   return dendrogram;
 }
 
 Dendrogram pandora_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
                               index_t num_vertices, const PandoraOptions& options) {
-  Timer timer;
-  SortedEdges sorted = sort_edges(exec, mst, num_vertices, options.validate_input);
-  exec.record_phase("sort", timer.seconds());
-  return pandora_dendrogram(exec, sorted, options);
+  Dendrogram dendrogram;
+  pandora_dendrogram_into(exec, mst, num_vertices, options, dendrogram);
+  return dendrogram;
 }
 
 Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& options,

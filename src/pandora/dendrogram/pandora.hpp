@@ -30,6 +30,12 @@ struct PandoraOptions {
 /// (Algorithm 3).  Work-optimal (O(n log n), Section 4) and expressed
 /// entirely in parallel loops, scans and sorts.
 ///
+/// The MST overloads run the initial sort through the cross-call SortedEdges
+/// cache (see sorted_edges_cached), so repeated queries against one MST sort
+/// once; the `_into` variants additionally reuse the output Dendrogram's
+/// storage — a second identical call on a warm Executor performs no heap
+/// allocation at all.
+///
 /// Phases recorded with the Executor's profiler: "sort" (initial edge sort +
 /// chain radix sort), "contraction" (multilevel tree contraction),
 /// "expansion" (chain assignment + stitching).
@@ -42,6 +48,15 @@ struct PandoraOptions {
 [[nodiscard]] Dendrogram pandora_dendrogram(const exec::Executor& exec,
                                             const SortedEdges& sorted,
                                             const PandoraOptions& options = {});
+
+/// Output-reusing variants: `out` is overwritten in place, reusing its
+/// vectors' capacity.
+void pandora_dendrogram_into(const exec::Executor& exec, const graph::EdgeList& mst,
+                             index_t num_vertices, const PandoraOptions& options,
+                             Dendrogram& out);
+
+void pandora_dendrogram_into(const exec::Executor& exec, const SortedEdges& sorted,
+                             const PandoraOptions& options, Dendrogram& out);
 
 /// Deprecated shims over the per-thread default executor of `options.space`;
 /// `times` (when given) receives the phases via a scoped profiler.

@@ -1,6 +1,7 @@
 #include "pandora/dendrogram/sorted_edges.hpp"
 
-#include <numeric>
+#include <algorithm>
+#include <bit>
 
 #include "pandora/exec/parallel.hpp"
 #include "pandora/exec/sort.hpp"
@@ -8,42 +9,224 @@
 
 namespace pandora::dendrogram {
 
+namespace {
+
+/// SplitMix64 finaliser: a cheap, well-distributed 64-bit mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Low 32 bits of edge id's descending weight key — the part the packed sort
+/// discards; recomputed on demand by the collision fix-up.
+std::uint32_t low_key_of(const graph::EdgeList& edges, std::uint64_t packed_entry) {
+  const auto id = static_cast<std::size_t>(packed_entry & 0xffffffffu);
+  return static_cast<std::uint32_t>(exec::descending_weight_key(edges[id].weight));
+}
+
+/// Repairs runs of equal 32-bit key prefixes whose weights differ below the
+/// prefix: after the prefix sort such a run is in ascending id order, but the
+/// canonical order continues through the remaining weight-key bits first.
+/// Exact ties (identical weights) have identical low keys too, so their runs
+/// are left untouched and keep the stable ascending-id tie-break.
+///
+/// Two passes keep the repair race-free: a read-only pass marks each
+/// repair-run start with its end position, then a second pass sorts the
+/// (disjoint) marked runs.  Total scan work is O(n) — each element belongs to
+/// exactly one run, walked by the run's first entry — and repairs themselves
+/// are rare and local.
+///
+/// Returns false without repairing when the marked runs cover most of the
+/// array: weights so tightly clustered that the 32-bit prefix separates
+/// almost nothing would turn the repair into one big serial comparison sort,
+/// so the caller falls back to the parallel merge argsort instead.
+[[nodiscard]] bool repair_prefix_collisions(const exec::Executor& exec,
+                                            std::span<std::uint64_t> packed,
+                                            const graph::EdgeList& edges) {
+  const size_type n = static_cast<size_type>(packed.size());
+  auto run_end_lease = exec.workspace().take_uninit<size_type>(n);
+  const std::span<size_type> run_end = run_end_lease.span();
+
+  // Pass 1 (reads packed, writes only run_end[p]): find runs needing repair.
+  exec::parallel_for(exec, n, [&](size_type p) {
+    run_end[static_cast<std::size_t>(p)] = 0;  // 0 = nothing to repair here
+    const std::uint64_t prefix = packed[static_cast<std::size_t>(p)] >> 32;
+    if (p > 0 && (packed[static_cast<std::size_t>(p - 1)] >> 32) == prefix) return;
+    size_type end = p + 1;
+    while (end < n && (packed[static_cast<std::size_t>(end)] >> 32) == prefix) ++end;
+    if (end - p < 2) return;
+    const std::uint32_t first = low_key_of(edges, packed[static_cast<std::size_t>(p)]);
+    for (size_type q = p + 1; q < end; ++q) {
+      if (low_key_of(edges, packed[static_cast<std::size_t>(q)]) != first) {
+        run_end[static_cast<std::size_t>(p)] = end;
+        return;
+      }
+    }
+  });
+
+  const size_type total_repair = exec::parallel_sum(
+      exec, n, size_type{0}, [&](size_type p) {
+        const size_type end = run_end[static_cast<std::size_t>(p)];
+        return end == 0 ? size_type{0} : end - p;
+      });
+  if (2 * total_repair > n) return false;  // degenerate: prefixes separate nothing
+
+  // Pass 2: sort each marked run; runs are disjoint, so writes never overlap
+  // and every read stays within the writer's own run.
+  exec::parallel_for(exec, n, [&](size_type p) {
+    const size_type end = run_end[static_cast<std::size_t>(p)];
+    if (end == 0) return;
+    std::sort(packed.begin() + p, packed.begin() + end,
+              [&](std::uint64_t a, std::uint64_t b) {
+                const std::uint32_t la = low_key_of(edges, a);
+                const std::uint32_t lb = low_key_of(edges, b);
+                if (la != lb) return la < lb;
+                return (a & 0xffffffffu) < (b & 0xffffffffu);
+              });
+  });
+  return true;
+}
+
+/// The key-packed radix argsort: writes the descending-(weight, id)
+/// permutation into `order`.  Returns false (leaving `order` unspecified)
+/// when the input degenerates the prefix repair — the caller then uses the
+/// comparison path.
+[[nodiscard]] bool radix_argsort(const exec::Executor& exec, const graph::EdgeList& edges,
+                                 std::span<index_t> order) {
+  const size_type n = static_cast<size_type>(edges.size());
+  auto packed_lease = exec.workspace().take_uninit<std::uint64_t>(n);
+  const std::span<std::uint64_t> packed = packed_lease.span();
+  exec::parallel_for(exec, n, [&](size_type i) {
+    packed[static_cast<std::size_t>(i)] = exec::pack_key_and_id(
+        exec::descending_weight_key(edges[static_cast<std::size_t>(i)].weight),
+        static_cast<index_t>(i));
+  });
+  if (exec.parallelize(n)) {
+    // Radix over the key bytes only; stability over the id bytes implements
+    // the ascending-id tie-break (ids were packed in ascending order).
+    exec::radix_sort_u64(exec, packed, /*first_byte=*/4, /*last_byte=*/8);
+  } else {
+    // A full-word sort is equivalent here: among equal key prefixes the low
+    // word is the unique id, so ascending full words = ascending (prefix, id).
+    std::sort(packed.begin(), packed.end());
+  }
+  if (!repair_prefix_collisions(exec, packed, edges)) return false;
+  exec::parallel_for(exec, n, [&](size_type i) {
+    order[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(packed[static_cast<std::size_t>(i)] & 0xffffffffu);
+  });
+  return true;
+}
+
+/// The comparison-based reference: a stable merge argsort under the explicit
+/// descending-(weight, id) comparator.
+void merge_argsort(const exec::Executor& exec, const graph::EdgeList& edges,
+                   std::vector<index_t>& order) {
+  const size_type n = static_cast<size_type>(edges.size());
+  exec::parallel_for(exec, n,
+                     [&](size_type i) { order[static_cast<std::size_t>(i)] =
+                                            static_cast<index_t>(i); });
+  exec::merge_sort(exec, order, [&edges](index_t a, index_t b) {
+    const double wa = edges[static_cast<std::size_t>(a)].weight;
+    const double wb = edges[static_cast<std::size_t>(b)].weight;
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+}
+
+/// A sorted-edges artifact plus its validation state, as stored in the
+/// Executor's ArtifactCache.
+struct CachedSortedEdges {
+  SortedEdges sorted;
+  bool validated = false;
+};
+
+}  // namespace
+
+void sort_edges_into(const exec::Executor& exec, const graph::EdgeList& edges,
+                     index_t num_vertices, SortedEdges& out) {
+  const size_type n = static_cast<size_type>(edges.size());
+  out.num_vertices = num_vertices;
+  out.u.resize(static_cast<std::size_t>(n));
+  out.v.resize(static_cast<std::size_t>(n));
+  out.weight.resize(static_cast<std::size_t>(n));
+  out.order.resize(static_cast<std::size_t>(n));
+
+  if (exec.edge_sort_algorithm() == exec::EdgeSortAlgorithm::merge ||
+      !radix_argsort(exec, edges, out.order)) {
+    merge_argsort(exec, edges, out.order);
+  }
+
+  // Gather endpoints and weights once from the permutation (never sort
+  // structs: the sort moved 8-byte words only).
+  exec::parallel_for(exec, n, [&](size_type i) {
+    const auto& e = edges[static_cast<std::size_t>(out.order[static_cast<std::size_t>(i)])];
+    out.u[static_cast<std::size_t>(i)] = e.u;
+    out.v[static_cast<std::size_t>(i)] = e.v;
+    out.weight[static_cast<std::size_t>(i)] = e.weight;
+  });
+}
+
 SortedEdges sort_edges(const exec::Executor& exec, const graph::EdgeList& edges,
                        index_t num_vertices, bool validate_input) {
   if (validate_input) graph::validate_tree(edges, num_vertices);
-
-  const size_type n = static_cast<size_type>(edges.size());
-  std::vector<index_t> order(edges.size());
-  std::iota(order.begin(), order.end(), index_t{0});
-  // Descending by weight via a stable radix argsort on inverted weight bits;
-  // stability keeps equal weights in ascending original index — the
-  // canonical tie-break of Section 3.1.1.  The key buffer is leased scratch.
-  auto keys_lease = exec.workspace().take_uninit<std::uint64_t>(n);
-  std::vector<std::uint64_t>& keys = *keys_lease;
-  exec::parallel_for(exec, n, [&](size_type i) {
-    keys[static_cast<std::size_t>(i)] =
-        ~exec::order_preserving_bits(edges[static_cast<std::size_t>(i)].weight);
-  });
-  exec::radix_sort_kv(exec, keys, order);
-
   SortedEdges sorted;
-  sorted.num_vertices = num_vertices;
-  sorted.u.resize(edges.size());
-  sorted.v.resize(edges.size());
-  sorted.weight.resize(edges.size());
-  sorted.order = std::move(order);
-  exec::parallel_for(exec, n, [&](size_type i) {
-    const auto& e = edges[static_cast<std::size_t>(sorted.order[static_cast<std::size_t>(i)])];
-    sorted.u[static_cast<std::size_t>(i)] = e.u;
-    sorted.v[static_cast<std::size_t>(i)] = e.v;
-    sorted.weight[static_cast<std::size_t>(i)] = e.weight;
-  });
+  sort_edges_into(exec, edges, num_vertices, sorted);
   return sorted;
 }
 
-SortedEdges sort_edges(exec::Space space, const graph::EdgeList& edges, index_t num_vertices,
-                       bool validate_input) {
-  return sort_edges(exec::default_executor(space), edges, num_vertices, validate_input);
+std::uint64_t mst_fingerprint(const exec::Executor& exec, const graph::EdgeList& edges,
+                              index_t num_vertices) {
+  const size_type n = static_cast<size_type>(edges.size());
+  // Each edge hashes with its position, so the sum is order-sensitive while
+  // remaining a deterministic parallel reduction.
+  const std::uint64_t body = exec::parallel_sum(
+      exec, n, std::uint64_t{0}, [&](size_type i) {
+        const auto& e = edges[static_cast<std::size_t>(i)];
+        const std::uint64_t endpoints =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u)) << 32) |
+            static_cast<std::uint32_t>(e.v);
+        const std::uint64_t salted =
+            std::bit_cast<std::uint64_t>(e.weight) +
+            0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+        return mix64(endpoints ^ mix64(salted));
+      });
+  return mix64(body ^ mix64(static_cast<std::uint64_t>(n)) ^
+               mix64(~static_cast<std::uint64_t>(static_cast<std::uint32_t>(num_vertices))));
+}
+
+std::shared_ptr<const SortedEdges> sorted_edges_cached(const exec::Executor& exec,
+                                                       const graph::EdgeList& edges,
+                                                       index_t num_vertices,
+                                                       bool validate_input) {
+  if (!exec.artifact_caching()) {
+    if (validate_input) graph::validate_tree(edges, num_vertices);
+    auto owned = std::make_shared<CachedSortedEdges>();
+    owned->validated = validate_input;
+    sort_edges_into(exec, edges, num_vertices, owned->sorted);
+    const SortedEdges* view = &owned->sorted;
+    return {std::move(owned), view};
+  }
+
+  const std::uint64_t fingerprint = mst_fingerprint(exec, edges, num_vertices);
+  std::shared_ptr<CachedSortedEdges> entry =
+      exec.artifact_cache().find<CachedSortedEdges>(fingerprint);
+  if (entry == nullptr) {
+    if (validate_input) graph::validate_tree(edges, num_vertices);
+    entry = std::make_shared<CachedSortedEdges>();
+    entry->validated = validate_input;
+    sort_edges_into(exec, edges, num_vertices, entry->sorted);
+    exec.artifact_cache().insert(fingerprint, entry);
+  } else if (validate_input && !entry->validated) {
+    graph::validate_tree(edges, num_vertices);
+    entry->validated = true;
+  }
+  const SortedEdges* view = &entry->sorted;
+  return {std::move(entry), view};
 }
 
 }  // namespace pandora::dendrogram

@@ -45,9 +45,10 @@ Dendrogram union_find_dendrogram(const exec::Executor& exec, const SortedEdges& 
 Dendrogram union_find_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,
                                  index_t num_vertices, bool validate_input) {
   Timer timer;
-  SortedEdges sorted = sort_edges(exec, mst, num_vertices, validate_input);
+  const std::shared_ptr<const SortedEdges> sorted =
+      sorted_edges_cached(exec, mst, num_vertices, validate_input);
   exec.record_phase("sort", timer.seconds());
-  return union_find_dendrogram(exec, sorted);
+  return union_find_dendrogram(exec, *sorted);
 }
 
 Dendrogram union_find_dendrogram(const SortedEdges& sorted, PhaseTimes* times) {

@@ -1,10 +1,15 @@
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <new>
+#include <span>
 #include <string_view>
-#include <typeindex>
-#include <unordered_map>
+#include <type_traits>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -20,10 +25,13 @@
 /// `Executor` owns (a) the space selection (serial / OpenMP, extensible to a
 /// future GPU backend), (b) a thread budget, (c) a reusable `Workspace` arena
 /// that amortises scratch-buffer allocations across repeated dendrogram /
-/// HDBSCAN* calls on same-sized inputs, and (d) an optional `Profiler` hook
-/// that subsumes the old `PhaseTimes*` out-parameters.  Every kernel takes a
-/// `const Executor&`; the old bare-`Space` signatures survive as deprecated
-/// shims that forward to a per-thread default executor.
+/// HDBSCAN* calls on same-sized inputs, (d) an optional `Profiler` hook that
+/// subsumes the old `PhaseTimes*` out-parameters, (e) the edge-sort algorithm
+/// selection (key-packed radix by default, comparison merge as the fallback),
+/// and (f) an `ArtifactCache` that lets upper layers reuse derived artifacts
+/// (e.g. the canonical SortedEdges of an MST) across calls.  Every kernel
+/// takes a `const Executor&`; the surviving bare-`Space` signatures are
+/// deprecated shims that forward to a per-thread default executor.
 namespace pandora::exec {
 
 /// Deprecation marker for the old `Space`-enum API.  Define
@@ -39,54 +47,53 @@ namespace pandora::exec {
 /// answer `parallelize(n)`.)
 inline constexpr size_type kParallelForGrain = 2048;
 
-/// A pool of recycled heap buffers, one free list per element type.
+/// A size-class-aware byte arena handing out typed spans.
 ///
-/// Kernels lease scratch vectors with `take` / `take_uninit`; when the lease
-/// goes out of scope the vector returns to the pool with its capacity intact,
-/// so a second call with same-sized inputs performs no heap allocation.  The
-/// free lists are LIFO: identical call sequences acquire identical buffers,
-/// preserving bit-for-bit determinism of anything that (incorrectly) depended
-/// on buffer addresses.
+/// Kernels lease scratch with `take` / `take_uninit`; a lease is a typed view
+/// over a recycled 64-byte-aligned block whose size is rounded up to the next
+/// power of two (its *size class*).  When the lease goes out of scope the
+/// block returns to its class's free list, so a second call with same-sized
+/// inputs performs no heap allocation — and because blocks are raw bytes, one
+/// block serves `index_t` scratch on this call and `double` scratch on the
+/// next, which keeps retained memory low on mixed workloads (unlike the old
+/// per-element-type pools).  Free lists are LIFO: identical call sequences
+/// acquire identical blocks, preserving bit-for-bit determinism of anything
+/// that (incorrectly) depended on buffer addresses.
+///
+/// Element types must be trivially copyable and trivially destructible (the
+/// arena never runs constructors or destructors); `take_uninit` hands out the
+/// block's previous bytes, `take` fills with a value.
 ///
 /// Not thread-safe: one Workspace belongs to one Executor and kernels on an
 /// Executor run one at a time (parallelism happens *inside* kernels).
 class Workspace {
-  struct PoolBase {
-    virtual ~PoolBase() = default;
-    virtual void drop_free_buffers() = 0;
-  };
-  template <class T>
-  struct Pool final : PoolBase {
-    std::vector<std::vector<T>> free;
-    void drop_free_buffers() override {
-      free.clear();
-      free.shrink_to_fit();
-    }
-  };
-
  public:
   /// Allocation statistics, exposed so tests and the repeated-query benches
   /// can assert/report the steady-state "no new allocations" property.
   struct Stats {
     std::size_t takes = 0;   ///< leases served
-    std::size_t hits = 0;    ///< served from a buffer whose capacity sufficed
-    std::size_t misses = 0;  ///< required a fresh heap allocation (or growth)
+    std::size_t hits = 0;    ///< served from a recycled free block
+    std::size_t misses = 0;  ///< required a fresh heap allocation
   };
 
-  /// RAII lease of a scratch vector.  Default-constructed leases own a plain
-  /// vector and return it to no pool (used by workspace-less fallbacks).
-  /// A lease must not outlive its Workspace.
+  /// RAII lease of a typed span over an arena block.  Default-constructed
+  /// leases are empty.  A lease must not outlive its Workspace.
   template <class T>
   class Lease {
    public:
     Lease() = default;
     Lease(Lease&& other) noexcept
-        : v_(std::move(other.v_)), home_(std::exchange(other.home_, nullptr)) {}
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0)),
+          home_(std::exchange(other.home_, nullptr)),
+          size_class_(other.size_class_) {}
     Lease& operator=(Lease&& other) noexcept {
       if (this != &other) {
         release();
-        v_ = std::move(other.v_);
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
         home_ = std::exchange(other.home_, nullptr);
+        size_class_ = other.size_class_;
       }
       return *this;
     }
@@ -94,76 +101,206 @@ class Workspace {
     Lease& operator=(const Lease&) = delete;
     ~Lease() { release(); }
 
-    [[nodiscard]] std::vector<T>& operator*() noexcept { return v_; }
-    [[nodiscard]] const std::vector<T>& operator*() const noexcept { return v_; }
-    [[nodiscard]] std::vector<T>* operator->() noexcept { return &v_; }
-    [[nodiscard]] const std::vector<T>* operator->() const noexcept { return &v_; }
-    [[nodiscard]] std::vector<T>& get() noexcept { return v_; }
+    [[nodiscard]] T* data() noexcept { return data_; }
+    [[nodiscard]] const T* data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+    [[nodiscard]] T& operator[](std::size_t i) noexcept { return data_[i]; }
+    [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+    [[nodiscard]] T* begin() noexcept { return data_; }
+    [[nodiscard]] T* end() noexcept { return data_ + size_; }
+    [[nodiscard]] const T* begin() const noexcept { return data_; }
+    [[nodiscard]] const T* end() const noexcept { return data_ + size_; }
+    [[nodiscard]] std::span<T> span() noexcept { return {data_, size_}; }
+    [[nodiscard]] std::span<const T> span() const noexcept { return {data_, size_}; }
+    operator std::span<T>() noexcept { return {data_, size_}; }              // NOLINT
+    operator std::span<const T>() const noexcept { return {data_, size_}; }  // NOLINT
 
    private:
     friend class Workspace;
-    Lease(std::vector<T>&& v, Pool<T>* home) : v_(std::move(v)), home_(home) {}
+    Lease(T* data, std::size_t size, Workspace* home, int size_class)
+        : data_(data), size_(size), home_(home), size_class_(size_class) {}
     void release() {
       if (home_ != nullptr) {
-        home_->free.push_back(std::move(v_));
+        home_->release_block(data_, size_class_);
         home_ = nullptr;
       }
+      data_ = nullptr;
+      size_ = 0;
     }
 
-    std::vector<T> v_;
-    Pool<T>* home_ = nullptr;
+    T* data_ = nullptr;
+    std::size_t size_ = 0;
+    Workspace* home_ = nullptr;
+    int size_class_ = 0;
   };
 
-  /// Lease a vector of `n` elements, every element set to `fill` (the
-  /// behaviour of constructing `std::vector<T>(n, fill)`).
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  ~Workspace() { clear(); }
+
+  /// Lease a span over `n` elements with unspecified contents (the recycled
+  /// block's previous bytes).  For scratch that is fully overwritten before
+  /// being read.
+  template <class T>
+  [[nodiscard]] Lease<T> take_uninit(size_type n) {
+    static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                  "the Workspace arena hands out raw byte blocks");
+    ++stats_.takes;
+    if (n <= 0) {
+      ++stats_.hits;  // the empty lease costs nothing
+      return Lease<T>();
+    }
+    int size_class = 0;
+    void* block = acquire_block(static_cast<std::size_t>(n) * sizeof(T), size_class);
+    return Lease<T>(static_cast<T*>(block), static_cast<std::size_t>(n), this, size_class);
+  }
+
+  /// Lease a span of `n` elements, every element set to `fill`.
   template <class T>
   [[nodiscard]] Lease<T> take(size_type n, const T& fill = T{}) {
     Lease<T> lease = take_uninit<T>(n);
-    lease->assign(static_cast<std::size_t>(n), fill);
+    for (T& slot : lease) slot = fill;
     return lease;
-  }
-
-  /// Lease a vector resized to `n` elements with unspecified contents (the
-  /// recycled buffer's previous values, or value-initialised on first use).
-  /// For scratch that is fully overwritten before being read.
-  template <class T>
-  [[nodiscard]] Lease<T> take_uninit(size_type n) {
-    auto& pool = pool_of<T>();
-    std::vector<T> v;
-    if (!pool.free.empty()) {
-      v = std::move(pool.free.back());
-      pool.free.pop_back();
-    }
-    ++stats_.takes;
-    if (v.capacity() >= static_cast<std::size_t>(n)) {
-      ++stats_.hits;
-    } else {
-      ++stats_.misses;
-    }
-    v.resize(static_cast<std::size_t>(n));
-    return Lease<T>(std::move(v), &pool);
   }
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
-  /// Drop every cached (free) buffer — the arena returns to its empty
-  /// state.  The pools themselves survive, so leases still outstanding keep
-  /// valid home pointers and simply return their buffers afterwards.
+  /// Bytes currently held on the free lists (retained, reusable memory).
+  [[nodiscard]] std::size_t retained_bytes() const noexcept {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < kNumClasses; ++c)
+      total += free_[c].size() << (c + kMinClassLog2);
+    return total;
+  }
+
+  /// Free every cached block — the arena returns to its empty state.  Leases
+  /// still outstanding are unaffected and return their blocks afterwards.
   void clear() {
-    for (auto& [_, pool] : pools_) pool->drop_free_buffers();
+    for (std::size_t c = 0; c < kNumClasses; ++c) {
+      for (void* block : free_[c]) deallocate_block(block, static_cast<int>(c));
+      free_[c].clear();
+      free_[c].shrink_to_fit();
+    }
   }
 
  private:
-  template <class T>
-  Pool<T>& pool_of() {
-    auto& slot = pools_[std::type_index(typeid(T))];
-    if (slot == nullptr) slot = std::make_unique<Pool<T>>();
-    return static_cast<Pool<T>&>(*slot);
+  /// Classes are powers of two from 64 bytes (class 0) upward; class c holds
+  /// blocks of exactly 1 << (c + kMinClassLog2) bytes.
+  static constexpr std::size_t kMinClassLog2 = 6;
+  static constexpr std::size_t kNumClasses = 42;
+  static constexpr std::size_t kBlockAlignment = 64;
+
+  [[nodiscard]] static int class_of(std::size_t bytes) {
+    const int width = std::bit_width(bytes - 1);  // bytes >= 1
+    return width <= static_cast<int>(kMinClassLog2)
+               ? 0
+               : width - static_cast<int>(kMinClassLog2);
   }
 
-  std::unordered_map<std::type_index, std::unique_ptr<PoolBase>> pools_;
+  [[nodiscard]] void* acquire_block(std::size_t bytes, int& size_class) {
+    const int wanted = class_of(bytes);
+    // Exact class first, then the smallest larger class with a free block
+    // (a shrinking workload reuses its big blocks instead of allocating).
+    for (int c = wanted; c < static_cast<int>(kNumClasses); ++c) {
+      auto& list = free_[static_cast<std::size_t>(c)];
+      if (!list.empty()) {
+        void* block = list.back();
+        list.pop_back();
+        ++stats_.hits;
+        size_class = c;
+        return block;
+      }
+    }
+    ++stats_.misses;
+    size_class = wanted;
+    return ::operator new(std::size_t{1} << (static_cast<std::size_t>(wanted) + kMinClassLog2),
+                          std::align_val_t{kBlockAlignment});
+  }
+
+  void release_block(void* block, int size_class) {
+    if (block != nullptr) free_[static_cast<std::size_t>(size_class)].push_back(block);
+  }
+
+  static void deallocate_block(void* block, int size_class) {
+    ::operator delete(block, std::align_val_t{kBlockAlignment});
+    (void)size_class;
+  }
+
+  std::array<std::vector<void*>, kNumClasses> free_;
   Stats stats_;
+};
+
+/// A small fingerprint-keyed cache of derived artifacts, attached to the
+/// Executor so upper layers (dendrogram, hdbscan) can reuse expensive
+/// intermediate results — e.g. the canonical descending-weight SortedEdges of
+/// an MST — across calls without a layering inversion.  Entries are
+/// type-erased shared_ptrs matched on (fingerprint, type); eviction is
+/// least-recently-used over a fixed handful of slots.
+///
+/// Not thread-safe (like the Workspace: one cache per Executor).
+class ArtifactCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+  };
+
+  /// The cached artifact for `fingerprint`, or nullptr.  A hit performs no
+  /// heap allocation (the shared_ptr copy only bumps a refcount).
+  template <class T>
+  [[nodiscard]] std::shared_ptr<T> find(std::uint64_t fingerprint) const {
+    for (Entry& entry : entries_) {
+      if (entry.value != nullptr && entry.fingerprint == fingerprint &&
+          *entry.type == typeid(T)) {
+        entry.stamp = ++clock_;
+        ++stats_.hits;
+        return std::static_pointer_cast<T>(entry.value);
+      }
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  /// Stores `value` under `fingerprint`, evicting the least recently used
+  /// entry if every slot is occupied.
+  template <class T>
+  void insert(std::uint64_t fingerprint, std::shared_ptr<T> value) {
+    Entry* slot = &entries_[0];
+    for (Entry& entry : entries_) {
+      if (entry.value == nullptr) {
+        slot = &entry;
+        break;
+      }
+      if (entry.stamp < slot->stamp) slot = &entry;
+    }
+    slot->fingerprint = fingerprint;
+    slot->type = &typeid(T);
+    slot->value = std::move(value);
+    slot->stamp = ++clock_;
+  }
+
+  void clear() {
+    for (Entry& entry : entries_) entry = Entry{};
+  }
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    const std::type_info* type = nullptr;
+    std::shared_ptr<void> value;
+    std::uint64_t stamp = 0;
+  };
+
+  static constexpr std::size_t kSlots = 4;
+  mutable std::array<Entry, kSlots> entries_;
+  mutable std::uint64_t clock_ = 0;
+  mutable Stats stats_;
 };
 
 /// Receives per-phase timings from the library's drivers ("sort",
@@ -199,13 +336,23 @@ class PhaseTimesProfiler final : public Profiler {
   Profiler* next_ = nullptr;
 };
 
+/// Which algorithm runs the initial descending-(weight, id) edge sort of
+/// Section 3.1.1.  The key-packed radix path is the default (and is asserted
+/// bit-identical to the comparison sort by the equivalence tests); the merge
+/// path survives as the comparison-based reference and fallback.
+enum class EdgeSortAlgorithm {
+  radix,  ///< order-preserving key32 + packed edge id through radix_sort_u64
+  merge,  ///< stable comparison merge sort (reference / fallback)
+};
+
 /// The reusable execution context every kernel takes by const reference.
 ///
 /// Cheap to construct, but meant to be constructed once and reused: the
-/// workspace arena only pays off across repeated calls.  The workspace and
-/// profiler are logically part of the execution *context*, not the kernel
-/// inputs, so they are mutable behind the const interface (exactly like
-/// Kokkos execution-space instances, whose scratch arenas are mutable too).
+/// workspace arena and artifact cache only pay off across repeated calls.
+/// The workspace, profiler, cache and algorithm selections are logically part
+/// of the execution *context*, not the kernel inputs, so they are mutable
+/// behind the const interface (exactly like Kokkos execution-space instances,
+/// whose scratch arenas are mutable too).
 ///
 /// Not thread-safe: do not run two kernels on the same Executor concurrently
 /// (parallelism happens inside kernels, governed by `num_threads`).
@@ -230,6 +377,21 @@ class Executor {
 
   /// The scratch-buffer arena (see Workspace).
   [[nodiscard]] Workspace& workspace() const noexcept { return workspace_; }
+
+  /// The cross-call artifact cache (see ArtifactCache).
+  [[nodiscard]] ArtifactCache& artifact_cache() const noexcept { return artifact_cache_; }
+
+  /// Whether cross-call artifact reuse (e.g. the SortedEdges cache keyed on
+  /// the MST fingerprint) is enabled.  On by default; turn off to force every
+  /// call to recompute — benchmarks comparing construction algorithms do.
+  [[nodiscard]] bool artifact_caching() const noexcept { return artifact_caching_; }
+  void set_artifact_caching(bool enabled) const noexcept { artifact_caching_ = enabled; }
+
+  /// The edge-sort algorithm selection consulted by `sort_edges`.
+  [[nodiscard]] EdgeSortAlgorithm edge_sort_algorithm() const noexcept { return edge_sort_; }
+  void set_edge_sort_algorithm(EdgeSortAlgorithm algorithm) const noexcept {
+    edge_sort_ = algorithm;
+  }
 
   /// The attached profiler, or nullptr.  Non-owning.
   [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
@@ -256,7 +418,10 @@ class Executor {
   Space space_;
   int requested_threads_;
   mutable Workspace workspace_;
+  mutable ArtifactCache artifact_cache_;
   mutable Profiler* profiler_ = nullptr;
+  mutable EdgeSortAlgorithm edge_sort_ = EdgeSortAlgorithm::radix;
+  mutable bool artifact_caching_ = true;
 };
 
 /// The per-thread default executor of a space — the context behind the

@@ -56,26 +56,37 @@ template <class T, class Transform, class Combine>
                                 Transform&& transform, Combine&& combine) {
   if (exec.parallelize(n)) {
     const int num_threads = exec.num_threads();
-    std::vector<T> partial(static_cast<std::size_t>(num_threads), identity);
-    int team = 1;
+    // Per-thread partials live in leased scratch when T fits the byte arena
+    // (the common case: integral/fingerprint reductions on the hot path stay
+    // allocation-free after warm-up); other types fall back to a vector.
+    const auto reduce_into = [&](T* partial) {
+      int team = 1;
 #pragma omp parallel num_threads(num_threads)
-    {
-      // Chunk by the team size OpenMP actually granted, so every index is
-      // covered even if fewer than `num_threads` threads materialise.
-      const int nt = omp_get_num_threads();
-      const int t = omp_get_thread_num();
+      {
+        // Chunk by the team size OpenMP actually granted, so every index is
+        // covered even if fewer than `num_threads` threads materialise.
+        const int nt = omp_get_num_threads();
+        const int t = omp_get_thread_num();
 #pragma omp single
-      team = nt;
-      const size_type lo = n * t / nt;
-      const size_type hi = n * (t + 1) / nt;
-      T local = identity;
-      for (size_type i = lo; i < hi; ++i) local = combine(local, transform(i));
-      partial[static_cast<std::size_t>(t)] = std::move(local);
+        team = nt;
+        const size_type lo = n * t / nt;
+        const size_type hi = n * (t + 1) / nt;
+        T local = identity;
+        for (size_type i = lo; i < hi; ++i) local = combine(local, transform(i));
+        partial[static_cast<std::size_t>(t)] = std::move(local);
+      }
+      T result = identity;
+      for (int t = 0; t < team; ++t)
+        result = combine(std::move(result), std::move(partial[static_cast<std::size_t>(t)]));
+      return result;
+    };
+    if constexpr (std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>) {
+      auto partial = exec.workspace().template take<T>(num_threads, identity);
+      return reduce_into(partial.data());
+    } else {
+      std::vector<T> partial(static_cast<std::size_t>(num_threads), identity);
+      return reduce_into(partial.data());
     }
-    T result = identity;
-    for (int t = 0; t < team; ++t)
-      result = combine(std::move(result), std::move(partial[static_cast<std::size_t>(t)]));
-    return result;
   }
   T result = identity;
   for (size_type i = 0; i < n; ++i) result = combine(result, transform(i));

@@ -3,7 +3,7 @@
 #include <omp.h>
 
 #include <span>
-#include <vector>
+#include <type_traits>
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
@@ -31,7 +31,12 @@ T exclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) 
   }
 
   const int max_team = exec.num_threads();
-  std::vector<T> partial(static_cast<std::size_t>(max_team) + 1, T{});
+  // Leased per-thread partials keep repeated scans allocation-free (scan
+  // element types are arithmetic throughout the library).
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "exclusive_scan leases its partials from the byte arena");
+  auto partial_lease = exec.workspace().template take<T>(max_team + 1, T{});
+  T* const partial = partial_lease.data();
   int team = 1;
 #pragma omp parallel num_threads(max_team)
   {

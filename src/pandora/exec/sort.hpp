@@ -17,14 +17,18 @@
 /// Parallel sorting.
 ///
 /// Two algorithms are provided, both stable:
-///  * `merge_sort` — comparison-based; used for the initial descending-weight
-///    edge sort of Section 3.1.1, where the comparator carries the tie-break
-///    on the original edge id that makes the dendrogram unique.
-///  * `radix_sort_u64` — an LSD radix sort over packed 64-bit keys; used for
-///    the (chain, index) sort of the expansion stage (Section 3.3.3), where
-///    the key space is dense and radix beats comparison sorting.  This mirrors
-///    the paper's observation that GPU dendrogram time is dominated by sorts
-///    and that radix-style sorts are the best-scaling primitive (Figure 12).
+///  * `merge_sort` — comparison-based; the reference/fallback for the initial
+///    descending-weight edge sort of Section 3.1.1 (selected per Executor via
+///    `EdgeSortAlgorithm::merge`).
+///  * `radix_sort_u64` — an LSD radix sort over packed 64-bit keys, optionally
+///    restricted to a byte range.  It carries the whole hot path: the (chain,
+///    index) sort of the expansion stage (Section 3.3.3) and — through the
+///    order-preserving key transforms below — the initial descending-weight
+///    edge sort, where the sort key occupies the high 32 bits and the original
+///    edge id rides in the low 32 bits so that radixing only the key bytes
+///    leaves the ids as the stable tie-break.  This mirrors the paper's
+///    observation that GPU dendrogram time is dominated by sorts and that
+///    radix-style sorts are the best-scaling primitive (Figure 12).
 ///
 /// All scratch (ping-pong buffers, per-thread histograms) is leased from the
 /// Executor's Workspace, so repeated sorts on same-sized inputs allocate
@@ -58,7 +62,7 @@ void parallel_merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
 
   auto buffer = exec.workspace().template take_uninit<T>(n);
   T* src = v.data();
-  T* dst = buffer->data();
+  T* dst = buffer.data();
   for (int width = 1; width < chunks; width *= 2) {
 #pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
     for (int c = 0; c < chunks; c += 2 * width) {
@@ -105,12 +109,29 @@ void merge_sort(Space space, std::vector<T>& v, Comp comp) {
   merge_sort(default_executor(space), v, static_cast<Comp&&>(comp));
 }
 
-/// Stable LSD radix sort of 64-bit keys, ascending.
-inline void radix_sort_u64(const Executor& exec, std::vector<std::uint64_t>& keys) {
+/// Stable LSD radix sort of 64-bit keys, ascending, over the byte range
+/// [first_byte, last_byte) (byte 0 is least significant).  Restricting the
+/// range turns the sort into a key-value sort whose key and value share one
+/// word: sorting only bytes [4, 8) of `(key32 << 32) | value32` words orders
+/// by key32 while stability preserves the pre-sort order of equal keys —
+/// which is ascending value32 when the caller packed values in that order.
+inline void radix_sort_u64(const Executor& exec, std::span<std::uint64_t> keys,
+                           int first_byte = 0, int last_byte = 8) {
   const size_type n = static_cast<size_type>(keys.size());
   if (n < 2) return;
   if (!exec.parallelize(n)) {
-    std::sort(keys.begin(), keys.end());
+    if (first_byte == 0 && last_byte >= 8) {
+      std::sort(keys.begin(), keys.end());
+    } else {
+      // Mask to the bytes [first_byte, last_byte) so the serial path orders
+      // exactly like the pass-restricted radix path.
+      const std::uint64_t hi =
+          last_byte >= 8 ? ~std::uint64_t{0} : (std::uint64_t{1} << (8 * last_byte)) - 1;
+      const std::uint64_t mask = hi & (~std::uint64_t{0} << (8 * first_byte));
+      std::stable_sort(keys.begin(), keys.end(), [mask](std::uint64_t a, std::uint64_t b) {
+        return (a & mask) < (b & mask);
+      });
+    }
     return;
   }
 
@@ -118,12 +139,11 @@ inline void radix_sort_u64(const Executor& exec, std::vector<std::uint64_t>& key
   const int num_threads = exec.num_threads();
   auto buffer = exec.workspace().take_uninit<std::uint64_t>(n);
   std::uint64_t* src = keys.data();
-  std::uint64_t* dst = buffer->data();
+  std::uint64_t* dst = buffer.data();
   // hist[t][b]: count of byte-value b in thread t's chunk.
-  auto hist_lease = exec.workspace().take_uninit<RadixHistogram>(num_threads);
-  std::vector<RadixHistogram>& hist = *hist_lease;
+  auto hist = exec.workspace().take_uninit<RadixHistogram>(num_threads);
 
-  for (int pass = 0; pass < 8; ++pass) {
+  for (int pass = first_byte; pass < last_byte; ++pass) {
     const int shift = pass * 8;
     if (((varying >> shift) & 0xff) == 0) continue;
 
@@ -163,92 +183,55 @@ inline void radix_sort_u64(const Executor& exec, std::vector<std::uint64_t>& key
 }
 
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-inline void radix_sort_u64(Space space, std::vector<std::uint64_t>& keys) {
+inline void radix_sort_u64(Space space, std::span<std::uint64_t> keys) {
   radix_sort_u64(default_executor(space), keys);
 }
 
-/// Stable LSD radix sort of (key, value) pairs by key, ascending.  Used for
-/// the initial descending-weight edge argsort (keys are inverted weight bits,
-/// values the edge ids); stability implements the ascending-id tie-break.
-inline void radix_sort_kv(const Executor& exec, std::vector<std::uint64_t>& keys,
-                          std::vector<index_t>& values) {
-  const size_type n = static_cast<size_type>(keys.size());
-  if (n < 2) return;
-  if (!exec.parallelize(n)) {
-    auto pairs_lease = exec.workspace().take_uninit<std::pair<std::uint64_t, index_t>>(n);
-    auto& pairs = *pairs_lease;
-    for (size_type i = 0; i < n; ++i)
-      pairs[static_cast<std::size_t>(i)] = {keys[static_cast<std::size_t>(i)],
-                                            values[static_cast<std::size_t>(i)]};
-    std::stable_sort(pairs.begin(), pairs.end(),
-                     [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (size_type i = 0; i < n; ++i) {
-      keys[static_cast<std::size_t>(i)] = pairs[static_cast<std::size_t>(i)].first;
-      values[static_cast<std::size_t>(i)] = pairs[static_cast<std::size_t>(i)].second;
-    }
-    return;
-  }
+// --- order-preserving key transforms ---------------------------------------
+//
+// The IEEE-754 "sign-flip trick": reinterpret the float's bits as an unsigned
+// integer, then flip the sign bit for non-negative values and ALL bits for
+// negative values.  The result compares (as an unsigned integer) exactly like
+// the float compares, for every finite value including denormals and for
+// ±infinity.  ±0.0 must be canonicalised first (they compare equal as floats
+// but have different bit patterns).  NaNs have no total order and are
+// excluded by input validation.
 
-  const std::uint64_t varying = detail::varying_bytes(exec, keys.data(), n);
-  const int num_threads = exec.num_threads();
-  auto key_buffer = exec.workspace().take_uninit<std::uint64_t>(n);
-  auto value_buffer = exec.workspace().take_uninit<index_t>(n);
-  std::uint64_t* ksrc = keys.data();
-  std::uint64_t* kdst = key_buffer->data();
-  index_t* vsrc = values.data();
-  index_t* vdst = value_buffer->data();
-  auto hist_lease = exec.workspace().take_uninit<RadixHistogram>(num_threads);
-  std::vector<RadixHistogram>& hist = *hist_lease;
-
-  for (int pass = 0; pass < 8; ++pass) {
-    const int shift = pass * 8;
-    if (((varying >> shift) & 0xff) == 0) continue;
-#pragma omp parallel num_threads(num_threads)
-    {
-      // Chunk by the granted team size, as in radix_sort_u64 above.
-      const int nt = omp_get_num_threads();
-      const int t = omp_get_thread_num();
-      const size_type lo = n * t / nt;
-      const size_type hi = n * (t + 1) / nt;
-      auto& h = hist[static_cast<std::size_t>(t)];
-      h.fill(0);
-      for (size_type i = lo; i < hi; ++i) ++h[(ksrc[i] >> shift) & 0xff];
-#pragma omp barrier
-#pragma omp single
-      {
-        size_type running = 0;
-        for (int b = 0; b < 256; ++b) {
-          for (int tt = 0; tt < nt; ++tt) {
-            size_type c = hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)];
-            hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)] = running;
-            running += c;
-          }
-        }
-      }
-      for (size_type i = lo; i < hi; ++i) {
-        const size_type dst = h[(ksrc[i] >> shift) & 0xff]++;
-        kdst[dst] = ksrc[i];
-        vdst[dst] = vsrc[i];
-      }
-    }
-    std::swap(ksrc, kdst);
-    std::swap(vsrc, vdst);
-  }
-  if (ksrc != keys.data()) {
-    std::memcpy(keys.data(), ksrc, sizeof(std::uint64_t) * static_cast<std::size_t>(n));
-    std::memcpy(values.data(), vsrc, sizeof(index_t) * static_cast<std::size_t>(n));
-  }
+/// Order-preserving u32 key of a float (ascending).
+[[nodiscard]] inline std::uint32_t order_preserving_key32(float value) {
+  if (value == 0.0f) value = 0.0f;  // -0.0f -> +0.0f
+  const auto bits = std::bit_cast<std::uint32_t>(value);
+  return bits ^ ((bits >> 31) != 0 ? ~std::uint32_t{0} : std::uint32_t{1} << 31);
 }
 
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-inline void radix_sort_kv(Space space, std::vector<std::uint64_t>& keys,
-                          std::vector<index_t>& values) {
-  radix_sort_kv(default_executor(space), keys, values);
+/// Order-preserving u64 key of a double (ascending).
+[[nodiscard]] inline std::uint64_t order_preserving_key64(double value) {
+  if (value == 0.0) value = 0.0;  // -0.0 -> +0.0
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  return bits ^ ((bits >> 63) != 0 ? ~std::uint64_t{0} : std::uint64_t{1} << 63);
+}
+
+/// Order-preserving u64 key of a double for DESCENDING sorts (larger weight
+/// -> smaller key), the order of the Section 3.1.1 edge sort.
+[[nodiscard]] inline std::uint64_t descending_weight_key(double weight) {
+  return ~order_preserving_key64(weight);
+}
+
+/// Packs the high 32 bits of a descending weight key with an edge id:
+/// radix-sorting the packed words on bytes [4, 8) orders by the key prefix
+/// while stability keeps equal prefixes in ascending id order — the canonical
+/// tie-break.  (Ties in the prefix with *differing* low key bits are repaired
+/// by a run fix-up pass; see sort_edges.)
+[[nodiscard]] inline std::uint64_t pack_key_and_id(std::uint64_t descending_key,
+                                                   index_t id) {
+  return (descending_key & (~std::uint64_t{0} << 32)) |
+         static_cast<std::uint32_t>(id);
 }
 
 /// Maps a non-negative double to a u64 preserving order (IEEE-754 bit trick;
-/// valid because distances/weights in this library are >= 0).
-inline std::uint64_t order_preserving_bits(double non_negative) {
+/// valid because distances/weights in this library are >= 0).  Prefer
+/// order_preserving_key64, which also handles negative values.
+[[nodiscard]] inline std::uint64_t order_preserving_bits(double non_negative) {
   return std::bit_cast<std::uint64_t>(non_negative);
 }
 

@@ -37,9 +37,10 @@ ConcurrentUnionFind::ConcurrentUnionFind(index_t n) { reset(n); }
 void ConcurrentUnionFind::reset(index_t n) {
   parent_.resize(static_cast<std::size_t>(n));
   std::iota(parent_.begin(), parent_.end(), index_t{0});
+  view_ = ConcurrentUnionFindView(parent_);
 }
 
-index_t ConcurrentUnionFind::find(index_t x) {
+index_t ConcurrentUnionFindView::find(index_t x) {
   // Pointer jumping: parents only ever decrease, so this terminates even
   // while other threads hook roots.  Writing the grandparent back is a benign
   // race (all writers store values on the path to the same root).
@@ -53,7 +54,7 @@ index_t ConcurrentUnionFind::find(index_t x) {
   return x;
 }
 
-void ConcurrentUnionFind::unite(index_t a, index_t b) {
+void ConcurrentUnionFindView::unite(index_t a, index_t b) {
   while (true) {
     a = find(a);
     b = find(b);

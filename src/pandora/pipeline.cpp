@@ -19,6 +19,15 @@ dendrogram::Dendrogram Pipeline::build_dendrogram(const graph::EdgeList& mst,
   return dendrogram::pandora_dendrogram(*executor_, mst, num_vertices, pandora_options());
 }
 
+void Pipeline::build_dendrogram_into(const graph::EdgeList& mst, index_t num_vertices,
+                                     dendrogram::Dendrogram& out) const {
+  if (options_.dendrogram_algorithm == hdbscan::DendrogramAlgorithm::union_find) {
+    out = dendrogram::union_find_dendrogram(*executor_, mst, num_vertices, validate_input_);
+    return;
+  }
+  dendrogram::pandora_dendrogram_into(*executor_, mst, num_vertices, pandora_options(), out);
+}
+
 dendrogram::Dendrogram Pipeline::build_dendrogram(const dendrogram::SortedEdges& sorted) const {
   if (options_.dendrogram_algorithm == hdbscan::DendrogramAlgorithm::union_find)
     return dendrogram::union_find_dendrogram(*executor_, sorted);

@@ -60,6 +60,21 @@ class Pipeline {
     return *this;
   }
 
+  /// Which algorithm runs the Section 3.1.1 edge sort (key-packed radix by
+  /// default; merge is the comparison-based reference).  Applies to the
+  /// executor, so it persists across pipelines sharing it.
+  Pipeline& with_edge_sort(exec::EdgeSortAlgorithm algorithm) {
+    executor_->set_edge_sort_algorithm(algorithm);
+    return *this;
+  }
+
+  /// Toggle the cross-call SortedEdges cache (on by default).  Applies to the
+  /// executor, so it persists across pipelines sharing it.
+  Pipeline& with_sorted_edges_cache(bool enabled) {
+    executor_->set_artifact_caching(enabled);
+    return *this;
+  }
+
   /// Validate that dendrogram inputs are spanning trees with finite weights.
   Pipeline& with_validation(bool validate = true) {
     validate_input_ = validate;
@@ -94,6 +109,12 @@ class Pipeline {
   /// Dendrogram from pre-sorted edges (shares one sort across algorithms).
   [[nodiscard]] dendrogram::Dendrogram build_dendrogram(
       const dendrogram::SortedEdges& sorted) const;
+
+  /// Output-reusing dendrogram build: with the PANDORA algorithm, a second
+  /// identical call on a warm Executor (sorted-edges cache hit, arena-leased
+  /// scratch, capacity-reusing outputs) performs no heap allocation.
+  void build_dendrogram_into(const graph::EdgeList& mst, index_t num_vertices,
+                             dendrogram::Dendrogram& out) const;
 
   /// Per-point core distances at the configured minPts.
   [[nodiscard]] std::vector<double> core_distances(const spatial::PointSet& points,

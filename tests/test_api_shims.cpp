@@ -29,18 +29,10 @@ using namespace pandora;
 using pandora::testing::Topology;
 using pandora::testing::make_tree;
 
-TEST(ApiShims, SortEdgesMatchesExecutorOverload) {
-  const graph::EdgeList tree = make_tree(Topology::preferential, 5000, 3, /*distinct=*/4);
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
-    const exec::Executor executor(space);
-    const auto via_shim = dendrogram::sort_edges(space, tree, 5000);
-    const auto via_executor = dendrogram::sort_edges(executor, tree, 5000);
-    EXPECT_EQ(via_shim.order, via_executor.order);
-    EXPECT_EQ(via_shim.u, via_executor.u);
-    EXPECT_EQ(via_shim.v, via_executor.v);
-    EXPECT_EQ(via_shim.weight, via_executor.weight);
-  }
-}
+// Note: the former bare-`Space` shims for `sort_edges` and
+// `contract_one_level` were removed after their deprecation cycle (the
+// Executor overloads are the only entry points now); this file covers the
+// shims that remain.
 
 TEST(ApiShims, PandoraDendrogramMatchesExecutorOverloadAndFillsPhaseTimes) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 8000, 7, 0);

@@ -23,38 +23,59 @@ using pandora::testing::make_tree;
 TEST(Workspace, TakeFillsAndSizes) {
   exec::Workspace workspace;
   auto lease = workspace.take<index_t>(100, kNone);
-  EXPECT_EQ(lease->size(), 100u);
-  for (const index_t v : *lease) EXPECT_EQ(v, kNone);
+  EXPECT_EQ(lease.size(), 100u);
+  for (const index_t v : lease) EXPECT_EQ(v, kNone);
   auto uninit = workspace.take_uninit<double>(7);
-  EXPECT_EQ(uninit->size(), 7u);
+  EXPECT_EQ(uninit.size(), 7u);
+  auto empty = workspace.take_uninit<index_t>(0);
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.data(), nullptr);
 }
 
-TEST(Workspace, ReleasedBuffersAreRecycled) {
+TEST(Workspace, ReleasedBlocksAreRecycled) {
   exec::Workspace workspace;
   const index_t* first_data = nullptr;
   {
     auto lease = workspace.take<index_t>(5000, 0);
-    first_data = lease->data();
-  }  // lease returns the buffer to the pool
+    first_data = lease.data();
+  }  // lease returns the block to its size class
   EXPECT_EQ(workspace.stats().takes, 1u);
   EXPECT_EQ(workspace.stats().misses, 1u);
   {
     auto lease = workspace.take<index_t>(5000, 0);
-    // Same-size re-acquisition reuses the identical heap buffer (LIFO pool).
-    EXPECT_EQ(lease->data(), first_data);
+    // Same-size re-acquisition reuses the identical block (LIFO free list).
+    EXPECT_EQ(lease.data(), first_data);
   }
   EXPECT_EQ(workspace.stats().takes, 2u);
   EXPECT_EQ(workspace.stats().hits, 1u);
   EXPECT_EQ(workspace.stats().misses, 1u);
 }
 
-TEST(Workspace, SmallerRequestIsAHitLargerIsAMiss) {
+TEST(Workspace, BlocksAreSharedAcrossElementTypes) {
+  // The arena hands out raw byte blocks: scratch taken as index_t on one call
+  // serves a double request of the same byte footprint on the next — the
+  // size-class design that keeps retained memory low on mixed workloads.
   exec::Workspace workspace;
-  { auto lease = workspace.take<index_t>(1000, 0); }
-  workspace.reset_stats();
-  { auto lease = workspace.take<index_t>(500, 0); }  // shrinking: capacity suffices
+  const void* block = nullptr;
+  {
+    auto lease = workspace.take<index_t>(1024, 0);  // 4 KiB class
+    block = lease.data();
+  }
+  {
+    auto lease = workspace.take_uninit<double>(512);  // 4 KiB class too
+    EXPECT_EQ(static_cast<const void*>(lease.data()), block);
+  }
   EXPECT_EQ(workspace.stats().hits, 1u);
-  { auto lease = workspace.take<index_t>(2000, 0); }  // growing: reallocation
+  EXPECT_EQ(workspace.stats().misses, 1u);
+}
+
+TEST(Workspace, SmallerRequestReusesALargerFreeBlock) {
+  exec::Workspace workspace;
+  { auto lease = workspace.take<index_t>(1000, 0); }  // 4 KiB class
+  workspace.reset_stats();
+  { auto lease = workspace.take<index_t>(500, 0); }  // 2 KiB class: larger block serves
+  EXPECT_EQ(workspace.stats().hits, 1u);
+  { auto lease = workspace.take<index_t>(2000, 0); }  // 8 KiB class: must allocate
   EXPECT_EQ(workspace.stats().misses, 1u);
 }
 
@@ -62,31 +83,50 @@ TEST(Workspace, ConcurrentLeasesGetDistinctBuffers) {
   exec::Workspace workspace;
   auto a = workspace.take<index_t>(64, 1);
   auto b = workspace.take<index_t>(64, 2);
-  EXPECT_NE(a->data(), b->data());
-  EXPECT_EQ((*a)[0], 1);
-  EXPECT_EQ((*b)[0], 2);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(b[0], 2);
 }
 
 TEST(Workspace, ClearDropsCachedBuffers) {
   exec::Workspace workspace;
   { auto lease = workspace.take<index_t>(4096, 0); }
+  EXPECT_GT(workspace.retained_bytes(), 0u);
   workspace.clear();
+  EXPECT_EQ(workspace.retained_bytes(), 0u);
   workspace.reset_stats();
   { auto lease = workspace.take<index_t>(4096, 0); }
   EXPECT_EQ(workspace.stats().misses, 1u);
 }
 
 TEST(Workspace, ClearWithOutstandingLeaseIsSafe) {
-  // clear() drops only the *free* buffers; a live lease keeps a valid home
-  // and simply returns its buffer afterwards.
+  // clear() drops only the *free* blocks; a live lease keeps its block and
+  // simply returns it afterwards.
   exec::Workspace workspace;
   auto lease = workspace.take<index_t>(256, 7);
   workspace.clear();
-  EXPECT_EQ((*lease)[0], 7);          // the leased buffer is untouched
-  lease = exec::Workspace::Lease<index_t>{};  // release into the cleared pool
+  EXPECT_EQ(lease[0], 7);                     // the leased block is untouched
+  lease = exec::Workspace::Lease<index_t>{};  // release into the cleared arena
   workspace.reset_stats();
   { auto again = workspace.take<index_t>(256, 0); }
-  EXPECT_EQ(workspace.stats().hits, 1u) << "the returned buffer is reusable";
+  EXPECT_EQ(workspace.stats().hits, 1u) << "the returned block is reusable";
+}
+
+TEST(Workspace, IdenticalCallSequencesAcquireIdenticalBlocks) {
+  // LIFO free lists make reuse deterministic: the same take/release sequence
+  // sees the same addresses, run after run.
+  exec::Workspace workspace;
+  std::vector<const void*> first, second;
+  for (int round = 0; round < 2; ++round) {
+    auto& log = round == 0 ? first : second;
+    auto a = workspace.take_uninit<std::uint64_t>(1000);
+    auto b = workspace.take_uninit<index_t>(3000);
+    log.push_back(a.data());
+    log.push_back(b.data());
+    auto c = workspace.take_uninit<double>(500);
+    log.push_back(c.data());
+  }
+  EXPECT_EQ(first, second);
 }
 
 TEST(Executor, ThreadBudgetResolution) {

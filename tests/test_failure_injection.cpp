@@ -42,6 +42,18 @@ TEST(FailureInjection, SelfLoopRejected) {
                std::invalid_argument);
 }
 
+TEST(FailureInjection, UnvalidatedMultigraphFailsFastInsteadOfCorrupting) {
+  // With validation off (the default), the contraction's fixed leased buffers
+  // assume tree bounds; a multigraph that violates them must still be
+  // rejected (by the internal bound check) rather than scatter out of range.
+  graph::EdgeList multi;
+  for (int k = 0; k < 9; ++k)
+    multi.push_back({0, 1, 1.0 + k});
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(
+                   exec::default_executor(exec::Space::parallel), multi, 2),
+               std::invalid_argument);
+}
+
 TEST(FailureInjection, OutOfRangeEndpointRejected) {
   const graph::EdgeList bad{{0, 5, 1.0}};
   EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), bad, 2, validating()),

@@ -1,0 +1,133 @@
+// The cross-call SortedEdges cache: MST fingerprinting, hit/replay semantics
+// through the Executor's ArtifactCache, validation interplay, LRU eviction,
+// and bit-identity of everything built on top.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/dendrogram/union_find_dendrogram.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using dendrogram::SortedEdges;
+using pandora::testing::Topology;
+using pandora::testing::make_tree;
+
+TEST(MstFingerprint, SensitiveToEveryInput) {
+  const exec::Executor executor(exec::Space::serial);
+  graph::EdgeList tree = make_tree(Topology::random_attach, 1000, 3, 0);
+  const std::uint64_t base = dendrogram::mst_fingerprint(executor, tree, 1000);
+  EXPECT_EQ(base, dendrogram::mst_fingerprint(executor, tree, 1000)) << "deterministic";
+
+  graph::EdgeList weight_changed = tree;
+  weight_changed[500].weight += 1e-12;
+  EXPECT_NE(base, dendrogram::mst_fingerprint(executor, weight_changed, 1000));
+
+  graph::EdgeList endpoint_changed = tree;
+  std::swap(endpoint_changed[500].u, endpoint_changed[500].v);
+  EXPECT_NE(base, dendrogram::mst_fingerprint(executor, endpoint_changed, 1000));
+
+  graph::EdgeList reordered = tree;
+  std::swap(reordered[1], reordered[2]);
+  EXPECT_NE(base, dendrogram::mst_fingerprint(executor, reordered, 1000))
+      << "the fingerprint is order-sensitive (edge ids are the tie-break)";
+
+  EXPECT_NE(base, dendrogram::mst_fingerprint(executor, tree, 1001));
+
+  // Serial and parallel executors agree (deterministic left-to-right sum).
+  const exec::Executor parallel(exec::Space::parallel, 4);
+  EXPECT_EQ(base, dendrogram::mst_fingerprint(parallel, tree, 1000));
+}
+
+TEST(SortedEdgesCache, RepeatedCallsReplayTheSameArtifact) {
+  const graph::EdgeList tree = make_tree(Topology::preferential, 8000, 7, 2);
+  const exec::Executor executor(exec::Space::parallel, 4);
+  ASSERT_TRUE(executor.artifact_caching());
+
+  const auto first = dendrogram::sorted_edges_cached(executor, tree, 8000);
+  const auto second = dendrogram::sorted_edges_cached(executor, tree, 8000);
+  EXPECT_EQ(first.get(), second.get()) << "a hit returns the cached object itself";
+  EXPECT_GE(executor.artifact_cache().stats().hits, 1u);
+
+  // The replay is bit-identical to a fresh sort.
+  const SortedEdges fresh = dendrogram::sort_edges(executor, tree, 8000);
+  EXPECT_EQ(first->order, fresh.order);
+  EXPECT_EQ(first->u, fresh.u);
+  EXPECT_EQ(first->v, fresh.v);
+  EXPECT_EQ(first->weight, fresh.weight);
+}
+
+TEST(SortedEdgesCache, DifferentMstsDoNotCollide) {
+  const exec::Executor executor(exec::Space::serial);
+  const graph::EdgeList a = make_tree(Topology::path, 2000, 1, 0);
+  graph::EdgeList b = a;
+  b[1000].weight *= 2.0;
+  const auto sorted_a = dendrogram::sorted_edges_cached(executor, a, 2000);
+  const auto sorted_b = dendrogram::sorted_edges_cached(executor, b, 2000);
+  EXPECT_NE(sorted_a.get(), sorted_b.get());
+  EXPECT_EQ(sorted_b->order, dendrogram::sort_edges(executor, b, 2000).order);
+  // Both stay resident (the cache holds several slots).
+  const auto again_a = dendrogram::sorted_edges_cached(executor, a, 2000);
+  EXPECT_EQ(sorted_a.get(), again_a.get());
+}
+
+TEST(SortedEdgesCache, DisabledCachingSortsAfresh) {
+  const graph::EdgeList tree = make_tree(Topology::broom, 3000, 9, 0);
+  const exec::Executor executor(exec::Space::serial);
+  executor.set_artifact_caching(false);
+  const auto first = dendrogram::sorted_edges_cached(executor, tree, 3000);
+  const auto second = dendrogram::sorted_edges_cached(executor, tree, 3000);
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(first->order, second->order);
+}
+
+TEST(SortedEdgesCache, ValidationAppliesOnHitsToo) {
+  // A cycle is not a tree: caching the unvalidated sort must not launder a
+  // later validation request.
+  const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
+  const exec::Executor executor(exec::Space::serial);
+  const auto unvalidated = dendrogram::sorted_edges_cached(executor, cycle, 3, false);
+  EXPECT_EQ(unvalidated->num_edges(), 3);
+  EXPECT_THROW((void)dendrogram::sorted_edges_cached(executor, cycle, 3, true),
+               std::invalid_argument);
+}
+
+TEST(SortedEdgesCache, EvictionKeepsCorrectness) {
+  const exec::Executor executor(exec::Space::serial);
+  executor.artifact_cache().clear();
+  std::vector<graph::EdgeList> trees;
+  for (std::uint64_t seed = 0; seed < 6; ++seed)
+    trees.push_back(make_tree(Topology::random_attach, 500, seed, 0));
+  for (const auto& tree : trees) (void)dendrogram::sorted_edges_cached(executor, tree, 500);
+  // The earliest trees were evicted; re-querying must still be correct.
+  for (const auto& tree : trees) {
+    const auto sorted = dendrogram::sorted_edges_cached(executor, tree, 500);
+    EXPECT_EQ(sorted->order, dendrogram::sort_edges(executor, tree, 500).order);
+  }
+}
+
+TEST(SortedEdgesCache, DendrogramsAgreeWithAndWithoutCache) {
+  const graph::EdgeList tree = make_tree(Topology::caterpillar, 12000, 4, 3);
+  const exec::Executor cached_executor(exec::Space::parallel, 4);
+  const exec::Executor uncached_executor(exec::Space::parallel, 4);
+  uncached_executor.set_artifact_caching(false);
+
+  const auto d1 = dendrogram::pandora_dendrogram(cached_executor, tree, 12000);
+  const auto d2 = dendrogram::pandora_dendrogram(cached_executor, tree, 12000);  // replay
+  const auto d3 = dendrogram::pandora_dendrogram(uncached_executor, tree, 12000);
+  EXPECT_EQ(d1.parent, d2.parent);
+  EXPECT_EQ(d1.parent, d3.parent);
+  EXPECT_EQ(d1.edge_order, d3.edge_order);
+
+  // The union-find baseline shares the same cached artifact.
+  const auto uf = dendrogram::union_find_dendrogram(cached_executor, tree, 12000);
+  const auto uf_fresh = dendrogram::union_find_dendrogram(uncached_executor, tree, 12000);
+  EXPECT_EQ(uf.parent, uf_fresh.parent);
+}
+
+}  // namespace

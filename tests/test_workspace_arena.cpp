@@ -1,0 +1,101 @@
+// The acceptance property of the size-class byte arena: a second identical
+// pipeline run on a warm Executor performs ZERO heap allocations — the whole
+// hot path (cached edge sort, contraction hierarchy, expansion, output
+// vectors) runs out of recycled storage.  Verified with a replaced global
+// operator new, not just the workspace's own lease statistics.
+
+#include "alloc_counter.hpp"  // must precede everything that allocates
+
+#include <gtest/gtest.h>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using pandora::testing::AllocationCounterScope;
+using pandora::testing::Topology;
+using pandora::testing::make_tree;
+
+class ArenaBothSpaces : public ::testing::TestWithParam<exec::Space> {};
+
+INSTANTIATE_TEST_SUITE_P(Spaces, ArenaBothSpaces,
+                         ::testing::Values(exec::Space::serial, exec::Space::parallel),
+                         [](const auto& info) { return exec::space_name(info.param); });
+
+TEST_P(ArenaBothSpaces, SecondIdenticalPipelineRunAllocatesNothing) {
+  const index_t nv = 30000;
+  const graph::EdgeList tree = make_tree(Topology::preferential, nv, 3, 0);
+  // A 4-thread budget forces the parallel code path even on small machines.
+  const exec::Executor executor(GetParam(), GetParam() == exec::Space::parallel ? 4 : 0);
+  const auto pipeline = Pipeline::on(executor);
+
+  dendrogram::Dendrogram out;
+  pipeline.build_dendrogram_into(tree, nv, out);  // warm-up: sizes the arena
+  pipeline.build_dendrogram_into(tree, nv, out);  // settles OpenMP team state
+  const dendrogram::Dendrogram reference = out;   // copy for the equality check
+
+  executor.workspace().reset_stats();
+  const AllocationCounterScope scope;
+  pipeline.build_dendrogram_into(tree, nv, out);
+  EXPECT_EQ(scope.count(), 0u)
+      << "the steady-state pipeline must not touch the heap at all";
+  EXPECT_EQ(executor.workspace().stats().misses, 0u);
+  EXPECT_GT(executor.workspace().stats().takes, 0u);
+
+  EXPECT_EQ(out.parent, reference.parent);
+  EXPECT_EQ(out.weight, reference.weight);
+  EXPECT_EQ(out.edge_order, reference.edge_order);
+}
+
+TEST(Arena, LargerQueryAfterSmallerGrowsAndStaysCorrect) {
+  // Size-class growth: a bigger query after a smaller one allocates the
+  // larger classes once, produces correct output, and subsequent repeats of
+  // the bigger query are allocation-free again.
+  const graph::EdgeList small_tree = make_tree(Topology::random_attach, 4000, 5, 0);
+  const graph::EdgeList big_tree = make_tree(Topology::random_attach, 50000, 6, 0);
+  const exec::Executor executor(exec::Space::parallel, 4);
+  const auto pipeline = Pipeline::on(executor);
+
+  dendrogram::Dendrogram out;
+  pipeline.build_dendrogram_into(small_tree, 4000, out);
+  pipeline.build_dendrogram_into(big_tree, 50000, out);  // growth happens here
+
+  // Correctness against a cold executor.
+  const exec::Executor fresh(exec::Space::parallel, 4);
+  const auto expected = dendrogram::pandora_dendrogram(fresh, big_tree, 50000);
+  EXPECT_EQ(out.parent, expected.parent);
+  EXPECT_EQ(out.edge_order, expected.edge_order);
+
+  pipeline.build_dendrogram_into(big_tree, 50000, out);  // settle
+  const AllocationCounterScope scope;
+  pipeline.build_dendrogram_into(big_tree, 50000, out);
+  EXPECT_EQ(scope.count(), 0u);
+
+  // And shrinking back reuses the big blocks rather than allocating small
+  // ones (the size-class search serves smaller requests from larger classes).
+  executor.workspace().reset_stats();
+  pipeline.build_dendrogram_into(small_tree, 4000, out);
+  EXPECT_EQ(executor.workspace().stats().misses, 0u);
+  const auto expected_small = dendrogram::pandora_dendrogram(fresh, small_tree, 4000);
+  EXPECT_EQ(out.parent, expected_small.parent);
+}
+
+TEST(Arena, RepeatedHdbscanReusesScratch) {
+  // End-to-end sanity at the workspace-stats level: repeated full HDBSCAN*
+  // queries on one executor lease everything from the arena.
+  const spatial::PointSet points = data::gaussian_blobs(4000, 2, 4, 0.05, 0.05, 11);
+  const exec::Executor executor(exec::Space::parallel, 4);
+  const auto pipeline = Pipeline::on(executor).with_min_pts(3).with_min_cluster_size(20);
+  const auto first = pipeline.run_hdbscan(points);
+  executor.workspace().reset_stats();
+  const auto second = pipeline.run_hdbscan(points);
+  EXPECT_EQ(executor.workspace().stats().misses, 0u)
+      << "repeated identical hdbscan queries must reuse every leased buffer";
+  EXPECT_EQ(first.labels, second.labels);
+}
+
+}  // namespace
