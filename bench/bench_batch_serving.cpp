@@ -1,0 +1,142 @@
+// Batched multi-query serving: N independent dendrogram queries on one
+// Executor, batched through serve::BatchExecutor versus a sequential loop on
+// the same executor.  The serving scenario of the ROADMAP north star: the
+// paper's throughput claim (Figs. 11/14) amortised across a query stream
+// rather than within one call.
+//
+// Scenarios:
+//  * small-uniform: N same-sized small queries — the batch packs one query
+//    per slot thread, so the speedup approaches min(N, threads) minus
+//    scheduling overhead.  The CI regression gate checks the N=8 speedup.
+//  * mixed: small queries plus large ones that keep intra-query parallelism.
+// A single-threaded host cannot overlap queries; the gate only applies where
+// threads > 1 (the CI host).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "pandora/data/tree_generators.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/pipeline.hpp"
+#include "pandora/serve/batch_executor.hpp"
+
+using namespace pandora;
+
+namespace {
+
+std::vector<graph::EdgeList> make_query_trees(index_t num_vertices, std::size_t count,
+                                              std::uint64_t seed_base) {
+  std::vector<graph::EdgeList> trees;
+  trees.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(seed_base + i);
+    graph::EdgeList tree = data::random_attachment_tree(num_vertices, rng);
+    data::assign_random_weights(tree, rng);
+    trees.push_back(std::move(tree));
+  }
+  return trees;
+}
+
+void run_scenario(const char* name, const exec::Executor& executor,
+                  const std::vector<graph::EdgeList>& trees,
+                  const std::vector<index_t>& num_vertices, size_type small_threshold,
+                  bench::JsonReport& json) {
+  std::vector<serve::DendrogramQuery> queries;
+  for (std::size_t i = 0; i < trees.size(); ++i)
+    queries.push_back({&trees[i], num_vertices[i], {}});
+
+  // The threshold is pinned per scenario so the small/large classification —
+  // the thing each scenario exists to measure — holds at every
+  // PANDORA_BENCH_SCALE, not just the default.
+  serve::BatchOptions options;
+  options.small_query_threshold = small_threshold;
+
+  // Distinct MSTs per query: the artifact cache cannot collapse the batch,
+  // every query does real work.
+  serve::BatchExecutor batch = Pipeline::on(executor).batch(options);
+
+  // Sequential same-executor loop (the status quo a server without the
+  // batch layer runs): every query one at a time on the parent.
+  std::vector<dendrogram::Dendrogram> sequential_out(queries.size());
+  const auto sequential_pass = [&] {
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      dendrogram::pandora_dendrogram_into(executor, *queries[i].mst, queries[i].num_vertices,
+                                          queries[i].options, sequential_out[i]);
+  };
+  sequential_pass();  // warm the parent arena
+  const bench::Measurement sequential = bench::measure(5, sequential_pass);
+
+  std::vector<dendrogram::Dendrogram> batched_out(queries.size());
+  batch.build_dendrograms_into(queries, batched_out);  // warm the slot arenas
+  const bench::Measurement batched = bench::measure(5, [&] {
+    batch.build_dendrograms_into(queries, batched_out);
+  });
+
+  size_type total_edges = 0;
+  for (const auto& tree : trees) total_edges += static_cast<size_type>(tree.size());
+  const double speedup = batched.median() > 0 ? sequential.median() / batched.median() : 0.0;
+
+  std::printf("%-14s | %4zu queries %9lld edges | seq %8.2fms  batch %8.2fms | %5.2fx\n",
+              name, queries.size(), static_cast<long long>(total_edges),
+              1e3 * sequential.median(), 1e3 * batched.median(), speedup);
+
+  json.field("scenario", std::string(name))
+      .field("num_queries", static_cast<std::int64_t>(queries.size()))
+      .field("total_edges", total_edges)
+      .field("num_slots", static_cast<std::int64_t>(batch.num_slots()))
+      .timing("sequential", sequential)
+      .timing("batched", batched)
+      .field("batched_speedup", speedup);
+  json.end_row();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Batched multi-query serving vs sequential same-executor loop",
+                      "ROADMAP north star (serving); amortises Figs. 11/14 across a stream");
+  exec::Executor executor(exec::Space::parallel);
+  bench::JsonReport json("batch_serving");
+
+  std::printf("%-14s | %4s %18s | %28s | %6s\n", "scenario", "N", "work", "median wall",
+              "speedup");
+
+  // The acceptance scenario: N=8 small queries, one machine.
+  const index_t small_n = bench::scaled(20000);
+  const auto small_threshold = static_cast<size_type>(small_n);
+  {
+    const std::vector<graph::EdgeList> trees = make_query_trees(small_n, 8, 1);
+    run_scenario("small-uniform", executor, trees, std::vector<index_t>(8, small_n),
+                 small_threshold, json);
+  }
+
+  // A wider batch of the same shape (queue depth beyond the slot count).
+  {
+    const std::vector<graph::EdgeList> trees = make_query_trees(small_n, 32, 100);
+    run_scenario("small-deep", executor, trees, std::vector<index_t>(32, small_n),
+                 small_threshold, json);
+  }
+
+  // Mixed: six small queries packed per-thread + two large ones that keep
+  // intra-query parallelism.
+  {
+    const index_t large_n = bench::scaled(200000);
+    std::vector<graph::EdgeList> trees = make_query_trees(small_n, 6, 200);
+    std::vector<index_t> sizes(6, small_n);
+    for (std::uint64_t i = 0; i < 2; ++i) {
+      Rng rng(300 + i);
+      graph::EdgeList tree = data::random_attachment_tree(large_n, rng);
+      data::assign_random_weights(tree, rng);
+      trees.push_back(std::move(tree));
+      sizes.push_back(large_n);
+    }
+    run_scenario("mixed", executor, trees, sizes, small_threshold, json);
+  }
+
+  std::printf(
+      "\nExpected shape: batched >= 1.3x sequential for small-uniform N=8 on a\n"
+      "multi-core host (query-level parallelism without per-query fork/join);\n"
+      "~1x on a single hardware thread, where queries cannot overlap.\n");
+  return 0;
+}

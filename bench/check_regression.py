@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json artifacts.
+
+Two kinds of checks:
+
+1. Baseline comparison (``--baseline``): every ``BENCH_<name>.baseline.json``
+   in the baseline directory is matched against ``BENCH_<name>.json`` in the
+   current directory; rows are matched on their identity fields (dataset,
+   n, mpts, scenario, ...) and every ``*_median`` timing is compared.
+
+   CI hosts differ in absolute speed from whatever machine recorded the
+   baselines, so the comparison is host-calibrated by default: the median of
+   all current/baseline ratios is taken as the host-speed factor, and a
+   timing regresses only if its ratio exceeds ``factor * (1 + tolerance)`` —
+   i.e. it got slower *relative to everything else* by more than the
+   tolerance.  A uniformly slower host passes; one kernel regressing 15%
+   while the rest hold fails.  ``--no-calibrate`` pins the factor to 1 for
+   strict absolute gating on a stable host.
+
+   Millisecond-scale medians of a handful of samples carry ~±15% noise on a
+   shared runner, so a single uncorrelated exceedance is reported as a
+   warning rather than failing the gate (``--max-outliers``, default 1 per
+   bench file).  A genuine kernel regression is correlated: it exceeds the
+   limit on many rows of the same file at once, far above the allowance.
+
+2. Self-relative serving gates (machine-independent):
+   * ``--batch-json``: the small-uniform N=8 scenario of bench_batch_serving
+     must reach ``--min-batch-speedup`` (checked only when the run had >= 4
+     threads; query-level parallelism cannot show on fewer).
+   * ``--fig15-json``: per dataset, the summed cache-replay preparation must
+     beat the summed rebuild preparation.
+
+Exit code 0 = gate green, 1 = regression, 2 = usage/IO error.
+"""
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+
+IDENTITY_KEYS = ("dataset", "scenario", "name", "n", "mpts", "num_queries", "threads_used")
+
+
+def load(path: pathlib.Path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"error: cannot read {path}: {error}")
+
+
+def row_identity(row: dict) -> tuple:
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
+
+
+def compare_to_baseline(current_dir: pathlib.Path, baseline_dir: pathlib.Path,
+                        tolerance: float, calibrate: bool, max_outliers: int) -> list[str]:
+    failures = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.baseline.json"))
+    if not baselines:
+        print(f"warning: no *.baseline.json under {baseline_dir}; nothing to compare")
+        return failures
+
+    for baseline_path in baselines:
+        name = baseline_path.name.replace(".baseline", "")
+        current_path = current_dir / name
+        if not current_path.exists():
+            failures.append(f"{name}: current run produced no artifact")
+            continue
+        baseline = load(baseline_path)
+        current = load(current_path)
+        current_rows = {row_identity(row): row for row in current.get("rows", [])}
+
+        pairs = []  # (field-id, baseline-median, current-median)
+        for base_row in baseline.get("rows", []):
+            identity = row_identity(base_row)
+            cur_row = current_rows.get(identity)
+            if cur_row is None:
+                failures.append(f"{name}: row {dict(identity)} missing from current run")
+                continue
+            for field, base_value in base_row.items():
+                if not field.endswith("_median") or not isinstance(base_value, (int, float)):
+                    continue
+                cur_value = cur_row.get(field)
+                if not isinstance(cur_value, (int, float)):
+                    failures.append(f"{name}: {dict(identity)} lost field {field}")
+                    continue
+                if base_value > 0:
+                    pairs.append((f"{name} {dict(identity)} {field}", base_value, cur_value))
+
+        if not pairs:
+            continue
+        factor = statistics.median(c / b for _, b, c in pairs) if calibrate else 1.0
+        # Floor the factor at 1: on a host faster than the baseline machine, a
+        # field merely *at* baseline speed is not a regression — only fields
+        # beyond the absolute tolerance can fail.
+        limit = max(factor, 1.0) * (1.0 + tolerance)
+        print(f"{name}: {len(pairs)} medians, host-speed factor {factor:.3f}, "
+              f"per-field limit {limit:.3f}x baseline")
+        exceedances = []
+        for field_id, base_value, cur_value in pairs:
+            ratio = cur_value / base_value
+            if ratio > limit:
+                exceedances.append(
+                    f"{field_id}: {cur_value * 1e3:.3f}ms vs baseline "
+                    f"{base_value * 1e3:.3f}ms ({ratio:.2f}x, limit {limit:.2f}x)")
+        if len(exceedances) > max_outliers:
+            failures += exceedances
+        else:
+            for exceedance in exceedances:
+                print(f"  warning (within outlier allowance of {max_outliers}): {exceedance}")
+    return failures
+
+
+def check_batch_gate(path: pathlib.Path, min_speedup: float) -> list[str]:
+    report = load(path)
+    threads = report.get("threads", 1)
+    for row in report.get("rows", []):
+        if row.get("scenario") == "small-uniform" and row.get("num_queries") == 8:
+            speedup = row.get("batched_speedup", 0.0)
+            if threads < 4:
+                print(f"batch gate: skipped (threads={threads} < 4); "
+                      f"observed speedup {speedup:.2f}x")
+                return []
+            print(f"batch gate: small-uniform N=8 speedup {speedup:.2f}x "
+                  f"(required {min_speedup:.2f}x, threads={threads})")
+            if speedup < min_speedup:
+                return [f"batched N=8 speedup {speedup:.2f}x < required {min_speedup:.2f}x"]
+            return []
+    return [f"{path.name}: no small-uniform N=8 row found"]
+
+
+def check_fig15_gate(path: pathlib.Path) -> list[str]:
+    report = load(path)
+    rebuild: dict[str, float] = {}
+    replay: dict[str, float] = {}
+    for row in report.get("rows", []):
+        dataset = row.get("dataset", "?")
+        rebuild[dataset] = rebuild.get(dataset, 0.0) + row.get("prepare_rebuild_seconds", 0.0)
+        replay[dataset] = replay.get(dataset, 0.0) + row.get("prepare_replay_seconds", 0.0)
+    if not rebuild:
+        return [f"{path.name}: no rows with sweep preparation timings"]
+    failures = []
+    for dataset, rebuild_total in rebuild.items():
+        replay_total = replay.get(dataset, 0.0)
+        print(f"fig15 gate: {dataset} sweep prepare rebuild {rebuild_total * 1e3:.1f}ms "
+              f"vs replay {replay_total * 1e3:.1f}ms")
+        if not replay_total < rebuild_total:
+            failures.append(
+                f"fig15 {dataset}: cache replay ({replay_total * 1e3:.1f}ms) did not beat "
+                f"rebuild ({rebuild_total * 1e3:.1f}ms)")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--current", type=pathlib.Path, required=True,
+                        help="directory with this run's BENCH_*.json")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        help="directory with BENCH_*.baseline.json to compare against")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative slowdown per median (default 0.15)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="disable host-speed calibration (strict absolute compare)")
+    parser.add_argument("--max-outliers", type=int, default=1,
+                        help="uncorrelated per-file exceedances tolerated as noise "
+                             "(default 1); real regressions exceed on many rows at once")
+    parser.add_argument("--batch-json", type=pathlib.Path,
+                        help="BENCH_batch_serving.json for the batched-speedup gate")
+    parser.add_argument("--min-batch-speedup", type=float, default=1.3)
+    parser.add_argument("--fig15-json", type=pathlib.Path,
+                        help="BENCH_fig15.json for the sweep replay-beats-rebuild gate")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    if args.baseline is not None:
+        failures += compare_to_baseline(args.current, args.baseline, args.tolerance,
+                                        calibrate=not args.no_calibrate,
+                                        max_outliers=args.max_outliers)
+    if args.batch_json is not None:
+        failures += check_batch_gate(args.batch_json, args.min_batch_speedup)
+    if args.fig15_json is not None:
+        failures += check_fig15_gate(args.fig15_json)
+
+    if failures:
+        print("\nPERF REGRESSION GATE: FAILED")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nPERF REGRESSION GATE: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,12 @@
 #include "pandora/dendrogram/pandora.hpp"
 
+#include <atomic>
+
 #include "pandora/dendrogram/contraction.hpp"
 #include "pandora/dendrogram/expansion.hpp"
+#include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
+#include "pandora/graph/tree.hpp"
 
 namespace pandora::dendrogram {
 
@@ -80,6 +84,46 @@ Dendrogram pandora_dendrogram(const exec::Executor& exec, const graph::EdgeList&
   Dendrogram dendrogram;
   pandora_dendrogram_into(exec, mst, num_vertices, options, dendrogram);
   return dendrogram;
+}
+
+namespace {
+
+/// A dendrogram artifact as stored in the Executor's ArtifactCache.  The
+/// validation flag is atomic for the same reason as CachedSortedEdges:
+/// concurrent batch queries may share the entry, and validation is monotone.
+struct CachedDendrogram {
+  Dendrogram dendrogram;
+  std::atomic<bool> validated{false};
+};
+
+}  // namespace
+
+std::shared_ptr<const Dendrogram> pandora_dendrogram_cached(const exec::Executor& exec,
+                                                            const graph::EdgeList& mst,
+                                                            index_t num_vertices,
+                                                            const PandoraOptions& options) {
+  if (!exec.artifact_caching()) {
+    auto owned = std::make_shared<Dendrogram>();
+    pandora_dendrogram_into(exec, mst, num_vertices, options, *owned);
+    return owned;
+  }
+
+  const std::uint64_t key = exec::combine_fingerprint(
+      exec::tagged_fingerprint(exec::ArtifactTag::dendrogram,
+                               mst_fingerprint(exec, mst, num_vertices)),
+      static_cast<std::uint64_t>(options.expansion));
+  std::shared_ptr<CachedDendrogram> entry = exec.artifact_cache().find<CachedDendrogram>(key);
+  if (entry == nullptr) {
+    entry = std::make_shared<CachedDendrogram>();
+    entry->validated = options.validate_input;
+    pandora_dendrogram_into(exec, mst, num_vertices, options, entry->dendrogram);
+    exec.artifact_cache().insert(key, entry);
+  } else if (options.validate_input && !entry->validated) {
+    graph::validate_tree(mst, num_vertices);
+    entry->validated = true;
+  }
+  const Dendrogram* view = &entry->dendrogram;
+  return {std::move(entry), view};
 }
 
 Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& options,

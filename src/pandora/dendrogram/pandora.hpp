@@ -58,6 +58,18 @@ void pandora_dendrogram_into(const exec::Executor& exec, const graph::EdgeList& 
 void pandora_dendrogram_into(const exec::Executor& exec, const SortedEdges& sorted,
                              const PandoraOptions& options, Dendrogram& out);
 
+/// The cross-call dendrogram cache: the PANDORA dendrogram of `mst`, replayed
+/// from the Executor's ArtifactCache when the MST fingerprint and expansion
+/// policy match.  This is the artifact a `min_cluster_size` sweep replays:
+/// the contraction-hierarchy construction and expansion run once, and every
+/// sweep value only re-condenses the tree (min_cluster_size does not enter
+/// the key because it does not enter the dendrogram).  A mutated MST or a
+/// different expansion policy derives a different key and misses.  With
+/// `Executor::set_artifact_caching(false)` every call rebuilds.
+[[nodiscard]] std::shared_ptr<const Dendrogram> pandora_dendrogram_cached(
+    const exec::Executor& exec, const graph::EdgeList& mst, index_t num_vertices,
+    const PandoraOptions& options = {});
+
 /// Deprecated shims over the per-thread default executor of `options.space`;
 /// `times` (when given) receives the phases via a scoped profiler.
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of PandoraOptions::space")

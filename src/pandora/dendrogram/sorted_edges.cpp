@@ -1,8 +1,10 @@
 #include "pandora/dendrogram/sorted_edges.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
+#include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
 #include "pandora/exec/sort.hpp"
 #include "pandora/graph/tree.hpp"
@@ -11,15 +13,7 @@ namespace pandora::dendrogram {
 
 namespace {
 
-/// SplitMix64 finaliser: a cheap, well-distributed 64-bit mixer.
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ULL;
-  x ^= x >> 27;
-  x *= 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return x;
-}
+using exec::mix_fingerprint;
 
 /// Low 32 bits of edge id's descending weight key — the part the packed sort
 /// discards; recomputed on demand by the collision fix-up.
@@ -139,10 +133,13 @@ void merge_argsort(const exec::Executor& exec, const graph::EdgeList& edges,
 }
 
 /// A sorted-edges artifact plus its validation state, as stored in the
-/// Executor's ArtifactCache.
+/// Executor's ArtifactCache.  The flag is atomic because cached artifacts may
+/// be shared by concurrent batch queries (see the ArtifactCache locking
+/// contract): validation is monotone (false -> true), so a racy double
+/// validation is merely redundant work.
 struct CachedSortedEdges {
   SortedEdges sorted;
-  bool validated = false;
+  std::atomic<bool> validated{false};
 };
 
 }  // namespace
@@ -193,10 +190,11 @@ std::uint64_t mst_fingerprint(const exec::Executor& exec, const graph::EdgeList&
         const std::uint64_t salted =
             std::bit_cast<std::uint64_t>(e.weight) +
             0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
-        return mix64(endpoints ^ mix64(salted));
+        return mix_fingerprint(endpoints ^ mix_fingerprint(salted));
       });
-  return mix64(body ^ mix64(static_cast<std::uint64_t>(n)) ^
-               mix64(~static_cast<std::uint64_t>(static_cast<std::uint32_t>(num_vertices))));
+  return mix_fingerprint(
+      body ^ mix_fingerprint(static_cast<std::uint64_t>(n)) ^
+      mix_fingerprint(~static_cast<std::uint64_t>(static_cast<std::uint32_t>(num_vertices))));
 }
 
 std::shared_ptr<const SortedEdges> sorted_edges_cached(const exec::Executor& exec,

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <span>
 #include <string_view>
@@ -234,13 +235,29 @@ class Workspace {
 };
 
 /// A small fingerprint-keyed cache of derived artifacts, attached to the
-/// Executor so upper layers (dendrogram, hdbscan) can reuse expensive
-/// intermediate results — e.g. the canonical descending-weight SortedEdges of
-/// an MST — across calls without a layering inversion.  Entries are
-/// type-erased shared_ptrs matched on (fingerprint, type); eviction is
-/// least-recently-used over a fixed handful of slots.
+/// Executor so upper layers (dendrogram, hdbscan, spatial) can reuse
+/// expensive intermediate results — the canonical descending-weight
+/// SortedEdges of an MST, the kd-tree and per-mpts core distances of a point
+/// set, the PANDORA dendrogram replayed across `min_cluster_size` sweeps —
+/// across calls without a layering inversion.  Entries are type-erased
+/// shared_ptrs matched on (fingerprint, type); eviction is
+/// least-recently-used over a fixed number of slots.
 ///
-/// Not thread-safe (like the Workspace: one cache per Executor).
+/// Locking contract: every operation (find / insert / clear / stats) takes
+/// the cache's internal mutex, so the cache may be shared by concurrent
+/// queries — the batch serving layer points all of its slot executors at one
+/// parent cache.  The contract the mutex enforces:
+///  * `find` returns an owning shared_ptr, so a hit stays alive even if the
+///    entry is concurrently evicted; callers never hold references into the
+///    cache itself.
+///  * cached values are immutable after insert — readers share them without
+///    further synchronisation.  (The single exception, the SortedEdges
+///    validation flag, is an atomic.)
+///  * two threads missing on the same fingerprint may both compute and both
+///    insert; the last insert wins and the loser's value simply dies with
+///    its shared_ptr.  Correctness never depends on single-insertion.
+/// The uncontended lock costs nanoseconds next to the artifacts being cached
+/// (sorts, tree builds), so the single-query path is unaffected.
 class ArtifactCache {
  public:
   struct Stats {
@@ -248,10 +265,18 @@ class ArtifactCache {
     std::size_t misses = 0;
   };
 
+  static constexpr std::size_t kDefaultSlots = 16;
+
+  explicit ArtifactCache(std::size_t slots = kDefaultSlots)
+      : entries_(slots > 0 ? slots : std::size_t{1}) {}
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
   /// The cached artifact for `fingerprint`, or nullptr.  A hit performs no
   /// heap allocation (the shared_ptr copy only bumps a refcount).
   template <class T>
   [[nodiscard]] std::shared_ptr<T> find(std::uint64_t fingerprint) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     for (Entry& entry : entries_) {
       if (entry.value != nullptr && entry.fingerprint == fingerprint &&
           *entry.type == typeid(T)) {
@@ -264,18 +289,31 @@ class ArtifactCache {
     return nullptr;
   }
 
-  /// Stores `value` under `fingerprint`, evicting the least recently used
-  /// entry if every slot is occupied.
+  /// Stores `value` under `fingerprint`.  An existing (fingerprint, type)
+  /// entry is replaced in place — callers that detect a stale value (e.g.
+  /// the spatial caches' points-identity check) rely on their re-insert
+  /// superseding it rather than shadowing it behind a duplicate.  Otherwise
+  /// the least recently used slot is evicted.
   template <class T>
   void insert(std::uint64_t fingerprint, std::shared_ptr<T> value) {
-    Entry* slot = &entries_[0];
+    std::shared_ptr<void> doomed;  // evicted value released outside the lock
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry* match = nullptr;
+    Entry* empty = nullptr;
+    Entry* lru = &entries_[0];
     for (Entry& entry : entries_) {
       if (entry.value == nullptr) {
-        slot = &entry;
+        if (empty == nullptr) empty = &entry;
+        continue;
+      }
+      if (entry.fingerprint == fingerprint && *entry.type == typeid(T)) {
+        match = &entry;
         break;
       }
-      if (entry.stamp < slot->stamp) slot = &entry;
+      if (entry.stamp < lru->stamp) lru = &entry;
     }
+    Entry* slot = match != nullptr ? match : (empty != nullptr ? empty : lru);
+    doomed = std::move(slot->value);
     slot->fingerprint = fingerprint;
     slot->type = &typeid(T);
     slot->value = std::move(value);
@@ -283,11 +321,24 @@ class ArtifactCache {
   }
 
   void clear() {
-    for (Entry& entry : entries_) entry = Entry{};
+    std::vector<Entry> doomed;  // destructors run outside the lock
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      doomed = std::move(entries_);
+      entries_.assign(doomed.size(), Entry{});
+    }
   }
 
-  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] std::size_t num_slots() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] Stats stats() const noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void reset_stats() noexcept {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = {};
+  }
 
  private:
   struct Entry {
@@ -297,8 +348,8 @@ class ArtifactCache {
     std::uint64_t stamp = 0;
   };
 
-  static constexpr std::size_t kSlots = 4;
-  mutable std::array<Entry, kSlots> entries_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Entry> entries_;
   mutable std::uint64_t clock_ = 0;
   mutable Stats stats_;
 };
@@ -378,8 +429,20 @@ class Executor {
   /// The scratch-buffer arena (see Workspace).
   [[nodiscard]] Workspace& workspace() const noexcept { return workspace_; }
 
-  /// The cross-call artifact cache (see ArtifactCache).
-  [[nodiscard]] ArtifactCache& artifact_cache() const noexcept { return artifact_cache_; }
+  /// The cross-call artifact cache (see ArtifactCache): the executor's own
+  /// cache, or the shared cache installed by `use_shared_artifact_cache`.
+  [[nodiscard]] ArtifactCache& artifact_cache() const noexcept {
+    return shared_cache_ != nullptr ? *shared_cache_ : artifact_cache_;
+  }
+
+  /// Points this executor at an external ArtifactCache (non-owning; nullptr
+  /// restores the own cache).  The batch serving layer installs the parent
+  /// executor's cache on every slot executor, so concurrent queries share one
+  /// artifact pool — safe because the ArtifactCache locks internally (see its
+  /// locking contract).  The cache must outlive the executor's use of it.
+  void use_shared_artifact_cache(ArtifactCache* cache) const noexcept {
+    shared_cache_ = cache;
+  }
 
   /// Whether cross-call artifact reuse (e.g. the SortedEdges cache keyed on
   /// the MST fingerprint) is enabled.  On by default; turn off to force every
@@ -419,6 +482,7 @@ class Executor {
   int requested_threads_;
   mutable Workspace workspace_;
   mutable ArtifactCache artifact_cache_;
+  mutable ArtifactCache* shared_cache_ = nullptr;
   mutable Profiler* profiler_ = nullptr;
   mutable EdgeSortAlgorithm edge_sort_ = EdgeSortAlgorithm::radix;
   mutable bool artifact_caching_ = true;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "pandora/common/types.hpp"
@@ -18,6 +20,20 @@ namespace pandora::hdbscan {
 [[nodiscard]] std::vector<double> core_distances(const exec::Executor& exec,
                                                  const spatial::PointSet& points,
                                                  const spatial::KdTree& tree, int min_pts);
+
+/// The cross-call core-distance cache: returns the per-point core distances
+/// at `min_pts`, reusing the copy stored in the Executor's ArtifactCache when
+/// the point-set fingerprint AND `min_pts` match — two different `min_pts`
+/// values over the same points derive distinct keys and never alias, which is
+/// what makes repeated mpts sweeps replays rather than rebuilds.  Entries
+/// remember the PointSet object they were computed over (cf. kdtree_cached);
+/// mutated or different point sets miss.  With
+/// `Executor::set_artifact_caching(false)` every call recomputes.
+/// `points_fingerprint` shares a precomputed `point_set_fingerprint` pass,
+/// as in `kdtree_cached`.
+[[nodiscard]] std::shared_ptr<const std::vector<double>> core_distances_cached(
+    const exec::Executor& exec, const spatial::PointSet& points, const spatial::KdTree& tree,
+    int min_pts, std::optional<std::uint64_t> points_fingerprint = std::nullopt);
 
 /// Deprecated shim over the per-thread default executor.
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")

@@ -1,5 +1,7 @@
 #include "pandora/hdbscan/hdbscan.hpp"
 
+#include <optional>
+
 #include "pandora/common/expect.hpp"
 #include "pandora/dendrogram/pandora.hpp"
 #include "pandora/dendrogram/union_find_dendrogram.hpp"
@@ -9,24 +11,58 @@
 
 namespace pandora::hdbscan {
 
-HdbscanResult hdbscan(const exec::Executor& exec, const spatial::PointSet& points,
-                      const HdbscanOptions& options) {
+namespace {
+
+FlatClustering extract_with(const CondensedTree& tree, const HdbscanOptions& options) {
+  ExtractOptions extract_options;
+  extract_options.method = options.cluster_selection_method;
+  extract_options.allow_single_cluster = options.allow_single_cluster;
+  extract_options.selection_epsilon = options.cluster_selection_epsilon;
+  return extract_clusters(tree, extract_options);
+}
+
+}  // namespace
+
+namespace {
+
+/// The pipeline body behind hdbscan() and the sweep front doors; a caller
+/// that already hashed the point set passes the fingerprint so one query
+/// hashes the data at most once (and an mpts sweep, once for all values).
+HdbscanResult hdbscan_with_fingerprint(const exec::Executor& exec,
+                                       const spatial::PointSet& points,
+                                       const HdbscanOptions& options,
+                                       std::optional<std::uint64_t> points_fp) {
   PANDORA_EXPECT(points.size() > 0, "need at least one point");
   HdbscanResult result;
   // Capture every phase in result.times, chaining to any profiler the caller
   // attached to the executor (so both observers see the same breakdown).
   exec::ScopedPhaseTimes scope(exec, &result.times);
 
+  // The kd-tree and per-mpts core distances go through the Executor's
+  // ArtifactCache: repeated queries against one point set (and mpts sweeps,
+  // for the tree) replay instead of rebuilding.  With caching off the plain
+  // paths run — no fingerprint hashed, no wrapper copied — so the phases
+  // below time exactly the real work.
+  if (exec.artifact_caching() && !points_fp)
+    points_fp = spatial::point_set_fingerprint(exec, points);
+
   Timer timer;
-  spatial::KdTree tree(points);
+  const std::shared_ptr<const spatial::KdTree> tree =
+      spatial::kdtree_cached(exec, points, 32, points_fp);
   exec.record_phase("tree_build", timer.seconds());
 
   timer.reset();
-  result.core_distances = core_distances(exec, points, tree, options.min_pts);
+  if (exec.artifact_caching()) {
+    const std::shared_ptr<const std::vector<double>> core =
+        core_distances_cached(exec, points, *tree, options.min_pts, points_fp);
+    result.core_distances = *core;
+  } else {
+    result.core_distances = core_distances(exec, points, *tree, options.min_pts);
+  }
   exec.record_phase("core_distance", timer.seconds());
 
   timer.reset();
-  result.mst = spatial::mutual_reachability_mst(exec, points, tree, result.core_distances);
+  result.mst = spatial::mutual_reachability_mst(exec, points, *tree, result.core_distances);
   exec.record_phase("mst", timer.seconds());
 
   if (options.dendrogram_algorithm == DendrogramAlgorithm::pandora) {
@@ -39,15 +75,85 @@ HdbscanResult hdbscan(const exec::Executor& exec, const spatial::PointSet& point
       build_condensed_tree(exec, result.dendrogram, options.min_cluster_size);
 
   timer.reset();
-  ExtractOptions extract_options;
-  extract_options.method = options.cluster_selection_method;
-  extract_options.allow_single_cluster = options.allow_single_cluster;
-  extract_options.selection_epsilon = options.cluster_selection_epsilon;
-  FlatClustering flat = extract_clusters(result.condensed_tree, extract_options);
+  FlatClustering flat = extract_with(result.condensed_tree, options);
   result.labels = std::move(flat.labels);
   result.num_clusters = flat.num_clusters;
   exec.record_phase("extract", timer.seconds());
   return result;
+}
+
+}  // namespace
+
+HdbscanResult hdbscan(const exec::Executor& exec, const spatial::PointSet& points,
+                      const HdbscanOptions& options) {
+  return hdbscan_with_fingerprint(exec, points, options, std::nullopt);
+}
+
+MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
+                                                   const spatial::PointSet& points,
+                                                   std::span<const index_t> min_cluster_sizes,
+                                                   const HdbscanOptions& base) {
+  PANDORA_EXPECT(points.size() > 0, "need at least one point");
+  MinClusterSizeSweep sweep;
+
+  // Shared prefix, computed once per sweep call and replayed from the
+  // ArtifactCache across calls: min_cluster_size touches nothing above the
+  // condensed tree.
+  std::optional<std::uint64_t> points_fp;
+  if (exec.artifact_caching())
+    points_fp = spatial::point_set_fingerprint(exec, points);
+  const std::shared_ptr<const spatial::KdTree> tree =
+      spatial::kdtree_cached(exec, points, 32, points_fp);
+  if (exec.artifact_caching()) {
+    const std::shared_ptr<const std::vector<double>> core =
+        core_distances_cached(exec, points, *tree, base.min_pts, points_fp);
+    sweep.core_distances = *core;
+  } else {
+    sweep.core_distances = core_distances(exec, points, *tree, base.min_pts);
+  }
+  sweep.mst = spatial::mutual_reachability_mst(exec, points, *tree, sweep.core_distances);
+
+  if (base.dendrogram_algorithm == DendrogramAlgorithm::pandora) {
+    sweep.dendrogram = dendrogram::pandora_dendrogram_cached(exec, sweep.mst, points.size());
+  } else {
+    sweep.dendrogram = std::make_shared<const dendrogram::Dendrogram>(
+        dendrogram::union_find_dendrogram(exec, sweep.mst, points.size()));
+  }
+
+  sweep.entries.reserve(min_cluster_sizes.size());
+  for (const index_t min_cluster_size : min_cluster_sizes) {
+    MinClusterSizeSweep::Entry entry;
+    entry.min_cluster_size = min_cluster_size;
+    entry.condensed_tree = build_condensed_tree(exec, *sweep.dendrogram, min_cluster_size);
+    HdbscanOptions options = base;
+    options.min_cluster_size = min_cluster_size;
+    FlatClustering flat = extract_with(entry.condensed_tree, options);
+    entry.labels = std::move(flat.labels);
+    entry.num_clusters = flat.num_clusters;
+    sweep.entries.push_back(std::move(entry));
+  }
+  return sweep;
+}
+
+std::vector<HdbscanResult> hdbscan_sweep_min_pts(const exec::Executor& exec,
+                                                 const spatial::PointSet& points,
+                                                 std::span<const int> min_pts_values,
+                                                 const HdbscanOptions& base) {
+  std::vector<HdbscanResult> results;
+  results.reserve(min_pts_values.size());
+  // One content hash serves the whole sweep; per value, the kd-tree replays
+  // from the cache after the first, while the core distances and EMST depend
+  // on mpts and are rebuilt (under distinct, never-aliasing cache keys for
+  // the former).
+  std::optional<std::uint64_t> points_fp;
+  if (exec.artifact_caching() && points.size() > 0)
+    points_fp = spatial::point_set_fingerprint(exec, points);
+  for (const int min_pts : min_pts_values) {
+    HdbscanOptions options = base;
+    options.min_pts = min_pts;
+    results.push_back(hdbscan_with_fingerprint(exec, points, options, points_fp));
+  }
+  return results;
 }
 
 HdbscanResult hdbscan(const spatial::PointSet& points, const HdbscanOptions& options) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "pandora/common/timer.hpp"
@@ -49,10 +51,48 @@ struct HdbscanResult {
 /// mutual-reachability EMST -> dendrogram -> condensed tree -> stability-
 /// optimal flat clusters.  Repeated calls on one Executor reuse its
 /// workspace arena, so steady-state queries allocate far less than the
-/// first call.
+/// first call; with artifact caching on (the default) the kd-tree and the
+/// per-mpts core distances also replay from the Executor's ArtifactCache, so
+/// repeated queries against one point set — and mpts sweeps, which share the
+/// tree — skip the corresponding phases entirely.
 [[nodiscard]] HdbscanResult hdbscan(const exec::Executor& exec,
                                     const spatial::PointSet& points,
                                     const HdbscanOptions& options = {});
+
+/// A `min_cluster_size` sweep over one point set: the pipeline runs once up
+/// to the dendrogram (kd-tree, core distances and dendrogram served from the
+/// ArtifactCache on repeated sweeps), then each sweep value re-condenses
+/// the shared dendrogram and re-extracts flat clusters.  Entries are aligned
+/// with `min_cluster_sizes`; the shared prefix artifacts are returned once
+/// instead of being copied into every entry.
+struct MinClusterSizeSweep {
+  std::vector<double> core_distances;
+  graph::EdgeList mst;
+  /// The dendrogram every entry condensed (cache-resident when caching is
+  /// on; keeps the artifact alive independently of eviction).
+  std::shared_ptr<const dendrogram::Dendrogram> dendrogram;
+
+  struct Entry {
+    index_t min_cluster_size = 0;
+    CondensedTree condensed_tree;
+    std::vector<index_t> labels;  ///< per point; kNone = noise
+    index_t num_clusters = 0;
+  };
+  std::vector<Entry> entries;
+};
+
+[[nodiscard]] MinClusterSizeSweep hdbscan_sweep_min_cluster_size(
+    const exec::Executor& exec, const spatial::PointSet& points,
+    std::span<const index_t> min_cluster_sizes, const HdbscanOptions& base = {});
+
+/// An mpts sweep over one point set: one full pipeline per `min_pts` value
+/// (results aligned with `min_pts_values`), sharing the kd-tree through the
+/// ArtifactCache — only the core distances and the mutual-reachability EMST,
+/// which genuinely depend on mpts, are rebuilt per value.  Two sweep values
+/// derive distinct core-distance cache keys and never alias.
+[[nodiscard]] std::vector<HdbscanResult> hdbscan_sweep_min_pts(
+    const exec::Executor& exec, const spatial::PointSet& points,
+    std::span<const int> min_pts_values, const HdbscanOptions& base = {});
 
 /// Deprecated shim over the per-thread default executor of `options.space`.
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of HdbscanOptions::space")

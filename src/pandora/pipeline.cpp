@@ -40,7 +40,7 @@ std::vector<double> Pipeline::core_distances(const spatial::PointSet& points,
 }
 
 graph::EdgeList Pipeline::build_mst(const spatial::PointSet& points,
-                                    spatial::KdTree& tree) const {
+                                    const spatial::KdTree& tree) const {
   if (options_.min_pts <= 1) return spatial::euclidean_mst(*executor_, points, tree);
   const std::vector<double> core =
       hdbscan::core_distances(*executor_, points, tree, options_.min_pts);
@@ -49,6 +49,17 @@ graph::EdgeList Pipeline::build_mst(const spatial::PointSet& points,
 
 hdbscan::HdbscanResult Pipeline::run_hdbscan(const spatial::PointSet& points) const {
   return hdbscan::hdbscan(*executor_, points, options_);
+}
+
+hdbscan::MinClusterSizeSweep Pipeline::sweep_min_cluster_size(
+    const spatial::PointSet& points, std::span<const index_t> min_cluster_sizes) const {
+  return hdbscan::hdbscan_sweep_min_cluster_size(*executor_, points, min_cluster_sizes,
+                                                 options_);
+}
+
+std::vector<hdbscan::HdbscanResult> Pipeline::sweep_min_pts(
+    const spatial::PointSet& points, std::span<const int> min_pts_values) const {
+  return hdbscan::hdbscan_sweep_min_pts(*executor_, points, min_pts_values, options_);
 }
 
 }  // namespace pandora

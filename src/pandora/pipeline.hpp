@@ -7,6 +7,7 @@
 #include "pandora/exec/executor.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/serve/batch_executor.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "pandora/spatial/point_set.hpp"
 
@@ -122,10 +123,39 @@ class Pipeline {
 
   /// Euclidean MST (minPts == 1) or mutual-reachability MST (minPts > 1).
   [[nodiscard]] graph::EdgeList build_mst(const spatial::PointSet& points,
-                                          spatial::KdTree& tree) const;
+                                          const spatial::KdTree& tree) const;
 
   /// The full HDBSCAN* pipeline.
   [[nodiscard]] hdbscan::HdbscanResult run_hdbscan(const spatial::PointSet& points) const;
+
+  // --- batched serving & parameter sweeps -----------------------------------
+
+  /// The batched serving front door: a `serve::BatchExecutor` over this
+  /// pipeline's executor.  N independent queries run concurrently against
+  /// one thread budget — small queries packed one-per-thread on serial slot
+  /// executors, large queries keeping intra-query parallelism — and all
+  /// slots share the executor's ArtifactCache:
+  ///
+  ///   auto batch = Pipeline::on(executor).batch();
+  ///   std::vector<dendrogram::Dendrogram> dendrograms =
+  ///       batch.build_dendrograms(queries);   // N queries, one machine
+  ///
+  /// Keep the BatchExecutor alive across batches: its slot arenas stay warm,
+  /// so steady-state batches perform no arena allocation per slot.
+  [[nodiscard]] serve::BatchExecutor batch(serve::BatchOptions options = {}) const {
+    return serve::BatchExecutor(*executor_, options);
+  }
+
+  /// A `min_cluster_size` sweep over one point set: the pipeline runs once
+  /// up to the dendrogram (configured minPts applies), then each value only
+  /// re-condenses and re-extracts.  See hdbscan_sweep_min_cluster_size.
+  [[nodiscard]] hdbscan::MinClusterSizeSweep sweep_min_cluster_size(
+      const spatial::PointSet& points, std::span<const index_t> min_cluster_sizes) const;
+
+  /// An mpts sweep over one point set, sharing the kd-tree across values
+  /// through the ArtifactCache.  See hdbscan_sweep_min_pts.
+  [[nodiscard]] std::vector<hdbscan::HdbscanResult> sweep_min_pts(
+      const spatial::PointSet& points, std::span<const int> min_pts_values) const;
 
   [[nodiscard]] const exec::Executor& executor() const { return *executor_; }
 

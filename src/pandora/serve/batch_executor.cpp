@@ -1,0 +1,132 @@
+#include "pandora/serve/batch_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "pandora/common/expect.hpp"
+
+namespace pandora::serve {
+
+BatchExecutor::BatchExecutor(const exec::Executor& parent, BatchOptions options)
+    : parent_(&parent), options_(options) {
+  int slots = options_.num_slots > 0 ? options_.num_slots : parent.num_threads();
+  slots = std::max(slots, 1);
+  slots_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    auto slot = std::make_unique<exec::Executor>(exec::Space::serial);
+    // All slots share the parent's artifact pool (thread-safe by the
+    // ArtifactCache locking contract); each keeps its own Workspace arena.
+    slot->use_shared_artifact_cache(&parent.artifact_cache());
+    slots_.push_back(std::move(slot));
+  }
+}
+
+void BatchExecutor::run(std::span<Job> jobs) {
+  // Policy toggles on the parent propagate to the slots at batch start (the
+  // parent may have flipped caching or the sort algorithm since last run).
+  for (const auto& slot : slots_) {
+    slot->set_artifact_caching(parent_->artifact_caching());
+    slot->set_edge_sort_algorithm(parent_->edge_sort_algorithm());
+  }
+
+  std::vector<std::size_t> small, large;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    (jobs[i].size_hint <= options_.small_query_threshold ? small : large).push_back(i);
+  }
+
+  // Exceptions are captured per job and the first (in job order) rethrown
+  // after the whole batch settles, so one poisoned query cannot abort its
+  // batchmates.
+  std::vector<std::exception_ptr> errors(jobs.size());
+
+  // Phase 1 — small queries packed per thread.  One worker per slot; workers
+  // pull from a shared atomic cursor, so uneven job costs balance
+  // dynamically instead of by a static split.
+  if (!small.empty()) {
+    const int workers = std::min<int>(num_slots(), static_cast<int>(small.size()));
+    std::atomic<std::size_t> cursor{0};
+    auto drain = [&](int worker) {
+      const exec::Executor& slot_exec = *slots_[static_cast<std::size_t>(worker)];
+      while (true) {
+        const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (next >= small.size()) return;
+        const std::size_t j = small[next];
+        try {
+          jobs[j].run(slot_exec);
+        } catch (...) {
+          errors[j] = std::current_exception();
+        }
+      }
+    };
+    if (workers == 1) {
+      drain(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(drain, w);
+      for (std::thread& t : pool) t.join();
+    }
+  }
+
+  // Phase 2 — large queries one at a time with full intra-query parallelism.
+  for (const std::size_t j : large) {
+    try {
+      jobs[j].run(*parent_);
+    } catch (...) {
+      errors[j] = std::current_exception();
+    }
+  }
+
+  for (std::exception_ptr& error : errors) {
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+}
+
+void BatchExecutor::build_dendrograms_into(std::span<const DendrogramQuery> queries,
+                                           std::vector<dendrogram::Dendrogram>& out) {
+  out.resize(queries.size());
+  std::vector<Job> jobs;
+  jobs.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const DendrogramQuery& query = queries[i];
+    PANDORA_EXPECT(query.mst != nullptr, "DendrogramQuery::mst must be set");
+    jobs.push_back(Job{
+        [&query, &slot = out[i]](const exec::Executor& exec) {
+          dendrogram::pandora_dendrogram_into(exec, *query.mst, query.num_vertices,
+                                              query.options, slot);
+        },
+        static_cast<size_type>(query.mst->size()),
+    });
+  }
+  run(jobs);
+}
+
+std::vector<dendrogram::Dendrogram> BatchExecutor::build_dendrograms(
+    std::span<const DendrogramQuery> queries) {
+  std::vector<dendrogram::Dendrogram> results;
+  build_dendrograms_into(queries, results);
+  return results;
+}
+
+std::vector<hdbscan::HdbscanResult> BatchExecutor::run_hdbscan(
+    std::span<const HdbscanQuery> queries) {
+  std::vector<hdbscan::HdbscanResult> results(queries.size());
+  std::vector<Job> jobs;
+  jobs.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const HdbscanQuery& query = queries[i];
+    PANDORA_EXPECT(query.points != nullptr, "HdbscanQuery::points must be set");
+    jobs.push_back(Job{
+        [&query, &slot = results[i]](const exec::Executor& exec) {
+          slot = hdbscan::hdbscan(exec, *query.points, query.options);
+        },
+        static_cast<size_type>(query.points->size()),
+    });
+  }
+  run(jobs);
+  return results;
+}
+
+}  // namespace pandora::serve

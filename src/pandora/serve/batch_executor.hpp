@@ -1,0 +1,118 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+/// Batched multi-query serving on one Executor.
+///
+/// A serving deployment of this library is sweep- and batch-shaped: many
+/// parameter settings over one point set, many point sets over one machine
+/// (cf. cuSLINK, ParChain).  Running such queries one at a time on a parallel
+/// Executor wastes the machine twice — small queries cannot amortise the
+/// fork/join of intra-query parallelism, and the queue serialises behind each
+/// query's sequential tail.  The `BatchExecutor` divides one executor's
+/// thread budget *across* queries instead:
+///
+///  * **small queries are packed per thread**: each runs serially on one of
+///    N persistent slot executors, N slots running concurrently — query-level
+///    parallelism with zero fork/join inside a query;
+///  * **large queries keep intra-query parallelism**: they run one at a time
+///    on the parent executor with its full thread budget (a large query
+///    saturates the machine by itself).
+///
+/// Every slot owns its own `Workspace` arena, so the zero-steady-state-
+/// allocation guarantee holds per slot: a warm batch of same-shaped queries
+/// leases every scratch buffer from recycled blocks.  All slots share the
+/// parent executor's `ArtifactCache` (thread-safe by its locking contract),
+/// so artifacts computed by any query — sorted edges, kd-trees, core
+/// distances, dendrograms — replay across the whole batch.
+namespace pandora::serve {
+
+/// One dendrogram query of a batch: build the dendrogram of `*mst`.
+struct DendrogramQuery {
+  const graph::EdgeList* mst = nullptr;
+  index_t num_vertices = 0;
+  dendrogram::PandoraOptions options = {};
+};
+
+/// One HDBSCAN* query of a batch: cluster `*points` under `options`.
+struct HdbscanQuery {
+  const spatial::PointSet* points = nullptr;
+  hdbscan::HdbscanOptions options = {};
+};
+
+struct BatchOptions {
+  /// Queries whose size hint (edges for dendrogram queries, points for
+  /// HDBSCAN queries) is at most this are "small" and are packed onto the
+  /// serial slot executors; larger queries run with full intra-query
+  /// parallelism.  The default is a few multiples of the parallel-for grain:
+  /// below it, a query's OpenMP fork/join overhead outweighs what
+  /// intra-query parallelism buys, so query-level packing wins.
+  size_type small_query_threshold = 16 * exec::kParallelForGrain;
+
+  /// Concurrent slots for small queries; 0 = the parent's thread budget.
+  int num_slots = 0;
+};
+
+class BatchExecutor {
+ public:
+  explicit BatchExecutor(const exec::Executor& parent, BatchOptions options = {});
+  BatchExecutor(BatchExecutor&&) = default;
+  BatchExecutor& operator=(BatchExecutor&&) = delete;
+
+  /// A unit of batched work.  `run` receives the executor the scheduler
+  /// assigned (a serial slot executor for small jobs, the parent for large
+  /// ones) and must confine all mutation to that executor and to state no
+  /// other job touches (e.g. its own output slot).
+  struct Job {
+    std::function<void(const exec::Executor&)> run;
+    size_type size_hint = 0;
+  };
+
+  /// Runs every job to completion.  Small jobs execute concurrently: worker
+  /// threads (one per slot) pull them from a shared queue, so slots stay
+  /// busy regardless of how job costs vary.  Large jobs then execute on the
+  /// calling thread against the parent executor, one at a time.  If jobs
+  /// threw, the first exception (in job order) is rethrown after every job
+  /// has settled; the remaining jobs still ran.
+  void run(std::span<Job> jobs);
+
+  /// Batched dendrogram construction; results are index-aligned with
+  /// `queries`.  `build_dendrograms_into` reuses the storage of `out`
+  /// (index-aligned, resized to the query count): a second identical batch
+  /// on warm slots performs no steady-state arena allocation.
+  [[nodiscard]] std::vector<dendrogram::Dendrogram> build_dendrograms(
+      std::span<const DendrogramQuery> queries);
+  void build_dendrograms_into(std::span<const DendrogramQuery> queries,
+                              std::vector<dendrogram::Dendrogram>& out);
+
+  /// Batched HDBSCAN*; results are index-aligned with `queries`.
+  [[nodiscard]] std::vector<hdbscan::HdbscanResult> run_hdbscan(
+      std::span<const HdbscanQuery> queries);
+
+  [[nodiscard]] const exec::Executor& parent() const noexcept { return *parent_; }
+  [[nodiscard]] int num_slots() const noexcept { return static_cast<int>(slots_.size()); }
+  /// Slot executors, exposed so tests and benches can inspect per-slot
+  /// workspace statistics (the per-slot steady-state guarantee).
+  [[nodiscard]] const exec::Executor& slot(int i) const { return *slots_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const BatchOptions& options() const noexcept { return options_; }
+
+ private:
+  const exec::Executor* parent_;
+  BatchOptions options_;
+  /// Persistent serial executors, one per slot: their Workspace arenas stay
+  /// warm across batches.  unique_ptr keeps them address-stable.
+  std::vector<std::unique_ptr<exec::Executor>> slots_;
+};
+
+}  // namespace pandora::serve

@@ -15,8 +15,9 @@ namespace {
 
 /// Shared Borůvka skeleton; `use_mreach` selects the metric (core_sq must be
 /// the squared core distances then).
-graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points, KdTree& tree,
-                             const std::vector<double>& core_sq, bool use_mreach) {
+graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points,
+                             const KdTree& tree, const std::vector<double>& core_sq,
+                             bool use_mreach) {
   const index_t n = points.size();
   graph::EdgeList mst;
   if (n <= 1) return mst;
@@ -34,13 +35,15 @@ graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points,
   std::vector<index_t> roots(static_cast<std::size_t>(n));
   std::iota(roots.begin(), roots.end(), index_t{0});
 
-  if (use_mreach) tree.annotate_min_core(exec, core_sq);
+  // Query-local annotations: the (possibly cached, shared) tree stays const.
+  KdTreeAnnotations notes;
+  if (use_mreach) tree.annotate_min_core(exec, core_sq, notes);
 
   while (static_cast<index_t>(mst.size()) < n - 1) {
     exec::parallel_for(exec, n, [&](size_type p) {
       component[static_cast<std::size_t>(p)] = uf.find(static_cast<index_t>(p));
     });
-    tree.annotate_components(exec, component);
+    tree.annotate_components(exec, component, notes);
 
     // Phase 1: every point finds its nearest foreign point; per-component
     // minimum weight via atomic-min on the order-preserving distance bits.
@@ -48,8 +51,8 @@ graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points,
       const auto p = static_cast<index_t>(pi);
       const index_t c = component[static_cast<std::size_t>(p)];
       const Neighbor nb =
-          use_mreach ? tree.nearest_other_component_mreach(p, c, component, core_sq)
-                     : tree.nearest_other_component(p, c, component);
+          use_mreach ? tree.nearest_other_component_mreach(p, c, component, core_sq, notes)
+                     : tree.nearest_other_component(p, c, component, notes);
       point_best[static_cast<std::size_t>(p)] = nb;
       if (nb.index != kNone)
         exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(c)],
@@ -96,16 +99,16 @@ graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points,
 }  // namespace
 
 graph::EdgeList euclidean_mst(const exec::Executor& exec, const PointSet& points,
-                              KdTree& tree) {
+                              const KdTree& tree) {
   return boruvka_emst(exec, points, tree, {}, false);
 }
 
-graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, KdTree& tree) {
+graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, const KdTree& tree) {
   return euclidean_mst(exec::default_executor(space), points, tree);
 }
 
 graph::EdgeList mutual_reachability_mst(const exec::Executor& exec, const PointSet& points,
-                                        KdTree& tree,
+                                        const KdTree& tree,
                                         std::span<const double> core_distances) {
   PANDORA_EXPECT(static_cast<index_t>(core_distances.size()) == points.size(),
                  "one core distance per point required");
@@ -115,7 +118,8 @@ graph::EdgeList mutual_reachability_mst(const exec::Executor& exec, const PointS
   return boruvka_emst(exec, points, tree, core_sq, true);
 }
 
-graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points, KdTree& tree,
+graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,
+                                        const KdTree& tree,
                                         std::span<const double> core_distances) {
   return mutual_reachability_mst(exec::default_executor(space), points, tree, core_distances);
 }

@@ -17,25 +17,30 @@ namespace pandora::spatial {
 /// neighbour outside its own component; per-component winners (exact
 /// (distance, point-id) lexicographic minima) hook the components together.
 /// Deterministic under distance ties.
+///
+/// The tree is read-only: per-round component annotations live in
+/// query-local `KdTreeAnnotations`, so one (possibly cached and shared) tree
+/// can back concurrent EMST queries.
 [[nodiscard]] graph::EdgeList euclidean_mst(const exec::Executor& exec, const PointSet& points,
-                                            KdTree& tree);
+                                            const KdTree& tree);
 
 /// MST under the HDBSCAN* mutual-reachability metric
 /// d_mreach(p, q) = max(core(p), core(q), |p - q|), given per-point core
 /// distances (Section 6.5).  This is the "MST construction" phase of the
 /// paper's Figure 1/15 pipeline.
 [[nodiscard]] graph::EdgeList mutual_reachability_mst(const exec::Executor& exec,
-                                                      const PointSet& points, KdTree& tree,
+                                                      const PointSet& points,
+                                                      const KdTree& tree,
                                                       std::span<const double> core_distances);
 
 /// Deprecated shims over the per-thread default executor.
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points,
-                                            KdTree& tree);
+                                            const KdTree& tree);
 
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
 [[nodiscard]] graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,
-                                                      KdTree& tree,
+                                                      const KdTree& tree,
                                                       std::span<const double> core_distances);
 
 }  // namespace pandora::spatial

@@ -1,8 +1,10 @@
 #include "pandora/spatial/kdtree.hpp"
 
+#include <bit>
 #include <numeric>
 
 #include "pandora/common/expect.hpp"
+#include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
 
 namespace pandora::spatial {
@@ -135,7 +137,8 @@ struct EuclideanScore {
 
 template <class Score>
 void KdTree::search(const double* query, Neighbor& best, index_t my_component,
-                    std::span<const index_t> component, const Score& score) const {
+                    std::span<const index_t> component, const KdTreeAnnotations& notes,
+                    const Score& score) const {
   // Iterative DFS; near child first.  Pruning uses strict '>' so equal-score
   // candidates are still examined and the smallest index wins ties.
   std::vector<index_t> stack;
@@ -144,8 +147,8 @@ void KdTree::search(const double* query, Neighbor& best, index_t my_component,
   while (!stack.empty()) {
     const index_t node = stack.back();
     stack.pop_back();
-    if (!node_component_.empty() &&
-        node_component_[static_cast<std::size_t>(node)] == my_component)
+    if (notes.has_components() &&
+        notes.node_component[static_cast<std::size_t>(node)] == my_component)
       continue;
     double bound = box_squared_distance(node, query);
     if constexpr (requires { score.extra_bound(node); }) {
@@ -170,11 +173,12 @@ void KdTree::search(const double* query, Neighbor& best, index_t my_component,
 }
 
 Neighbor KdTree::nearest_other_component(index_t q, index_t my_component,
-                                         std::span<const index_t> component) const {
+                                         std::span<const index_t> component,
+                                         const KdTreeAnnotations& notes) const {
   Neighbor best;
   const double* query = points_->point(q).data();
   EuclideanScore score{points_, q};
-  search(query, best, my_component, component, score);
+  search(query, best, my_component, component, notes, score);
   return best;
 }
 
@@ -203,18 +207,21 @@ struct MreachScoreBound {
 
 Neighbor KdTree::nearest_other_component_mreach(index_t q, index_t my_component,
                                                 std::span<const index_t> component,
-                                                std::span<const double> core_sq) const {
+                                                std::span<const double> core_sq,
+                                                const KdTreeAnnotations& notes) const {
   Neighbor best;
   const double* query = points_->point(q).data();
-  MreachScoreBound score{points_, q, core_sq, &node_min_core_};
-  search(query, best, my_component, component, score);
+  MreachScoreBound score{points_, q, core_sq, &notes.node_min_core};
+  search(query, best, my_component, component, notes, score);
   return best;
 }
 
 void KdTree::annotate_components(const exec::Executor& exec,
-                                 std::span<const index_t> component) {
+                                 std::span<const index_t> component,
+                                 KdTreeAnnotations& notes) const {
   const auto num_nodes = static_cast<size_type>(nodes_.size());
-  node_component_.assign(nodes_.size(), kNone);
+  std::vector<index_t>& node_component = notes.node_component;
+  node_component.assign(nodes_.size(), kNone);
   // Leaves in parallel, then internal nodes in reverse creation order
   // (children always have larger ids than their parent).
   exec::parallel_for(exec, num_nodes, [&](size_type id) {
@@ -223,44 +230,93 @@ void KdTree::annotate_components(const exec::Executor& exec,
     index_t c = component[static_cast<std::size_t>(perm_[static_cast<std::size_t>(nd.begin)])];
     for (index_t i = nd.begin + 1; i < nd.end && c != kNone; ++i)
       if (component[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])] != c) c = kNone;
-    node_component_[static_cast<std::size_t>(id)] = c;
+    node_component[static_cast<std::size_t>(id)] = c;
   });
   for (size_type id = num_nodes - 1; id >= 0; --id) {
     const Node& nd = nodes_[static_cast<std::size_t>(id)];
     if (nd.left == kNone) continue;
-    const index_t cl = node_component_[static_cast<std::size_t>(nd.left)];
-    const index_t cr = node_component_[static_cast<std::size_t>(nd.right)];
-    node_component_[static_cast<std::size_t>(id)] = (cl == cr) ? cl : kNone;
+    const index_t cl = node_component[static_cast<std::size_t>(nd.left)];
+    const index_t cr = node_component[static_cast<std::size_t>(nd.right)];
+    node_component[static_cast<std::size_t>(id)] = (cl == cr) ? cl : kNone;
   }
 }
 
-void KdTree::annotate_min_core(const exec::Executor& exec,
-                               std::span<const double> core_sq) {
+void KdTree::annotate_min_core(const exec::Executor& exec, std::span<const double> core_sq,
+                               KdTreeAnnotations& notes) const {
   const auto num_nodes = static_cast<size_type>(nodes_.size());
-  node_min_core_.assign(nodes_.size(), std::numeric_limits<double>::infinity());
+  std::vector<double>& node_min_core = notes.node_min_core;
+  node_min_core.assign(nodes_.size(), std::numeric_limits<double>::infinity());
   exec::parallel_for(exec, num_nodes, [&](size_type id) {
     const Node& nd = nodes_[static_cast<std::size_t>(id)];
     if (nd.left != kNone) return;
     double m = std::numeric_limits<double>::infinity();
     for (index_t i = nd.begin; i < nd.end; ++i)
       m = std::min(m, core_sq[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])]);
-    node_min_core_[static_cast<std::size_t>(id)] = m;
+    node_min_core[static_cast<std::size_t>(id)] = m;
   });
   for (size_type id = num_nodes - 1; id >= 0; --id) {
     const Node& nd = nodes_[static_cast<std::size_t>(id)];
     if (nd.left == kNone) continue;
-    node_min_core_[static_cast<std::size_t>(id)] =
-        std::min(node_min_core_[static_cast<std::size_t>(nd.left)],
-                 node_min_core_[static_cast<std::size_t>(nd.right)]);
+    node_min_core[static_cast<std::size_t>(id)] =
+        std::min(node_min_core[static_cast<std::size_t>(nd.left)],
+                 node_min_core[static_cast<std::size_t>(nd.right)]);
   }
 }
 
-void KdTree::annotate_components(exec::Space space, std::span<const index_t> component) {
-  annotate_components(exec::default_executor(space), component);
+std::uint64_t point_set_fingerprint(const exec::Executor& exec, const PointSet& points) {
+  using exec::mix_fingerprint;
+  const size_type n = static_cast<size_type>(points.size());
+  const int dim = points.dim();
+  // Each point hashes with its position, so the sum is order-sensitive while
+  // remaining a deterministic parallel reduction (cf. mst_fingerprint).
+  const std::uint64_t body = exec::parallel_sum(
+      exec, n, std::uint64_t{0}, [&](size_type i) {
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1);
+        const std::span<const double> p = points.point(static_cast<index_t>(i));
+        for (const double c : p) h = mix_fingerprint(h ^ std::bit_cast<std::uint64_t>(c));
+        return h;
+      });
+  return mix_fingerprint(body ^ mix_fingerprint(static_cast<std::uint64_t>(n)) ^
+                         mix_fingerprint(~static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(dim))));
 }
 
-void KdTree::annotate_min_core(exec::Space space, std::span<const double> core_sq) {
-  annotate_min_core(exec::default_executor(space), core_sq);
+namespace {
+
+/// A kd-tree artifact as stored in the Executor's ArtifactCache.  The tree
+/// references the PointSet it was built over; `points` records which object
+/// that was so a lookup against a different (even content-identical) object
+/// rebuilds instead of returning a view into someone else's storage.
+struct CachedKdTree {
+  CachedKdTree(const PointSet& pts, int leaf_size) : tree(pts, leaf_size), points(&pts) {}
+  KdTree tree;
+  const PointSet* points;
+};
+
+}  // namespace
+
+std::shared_ptr<const KdTree> kdtree_cached(const exec::Executor& exec, const PointSet& points,
+                                            int leaf_size,
+                                            std::optional<std::uint64_t> points_fingerprint) {
+  const auto build = [&] {
+    auto owned = std::make_shared<CachedKdTree>(points, leaf_size);
+    const KdTree* view = &owned->tree;
+    return std::shared_ptr<const KdTree>(std::move(owned), view);
+  };
+  if (!exec.artifact_caching()) return build();
+
+  const std::uint64_t base =
+      points_fingerprint ? *points_fingerprint : point_set_fingerprint(exec, points);
+  const std::uint64_t key = exec::combine_fingerprint(
+      exec::tagged_fingerprint(exec::ArtifactTag::kdtree, base),
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(leaf_size)));
+  std::shared_ptr<CachedKdTree> entry = exec.artifact_cache().find<CachedKdTree>(key);
+  if (entry == nullptr || entry->points != &points) {
+    entry = std::make_shared<CachedKdTree>(points, leaf_size);
+    exec.artifact_cache().insert(key, entry);
+  }
+  const KdTree* view = &entry->tree;
+  return {std::move(entry), view};
 }
 
 }  // namespace pandora::spatial

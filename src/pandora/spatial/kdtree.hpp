@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -24,6 +27,23 @@ struct Neighbor {
   }
 };
 
+/// Per-traversal annotations of a kd-tree, held by the *query*, not the tree.
+///
+/// Borůvka EMST rounds annotate every node with the component id shared by
+/// all points below it (to prune same-component subtrees) and with the
+/// minimum squared core distance below it (to tighten mutual-reachability
+/// bounds).  Keeping that state outside the tree makes the tree itself
+/// immutable after construction, so one tree — possibly served from the
+/// Executor's ArtifactCache — can back any number of concurrent queries,
+/// each bringing its own annotations.
+struct KdTreeAnnotations {
+  std::vector<index_t> node_component;  ///< per node; kNone = mixed
+  std::vector<double> node_min_core;    ///< per node; min squared core below
+
+  [[nodiscard]] bool has_components() const { return !node_component.empty(); }
+  [[nodiscard]] bool has_min_core() const { return !node_min_core.empty(); }
+};
+
 /// Balanced median-split kd-tree (the stand-in for ArborX's BVH).
 ///
 /// Supports the two traversals the HDBSCAN* pipeline needs:
@@ -32,6 +52,10 @@ struct Neighbor {
 ///    ([39]); per-round component annotation prunes subtrees wholly inside
 ///    the query's component, and an optional per-node core-distance minimum
 ///    tightens mutual-reachability lower bounds.
+///
+/// The tree is immutable after construction; all queries are const.  Round
+/// state lives in a caller-owned `KdTreeAnnotations` (see above), which is
+/// what lets a cached tree serve concurrent batch queries.
 ///
 /// Ties are broken on point index everywhere, so all query results — and the
 /// EMST built on them — are deterministic.
@@ -45,33 +69,33 @@ class KdTree {
   void knn(index_t q, int k, std::vector<Neighbor>& out) const;
 
   /// Nearest point to `q` under the Euclidean metric among points whose
-  /// `component[]` differs from `my_component`.  Uses the annotation set by
-  /// annotate_components to skip single-component subtrees.
+  /// `component[]` differs from `my_component`.  Uses the component
+  /// annotation in `notes` (from annotate_components) to skip
+  /// single-component subtrees.
   [[nodiscard]] Neighbor nearest_other_component(index_t q, index_t my_component,
-                                                 std::span<const index_t> component) const;
+                                                 std::span<const index_t> component,
+                                                 const KdTreeAnnotations& notes) const;
 
   /// As above under the mutual-reachability metric
   /// d_mreach(p,q) = max(core(p), core(q), d(p,q)) with *squared* core
-  /// distances in `core_sq` (annotate_min_core must have been called).
+  /// distances in `core_sq` (annotate_min_core must have filled `notes`).
   [[nodiscard]] Neighbor nearest_other_component_mreach(index_t q, index_t my_component,
                                                         std::span<const index_t> component,
-                                                        std::span<const double> core_sq) const;
+                                                        std::span<const double> core_sq,
+                                                        const KdTreeAnnotations& notes) const;
 
-  /// Records, per node, the component id shared by all points below it (or
-  /// kNone if mixed).  Call once per Borůvka round.
-  void annotate_components(const exec::Executor& exec, std::span<const index_t> component);
+  /// Records into `notes`, per node, the component id shared by all points
+  /// below it (or kNone if mixed).  Call once per Borůvka round.
+  void annotate_components(const exec::Executor& exec, std::span<const index_t> component,
+                           KdTreeAnnotations& notes) const;
 
-  /// Records, per node, the minimum squared core distance below it.
-  void annotate_min_core(const exec::Executor& exec, std::span<const double> core_sq);
-
-  /// Deprecated shims over the per-thread default executor.
-  PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-  void annotate_components(exec::Space space, std::span<const index_t> component);
-
-  PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-  void annotate_min_core(exec::Space space, std::span<const double> core_sq);
+  /// Records into `notes`, per node, the minimum squared core distance below.
+  void annotate_min_core(const exec::Executor& exec, std::span<const double> core_sq,
+                         KdTreeAnnotations& notes) const;
 
   [[nodiscard]] index_t size() const { return static_cast<index_t>(perm_.size()); }
+  [[nodiscard]] int leaf_size() const { return leaf_size_; }
+  [[nodiscard]] const PointSet& points() const { return *points_; }
 
  private:
   struct Node {
@@ -86,7 +110,8 @@ class KdTree {
 
   template <class Score>
   void search(const double* query, Neighbor& best, index_t my_component,
-              std::span<const index_t> component, const Score& score) const;
+              std::span<const index_t> component, const KdTreeAnnotations& notes,
+              const Score& score) const;
 
   /// Squared distance from `query` to the node's bounding box.
   [[nodiscard]] double box_squared_distance(index_t node, const double* query) const;
@@ -97,8 +122,28 @@ class KdTree {
   std::vector<index_t> perm_;           ///< point ids, partitioned by node ranges
   std::vector<Node> nodes_;             ///< nodes_[0] is the root
   std::vector<double> box_lo_, box_hi_; ///< per node * dim bounding boxes
-  std::vector<index_t> node_component_; ///< per node; kNone = mixed
-  std::vector<double> node_min_core_;   ///< per node; min squared core below
 };
+
+/// Order-sensitive 64-bit content fingerprint of a point set (coordinates,
+/// count, dimension) — the base key of the spatial artifact caches (kd-trees,
+/// per-mpts core distances).  Mutating any coordinate changes the key.
+[[nodiscard]] std::uint64_t point_set_fingerprint(const exec::Executor& exec,
+                                                  const PointSet& points);
+
+/// The cross-call kd-tree cache: returns the tree over `points`, reusing the
+/// copy stored in the Executor's ArtifactCache when the point-set fingerprint
+/// and `leaf_size` match — so parameter sweeps over one point set (mpts
+/// sweeps, repeated HDBSCAN* queries) build the tree once and replay it.
+/// A cached entry additionally remembers which PointSet object it was built
+/// over and is treated as a miss for a different (even content-identical)
+/// object, so a replayed tree never dangles.  With
+/// `Executor::set_artifact_caching(false)` every call rebuilds.
+///
+/// `points_fingerprint` lets a caller that already computed
+/// `point_set_fingerprint(exec, points)` share the pass (hdbscan does, so
+/// one query hashes the points once, not once per cached artifact).
+[[nodiscard]] std::shared_ptr<const KdTree> kdtree_cached(
+    const exec::Executor& exec, const PointSet& points, int leaf_size = 32,
+    std::optional<std::uint64_t> points_fingerprint = std::nullopt);
 
 }  // namespace pandora::spatial

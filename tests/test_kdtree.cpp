@@ -70,16 +70,17 @@ TEST(KdTree, KnnRequestLargerThanDataset) {
 
 TEST(KdTree, NearestOtherComponentHonorsFilterAndAnnotation) {
   const PointSet points = data::uniform_points(500, 2, 5);
-  KdTree tree(points);
+  const KdTree tree(points);
   // Components: left half-plane (0), right half-plane (1).
   std::vector<index_t> component(500);
   for (index_t i = 0; i < 500; ++i) component[static_cast<std::size_t>(i)] =
       points.at(i, 0) < 0.5 ? 0 : 1;
-  tree.annotate_components(exec::default_executor(exec::Space::serial), component);
+  spatial::KdTreeAnnotations notes;
+  tree.annotate_components(exec::default_executor(exec::Space::serial), component, notes);
 
   for (index_t q = 0; q < 500; q += 11) {
     const index_t mine = component[static_cast<std::size_t>(q)];
-    const Neighbor got = tree.nearest_other_component(q, mine, component);
+    const Neighbor got = tree.nearest_other_component(q, mine, component, notes);
     // Brute force reference.
     Neighbor expected;
     for (index_t p = 0; p < 500; ++p) {
@@ -94,23 +95,24 @@ TEST(KdTree, NearestOtherComponentHonorsFilterAndAnnotation) {
 
 TEST(KdTree, NearestOtherComponentMreachMatchesBruteForce) {
   const PointSet points = data::gaussian_blobs(300, 3, 5, 0.05, 0.1, 9);
-  KdTree tree(points);
-  const KdTree& const_tree = tree;
+  const KdTree tree(points);
   // Core distances (minPts = 4 -> 3rd neighbour).
   std::vector<Neighbor> scratch;
   std::vector<double> core_sq(300);
   for (index_t q = 0; q < 300; ++q) {
-    const_tree.knn(q, 3, scratch);
+    tree.knn(q, 3, scratch);
     core_sq[static_cast<std::size_t>(q)] = scratch.back().squared_distance;
   }
   std::vector<index_t> component(300);
   for (index_t i = 0; i < 300; ++i) component[static_cast<std::size_t>(i)] = i % 7;
-  tree.annotate_components(exec::default_executor(exec::Space::parallel), component);
-  tree.annotate_min_core(exec::default_executor(exec::Space::parallel), core_sq);
+  spatial::KdTreeAnnotations notes;
+  tree.annotate_components(exec::default_executor(exec::Space::parallel), component, notes);
+  tree.annotate_min_core(exec::default_executor(exec::Space::parallel), core_sq, notes);
 
   for (index_t q = 0; q < 300; q += 5) {
     const index_t mine = component[static_cast<std::size_t>(q)];
-    const Neighbor got = tree.nearest_other_component_mreach(q, mine, component, core_sq);
+    const Neighbor got =
+        tree.nearest_other_component_mreach(q, mine, component, core_sq, notes);
     Neighbor expected;
     for (index_t p = 0; p < 300; ++p) {
       if (component[static_cast<std::size_t>(p)] == mine) continue;
