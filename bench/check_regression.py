@@ -29,6 +29,12 @@ Two kinds of checks:
      threads; query-level parallelism cannot show on fewer).
    * ``--fig15-json``: per dataset, the summed cache-replay preparation must
      beat the summed rebuild preparation.
+   * ``--dynamic-json``: bench_dynamic_updates' single-insert scenario at
+     n >= 50k must reach ``--min-dynamic-speedup`` (steady-state incremental
+     update + dendrogram replay vs the full cold rebuild, same host).  The
+     churn scenario is reported but not gated: its update-vs-rebuild ratio
+     hovers near 1x and swings +/-40% run-to-run on shared single-core
+     runners, so a hard gate would only measure host noise.
 
 Exit code 0 = gate green, 1 = regression, 2 = usage/IO error.
 """
@@ -153,6 +159,27 @@ def check_fig15_gate(path: pathlib.Path) -> list[str]:
     return failures
 
 
+def check_dynamic_gate(path: pathlib.Path, min_speedup: float) -> list[str]:
+    report = load(path)
+    failures = []
+    gated_row = None
+    for row in report.get("rows", []):
+        speedup = row.get("update_speedup", 0.0)
+        print(f"dynamic gate: {row.get('scenario', '?')} n={row.get('n', '?')} "
+              f"update {row.get('update_median', 0.0) * 1e3:.2f}ms vs rebuild "
+              f"{row.get('rebuild_median', 0.0) * 1e3:.2f}ms ({speedup:.2f}x)")
+        if row.get("scenario") == "single-insert" and row.get("n", 0) >= 50000:
+            gated_row = row
+    if gated_row is None:
+        failures.append(f"{path.name}: no single-insert row at n >= 50000 "
+                        "(the acceptance scale) — run without PANDORA_BENCH_SCALE < 1")
+    elif gated_row.get("update_speedup", 0.0) < min_speedup:
+        failures.append(f"dynamic single-insert speedup "
+                        f"{gated_row.get('update_speedup', 0.0):.2f}x < required "
+                        f"{min_speedup:.2f}x")
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -172,6 +199,9 @@ def main() -> int:
     parser.add_argument("--min-batch-speedup", type=float, default=1.3)
     parser.add_argument("--fig15-json", type=pathlib.Path,
                         help="BENCH_fig15.json for the sweep replay-beats-rebuild gate")
+    parser.add_argument("--dynamic-json", type=pathlib.Path,
+                        help="BENCH_dynamic_updates.json for the update-vs-rebuild gate")
+    parser.add_argument("--min-dynamic-speedup", type=float, default=3.0)
     args = parser.parse_args()
 
     failures: list[str] = []
@@ -183,6 +213,8 @@ def main() -> int:
         failures += check_batch_gate(args.batch_json, args.min_batch_speedup)
     if args.fig15_json is not None:
         failures += check_fig15_gate(args.fig15_json)
+    if args.dynamic_json is not None:
+        failures += check_dynamic_gate(args.dynamic_json, args.min_dynamic_speedup)
 
     if failures:
         print("\nPERF REGRESSION GATE: FAILED")

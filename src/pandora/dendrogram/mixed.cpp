@@ -117,18 +117,4 @@ Dendrogram mixed_dendrogram(const exec::Executor& exec, const graph::EdgeList& m
   return mixed_dendrogram(exec, *sorted, top_fraction);
 }
 
-Dendrogram mixed_dendrogram(const SortedEdges& sorted, exec::Space space, double top_fraction,
-                            PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  return mixed_dendrogram(executor, sorted, top_fraction);
-}
-
-Dendrogram mixed_dendrogram(const graph::EdgeList& mst, index_t num_vertices, exec::Space space,
-                            double top_fraction, PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  return mixed_dendrogram(executor, mst, num_vertices, top_fraction);
-}
-
 }  // namespace pandora::dendrogram

@@ -36,17 +36,8 @@ namespace pandora::dendrogram {
                                           const graph::EdgeList& mst, index_t num_vertices,
                                           double top_fraction = 0.1);
 
-/// Deprecated shims over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] Dendrogram mixed_dendrogram(const SortedEdges& sorted,
-                                          exec::Space space = exec::Space::parallel,
-                                          double top_fraction = 0.1,
-                                          PhaseTimes* times = nullptr);
-
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] Dendrogram mixed_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
-                                          exec::Space space = exec::Space::parallel,
-                                          double top_fraction = 0.1,
-                                          PhaseTimes* times = nullptr);
+// The deprecated bare-`Space` shims were removed after their deprecation
+// cycle: pass a `const exec::Executor&` (and a PhaseTimesProfiler for the
+// old `PhaseTimes*` plumbing).
 
 }  // namespace pandora::dendrogram

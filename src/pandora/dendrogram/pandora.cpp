@@ -126,18 +126,4 @@ std::shared_ptr<const Dendrogram> pandora_dendrogram_cached(const exec::Executor
   return {std::move(entry), view};
 }
 
-Dendrogram pandora_dendrogram(const SortedEdges& sorted, const PandoraOptions& options,
-                              PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(options.space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  return pandora_dendrogram(executor, sorted, options);
-}
-
-Dendrogram pandora_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
-                              const PandoraOptions& options, PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(options.space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  return pandora_dendrogram(executor, mst, num_vertices, options);
-}
-
 }  // namespace pandora::dendrogram

@@ -70,16 +70,9 @@ void pandora_dendrogram_into(const exec::Executor& exec, const SortedEdges& sort
     const exec::Executor& exec, const graph::EdgeList& mst, index_t num_vertices,
     const PandoraOptions& options = {});
 
-/// Deprecated shims over the per-thread default executor of `options.space`;
-/// `times` (when given) receives the phases via a scoped profiler.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of PandoraOptions::space")
-[[nodiscard]] Dendrogram pandora_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
-                                            const PandoraOptions& options = {},
-                                            PhaseTimes* times = nullptr);
-
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of PandoraOptions::space")
-[[nodiscard]] Dendrogram pandora_dendrogram(const SortedEdges& sorted,
-                                            const PandoraOptions& options = {},
-                                            PhaseTimes* times = nullptr);
+// The deprecated bare-`Space` shims (`pandora_dendrogram(mst, n, options,
+// times)`) were removed after their deprecation cycle: pass a
+// `const exec::Executor&` and, for the old `PhaseTimes*` plumbing, attach a
+// `PhaseTimesProfiler` (see exec::ScopedPhaseTimes).
 
 }  // namespace pandora::dendrogram

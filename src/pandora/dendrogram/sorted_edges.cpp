@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 
+#include "pandora/common/expect.hpp"
 #include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
 #include "pandora/exec/sort.hpp"
@@ -174,6 +175,91 @@ SortedEdges sort_edges(const exec::Executor& exec, const graph::EdgeList& edges,
   SortedEdges sorted;
   sort_edges_into(exec, edges, num_vertices, sorted);
   return sorted;
+}
+
+void merge_sorted_edges_delta(const exec::Executor& exec, const SortedEdges& base,
+                              std::span<const char> keep, const graph::EdgeList& added,
+                              std::span<const index_t> vertex_remap, index_t num_vertices,
+                              SortedEdges& out) {
+  PANDORA_EXPECT(&out != &base, "merge_sorted_edges_delta output must not alias its input");
+  PANDORA_EXPECT(static_cast<index_t>(keep.size()) == base.num_edges(),
+                 "one keep flag per original edge required");
+  const size_type e_base = static_cast<size_type>(base.num_edges());
+  const size_type e_added = static_cast<size_type>(added.size());
+
+  // New dense index of every surviving original edge: its rank among the
+  // survivors in original order (ties between survivors keep their relative
+  // sorted order because the renumbering is monotone).
+  auto rank_lease = exec.workspace().take_uninit<index_t>(e_base);
+  const std::span<index_t> rank = rank_lease.span();
+  index_t num_kept = 0;
+  for (size_type i = 0; i < e_base; ++i)
+    rank[static_cast<std::size_t>(i)] = keep[static_cast<std::size_t>(i)] != 0 ? num_kept++ : kNone;
+
+  // The added run, sorted descending-(weight, position): positions continue
+  // after the survivors, so on exact ties a survivor always precedes an
+  // added edge and the merge below can break ties by run.
+  auto added_order_lease = exec.workspace().take_uninit<index_t>(e_added);
+  const std::span<index_t> added_order = added_order_lease.span();
+  for (size_type j = 0; j < e_added; ++j)
+    added_order[static_cast<std::size_t>(j)] = static_cast<index_t>(j);
+  std::sort(added_order.begin(), added_order.end(), [&](index_t a, index_t b) {
+    const double wa = added[static_cast<std::size_t>(a)].weight;
+    const double wb = added[static_cast<std::size_t>(b)].weight;
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  const size_type e_out = static_cast<size_type>(num_kept) + e_added;
+  out.num_vertices = num_vertices;
+  out.u.resize(static_cast<std::size_t>(e_out));
+  out.v.resize(static_cast<std::size_t>(e_out));
+  out.weight.resize(static_cast<std::size_t>(e_out));
+  out.order.resize(static_cast<std::size_t>(e_out));
+
+  const auto remap = [&](index_t vertex) {
+    return vertex_remap.empty() ? vertex : vertex_remap[static_cast<std::size_t>(vertex)];
+  };
+
+  // One linear merge of the two descending runs.  `i` walks base's sorted
+  // positions (skipping dropped edges), `j` walks the sorted added run; on a
+  // weight tie the surviving base edge wins (smaller new index).
+  size_type i = 0, j = 0, o = 0;
+  const auto next_survivor = [&] {
+    while (i < e_base && keep[static_cast<std::size_t>(
+                             base.order[static_cast<std::size_t>(i)])] == 0)
+      ++i;
+    return i < e_base;
+  };
+  while (true) {
+    const bool has_base = next_survivor();
+    const bool has_added = j < e_added;
+    if (!has_base && !has_added) break;
+    bool take_base;
+    if (has_base && has_added) {
+      const double wb = base.weight[static_cast<std::size_t>(i)];
+      const double wa =
+          added[static_cast<std::size_t>(added_order[static_cast<std::size_t>(j)])].weight;
+      take_base = wb >= wa;
+    } else {
+      take_base = has_base;
+    }
+    const auto slot = static_cast<std::size_t>(o++);
+    if (take_base) {
+      const auto pos = static_cast<std::size_t>(i++);
+      out.u[slot] = remap(base.u[pos]);
+      out.v[slot] = remap(base.v[pos]);
+      out.weight[slot] = base.weight[pos];
+      out.order[slot] = rank[static_cast<std::size_t>(base.order[pos])];
+    } else {
+      const auto a = static_cast<std::size_t>(added_order[static_cast<std::size_t>(j++)]);
+      const graph::WeightedEdge& edge = added[a];
+      out.u[slot] = edge.u;
+      out.v[slot] = edge.v;
+      out.weight[slot] = edge.weight;
+      out.order[slot] = num_kept + static_cast<index_t>(a);
+    }
+  }
 }
 
 std::uint64_t mst_fingerprint(const exec::Executor& exec, const graph::EdgeList& edges,

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "pandora/common/types.hpp"
@@ -45,6 +46,30 @@ struct SortedEdges {
 /// warm Executor performs no heap allocation.  Does not validate.
 void sort_edges_into(const exec::Executor& exec, const graph::EdgeList& edges,
                      index_t num_vertices, SortedEdges& out);
+
+/// Derives the canonical SortedEdges of an *updated* edge list from the
+/// sorted run of its predecessor, without re-sorting the bulk: survivors of
+/// `base` keep their relative order (weights unchanged), so one linear merge
+/// of the surviving run with the small sorted `added` run reproduces the
+/// canonical descending-(weight, index) order.  This is the dynamic
+/// subsystem's dendrogram-replay preparation — O(E + A log A) instead of the
+/// full O(E log E) sort.
+///
+/// The updated edge list is defined as: the edges of `base`'s original list
+/// whose original index i has `keep[i] != 0`, in their original relative
+/// order (renumbered densely from 0), followed by the edges of `added`
+/// (original indices continuing after the survivors).  `keep.size()` must be
+/// `base.num_edges()`.  A non-empty `vertex_remap` relabels every surviving
+/// endpoint (erase compaction); `added` endpoints are already in the new
+/// vertex space.  `out` must not alias `base`.
+///
+/// The result is bit-identical to `sort_edges` over the materialised updated
+/// edge list: survivors precede added edges on exact weight ties (their new
+/// indices are smaller), and the tie order within each run is preserved.
+void merge_sorted_edges_delta(const exec::Executor& exec, const SortedEdges& base,
+                              std::span<const char> keep, const graph::EdgeList& added,
+                              std::span<const index_t> vertex_remap, index_t num_vertices,
+                              SortedEdges& out);
 
 /// Order-sensitive 64-bit fingerprint of an MST (endpoints, weights, edge
 /// order, vertex count) — the key of the cross-call SortedEdges cache.

@@ -1,0 +1,227 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "pandora/common/expect.hpp"
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/exec/fingerprint.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+/// Incremental clustering over a *mutable* point set.
+///
+/// Every other entry point of this library assumes a frozen point set: one
+/// changed point forces a full kd-tree -> kNN -> Borůvka -> sort -> PANDORA
+/// rebuild.  `dyn::DynamicClustering` instead owns the points and keeps the
+/// exact Euclidean MST incrementally correct under `insert` and `erase`
+/// (following the decomposition of fully-dynamic single-linkage into
+/// maintainable MST + replayable dendrogram primitives — De Man et al. 2025,
+/// cuSLINK), then re-derives the dendrogram by merging the edge delta into
+/// the maintained sorted run and replaying PANDORA.  A steady-state update
+/// costs a few Borůvka rounds over mostly-pre-merged components plus one
+/// linear merge — far below the from-scratch pipeline (see the README cost
+/// model).
+namespace pandora::dyn {
+
+struct DynamicOptions {
+  /// Leaf size of the maintained kd index.
+  int leaf_size = 32;
+
+  /// Inserted points are appended to an unindexed tail and brute-forced by
+  /// queries until the tail exceeds this fraction of the point count, when
+  /// the kd index is rebuilt (amortised O(log n) per insert).  Erases always
+  /// rebuild (compaction moves the indexed coordinates).
+  double index_rebuild_fraction = 0.125;
+
+  /// PANDORA expansion policy for the dendrogram replays.
+  dendrogram::ExpansionPolicy expansion = dendrogram::ExpansionPolicy::multilevel;
+};
+
+/// Cumulative counters, exposed so tests and benches can assert the update
+/// path actually took the incremental route (and how hard it worked).
+struct UpdateStats {
+  std::uint64_t points_inserted = 0;
+  std::uint64_t points_erased = 0;
+  std::uint64_t update_batches = 0;   ///< insert/erase calls that mutated state
+  std::uint64_t edges_added = 0;      ///< EMST edges created by updates
+  std::uint64_t edges_removed = 0;    ///< EMST edges displaced or dropped
+  std::uint64_t boruvka_rounds = 0;   ///< insert-repair rounds across all updates
+  std::uint64_t index_rebuilds = 0;   ///< kd-index rebuilds (tail overflow / erase)
+};
+
+/// A mutable point set with stable ids, an incrementally maintained exact
+/// Euclidean MST, and a dendrogram replayed from it after every update.
+///
+///   exec::Executor executor;
+///   dyn::DynamicClustering stream(executor);
+///   stream.insert(initial_points);               // bulk load
+///   const index_t id = stream.insert(coords);    // point-at-a-time
+///   stream.erase(std::array{id});
+///   const auto& dendrogram = stream.dendrogram(); // current, slot-indexed
+///   auto clusters = stream.hdbscan({.min_pts = 4});
+///
+/// **Updates.**  `insert` appends points and repairs the tree with a
+/// cycle-property pass: a kd-tree kNN probe around every new point yields a
+/// safety threshold (no maintained edge at or below the new points' 2nd-
+/// nearest-neighbour distance can be displaced), the edges above it plus the
+/// new points' implicit star edges then go through Borůvka rounds over
+/// workspace-leased scratch — equivalently, the heaviest edge on every cycle
+/// the candidate edges create is dropped.  `erase` removes points, splinters
+/// the tree into the surviving components (every surviving edge provably
+/// stays in the new MST) and re-joins them through the component-restricted
+/// Borůvka entry of `spatial::emst`.  Both paths are *exact*: after any
+/// update the maintained tree is a true EMST of the live points.
+///
+/// **Dendrogram replay.**  Updates renumber the surviving edges, merge the
+/// small sorted delta into the maintained `SortedEdges` run
+/// (`merge_sorted_edges_delta` — linear, no re-sort) and replay PANDORA, so
+/// `dendrogram()` is always current.
+///
+/// **Slots vs ids.**  Live points occupy dense *slots* [0, size()); erase
+/// compacts slots, so dendrogram leaves and EMST endpoints are slot indices.
+/// The stable id returned by `insert` survives compaction; translate with
+/// `slot_of` / `id_at`.
+///
+/// **Epochs and caches.**  Every mutation bumps `epoch()`.  Derived
+/// artifacts computed through the Executor's ArtifactCache (the kd-tree,
+/// core distances, mutual-reachability EMST and dendrogram behind
+/// `hdbscan()`) are keyed on `points_fingerprint()` =
+/// `exec::epoch_fingerprint(instance, epoch)` — a key that is never derived
+/// twice, so a stale artifact can never be served; old entries age out of
+/// the LRU.  Repeated `hdbscan()` calls within one epoch replay from the
+/// cache.
+///
+/// Not thread-safe (one Executor, one writer); the serving integration runs
+/// updates exclusively between query waves (`serve::BatchExecutor::run_waves`).
+class DynamicClustering {
+ public:
+  explicit DynamicClustering(const exec::Executor& exec, DynamicOptions options = {});
+  DynamicClustering(DynamicClustering&&) = default;
+  DynamicClustering& operator=(DynamicClustering&&) = default;
+
+  /// Inserts a batch of points; returns their stable ids (batch order).
+  /// The first insert fixes the dimensionality.
+  std::vector<index_t> insert(const spatial::PointSet& batch);
+
+  /// Inserts one point (`coords.size()` = dimension); returns its stable id.
+  index_t insert(std::span<const double> coords);
+
+  /// Erases points by stable id.  Erasing an unknown or already-erased id
+  /// throws; the ids may be given in any order (duplicates throw too).
+  void erase(std::span<const index_t> ids);
+
+  [[nodiscard]] index_t size() const { return points_->size(); }
+  [[nodiscard]] int dim() const { return points_->dim(); }
+
+  /// Monotone mutation counter (0 before the first update).
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// The epoch-aware cache key standing in for a content hash of the points
+  /// (see exec::epoch_fingerprint).
+  [[nodiscard]] std::uint64_t points_fingerprint() const {
+    return exec::epoch_fingerprint(instance_, epoch_);
+  }
+
+  /// Live points, dense slot order.
+  [[nodiscard]] const spatial::PointSet& points() const { return *points_; }
+
+  /// The maintained exact Euclidean MST (slot endpoints, maintained order).
+  /// Like every derived-structure accessor, throws if an earlier update
+  /// failed mid-repair (the structures would no longer describe `points()`).
+  [[nodiscard]] const graph::EdgeList& emst() const {
+    PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
+    return edges_;
+  }
+
+  /// The maintained canonical sorted run of `emst()`.
+  [[nodiscard]] const dendrogram::SortedEdges& sorted_edges() const {
+    PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
+    return sorted_;
+  }
+
+  /// The current single-linkage dendrogram (replayed on every update;
+  /// leaves are slots).
+  [[nodiscard]] const dendrogram::Dendrogram& dendrogram() const {
+    PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
+    return dendrogram_;
+  }
+
+  /// Current slot of a stable id (kNone once erased), and the inverse.
+  [[nodiscard]] index_t slot_of(index_t id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < slot_of_id_.size()
+               ? slot_of_id_[static_cast<std::size_t>(id)]
+               : kNone;
+  }
+  [[nodiscard]] index_t id_at(index_t slot) const {
+    return id_of_slot_[static_cast<std::size_t>(slot)];
+  }
+
+  /// HDBSCAN* over the current points, with every cacheable artifact keyed
+  /// on the epoch fingerprint: repeated calls within an epoch replay the
+  /// kd-tree, core distances and mutual-reachability EMST from the
+  /// Executor's ArtifactCache; any update re-keys them all.
+  /// (`options.min_pts` > 1 changes the metric, so this path cannot reuse
+  /// the maintained Euclidean tree — it exists for correctness + caching,
+  /// not incrementality.)
+  [[nodiscard]] hdbscan::HdbscanResult hdbscan(const hdbscan::HdbscanOptions& options = {}) const;
+
+  [[nodiscard]] const UpdateStats& stats() const { return stats_; }
+
+  [[nodiscard]] const exec::Executor& executor() const { return *exec_; }
+
+ private:
+  /// Full (re)build of tree + EMST + sorted run; used for the first batch.
+  void rebuild_from_scratch();
+
+  /// Exact incremental EMST repair for the batch appended at slots
+  /// [n_before, n_before + m); fills `keep` (per maintained edge) and
+  /// `added`.
+  void repair_after_insert(index_t n_before, index_t m, std::vector<char>& keep,
+                           graph::EdgeList& added);
+
+  /// Applies an edge delta: renumbers survivors, merges the sorted run,
+  /// replays the dendrogram, bumps the epoch.
+  void finish_update(std::span<const char> keep, const graph::EdgeList& added,
+                     std::span<const index_t> vertex_remap, index_t num_vertices);
+
+  void rebuild_index();
+  void replay_dendrogram();
+
+  const exec::Executor* exec_;
+  DynamicOptions options_;
+  /// unique_ptr keeps the PointSet address-stable under moves of *this (the
+  /// kd index holds a reference to it).
+  std::unique_ptr<spatial::PointSet> points_;
+  std::vector<index_t> id_of_slot_;   ///< slot -> stable id
+  std::vector<index_t> slot_of_id_;   ///< stable id -> slot (kNone = erased)
+  index_t next_id_ = 0;
+
+  graph::EdgeList edges_;             ///< maintained EMST, maintained order
+  graph::EdgeList edges_scratch_;
+  dendrogram::SortedEdges sorted_;
+  dendrogram::SortedEdges sorted_scratch_;
+  dendrogram::Dendrogram dendrogram_;
+
+  std::unique_ptr<spatial::KdTree> tree_;  ///< over slots [0, indexed_)
+  index_t indexed_ = 0;
+  spatial::KdTreeAnnotations notes_;       ///< reused across Borůvka rounds
+
+  std::uint64_t instance_;
+  std::uint64_t epoch_ = 0;
+  /// False while a structural update is in flight; an exception thrown
+  /// mid-repair leaves it false, and every subsequent entry point fails
+  /// fast instead of computing on a half-updated tree.
+  bool healthy_ = true;
+  UpdateStats stats_;
+};
+
+}  // namespace pandora::dyn

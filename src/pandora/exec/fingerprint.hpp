@@ -40,11 +40,27 @@ enum class ArtifactTag : std::uint64_t {
   kdtree = 0x6b7d9fa1c3e5071bULL,
   core_distance = 0x7c8fab1d3f516273ULL,
   dendrogram = 0x8da1bd2f41536475ULL,
+  emst = 0x9eb3cf4153657587ULL,
 };
 
 [[nodiscard]] constexpr std::uint64_t tagged_fingerprint(ArtifactTag tag,
                                                          std::uint64_t fingerprint) {
   return combine_fingerprint(static_cast<std::uint64_t>(tag), fingerprint);
+}
+
+/// Epoch-aware fingerprint for artifacts derived from a *mutable* source —
+/// the `dyn::` subsystem's point set, which changes identity-in-place on
+/// every update batch.  Content hashing would cost a pass over the data per
+/// lookup and, worse, could alias across epochs if an update happened to
+/// restore earlier contents while object-identity checks still pointed at
+/// the same PointSet.  Instead the key is (instance, epoch): `instance` is a
+/// process-unique id of the mutable container and `epoch` a counter bumped
+/// on every mutation.  Epochs never repeat and never decrease, so the key of
+/// a stale artifact can never be derived again — stale cache entries age out
+/// of the LRU without ever being served.
+[[nodiscard]] constexpr std::uint64_t epoch_fingerprint(std::uint64_t instance,
+                                                        std::uint64_t epoch) {
+  return combine_fingerprint(mix_fingerprint(instance ^ 0xd1b54a32d192ed03ULL), epoch);
 }
 
 }  // namespace pandora::exec

@@ -62,7 +62,16 @@ HdbscanResult hdbscan_with_fingerprint(const exec::Executor& exec,
   exec.record_phase("core_distance", timer.seconds());
 
   timer.reset();
-  result.mst = spatial::mutual_reachability_mst(exec, points, *tree, result.core_distances);
+  if (exec.artifact_caching()) {
+    const std::shared_ptr<const graph::EdgeList> mst = spatial::mutual_reachability_mst_cached(
+        exec, points, *tree, result.core_distances, options.min_pts, points_fp);
+    // Copy-out is the price of keeping HdbscanResult::mst a plain value: one
+    // O(E) memcpy, well under a millesimal of the Borůvka build it replaces
+    // on a warm hit.
+    result.mst = *mst;
+  } else {
+    result.mst = spatial::mutual_reachability_mst(exec, points, *tree, result.core_distances);
+  }
   exec.record_phase("mst", timer.seconds());
 
   if (options.dendrogram_algorithm == DendrogramAlgorithm::pandora) {
@@ -85,8 +94,9 @@ HdbscanResult hdbscan_with_fingerprint(const exec::Executor& exec,
 }  // namespace
 
 HdbscanResult hdbscan(const exec::Executor& exec, const spatial::PointSet& points,
-                      const HdbscanOptions& options) {
-  return hdbscan_with_fingerprint(exec, points, options, std::nullopt);
+                      const HdbscanOptions& options,
+                      std::optional<std::uint64_t> points_fingerprint) {
+  return hdbscan_with_fingerprint(exec, points, options, points_fingerprint);
 }
 
 MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
@@ -98,7 +108,8 @@ MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
 
   // Shared prefix, computed once per sweep call and replayed from the
   // ArtifactCache across calls: min_cluster_size touches nothing above the
-  // condensed tree.
+  // condensed tree, so repeated sweeps skip the kd-tree build, the core
+  // distances AND the Borůvka EMST (the cached-EMST ROADMAP follow-up).
   std::optional<std::uint64_t> points_fp;
   if (exec.artifact_caching())
     points_fp = spatial::point_set_fingerprint(exec, points);
@@ -108,10 +119,13 @@ MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
     const std::shared_ptr<const std::vector<double>> core =
         core_distances_cached(exec, points, *tree, base.min_pts, points_fp);
     sweep.core_distances = *core;
+    const std::shared_ptr<const graph::EdgeList> mst = spatial::mutual_reachability_mst_cached(
+        exec, points, *tree, sweep.core_distances, base.min_pts, points_fp);
+    sweep.mst = *mst;
   } else {
     sweep.core_distances = core_distances(exec, points, *tree, base.min_pts);
+    sweep.mst = spatial::mutual_reachability_mst(exec, points, *tree, sweep.core_distances);
   }
-  sweep.mst = spatial::mutual_reachability_mst(exec, points, *tree, sweep.core_distances);
 
   if (base.dendrogram_algorithm == DendrogramAlgorithm::pandora) {
     sweep.dendrogram = dendrogram::pandora_dendrogram_cached(exec, sweep.mst, points.size());

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -51,13 +53,22 @@ struct HdbscanResult {
 /// mutual-reachability EMST -> dendrogram -> condensed tree -> stability-
 /// optimal flat clusters.  Repeated calls on one Executor reuse its
 /// workspace arena, so steady-state queries allocate far less than the
-/// first call; with artifact caching on (the default) the kd-tree and the
-/// per-mpts core distances also replay from the Executor's ArtifactCache, so
-/// repeated queries against one point set — and mpts sweeps, which share the
-/// tree — skip the corresponding phases entirely.
+/// first call; with artifact caching on (the default) the kd-tree, the
+/// per-mpts core distances and the per-mpts mutual-reachability EMST also
+/// replay from the Executor's ArtifactCache, so repeated queries against one
+/// point set — and mpts sweeps, which share the tree — skip the
+/// corresponding phases entirely.
+///
+/// `points_fingerprint` overrides the content hash the caches key on: a
+/// caller that already ran `point_set_fingerprint` shares the pass, and a
+/// caller owning a *mutable* point set (the `dyn::` subsystem) passes an
+/// epoch fingerprint instead so every mutation re-keys the artifacts without
+/// hashing the data.
 [[nodiscard]] HdbscanResult hdbscan(const exec::Executor& exec,
                                     const spatial::PointSet& points,
-                                    const HdbscanOptions& options = {});
+                                    const HdbscanOptions& options = {},
+                                    std::optional<std::uint64_t> points_fingerprint =
+                                        std::nullopt);
 
 /// A `min_cluster_size` sweep over one point set: the pipeline runs once up
 /// to the dendrogram (kd-tree, core distances and dendrogram served from the

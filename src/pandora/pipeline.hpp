@@ -4,6 +4,7 @@
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/pandora.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/dyn/dynamic_clustering.hpp"
 #include "pandora/exec/executor.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/hdbscan.hpp"
@@ -156,6 +157,32 @@ class Pipeline {
   /// through the ArtifactCache.  See hdbscan_sweep_min_pts.
   [[nodiscard]] std::vector<hdbscan::HdbscanResult> sweep_min_pts(
       const spatial::PointSet& points, std::span<const int> min_pts_values) const;
+
+  // --- streaming / mutable corpora -------------------------------------------
+
+  /// The incremental front door: a `dyn::DynamicClustering` bound to this
+  /// pipeline's executor.  The returned object owns a mutable point set,
+  /// keeps its exact EMST maintained under `insert` / `erase`, and replays
+  /// the dendrogram from the merged edge delta after every update:
+  ///
+  ///   auto stream = Pipeline::on(executor).dynamic();
+  ///   stream.insert(initial_points);
+  ///   stream.insert(new_point);                       // incremental repair
+  ///   const auto& dendrogram = stream.dendrogram();   // already current
+  ///
+  /// The zero-argument form carries the pipeline's expansion policy over;
+  /// passing explicit DynamicOptions takes them verbatim (including their
+  /// own expansion).  HDBSCAN* options apply when calling
+  /// `stream.hdbscan()` (pass them there — the stream outlives this
+  /// builder).
+  [[nodiscard]] dyn::DynamicClustering dynamic() const {
+    dyn::DynamicOptions options;
+    options.expansion = expansion_;
+    return dyn::DynamicClustering(*executor_, options);
+  }
+  [[nodiscard]] dyn::DynamicClustering dynamic(dyn::DynamicOptions options) const {
+    return dyn::DynamicClustering(*executor_, options);
+  }
 
   [[nodiscard]] const exec::Executor& executor() const { return *executor_; }
 

@@ -41,47 +41,81 @@ void BatchExecutor::run(std::span<Job> jobs) {
   // batchmates.
   std::vector<std::exception_ptr> errors(jobs.size());
 
-  // Phase 1 — small queries packed per thread.  One worker per slot; workers
-  // pull from a shared atomic cursor, so uneven job costs balance
-  // dynamically instead of by a static split.
-  if (!small.empty()) {
-    const int workers = std::min<int>(num_slots(), static_cast<int>(small.size()));
-    std::atomic<std::size_t> cursor{0};
-    auto drain = [&](int worker) {
-      const exec::Executor& slot_exec = *slots_[static_cast<std::size_t>(worker)];
-      while (true) {
-        const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (next >= small.size()) return;
-        const std::size_t j = small[next];
-        try {
-          jobs[j].run(slot_exec);
-        } catch (...) {
-          errors[j] = std::current_exception();
-        }
+  // Small queries packed per thread.  One worker per slot; workers pull
+  // from a shared atomic cursor, so uneven job costs balance dynamically
+  // instead of by a static split.
+  std::atomic<std::size_t> cursor{0};
+  auto drain = [&](int worker) {
+    const exec::Executor& slot_exec = *slots_[static_cast<std::size_t>(worker)];
+    while (true) {
+      const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (next >= small.size()) return;
+      const std::size_t j = small[next];
+      try {
+        jobs[j].run(slot_exec);
+      } catch (...) {
+        errors[j] = std::current_exception();
       }
-    };
-    if (workers == 1) {
-      drain(0);
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(static_cast<std::size_t>(workers));
-      for (int w = 0; w < workers; ++w) pool.emplace_back(drain, w);
-      for (std::thread& t : pool) t.join();
     }
-  }
+  };
+  // Large queries one at a time on the calling thread with full intra-query
+  // parallelism against the parent executor.
+  auto drain_large = [&] {
+    for (const std::size_t j : large) {
+      try {
+        jobs[j].run(*parent_);
+      } catch (...) {
+        errors[j] = std::current_exception();
+      }
+    }
+  };
 
-  // Phase 2 — large queries one at a time with full intra-query parallelism.
-  for (const std::size_t j : large) {
-    try {
-      jobs[j].run(*parent_);
-    } catch (...) {
-      errors[j] = std::current_exception();
-    }
+  // With overlap (the default) the calling thread drains the large queue
+  // while the slot workers drain the small one, so neither phase waits for
+  // the other; large jobs mutate only the parent executor, small jobs only
+  // their slot, and the shared ArtifactCache locks internally.  Without
+  // overlap — or when one of the queues is empty — the phases run in
+  // sequence, and a small-only batch keeps the old single-worker shortcut
+  // (no thread spawn when one worker suffices).
+  const int workers = std::min<int>(num_slots(), static_cast<int>(small.size()));
+  const bool overlapped = options_.overlap_phases && !small.empty() && !large.empty();
+  if (overlapped || workers > 1) {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(drain, w);
+    if (overlapped) drain_large();
+    for (std::thread& t : pool) t.join();
+    if (!overlapped) drain_large();
+  } else {
+    if (workers == 1) drain(0);
+    drain_large();
   }
 
   for (std::exception_ptr& error : errors) {
     if (error != nullptr) std::rethrow_exception(error);
   }
+}
+
+void BatchExecutor::run_waves(std::span<Wave> waves) {
+  // Query exceptions are isolated per wave: the wave's update and the
+  // remaining waves still run, and the first query exception is rethrown
+  // after the final wave.  An update exception propagates immediately (the
+  // stream state is no longer trustworthy for the waves that follow) and
+  // supersedes a pending query exception — the caller learns about the
+  // failure that invalidates everything downstream, not the one that was
+  // already contained to its wave.
+  std::exception_ptr first_query_error;
+  for (Wave& wave : waves) {
+    try {
+      run(wave.queries);
+    } catch (...) {
+      if (first_query_error == nullptr) first_query_error = std::current_exception();
+    }
+    // Exclusive update: every query above has settled (run joins its
+    // workers), and no query of the next wave has started.
+    if (wave.update) wave.update(*parent_);
+  }
+  if (first_query_error != nullptr) std::rethrow_exception(first_query_error);
 }
 
 void BatchExecutor::build_dendrograms_into(std::span<const DendrogramQuery> queries,

@@ -62,6 +62,17 @@ struct BatchOptions {
 
   /// Concurrent slots for small queries; 0 = the parent's thread budget.
   int num_slots = 0;
+
+  /// Overlap the two scheduler phases: the calling thread starts draining
+  /// the large queries on the parent executor while the slot workers are
+  /// still pulling from the small queue, instead of waiting for the small
+  /// phase to finish first.  On imbalanced batches this hides one phase
+  /// behind the other entirely; the cost is transient thread
+  /// oversubscription (the parent's OpenMP team plus the slot workers,
+  /// bounded by 2x the budget).  Safe because large jobs mutate only the
+  /// parent executor and small jobs only their slot; the shared
+  /// ArtifactCache locks internally.
+  bool overlap_phases = true;
 };
 
 class BatchExecutor {
@@ -81,11 +92,32 @@ class BatchExecutor {
 
   /// Runs every job to completion.  Small jobs execute concurrently: worker
   /// threads (one per slot) pull them from a shared queue, so slots stay
-  /// busy regardless of how job costs vary.  Large jobs then execute on the
-  /// calling thread against the parent executor, one at a time.  If jobs
-  /// threw, the first exception (in job order) is rethrown after every job
-  /// has settled; the remaining jobs still ran.
+  /// busy regardless of how job costs vary.  Large jobs execute on the
+  /// calling thread against the parent executor, one at a time —
+  /// overlapping the small drain by default (BatchOptions::overlap_phases).
+  /// If jobs threw, the first exception (in job order) is rethrown after
+  /// every job has settled; the remaining jobs still ran.
   void run(std::span<Job> jobs);
+
+  /// A wave of a streaming workload: a batch of queries, then an optional
+  /// exclusive update applied before the next wave.  The update runs on the
+  /// calling thread against the parent executor after every query of the
+  /// wave has settled and before any query of the next wave starts, so it
+  /// may mutate state the queries read (e.g. a dyn::DynamicClustering whose
+  /// dendrogram the queries condense) without further synchronisation.
+  struct Wave {
+    std::vector<Job> queries;
+    std::function<void(const exec::Executor&)> update;  ///< may be empty
+  };
+
+  /// Runs waves in order: queries of wave i (concurrently, as `run`), then
+  /// wave i's update (exclusively).  Query exceptions are isolated per
+  /// wave: the wave's update and the remaining waves still run, and the
+  /// first query exception (in wave order) is rethrown after the final
+  /// wave.  An update exception aborts the remaining waves (the stream
+  /// state is no longer trustworthy) and propagates immediately — it
+  /// supersedes any pending query exception, which is then not reported.
+  void run_waves(std::span<Wave> waves);
 
   /// Batched dendrogram construction; results are index-aligned with
   /// `queries`.  `build_dendrograms_into` reuses the storage of `out`

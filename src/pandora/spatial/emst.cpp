@@ -2,9 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "pandora/common/expect.hpp"
+#include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
 #include "pandora/exec/sort.hpp"
 #include "pandora/graph/union_find.hpp"
@@ -13,47 +15,97 @@ namespace pandora::spatial {
 
 namespace {
 
-/// Shared Borůvka skeleton; `use_mreach` selects the metric (core_sq must be
-/// the squared core distances then).
+/// Shared Borůvka skeleton over the components of a (possibly pre-seeded)
+/// union-find; `use_mreach` selects the metric (core_sq must be the squared
+/// core distances then).  Starting from singletons this is the full EMST;
+/// starting from the components of a partial tree it joins exactly those
+/// components with minimum-weight edges (the dynamic subsystem's erase path).
 graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points,
                              const KdTree& tree, const std::vector<double>& core_sq,
-                             bool use_mreach) {
+                             bool use_mreach, graph::ConcurrentUnionFind& uf) {
   const index_t n = points.size();
   graph::EdgeList mst;
   if (n <= 1) return mst;
-  mst.reserve(static_cast<std::size_t>(n) - 1);
 
   constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
   // Sentinel for the atomic-min tie-break slots: must compare larger than
   // every real point id (kNone would win every min).
   constexpr index_t kUnset = std::numeric_limits<index_t>::max();
-  graph::ConcurrentUnionFind uf(n);
   std::vector<index_t> component(static_cast<std::size_t>(n));
   std::vector<std::uint64_t> best_weight(static_cast<std::size_t>(n), kInf);
   std::vector<index_t> best_point(static_cast<std::size_t>(n), kUnset);
   std::vector<Neighbor> point_best(static_cast<std::size_t>(n));
-  std::vector<index_t> roots(static_cast<std::size_t>(n));
-  std::iota(roots.begin(), roots.end(), index_t{0});
+  std::vector<index_t> roots;
+  roots.reserve(static_cast<std::size_t>(n));
+  for (index_t p = 0; p < n; ++p)
+    if (uf.find(p) == p) roots.push_back(p);
+  const auto joins_needed = static_cast<std::size_t>(roots.size()) - 1;
+  mst.reserve(joins_needed);
+  // Only a pre-seeded join can have a dominant component worth benching; a
+  // full build starts from singletons, skips the per-round component-size
+  // scan entirely, and so keeps its pre-existing behaviour (edge selection
+  // included) bit for bit.
+  const bool seeded = static_cast<index_t>(roots.size()) < n;
 
   // Query-local annotations: the (possibly cached, shared) tree stays const.
   KdTreeAnnotations notes;
   if (use_mreach) tree.annotate_min_core(exec, core_sq, notes);
 
-  while (static_cast<index_t>(mst.size()) < n - 1) {
+  while (mst.size() < joins_needed) {
     exec::parallel_for(exec, n, [&](size_type p) {
       component[static_cast<std::size_t>(p)] = uf.find(static_cast<index_t>(p));
     });
     tree.annotate_components(exec, component, notes);
 
-    // Phase 1: every point finds its nearest foreign point; per-component
-    // minimum weight via atomic-min on the order-preserving distance bits.
+    // When one component of a seeded join dominates (one giant survivor
+    // plus small splinters after a few erases), it may sit the round out:
+    // every edge crossing a component's cut is incident to one of its own
+    // points, so each *small* component still finds its true minimum
+    // outgoing edge from its own members' queries, and those selections
+    // alone satisfy the cut property.  This turns a round's cost from n
+    // tree queries into (n - |giant|).  The result stays an exact MST;
+    // under exact distance ties the chosen edge *set* may differ from an
+    // all-components-propose round (both are minimum weight).
+    index_t passive = kNone;
+    if (seeded) {
+      index_t largest = kNone;
+      size_type largest_size = 0;
+      auto count_lease = exec.workspace().take<size_type>(n, 0);
+      const std::span<size_type> count = count_lease.span();
+      for (index_t p = 0; p < n; ++p) {
+        const index_t c = component[static_cast<std::size_t>(p)];
+        if (++count[static_cast<std::size_t>(c)] > largest_size) {
+          largest_size = count[static_cast<std::size_t>(c)];
+          largest = c;
+        }
+      }
+      if (2 * largest_size >= n) passive = largest;
+    }
+
+    // Phase 1: every (active) point finds its nearest foreign point;
+    // per-component minimum weight via atomic-min on the order-preserving
+    // distance bits.
+    //
+    // A point's candidate from an earlier round stays *exact* while its
+    // partner is still foreign: components only merge, so the foreign set
+    // only shrinks, and a shrinking set that still contains the old
+    // lexicographic minimum keeps it.  Stale candidates (partner absorbed)
+    // re-query; in practice only points near the round's merges do, which
+    // turns the n-queries-per-round cost into roughly n total.
     exec::parallel_for(exec, n, [&](size_type pi) {
       const auto p = static_cast<index_t>(pi);
       const index_t c = component[static_cast<std::size_t>(p)];
-      const Neighbor nb =
-          use_mreach ? tree.nearest_other_component_mreach(p, c, component, core_sq, notes)
-                     : tree.nearest_other_component(p, c, component, notes);
-      point_best[static_cast<std::size_t>(p)] = nb;
+      // The giant proposes NOTHING — a partial minimum (e.g. over only its
+      // cached members) would not be minimal across its cut and could hook
+      // a wrong edge.  Its slot stays at the +inf sentinel, so phase 2
+      // cannot match a leftover cached candidate against it either.
+      if (c == passive) return;
+      Neighbor nb = point_best[static_cast<std::size_t>(p)];
+      if (nb.index == kNone || component[static_cast<std::size_t>(nb.index)] == c) {
+        nb = use_mreach ? tree.nearest_other_component_mreach(p, c, component, core_sq, notes)
+                        : tree.nearest_other_component(p, c, component, notes);
+        point_best[static_cast<std::size_t>(p)] = nb;
+      }
       if (nb.index != kNone)
         exec::atomic_fetch_min(best_weight[static_cast<std::size_t>(c)],
                                exec::order_preserving_bits(nb.squared_distance));
@@ -100,7 +152,14 @@ graph::EdgeList boruvka_emst(const exec::Executor& exec, const PointSet& points,
 
 graph::EdgeList euclidean_mst(const exec::Executor& exec, const PointSet& points,
                               const KdTree& tree) {
-  return boruvka_emst(exec, points, tree, {}, false);
+  graph::ConcurrentUnionFind uf(points.size());
+  return boruvka_emst(exec, points, tree, {}, false, uf);
+}
+
+graph::EdgeList join_components_emst(const exec::Executor& exec, const PointSet& points,
+                                     const KdTree& tree, graph::ConcurrentUnionFind& uf) {
+  PANDORA_EXPECT(uf.size() == points.size(), "one union-find slot per point required");
+  return boruvka_emst(exec, points, tree, {}, false, uf);
 }
 
 graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, const KdTree& tree) {
@@ -115,7 +174,53 @@ graph::EdgeList mutual_reachability_mst(const exec::Executor& exec, const PointS
   std::vector<double> core_sq(core_distances.size());
   for (std::size_t i = 0; i < core_sq.size(); ++i)
     core_sq[i] = core_distances[i] * core_distances[i];
-  return boruvka_emst(exec, points, tree, core_sq, true);
+  graph::ConcurrentUnionFind uf(points.size());
+  return boruvka_emst(exec, points, tree, core_sq, true, uf);
+}
+
+namespace {
+
+/// An EMST artifact as stored in the Executor's ArtifactCache (cf.
+/// CachedKdTree / CachedCoreDistances: the PointSet identity rules out a
+/// content-identical but different object aliasing someone else's edges).
+struct CachedEmst {
+  graph::EdgeList mst;
+  const PointSet* points = nullptr;
+};
+
+}  // namespace
+
+std::shared_ptr<const graph::EdgeList> mutual_reachability_mst_cached(
+    const exec::Executor& exec, const PointSet& points, const KdTree& tree,
+    std::span<const double> core_distances, int min_pts,
+    std::optional<std::uint64_t> points_fingerprint) {
+  const auto compute = [&] {
+    auto owned = std::make_shared<CachedEmst>();
+    owned->mst = mutual_reachability_mst(exec, points, tree, core_distances);
+    owned->points = &points;
+    return owned;
+  };
+  if (!exec.artifact_caching()) {
+    auto owned = compute();
+    const graph::EdgeList* view = &owned->mst;
+    return {std::move(owned), view};
+  }
+
+  // min_pts determines the core distances and with them the metric, so it is
+  // folded into the key with the full mixer — two sweep values never alias
+  // (see exec/fingerprint.hpp).
+  const std::uint64_t base =
+      points_fingerprint ? *points_fingerprint : point_set_fingerprint(exec, points);
+  const std::uint64_t key = exec::combine_fingerprint(
+      exec::tagged_fingerprint(exec::ArtifactTag::emst, base),
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(min_pts)));
+  std::shared_ptr<CachedEmst> entry = exec.artifact_cache().find<CachedEmst>(key);
+  if (entry == nullptr || entry->points != &points) {
+    entry = compute();
+    exec.artifact_cache().insert(key, entry);
+  }
+  const graph::EdgeList* view = &entry->mst;
+  return {std::move(entry), view};
 }
 
 graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,

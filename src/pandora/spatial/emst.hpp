@@ -1,11 +1,14 @@
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <span>
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
 #include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
+#include "pandora/graph/union_find.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "pandora/spatial/point_set.hpp"
 
@@ -24,6 +27,18 @@ namespace pandora::spatial {
 [[nodiscard]] graph::EdgeList euclidean_mst(const exec::Executor& exec, const PointSet& points,
                                             const KdTree& tree);
 
+/// Component-restricted Borůvka: joins the pre-seeded components of `uf`
+/// (one slot per point; seed by uniting along a partial tree's edges) with
+/// exactly the minimum-weight Euclidean edges between them, returning only
+/// the joining edges.  If the seed components are those of a forest F that
+/// is a subset of the full EMST, then F plus the returned edges *is* the
+/// full EMST — the dynamic subsystem's erase path splinters its maintained
+/// tree and re-joins the splinters through this entry.  `uf` is left fully
+/// united.
+[[nodiscard]] graph::EdgeList join_components_emst(const exec::Executor& exec,
+                                                   const PointSet& points, const KdTree& tree,
+                                                   graph::ConcurrentUnionFind& uf);
+
 /// MST under the HDBSCAN* mutual-reachability metric
 /// d_mreach(p, q) = max(core(p), core(q), |p - q|), given per-point core
 /// distances (Section 6.5).  This is the "MST construction" phase of the
@@ -32,6 +47,22 @@ namespace pandora::spatial {
                                                       const PointSet& points,
                                                       const KdTree& tree,
                                                       std::span<const double> core_distances);
+
+/// The cross-call EMST cache: the mutual-reachability MST of `points` at
+/// `min_pts`, reusing the copy stored in the Executor's ArtifactCache when
+/// the point-set fingerprint AND `min_pts` match — so a `min_cluster_size`
+/// sweep (which shares one mpts) skips Borůvka entirely on repeated calls,
+/// the ROADMAP follow-up to the kd-tree / core-distance caches.  Entries
+/// remember the PointSet object they were computed over (cf. kdtree_cached);
+/// mutated or different point sets miss.  `core_distances` must be the core
+/// distances of `points` at `min_pts` (they are part of the computation, not
+/// the key: (points, min_pts) already determines them).
+/// `points_fingerprint` shares a precomputed `point_set_fingerprint` pass.
+/// With `Executor::set_artifact_caching(false)` every call recomputes.
+[[nodiscard]] std::shared_ptr<const graph::EdgeList> mutual_reachability_mst_cached(
+    const exec::Executor& exec, const PointSet& points, const KdTree& tree,
+    std::span<const double> core_distances, int min_pts,
+    std::optional<std::uint64_t> points_fingerprint = std::nullopt);
 
 /// Deprecated shims over the per-thread default executor.
 PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")

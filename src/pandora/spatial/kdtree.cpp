@@ -87,19 +87,19 @@ double KdTree::box_squared_distance(index_t node, const double* query) const {
   return sum;
 }
 
-void KdTree::knn(index_t q, int k, std::vector<Neighbor>& out) const {
-  const index_t n = size();
+void KdTree::knn_search(const double* query, int k, index_t exclude,
+                        std::vector<Neighbor>& out) const {
   out.clear();
-  k = std::min<index_t>(k, n - 1);
-  if (k <= 0) return;
+  if (k <= 0 || size() == 0) return;
   out.reserve(static_cast<std::size_t>(k));
-  const double* query = points_->point(q).data();
+
+  const std::span<const double> query_span{query, static_cast<std::size_t>(dim_)};
 
   // `out` stays sorted ascending; with <= 16 typical neighbours an insertion
   // buffer beats a heap.
   auto offer = [&](index_t p) {
-    if (p == q) return;
-    Neighbor cand{points_->squared_distance(q, p), p};
+    if (p == exclude) return;
+    Neighbor cand{points_->squared_distance(query_span, p), p};
     if (static_cast<int>(out.size()) == k && !(cand < out.back())) return;
     auto pos = std::lower_bound(out.begin(), out.end(), cand);
     out.insert(pos, cand);
@@ -123,6 +123,14 @@ void KdTree::knn(index_t q, int k, std::vector<Neighbor>& out) const {
   visit(visit, 0);
 }
 
+void KdTree::knn(index_t q, int k, std::vector<Neighbor>& out) const {
+  knn_search(points_->point(q).data(), std::min<index_t>(k, size() - 1), q, out);
+}
+
+void KdTree::knn(std::span<const double> query, int k, std::vector<Neighbor>& out) const {
+  knn_search(query.data(), std::min<index_t>(k, size()), kNone, out);
+}
+
 namespace {
 
 /// Plain Euclidean scoring for component queries.
@@ -144,10 +152,13 @@ void KdTree::search(const double* query, Neighbor& best, index_t my_component,
   std::vector<index_t> stack;
   stack.reserve(64);
   stack.push_back(0);
+  // my_component == kNone disables the component filter entirely (a node's
+  // kNone annotation means "mixed", which must never prune in that case).
+  const bool filtered = my_component != kNone;
   while (!stack.empty()) {
     const index_t node = stack.back();
     stack.pop_back();
-    if (notes.has_components() &&
+    if (filtered && notes.has_components() &&
         notes.node_component[static_cast<std::size_t>(node)] == my_component)
       continue;
     double bound = box_squared_distance(node, query);
@@ -159,7 +170,7 @@ void KdTree::search(const double* query, Neighbor& best, index_t my_component,
     if (nd.left == kNone) {
       for (index_t i = nd.begin; i < nd.end; ++i) {
         const index_t p = perm_[static_cast<std::size_t>(i)];
-        if (component[static_cast<std::size_t>(p)] == my_component) continue;
+        if (filtered && component[static_cast<std::size_t>(p)] == my_component) continue;
         Neighbor cand{score.point(p), p};
         if (cand < best) best = cand;
       }
@@ -179,6 +190,29 @@ Neighbor KdTree::nearest_other_component(index_t q, index_t my_component,
   const double* query = points_->point(q).data();
   EuclideanScore score{points_, q};
   search(query, best, my_component, component, notes, score);
+  return best;
+}
+
+namespace {
+
+/// Euclidean scoring against raw query coordinates (a point outside the
+/// index, e.g. one appended after the tree was built).
+struct CoordsScore {
+  const PointSet* points;
+  std::span<const double> query;
+
+  double point(index_t p) const { return points->squared_distance(query, p); }
+};
+
+}  // namespace
+
+Neighbor KdTree::nearest_other_component(std::span<const double> query, index_t my_component,
+                                         std::span<const index_t> component,
+                                         const KdTreeAnnotations& notes) const {
+  Neighbor best;
+  if (size() == 0) return best;
+  CoordsScore score{points_, query};
+  search(query.data(), best, my_component, component, notes, score);
   return best;
 }
 

@@ -68,11 +68,27 @@ class KdTree {
   /// `out` is resized to min(k, n-1).
   void knn(index_t q, int k, std::vector<Neighbor>& out) const;
 
+  /// k nearest indexed points to an arbitrary coordinate query (which need
+  /// not be an indexed point), ascending; `out` is resized to min(k, n).
+  /// This is the entry the dynamic subsystem uses to probe the tree around a
+  /// point that is not (yet) part of the index.
+  void knn(std::span<const double> query, int k, std::vector<Neighbor>& out) const;
+
   /// Nearest point to `q` under the Euclidean metric among points whose
   /// `component[]` differs from `my_component`.  Uses the component
   /// annotation in `notes` (from annotate_components) to skip
   /// single-component subtrees.
   [[nodiscard]] Neighbor nearest_other_component(index_t q, index_t my_component,
+                                                 std::span<const index_t> component,
+                                                 const KdTreeAnnotations& notes) const;
+
+  /// As above for an arbitrary coordinate query outside the index: nearest
+  /// indexed point whose `component[]` differs from `my_component` (pass
+  /// `kNone` as `my_component` to consider every indexed point).  The
+  /// dynamic subsystem's Borůvka rounds issue these for points appended
+  /// after the index was built.
+  [[nodiscard]] Neighbor nearest_other_component(std::span<const double> query,
+                                                 index_t my_component,
                                                  std::span<const index_t> component,
                                                  const KdTreeAnnotations& notes) const;
 
@@ -107,6 +123,11 @@ class KdTree {
 
   index_t build(index_t begin, index_t end);
   void update_box(index_t node);
+
+  /// Shared kNN body: nearest indexed points to `query`, excluding the
+  /// indexed point `exclude` (kNone = exclude nothing).
+  void knn_search(const double* query, int k, index_t exclude,
+                  std::vector<Neighbor>& out) const;
 
   template <class Score>
   void search(const double* query, Neighbor& best, index_t my_component,

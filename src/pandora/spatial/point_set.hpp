@@ -41,6 +41,19 @@ class PointSet {
   [[nodiscard]] const std::vector<double>& coords() const { return coords_; }
   [[nodiscard]] std::vector<double>& coords() { return coords_; }
 
+  /// Squared Euclidean distance from raw query coordinates to point j (the
+  /// kernel behind coordinate-based kd-tree queries on points outside the
+  /// index; `query` must have `dim()` entries).
+  [[nodiscard]] double squared_distance(std::span<const double> query, index_t j) const {
+    const double* b = coords_.data() + static_cast<std::size_t>(j) * static_cast<std::size_t>(dim_);
+    double sum = 0;
+    for (int d = 0; d < dim_; ++d) {
+      const double diff = query[static_cast<std::size_t>(d)] - b[d];
+      sum += diff * diff;
+    }
+    return sum;
+  }
+
   /// Squared Euclidean distance between points i and j.
   [[nodiscard]] double squared_distance(index_t i, index_t j) const {
     const double* a = coords_.data() + static_cast<std::size_t>(i) * static_cast<std::size_t>(dim_);

@@ -29,39 +29,38 @@ using namespace pandora;
 using pandora::testing::Topology;
 using pandora::testing::make_tree;
 
-// Note: the former bare-`Space` shims for `sort_edges` and
-// `contract_one_level` were removed after their deprecation cycle (the
-// Executor overloads are the only entry points now); this file covers the
-// shims that remain.
+// Note: the former bare-`Space` shims for `sort_edges`, `contract_one_level`
+// (removed in PR 2) and `pandora_dendrogram` / `mixed_dendrogram` (removed
+// this deprecation cycle) are gone — the Executor overloads are the only
+// entry points for those now.  The `PhaseTimes*` plumbing they carried is
+// covered through the scoped-profiler bridge below; this file covers the
+// shims that remain (exec primitives, graph entry points, union-find
+// dendrogram, hdbscan).
 
-TEST(ApiShims, PandoraDendrogramMatchesExecutorOverloadAndFillsPhaseTimes) {
+TEST(ApiShims, ScopedPhaseTimesBridgesTheRetiredPhaseTimesPlumbing) {
+  // Old-style callers of the retired pandora_dendrogram(mst, n, options,
+  // &times) shim migrate to an Executor plus ScopedPhaseTimes; the phases
+  // must arrive exactly as the shim delivered them.
   const graph::EdgeList tree = make_tree(Topology::random_attach, 8000, 7, 0);
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
-    const exec::Executor executor(space);
-    dendrogram::PandoraOptions options;
-    options.space = space;
-    PhaseTimes times;
-    const auto via_shim = dendrogram::pandora_dendrogram(tree, 8000, options, &times);
-    const auto via_executor = dendrogram::pandora_dendrogram(executor, tree, 8000);
-    EXPECT_EQ(via_shim.parent, via_executor.parent);
-    EXPECT_EQ(via_shim.edge_order, via_executor.edge_order);
-    // The shim's PhaseTimes* plumbing still works, through a scoped profiler.
-    EXPECT_GT(times.get("sort"), 0.0);
-    EXPECT_GT(times.get("contraction"), 0.0);
-    EXPECT_GT(times.get("expansion"), 0.0);
+  const exec::Executor executor(exec::Space::parallel);
+  PhaseTimes times;
+  dendrogram::Dendrogram via_executor;
+  {
+    exec::ScopedPhaseTimes scope(executor, &times);
+    via_executor = dendrogram::pandora_dendrogram(executor, tree, 8000);
   }
+  EXPECT_GT(times.get("sort"), 0.0);
+  EXPECT_GT(times.get("contraction"), 0.0);
+  EXPECT_GT(times.get("expansion"), 0.0);
+  EXPECT_EQ(via_executor.num_edges, 7999);
 }
 
-TEST(ApiShims, UnionFindAndMixedMatchExecutorOverloads) {
+TEST(ApiShims, UnionFindMatchesExecutorOverload) {
   const graph::EdgeList tree = make_tree(Topology::caterpillar, 3000, 5, 3);
   const exec::Executor executor(exec::Space::parallel);
   const auto uf_shim = dendrogram::union_find_dendrogram(tree, 3000, exec::Space::parallel);
   const auto uf_executor = dendrogram::union_find_dendrogram(executor, tree, 3000);
   EXPECT_EQ(uf_shim.parent, uf_executor.parent);
-
-  const auto mixed_shim = dendrogram::mixed_dendrogram(tree, 3000, exec::Space::parallel, 0.1);
-  const auto mixed_executor = dendrogram::mixed_dendrogram(executor, tree, 3000, 0.1);
-  EXPECT_EQ(mixed_shim.parent, mixed_executor.parent);
 }
 
 TEST(ApiShims, ExecPrimitivesMatchExecutorOverloads) {

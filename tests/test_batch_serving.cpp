@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "pandora/data/point_generators.hpp"
 #include "pandora/dendrogram/pandora.hpp"
@@ -141,6 +142,50 @@ TEST(BatchExecutor, SlotsShareTheParentArtifactCache) {
   for (const auto& d : results) EXPECT_EQ(d.parent, results[0].parent);
 }
 
+TEST(BatchExecutor, OverlappedAndSequentialPhasesAgree) {
+  // Same mixed batch with the large-drain overlap on (default) and off:
+  // identical results, and with overlap the large jobs must be able to run
+  // while small jobs are still in flight (observed via a latch the small
+  // jobs only release after a large job ran).
+  const exec::Executor parent(exec::Space::parallel, 4);
+  std::vector<graph::EdgeList> trees;
+  std::vector<index_t> sizes = {600, 30000, 900, 700, 30000, 1100};
+  for (std::size_t i = 0; i < sizes.size(); ++i)
+    trees.push_back(make_tree(Topology::random_attach, sizes[i], 11 * i + 3, 0));
+  std::vector<serve::DendrogramQuery> queries;
+  for (std::size_t i = 0; i < trees.size(); ++i) queries.push_back({&trees[i], sizes[i], {}});
+
+  serve::BatchOptions overlapped_options;
+  overlapped_options.num_slots = 2;
+  overlapped_options.small_query_threshold = 2000;
+  serve::BatchOptions sequential_options = overlapped_options;
+  sequential_options.overlap_phases = false;
+
+  serve::BatchExecutor overlapped(parent, overlapped_options);
+  serve::BatchExecutor sequential(parent, sequential_options);
+  const auto via_overlap = overlapped.build_dendrograms(queries);
+  const auto via_sequence = sequential.build_dendrograms(queries);
+  ASSERT_EQ(via_overlap.size(), via_sequence.size());
+  for (std::size_t i = 0; i < via_overlap.size(); ++i) {
+    EXPECT_EQ(via_overlap[i].parent, via_sequence[i].parent) << "query " << i;
+    EXPECT_EQ(via_overlap[i].weight, via_sequence[i].weight) << "query " << i;
+  }
+
+  // Concurrency witness: a small job blocks until the large phase has
+  // started — only the overlapped scheduler can finish this batch.
+  std::atomic<bool> large_started{false};
+  std::vector<serve::BatchExecutor::Job> jobs;
+  jobs.push_back({[&](const exec::Executor&) {
+                    while (!large_started.load()) std::this_thread::yield();
+                  },
+                  /*size_hint=*/16});
+  jobs.push_back({[&](const exec::Executor&) { large_started.store(true); },
+                  /*size_hint=*/100000});
+  serve::BatchExecutor witness(parent, overlapped_options);
+  witness.run(jobs);  // would deadlock without phase overlap
+  EXPECT_TRUE(large_started.load());
+}
+
 TEST(BatchExecutor, ExceptionsAreIsolatedAndRethrown) {
   const exec::Executor parent(exec::Space::parallel, 2);
   serve::BatchExecutor batch(parent, {.num_slots = 2});
@@ -156,6 +201,33 @@ TEST(BatchExecutor, ExceptionsAreIsolatedAndRethrown) {
   }
   EXPECT_THROW(batch.run(jobs), std::runtime_error);
   EXPECT_EQ(completed.load(), 5) << "one poisoned query must not abort its batchmates";
+}
+
+TEST(BatchExecutor, WaveQueryExceptionsAreIsolatedButUpdatesStillApply) {
+  const exec::Executor parent(exec::Space::parallel, 2);
+  serve::BatchExecutor batch(parent, {.num_slots = 2});
+
+  std::atomic<int> updates_applied{0};
+  std::atomic<int> queries_completed{0};
+  std::vector<serve::BatchExecutor::Wave> waves(3);
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    for (int q = 0; q < 3; ++q) {
+      waves[w].queries.push_back(serve::BatchExecutor::Job{
+          [w, q, &queries_completed](const exec::Executor&) {
+            if (w == 0 && q == 1) throw std::runtime_error("poisoned wave query");
+            queries_completed.fetch_add(1);
+          },
+          /*size_hint=*/16});
+    }
+    waves[w].update = [&updates_applied](const exec::Executor&) {
+      updates_applied.fetch_add(1);
+    };
+  }
+  // The poisoned wave-0 query must not stop wave 0's update nor the later
+  // waves; its exception surfaces after the final wave.
+  EXPECT_THROW(batch.run_waves(waves), std::runtime_error);
+  EXPECT_EQ(updates_applied.load(), 3);
+  EXPECT_EQ(queries_completed.load(), 8);
 }
 
 TEST(BatchExecutor, PipelineBatchFrontDoor) {

@@ -1,0 +1,387 @@
+// The dyn:: incremental subsystem: after ANY fuzzed sequence of insert /
+// erase batches the maintained EMST and the replayed dendrogram must be
+// equivalent to a cold from-scratch rebuild over the same live points —
+// including duplicate-distance inputs (grids, repeated points) and
+// erase-to-tiny-n edge cases.  Equivalence is checked structurally: MSTs of
+// a point set are unique as a *weight multiset*, and the single-linkage
+// hierarchy is unique as the sequence of threshold partitions, so both are
+// compared exactly even where distance ties make the edge set ambiguous.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "pandora/common/rng.hpp"
+#include "pandora/data/point_generators.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/dyn/dynamic_clustering.hpp"
+#include "pandora/graph/tree.hpp"
+#include "pandora/graph/union_find.hpp"
+#include "pandora/pipeline.hpp"
+#include "pandora/spatial/emst.hpp"
+#include "pandora/spatial/kdtree.hpp"
+
+namespace {
+
+using namespace pandora;
+
+/// Sorted (descending) weight array of an edge list — the unique signature
+/// of every MST of a point set (all MSTs share one weight multiset, and
+/// weights from both code paths come through the identical arithmetic, so
+/// the comparison is exact).
+std::vector<double> weight_signature(const graph::EdgeList& edges) {
+  std::vector<double> weights;
+  weights.reserve(edges.size());
+  for (const auto& e : edges) weights.push_back(e.weight);
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  return weights;
+}
+
+/// Canonical labels (minimum member id per cluster) of the partition formed
+/// by all edges with weight <= threshold.
+std::vector<index_t> partition_at(const graph::EdgeList& edges, index_t n, double threshold) {
+  graph::UnionFind uf(n);
+  for (const auto& e : edges)
+    if (e.weight <= threshold) uf.unite(e.u, e.v);
+  std::vector<index_t> label(static_cast<std::size_t>(n));
+  for (index_t x = 0; x < n; ++x) label[static_cast<std::size_t>(x)] = uf.find(x);
+  return label;
+}
+
+/// Asserts the maintained state equals a from-scratch rebuild on the same
+/// live points: exact weight multiset, spanning-tree validity, dendrogram
+/// weight run, and identical threshold partitions at every distinct merge
+/// height ("heights and merge structure" under tie-ambiguity).
+void expect_equivalent_to_rebuild(const dyn::DynamicClustering& stream) {
+  const index_t n = stream.size();
+  const spatial::PointSet& points = stream.points();
+  const exec::Executor reference(exec::Space::parallel);
+
+  if (n <= 1) {
+    EXPECT_TRUE(stream.emst().empty());
+    EXPECT_EQ(stream.dendrogram().num_vertices, n);
+    EXPECT_EQ(stream.dendrogram().num_edges, 0);
+    return;
+  }
+
+  spatial::KdTree tree(points);
+  const graph::EdgeList rebuilt = spatial::euclidean_mst(reference, points, tree);
+
+  ASSERT_TRUE(graph::is_spanning_tree(stream.emst(), n));
+  const std::vector<double> maintained_weights = weight_signature(stream.emst());
+  const std::vector<double> rebuilt_weights = weight_signature(rebuilt);
+  ASSERT_EQ(maintained_weights, rebuilt_weights)
+      << "maintained EMST weight multiset diverged from the from-scratch EMST";
+
+  // The replayed dendrogram's weights are the maintained MST's sorted run.
+  const dendrogram::Dendrogram& replayed = stream.dendrogram();
+  ASSERT_EQ(replayed.num_vertices, n);
+  ASSERT_EQ(replayed.num_edges, n - 1);
+  EXPECT_EQ(replayed.weight, maintained_weights);
+
+  // Merge structure: the hierarchy's partition at every distinct height.
+  std::vector<double> thresholds = rebuilt_weights;
+  thresholds.erase(std::unique(thresholds.begin(), thresholds.end()), thresholds.end());
+  for (const double t : thresholds) {
+    EXPECT_EQ(partition_at(stream.emst(), n, t), partition_at(rebuilt, n, t))
+        << "partitions diverge at threshold " << t;
+  }
+
+  // And the replayed dendrogram really is PANDORA over the maintained tree.
+  const dendrogram::Dendrogram direct =
+      dendrogram::pandora_dendrogram(reference, stream.emst(), n);
+  EXPECT_EQ(replayed.parent, direct.parent);
+  EXPECT_EQ(replayed.weight, direct.weight);
+}
+
+spatial::PointSet slice_points(const spatial::PointSet& source, index_t begin, index_t count) {
+  spatial::PointSet out(source.dim(), count);
+  for (index_t i = 0; i < count; ++i)
+    for (int d = 0; d < source.dim(); ++d) out.at(i, d) = source.at(begin + i, d);
+  return out;
+}
+
+TEST(DynamicClustering, SingleInsertsMatchRebuildAtEveryStep) {
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream(executor);
+  const spatial::PointSet all = data::gaussian_blobs(120, 2, 3, 0.05, 0.1, 11);
+
+  stream.insert(slice_points(all, 0, 40));
+  expect_equivalent_to_rebuild(stream);
+  for (index_t i = 40; i < all.size(); ++i) {
+    const auto row = all.point(i);
+    stream.insert(std::span<const double>(row.data(), row.size()));
+    expect_equivalent_to_rebuild(stream);
+  }
+  EXPECT_EQ(stream.size(), all.size());
+  EXPECT_EQ(stream.epoch(), 1u + (all.size() - 40));
+}
+
+TEST(DynamicClustering, ErasesMatchRebuildDownToTinyN) {
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream(executor);
+  const std::vector<index_t> ids = stream.insert(data::uniform_points(60, 3, 5));
+  expect_equivalent_to_rebuild(stream);
+
+  Rng rng(99);
+  std::vector<index_t> remaining = ids;
+  while (remaining.size() > 1) {
+    // Erase a random clump (sometimes a big one) and re-verify.
+    const std::size_t count =
+        std::min<std::size_t>(remaining.size() - 1, 1 + rng.next_u64() % 7);
+    std::vector<index_t> victims;
+    for (std::size_t c = 0; c < count; ++c) {
+      const std::size_t pick = rng.next_u64() % remaining.size();
+      victims.push_back(remaining[pick]);
+      remaining.erase(remaining.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    stream.erase(victims);
+    expect_equivalent_to_rebuild(stream);
+  }
+  EXPECT_EQ(stream.size(), 1);
+  EXPECT_EQ(stream.dendrogram().num_edges, 0);
+
+  // ... and to zero: the stream must come back up from empty.
+  stream.erase(remaining);
+  EXPECT_EQ(stream.size(), 0);
+  EXPECT_EQ(stream.dendrogram().num_nodes(), 0);
+  stream.insert(data::uniform_points(20, 3, 6));
+  expect_equivalent_to_rebuild(stream);
+}
+
+TEST(DynamicClustering, RandomizedInsertEraseFuzz) {
+  // The acceptance fuzz: random mixed batches, equivalence after EVERY
+  // batch.  Three seeds x ~12 batches keeps the suite fast while covering
+  // batch inserts, single inserts, erases and interleavings.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const exec::Executor executor(exec::Space::parallel);
+    dyn::DynamicClustering stream(executor);
+    Rng rng(seed);
+    std::vector<index_t> live;
+
+    const spatial::PointSet pool = data::power_law_blobs(900, 2, 12, 1.2, seed);
+    index_t cursor = 0;
+
+    for (const index_t id : stream.insert(slice_points(pool, cursor, 150))) live.push_back(id);
+    cursor += 150;
+    expect_equivalent_to_rebuild(stream);
+
+    for (int batch = 0; batch < 12; ++batch) {
+      const bool do_erase = !live.empty() && rng.next_u64() % 3 == 0;
+      if (do_erase) {
+        const std::size_t count =
+            std::min<std::size_t>(live.size(), 1 + rng.next_u64() % 40);
+        std::vector<index_t> victims;
+        for (std::size_t c = 0; c < count; ++c) {
+          const std::size_t pick = rng.next_u64() % live.size();
+          victims.push_back(live[pick]);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        }
+        stream.erase(victims);
+      } else {
+        const index_t count =
+            std::min<index_t>(pool.size() - cursor, 1 + static_cast<index_t>(rng.next_u64() % 60));
+        if (count == 0) continue;
+        for (const index_t id : stream.insert(slice_points(pool, cursor, count)))
+          live.push_back(id);
+        cursor += count;
+      }
+      expect_equivalent_to_rebuild(stream);
+      ASSERT_EQ(static_cast<std::size_t>(stream.size()), live.size());
+    }
+  }
+}
+
+TEST(DynamicClustering, DuplicateDistancesAndDuplicatePoints) {
+  // A perfect grid (massive distance ties), then duplicates of existing
+  // points, then erases that leave co-located points behind.
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream(executor);
+
+  const int side = 7;
+  spatial::PointSet grid(2, side * side);
+  for (int x = 0; x < side; ++x)
+    for (int y = 0; y < side; ++y) {
+      grid.at(x * side + y, 0) = x;
+      grid.at(x * side + y, 1) = y;
+    }
+  const std::vector<index_t> grid_ids = stream.insert(grid);
+  expect_equivalent_to_rebuild(stream);
+
+  // Insert exact duplicates (zero-weight EMST edges must appear).
+  for (const std::array<double, 2> dup : {std::array<double, 2>{3.0, 3.0},
+                                          std::array<double, 2>{0.0, 0.0},
+                                          std::array<double, 2>{3.0, 3.0}}) {
+    stream.insert(std::span<const double>(dup.data(), dup.size()));
+    expect_equivalent_to_rebuild(stream);
+  }
+
+  // Erase a stripe of the grid; survivors include the duplicates.
+  std::vector<index_t> victims(grid_ids.begin(), grid_ids.begin() + side);
+  stream.erase(victims);
+  expect_equivalent_to_rebuild(stream);
+}
+
+TEST(DynamicClustering, DeterministicAcrossRepeats) {
+  const spatial::PointSet pool = data::uniform_points(300, 2, 42);
+  const auto run_once = [&] {
+    const exec::Executor executor(exec::Space::parallel);
+    dyn::DynamicClustering stream(executor);
+    stream.insert(slice_points(pool, 0, 200));
+    for (index_t i = 200; i < 260; ++i) {
+      const auto row = pool.point(i);
+      stream.insert(std::span<const double>(row.data(), row.size()));
+    }
+    std::vector<index_t> victims(30);
+    std::iota(victims.begin(), victims.end(), index_t{50});
+    stream.erase(victims);
+    return std::pair{stream.emst(), stream.dendrogram().parent};
+  };
+  const auto [edges_a, parent_a] = run_once();
+  const auto [edges_b, parent_b] = run_once();
+  ASSERT_EQ(edges_a.size(), edges_b.size());
+  for (std::size_t i = 0; i < edges_a.size(); ++i) EXPECT_EQ(edges_a[i], edges_b[i]) << i;
+  EXPECT_EQ(parent_a, parent_b);
+}
+
+TEST(DynamicClustering, SortedRunMatchesFullSortBitForBit) {
+  // The delta merge must reproduce sort_edges over the maintained edge list
+  // exactly — order array included (the tie-break renumbering argument).
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream(executor);
+  stream.insert(data::gaussian_blobs(400, 2, 4, 0.04, 0.1, 7));
+  for (int round = 0; round < 3; ++round) {
+    std::vector<index_t> victims;
+    for (index_t s = 0; s < 20; ++s)
+      victims.push_back(stream.id_at(static_cast<index_t>((s * 7 + round) %
+                                                          stream.size())));
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    stream.erase(victims);
+    stream.insert(data::uniform_points(25, 2, 1000 + round));
+
+    const dendrogram::SortedEdges resorted =
+        dendrogram::sort_edges(executor, stream.emst(), stream.size());
+    EXPECT_EQ(stream.sorted_edges().u, resorted.u);
+    EXPECT_EQ(stream.sorted_edges().v, resorted.v);
+    EXPECT_EQ(stream.sorted_edges().weight, resorted.weight);
+    EXPECT_EQ(stream.sorted_edges().order, resorted.order);
+  }
+}
+
+TEST(DynamicClustering, IdsSurviveCompactionAndRejectDoubleErase) {
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream(executor);
+  const std::vector<index_t> ids = stream.insert(data::uniform_points(50, 2, 3));
+  const index_t victim = ids[10];
+  // Record victim+1's coordinates through its id, erase victim, re-check.
+  const index_t tracked = ids[11];
+  const double x_before = stream.points().at(stream.slot_of(tracked), 0);
+  stream.erase(std::array{victim});
+  EXPECT_EQ(stream.slot_of(victim), kNone);
+  EXPECT_EQ(stream.points().at(stream.slot_of(tracked), 0), x_before);
+  EXPECT_EQ(stream.id_at(stream.slot_of(tracked)), tracked);
+  EXPECT_THROW(stream.erase(std::array{victim}), std::invalid_argument);
+  // Duplicate ids within one batch are rejected before any mutation.
+  EXPECT_THROW(stream.erase(std::array{ids[12], ids[12]}), std::invalid_argument);
+  EXPECT_NE(stream.slot_of(ids[12]), kNone);
+}
+
+TEST(DynamicClustering, EpochFingerprintsRekeyHdbscanArtifacts) {
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream = Pipeline::on(executor).dynamic();
+  stream.insert(data::gaussian_blobs(500, 2, 4, 0.04, 0.1, 13));
+
+  hdbscan::HdbscanOptions options;
+  options.min_pts = 4;
+  options.min_cluster_size = 10;
+
+  const std::uint64_t fp_before = stream.points_fingerprint();
+  const auto first = stream.hdbscan(options);
+  const auto cache_after_first = executor.artifact_cache().stats();
+  const auto second = stream.hdbscan(options);
+  const auto cache_after_second = executor.artifact_cache().stats();
+  // Within one epoch the kd-tree, core distances and EMST replay.
+  EXPECT_GE(cache_after_second.hits - cache_after_first.hits, 3u);
+  EXPECT_EQ(first.labels, second.labels);
+
+  stream.insert(std::array{0.5, 0.5});
+  EXPECT_NE(stream.points_fingerprint(), fp_before);
+  const auto third = stream.hdbscan(options);  // new epoch: recompute, no stale artifacts
+  EXPECT_EQ(third.labels.size(), static_cast<std::size_t>(stream.size()));
+
+  // The rebuilt reference must agree with the epoch-keyed pipeline.
+  const exec::Executor reference(exec::Space::parallel);
+  const auto expected = hdbscan::hdbscan(reference, stream.points(), options);
+  EXPECT_EQ(third.labels, expected.labels);
+  EXPECT_EQ(third.num_clusters, expected.num_clusters);
+}
+
+TEST(DynamicClustering, ServingWavesInterleaveQueriesAndUpdates) {
+  // The serve:: integration: waves of concurrent read-only queries against
+  // the stream's current dendrogram, with updates applied exclusively
+  // between waves (race-checked by the CI TSan entry).
+  const exec::Executor parent(exec::Space::parallel, 4);
+  dyn::DynamicClustering stream = Pipeline::on(parent).dynamic();
+  stream.insert(data::gaussian_blobs(300, 2, 3, 0.05, 0.1, 21));
+
+  serve::BatchExecutor batch = Pipeline::on(parent).batch({.num_slots = 4});
+
+  constexpr int kWaves = 4;
+  constexpr int kQueriesPerWave = 8;
+  std::vector<std::vector<double>> roots(kWaves);
+  for (auto& r : roots) r.assign(kQueriesPerWave, -1.0);
+
+  std::vector<serve::BatchExecutor::Wave> waves(kWaves);
+  for (int w = 0; w < kWaves; ++w) {
+    for (int q = 0; q < kQueriesPerWave; ++q) {
+      waves[static_cast<std::size_t>(w)].queries.push_back(serve::BatchExecutor::Job{
+          [&stream, &slot = roots[static_cast<std::size_t>(w)][static_cast<std::size_t>(q)]](
+              const exec::Executor&) {
+            // Read-only view of the wave's dendrogram snapshot.
+            slot = stream.dendrogram().weight.empty() ? 0.0 : stream.dendrogram().weight[0];
+          },
+          /*size_hint=*/16});
+    }
+    waves[static_cast<std::size_t>(w)].update = [&stream, w](const exec::Executor&) {
+      stream.insert(data::uniform_points(40, 2, 100 + static_cast<std::uint64_t>(w)));
+    };
+  }
+  batch.run_waves(waves);
+
+  EXPECT_EQ(stream.size(), 300 + kWaves * 40);
+  for (int w = 0; w < kWaves; ++w) {
+    // Every query of a wave saw the same (settled) dendrogram root weight.
+    for (int q = 1; q < kQueriesPerWave; ++q)
+      EXPECT_EQ(roots[static_cast<std::size_t>(w)][static_cast<std::size_t>(q)],
+                roots[static_cast<std::size_t>(w)][0]);
+    EXPECT_GE(roots[static_cast<std::size_t>(w)][0], 0.0);
+  }
+  expect_equivalent_to_rebuild(stream);
+}
+
+TEST(DynamicClustering, UpdateStatsTrackTheIncrementalPath) {
+  const exec::Executor executor(exec::Space::parallel);
+  dyn::DynamicClustering stream(executor);
+  stream.insert(data::uniform_points(400, 2, 17));
+  const dyn::UpdateStats& stats = stream.stats();
+  EXPECT_EQ(stats.points_inserted, 400u);
+  EXPECT_EQ(stats.index_rebuilds, 1u);  // bulk load builds once
+
+  stream.insert(std::array{0.25, 0.75});
+  EXPECT_EQ(stats.points_inserted, 401u);
+  EXPECT_GT(stats.boruvka_rounds, 0u) << "single insert must take the repair path";
+  EXPECT_GT(stats.edges_added, 0u);
+  EXPECT_EQ(stats.index_rebuilds, 1u) << "a one-point tail must not rebuild the index";
+
+  stream.erase(std::array{stream.id_at(0)});
+  EXPECT_EQ(stats.points_erased, 1u);
+  EXPECT_EQ(stats.index_rebuilds, 2u);  // erase compaction rebuilds
+}
+
+}  // namespace

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "pandora/common/rng.hpp"
 #include "pandora/data/point_generators.hpp"
 #include "pandora/graph/tree.hpp"
+#include "pandora/graph/union_find.hpp"
 #include "pandora/hdbscan/core_distance.hpp"
 #include "pandora/spatial/brute_force.hpp"
 #include "pandora/spatial/emst.hpp"
@@ -82,6 +84,42 @@ TEST(Emst, ClusteredDataWithTiedDistances) {
   const EdgeList mst = spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, tree);
   ASSERT_TRUE(graph::is_spanning_tree(mst, side * side));
   EXPECT_NEAR(weight_of(mst), side * side - 1, 1e-9);
+}
+
+TEST(Emst, JoinComponentsRestoresTheFullEmst) {
+  // Split the true EMST into components by dropping random edges; the
+  // component-restricted Borůvka entry must re-join them with exactly the
+  // dropped weight (the survivors are a sub-forest of the EMST, so survivors
+  // plus the joining edges must BE an EMST).
+  const PointSet points = data::power_law_blobs(800, 2, 8, 1.3, 9);
+  KdTree tree(points);
+  const exec::Executor executor(exec::Space::parallel);
+  const EdgeList full = spatial::euclidean_mst(executor, points, tree);
+
+  Rng rng(5);
+  for (const std::size_t drops : {std::size_t{1}, std::size_t{25}, full.size()}) {
+    std::vector<char> dropped(full.size(), 0);
+    for (std::size_t k = 0; k < drops; ++k) dropped[rng.next_below(full.size())] = 1;
+
+    graph::ConcurrentUnionFind uf(points.size());
+    EdgeList survivors;
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      if (dropped[i]) continue;
+      survivors.push_back(full[i]);
+      uf.unite(full[i].u, full[i].v);
+    }
+    const EdgeList joined = spatial::join_components_emst(executor, points, tree, uf);
+    EdgeList rejoined = survivors;
+    rejoined.insert(rejoined.end(), joined.begin(), joined.end());
+    ASSERT_TRUE(graph::is_spanning_tree(rejoined, points.size()));
+    EXPECT_NEAR(weight_of(rejoined), weight_of(full), 1e-9 * std::max(1.0, weight_of(full)))
+        << drops << " dropped edges";
+  }
+
+  // Degenerate seed: already one component — nothing to join.
+  graph::ConcurrentUnionFind united(points.size());
+  for (const auto& e : full) united.unite(e.u, e.v);
+  EXPECT_TRUE(spatial::join_components_emst(executor, points, tree, united).empty());
 }
 
 TEST(Emst, MinPtsOneReducesMreachToEuclidean) {

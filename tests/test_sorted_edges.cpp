@@ -54,6 +54,64 @@ TEST(SortedEdges, SerialAndParallelAgreeExactly) {
   EXPECT_EQ(a.v, b.v);
 }
 
+TEST(SortedEdges, DeltaMergeIsBitIdenticalToAFullSort) {
+  // Drop a pseudo-random subset of a sorted run, append new edges (with
+  // deliberate exact weight ties against survivors), optionally remap
+  // vertices — the linear delta merge must equal sort_edges over the
+  // materialised updated list, order array included.
+  const exec::Executor& executor = exec::default_executor(exec::Space::parallel);
+  const graph::EdgeList tree = make_tree(Topology::random_attach, 2000, 13, /*distinct=*/4);
+  const SortedEdges base = dendrogram::sort_edges(executor, tree, 2000);
+
+  std::vector<char> keep(tree.size(), 1);
+  for (std::size_t i = 0; i < tree.size(); i += 7) keep[i] = 0;
+
+  graph::EdgeList added;
+  for (index_t j = 0; j < 40; ++j) {
+    // Half the additions duplicate surviving weights exactly (tie stress).
+    const auto src = static_cast<std::size_t>(j * 11 + 1);
+    const double weight = j % 2 == 0 ? tree[src].weight : 0.123 + j;
+    added.push_back({j, 1999 - j, weight});
+  }
+
+  // Identity remap exercised as both an empty span and an explicit one.
+  std::vector<index_t> identity(2000);
+  for (index_t v = 0; v < 2000; ++v) identity[static_cast<std::size_t>(v)] = v;
+
+  graph::EdgeList updated;
+  for (std::size_t i = 0; i < tree.size(); ++i)
+    if (keep[i] != 0) updated.push_back(tree[i]);
+  updated.insert(updated.end(), added.begin(), added.end());
+  const SortedEdges expected = dendrogram::sort_edges(executor, updated, 2000);
+
+  for (const bool explicit_remap : {false, true}) {
+    SortedEdges merged;
+    dendrogram::merge_sorted_edges_delta(
+        executor, base, keep, added,
+        explicit_remap ? std::span<const index_t>(identity) : std::span<const index_t>{},
+        2000, merged);
+    EXPECT_EQ(merged.u, expected.u);
+    EXPECT_EQ(merged.v, expected.v);
+    EXPECT_EQ(merged.weight, expected.weight);
+    EXPECT_EQ(merged.order, expected.order);
+    EXPECT_EQ(merged.num_vertices, expected.num_vertices);
+  }
+
+  // Degenerate deltas: drop everything / add nothing.
+  SortedEdges all_dropped;
+  const std::vector<char> none(tree.size(), 0);
+  dendrogram::merge_sorted_edges_delta(executor, base, none, added, {}, 2000, all_dropped);
+  const SortedEdges only_added = dendrogram::sort_edges(executor, added, 2000);
+  EXPECT_EQ(all_dropped.weight, only_added.weight);
+  EXPECT_EQ(all_dropped.order, only_added.order);
+
+  SortedEdges unchanged;
+  dendrogram::merge_sorted_edges_delta(executor, base, std::vector<char>(tree.size(), 1), {},
+                                       {}, 2000, unchanged);
+  EXPECT_EQ(unchanged.u, base.u);
+  EXPECT_EQ(unchanged.order, base.order);
+}
+
 TEST(SortedEdges, ValidationRejectsNonTrees) {
   graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
   EXPECT_THROW((void)dendrogram::sort_edges(exec::default_executor(exec::Space::serial), cycle, 3, true),

@@ -14,6 +14,7 @@
 #include "pandora/hdbscan/core_distance.hpp"
 #include "pandora/hdbscan/hdbscan.hpp"
 #include "pandora/pipeline.hpp"
+#include "pandora/spatial/emst.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "test_helpers.hpp"
 
@@ -99,6 +100,45 @@ TEST(CoreDistanceCache, MptsValuesNeverAlias) {
   const auto mutated_tree = spatial::kdtree_cached(executor, mutated);
   const auto mutated_core = hdbscan::core_distances_cached(executor, mutated, *mutated_tree, 4);
   EXPECT_NE(at4.get(), mutated_core.get()) << "mutated inputs must miss";
+}
+
+TEST(EmstCache, MptsValuesNeverAliasAndSweepsSkipBoruvka) {
+  const exec::Executor executor(exec::Space::serial);
+  const spatial::PointSet points = data::gaussian_blobs(600, 2, 4, 0.05, 0.2, 22);
+  const auto tree = spatial::kdtree_cached(executor, points);
+  const auto core4 = hdbscan::core_distances_cached(executor, points, *tree, 4);
+  const auto core8 = hdbscan::core_distances_cached(executor, points, *tree, 8);
+
+  const auto at4 = spatial::mutual_reachability_mst_cached(executor, points, *tree, *core4, 4);
+  const auto at8 = spatial::mutual_reachability_mst_cached(executor, points, *tree, *core8, 8);
+  EXPECT_NE(at4.get(), at8.get()) << "mpts is part of the key";
+  EXPECT_EQ(*at4, spatial::mutual_reachability_mst(executor, points, *tree, *core4));
+  EXPECT_EQ(*at8, spatial::mutual_reachability_mst(executor, points, *tree, *core8));
+
+  const auto at4_again =
+      spatial::mutual_reachability_mst_cached(executor, points, *tree, *core4, 4);
+  EXPECT_EQ(at4.get(), at4_again.get()) << "same mpts replays without Borůvka";
+
+  spatial::PointSet mutated = points;
+  mutated.at(0, 0) += 1.0;
+  const auto mutated_tree = spatial::kdtree_cached(executor, mutated);
+  const auto mutated_core = hdbscan::core_distances_cached(executor, mutated, *mutated_tree, 4);
+  const auto mutated_mst = spatial::mutual_reachability_mst_cached(executor, mutated,
+                                                                   *mutated_tree, *mutated_core, 4);
+  EXPECT_NE(at4.get(), mutated_mst.get()) << "mutated inputs must miss";
+
+  // The mcs-sweep front door replays the whole prefix — including the EMST —
+  // on a second identical call (the ROADMAP follow-up this cache exists for).
+  const std::array<index_t, 2> sizes = {5, 25};
+  (void)hdbscan::hdbscan_sweep_min_cluster_size(executor, points, sizes, {.min_pts = 4});
+  const auto before = executor.artifact_cache().stats();
+  const auto sweep = hdbscan::hdbscan_sweep_min_cluster_size(executor, points, sizes,
+                                                             {.min_pts = 4});
+  const auto after = executor.artifact_cache().stats();
+  EXPECT_GE(after.hits - before.hits, 4u)
+      << "kd-tree, core distances, EMST and dendrogram all replay";
+  EXPECT_EQ(after.misses, before.misses) << "a warm sweep recomputes nothing";
+  EXPECT_EQ(sweep.mst, *at4);
 }
 
 TEST(DendrogramCache, KeyedOnMstAndExpansionPolicy) {
