@@ -41,7 +41,7 @@ int main() {
   bench::print_header("Ablation: multilevel expansion vs single-level walk-up",
                       "Sections 3.3.1 vs 3.3.2 (work-optimality claim of Section 4)");
 
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const index_t nv = bench::scaled(400000);
   std::printf("%-28s %9s %10s | %12s %14s | %8s\n", "tree", "edges", "skewness",
               "multilevel", "single-level", "ratio");

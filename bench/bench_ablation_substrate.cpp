@@ -27,7 +27,7 @@ std::vector<std::uint64_t> random_keys(std::int64_t n) {
 }
 
 void BM_RadixSort(benchmark::State& state) {
-  const exec::Executor executor(state.range(1) ? exec::Space::parallel : exec::Space::serial);
+  const exec::Executor executor(state.range(1) ? exec::default_backend() : exec::serial_backend());
   const auto base = random_keys(state.range(0));
   for (auto _ : state) {
     auto keys = base;
@@ -48,7 +48,7 @@ void BM_StdSort(benchmark::State& state) {
 }
 
 void BM_MergeSort(benchmark::State& state) {
-  const exec::Executor executor(state.range(1) ? exec::Space::parallel : exec::Space::serial);
+  const exec::Executor executor(state.range(1) ? exec::default_backend() : exec::serial_backend());
   const auto base = random_keys(state.range(0));
   for (auto _ : state) {
     auto keys = base;
@@ -59,7 +59,7 @@ void BM_MergeSort(benchmark::State& state) {
 }
 
 void BM_ExclusiveScan(benchmark::State& state) {
-  const exec::Executor executor(state.range(1) ? exec::Space::parallel : exec::Space::serial);
+  const exec::Executor executor(state.range(1) ? exec::default_backend() : exec::serial_backend());
   std::vector<index_t> in(static_cast<std::size_t>(state.range(0)), 1);
   std::vector<index_t> out(in.size());
   for (auto _ : state) {
@@ -77,7 +77,7 @@ void BM_UnionFindContraction(benchmark::State& state) {
   graph::EdgeList tree = data::preferential_attachment_tree(n, rng);
   for (auto _ : state) {
     if (concurrent) {
-      static const exec::Executor parallel_executor(exec::Space::parallel);
+      static const exec::Executor parallel_executor(exec::default_backend());
       graph::ConcurrentUnionFind uf(n);
       exec::parallel_for(parallel_executor, static_cast<size_type>(tree.size()),
                          [&](size_type i) {

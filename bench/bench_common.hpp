@@ -16,7 +16,6 @@
 #include "pandora/common/types.hpp"
 #include "pandora/data/point_generators.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/core_distance.hpp"
 #include "pandora/spatial/emst.hpp"
@@ -202,16 +201,22 @@ class JsonReport {
       std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
       return;
     }
+    // The top-level backend column records which Backend the bench ran on
+    // by default (rows that sweep backends carry their own "backend" field).
+    const char* backend = exec::default_backend()->name();
+    const int threads = exec::default_backend()->concurrency();
     if (rows_.empty()) {
       // Keep the artifact parseable even if the bench exited before any row.
-      std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n  \"scale\": %.6g,\n"
-                      "  \"rows\": []\n}\n",
-                   name_.c_str(), exec::max_threads(), bench_scale());
+      std::fprintf(f,
+                   "{\n  \"bench\": \"%s\",\n  \"backend\": \"%s\",\n"
+                   "  \"threads\": %d,\n  \"scale\": %.6g,\n  \"rows\": []\n}\n",
+                   name_.c_str(), backend, threads, bench_scale());
     } else {
       std::fprintf(f,
-                   "{\n  \"bench\": \"%s\",\n  \"threads\": %d,\n  \"scale\": %.6g,\n"
+                   "{\n  \"bench\": \"%s\",\n  \"backend\": \"%s\",\n"
+                   "  \"threads\": %d,\n  \"scale\": %.6g,\n"
                    "  \"rows\": [\n    %s\n  ]\n}\n",
-                   name_.c_str(), exec::max_threads(), bench_scale(), rows_.c_str());
+                   name_.c_str(), backend, threads, bench_scale(), rows_.c_str());
     }
     std::fclose(f);
   }
@@ -226,8 +231,9 @@ inline void print_header(const char* title, const char* paper_ref) {
   std::printf("==============================================================================\n");
   std::printf("%s\n", title);
   std::printf("reproduces: %s\n", paper_ref);
-  std::printf("scale: %.2fx (set PANDORA_BENCH_SCALE to change), threads: %d\n",
-              bench_scale(), exec::max_threads());
+  std::printf("scale: %.2fx (set PANDORA_BENCH_SCALE to change), threads: %d, backend: %s\n",
+              bench_scale(), exec::default_backend()->concurrency(),
+              exec::default_backend()->name());
   std::printf("==============================================================================\n");
 }
 

@@ -35,7 +35,7 @@ namespace {
 /// (no artifact cache, no warm arena).
 double rebuild_once(const spatial::PointSet& points) {
   Timer timer;
-  const exec::Executor cold(exec::Space::parallel);
+  const exec::Executor cold(exec::default_backend());
   spatial::KdTree tree(points, 32);
   const graph::EdgeList mst = spatial::euclidean_mst(cold, points, tree);
   const dendrogram::Dendrogram dendrogram =
@@ -59,7 +59,7 @@ void report(const char* scenario, index_t n, const bench::Measurement& update,
 }
 
 void check_exact(const dyn::DynamicClustering& stream) {
-  const exec::Executor reference(exec::Space::parallel);
+  const exec::Executor reference(exec::default_backend());
   spatial::KdTree tree(stream.points(), 32);
   const graph::EdgeList rebuilt = spatial::euclidean_mst(reference, stream.points(), tree);
   if (!graph::is_spanning_tree(stream.emst(), stream.size()) ||
@@ -76,7 +76,7 @@ int main() {
   bench::print_header("Dynamic updates: incremental repair vs from-scratch rebuild",
                       "ROADMAP north star (streaming corpora); De Man et al. 2025 workload");
   bench::JsonReport json("dynamic_updates");
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
 
   std::printf("%-13s | %9s | %42s | %7s\n", "scenario", "points", "median wall", "speedup");
 

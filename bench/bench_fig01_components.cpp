@@ -18,9 +18,9 @@ namespace {
 
 struct Config {
   const char* label;
-  exec::Space mst_space;
+  std::shared_ptr<const exec::Backend> mst_space;
   bool pandora;            // else union-find baseline
-  exec::Space dendro_space;
+  std::shared_ptr<const exec::Backend> dendro_space;
 };
 
 }  // namespace
@@ -38,12 +38,12 @@ int main() {
 
   const index_t n = bench::scaled(2000000);
   const Config configs[] = {
-      {"(a) CPU serial: MST(serial)    + UnionFind(serial)", exec::Space::serial, false,
-       exec::Space::serial},
-      {"(b) status quo: MST(parallel)  + UnionFind(serial)", exec::Space::parallel, false,
-       exec::Space::serial},
-      {"(c) this paper: MST(parallel)  + Pandora(parallel)", exec::Space::parallel, true,
-       exec::Space::parallel},
+      {"(a) CPU serial: MST(serial)    + UnionFind(serial)", exec::serial_backend(), false,
+       exec::serial_backend()},
+      {"(b) status quo: MST(parallel)  + UnionFind(serial)", exec::default_backend(), false,
+       exec::serial_backend()},
+      {"(c) this paper: MST(parallel)  + Pandora(parallel)", exec::default_backend(), true,
+       exec::default_backend()},
   };
 
   std::printf("%-55s %10s %12s %8s\n", "configuration", "mst [s]", "dendro [s]",

@@ -22,8 +22,8 @@
 using namespace pandora;
 
 int main() {
-  const exec::Executor parallel_executor(exec::Space::parallel);
-  const exec::Executor serial_executor(exec::Space::serial);
+  const exec::Executor parallel_executor(exec::default_backend());
+  const exec::Executor serial_executor(exec::serial_backend());
   // Construction algorithms are compared cold: the cross-call SortedEdges
   // cache would otherwise let every repeat replay the first sort.  (The
   // cache's own benefit is measured separately below and in fig14.)

@@ -19,7 +19,7 @@ struct PhaseSeconds {
   double mst = 0, dendrogram = 0, sort = 0, contraction = 0, expansion = 0;
 };
 
-PhaseSeconds run_pipeline(const std::string& name, index_t n, exec::Space space) {
+PhaseSeconds run_pipeline(const std::string& name, index_t n, std::shared_ptr<const exec::Backend> space) {
   PhaseSeconds out;
   const exec::Executor executor(space);
   const bench::PreparedDataset prepared = bench::prepare_dataset(name, n, 2, executor);
@@ -50,8 +50,8 @@ int main() {
               "contraction", "expansion");
   for (const auto& name : datasets) {
     const index_t n = bench::scaled(250000);
-    const PhaseSeconds serial = run_pipeline(name, n, exec::Space::serial);
-    const PhaseSeconds parallel = run_pipeline(name, n, exec::Space::parallel);
+    const PhaseSeconds serial = run_pipeline(name, n, exec::serial_backend());
+    const PhaseSeconds parallel = run_pipeline(name, n, exec::default_backend());
     auto ratio = [](double a, double b) { return b > 0 ? a / b : 0.0; };
     std::printf("%-14s | %7.1fx %9.1fx %7.1fx %11.1fx %9.1fx\n", name.c_str(),
                 ratio(serial.mst, parallel.mst), ratio(serial.dendrogram, parallel.dendrogram),

@@ -20,7 +20,7 @@ int main() {
   std::printf("%-14s | %10s %12s %11s\n", "dataset", "sort", "contraction", "expansion");
   for (const auto& name : datasets) {
     const index_t n = bench::scaled(400000);
-    const exec::Executor executor(exec::Space::parallel);
+    const exec::Executor executor(exec::default_backend());
     const bench::PreparedDataset prepared = bench::prepare_dataset(name, n, 2, executor);
     exec::PhaseTimesProfiler profiler;
     executor.set_profiler(&profiler);

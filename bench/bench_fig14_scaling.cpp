@@ -101,7 +101,7 @@ void run_series(const exec::Executor& executor, const std::string& dataset,
 int main() {
   bench::print_header("Throughput vs sample count (dendrogram construction)",
                       "Figure 14 (Hacc497M and Normal300M2 sampling curves)");
-  exec::Executor executor(exec::Space::parallel);
+  exec::Executor executor(exec::default_backend());
   bench::JsonReport json("fig14");
   run_series(executor, "HaccProxy", json);
   run_series(executor, "Normal2D", json);

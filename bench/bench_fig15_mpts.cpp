@@ -156,7 +156,7 @@ void run_dataset(const exec::Executor& executor, const std::string& name,
 int main() {
   bench::print_header("HDBSCAN* (EMST + dendrogram) vs minPts",
                       "Figure 15 (Hacc37M and Uniform100M3D, mpts sweep)");
-  exec::Executor executor(exec::Space::parallel);
+  exec::Executor executor(exec::default_backend());
   bench::JsonReport json("fig15");
   run_dataset(executor, "HaccProxy", json);
   run_dataset(executor, "Uniform3D", json);

@@ -62,7 +62,7 @@ int main() {
                       "CI gate: zero heap allocations after warm-up");
 
   const spatial::PointSet points = data::make_dataset("HaccProxy", n, 2024);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   spatial::KdTree tree(points);
   const graph::EdgeList mst =
       Pipeline::on(executor).with_min_pts(2).build_mst(points, tree);

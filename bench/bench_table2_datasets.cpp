@@ -15,7 +15,7 @@
 using namespace pandora;
 
 int main() {
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   bench::print_header("Dataset roster and dendrogram imbalance", "Table 2");
 
   std::printf("%-16s %-34s %4s %9s %8s %10s\n", "name", "substitutes", "dim", "npts",

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   // gravitationally clustered matter (galaxy surveys, HACC snapshots).
   const spatial::PointSet universe = data::soneira_peebles(n, 3, 4, 1.6, 12, 1234);
 
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   Timer total;
   spatial::KdTree tree(universe);
   const graph::EdgeList mst = spatial::euclidean_mst(executor, universe, tree);

@@ -15,7 +15,7 @@
 int main(int argc, char** argv) {
   using namespace pandora;
   const index_t n = argc > 1 ? std::atoi(argv[1]) : 30000;
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
 
   std::printf("single-linkage dendrogram shape across dataset families (n=%d, mpts=2)\n\n",
               n);

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   // implicit background sparsity — hard for flat DBSCAN, natural for HDBSCAN*.
   const spatial::PointSet points = data::power_law_blobs(n, 2, 40, 1.3, 7);
 
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto pipeline = Pipeline::on(executor).with_min_pts(4).with_min_cluster_size(25);
 
   const hdbscan::HdbscanResult result = pipeline.run_hdbscan(points);

@@ -20,7 +20,7 @@ int main() {
 
   // 0. The execution context: backend choice + reusable scratch arena +
   //    optional profiler.  Construct one and reuse it for every query.
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
 
   // 1. Some clustered 2-D data: four Gaussian blobs, 2000 points.
   const spatial::PointSet points = data::gaussian_blobs(

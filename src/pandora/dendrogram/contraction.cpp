@@ -287,11 +287,4 @@ ContractionHierarchy build_hierarchy(const exec::Executor& exec, std::span<const
   return h;
 }
 
-ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
-                                     std::vector<index_t> v, std::vector<index_t> gid,
-                                     index_t num_vertices, index_t num_global_edges) {
-  return build_hierarchy(exec::default_executor(space), u, v, gid, num_vertices,
-                         num_global_edges);
-}
-
 }  // namespace pandora::dendrogram

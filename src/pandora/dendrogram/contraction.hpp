@@ -6,7 +6,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 
 namespace pandora::dendrogram {
 
@@ -107,14 +106,6 @@ struct LevelResult {
                                                    std::span<const index_t> u,
                                                    std::span<const index_t> v,
                                                    std::span<const index_t> gid,
-                                                   index_t num_vertices,
-                                                   index_t num_global_edges);
-
-/// Deprecated shim over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] ContractionHierarchy build_hierarchy(exec::Space space, std::vector<index_t> u,
-                                                   std::vector<index_t> v,
-                                                   std::vector<index_t> gid,
                                                    index_t num_vertices,
                                                    index_t num_global_edges);
 

@@ -105,13 +105,6 @@ void expand_multilevel(const exec::Executor& exec, const ContractionHierarchy& h
   exec.record_phase("expansion", timer.seconds());
 }
 
-void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
-                       std::span<index_t> edge_parent, PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  expand_multilevel(executor, hierarchy, edge_parent);
-}
-
 void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
                          std::span<index_t> edge_parent) {
   const index_t n = sorted.num_edges();
@@ -228,13 +221,6 @@ void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
       edge_parent[static_cast<std::size_t>(i)] = alpha_parent[static_cast<std::size_t>(i)];
   });
   exec.record_phase("expansion", timer.seconds());
-}
-
-void expand_single_level(exec::Space space, const SortedEdges& sorted,
-                         std::span<index_t> edge_parent, PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  expand_single_level(executor, sorted, edge_parent);
 }
 
 }  // namespace pandora::dendrogram

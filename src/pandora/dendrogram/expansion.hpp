@@ -7,7 +7,6 @@
 #include "pandora/dendrogram/contraction.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 
 namespace pandora::dendrogram {
 
@@ -27,12 +26,6 @@ namespace pandora::dendrogram {
 void expand_multilevel(const exec::Executor& exec, const ContractionHierarchy& hierarchy,
                        std::span<index_t> edge_parent);
 
-/// Deprecated shim over the per-thread default executor; `times` (when given)
-/// receives the phases via a scoped profiler.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
-                       std::span<index_t> edge_parent, PhaseTimes* times = nullptr);
-
 /// Single-level expansion (Section 3.3.1) — the non-work-optimal variant kept
 /// as an ablation and as an independent implementation for cross-validation.
 ///
@@ -45,10 +38,5 @@ void expand_multilevel(exec::Space space, const ContractionHierarchy& hierarchy,
 /// Writes `edge_parent[g]` for every edge of `sorted`.
 void expand_single_level(const exec::Executor& exec, const SortedEdges& sorted,
                          std::span<index_t> edge_parent);
-
-/// Deprecated shim over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-void expand_single_level(exec::Space space, const SortedEdges& sorted,
-                         std::span<index_t> edge_parent, PhaseTimes* times = nullptr);
 
 }  // namespace pandora::dendrogram

@@ -1,7 +1,5 @@
 #include "pandora/dendrogram/mixed.hpp"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <vector>
 
@@ -86,13 +84,15 @@ Dendrogram mixed_dendrogram(const exec::Executor& exec, const SortedEdges& sorte
   timer.reset();
   graph::UnionFind uf(nv);
   std::vector<index_t> rep_edge(static_cast<std::size_t>(nv), kNone);
-  if (exec.space() == exec::Space::parallel) {
-    const int num_threads = exec.num_threads();
-#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
-    for (std::size_t b = 0; b < roots.size(); ++b) {
-      const auto& bucket = buckets[static_cast<std::size_t>(roots[b])];
+  if (exec.num_threads() > 1) {
+    // One chunk per subtree, dynamically balanced across the backend's
+    // workers (bucket sizes are highly skewed).
+    auto subtree = [&](int b) {
+      const auto& bucket =
+          buckets[static_cast<std::size_t>(roots[static_cast<std::size_t>(b)])];
       for (const index_t i : bucket) merge_edge(sorted, i, uf, rep_edge, dendrogram);
-    }
+    };
+    exec.backend().run_chunks(static_cast<int>(roots.size()), exec.num_threads(), subtree);
   } else {
     for (const index_t root : roots)
       for (const index_t i : buckets[static_cast<std::size_t>(root)])

@@ -5,7 +5,6 @@
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
 namespace pandora::dendrogram {

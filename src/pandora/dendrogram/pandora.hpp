@@ -5,7 +5,6 @@
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
 namespace pandora::dendrogram {
@@ -16,11 +15,9 @@ enum class ExpansionPolicy {
   single_level,  ///< Section 3.3.1: O(n h) walk-up; ablation / cross-check
 };
 
-/// Options for pandora_dendrogram.
+/// Options for pandora_dendrogram.  (The retired `space` field is gone: the
+/// Executor's backend decides where kernels run.)
 struct PandoraOptions {
-  /// Consulted only by the deprecated `Space`-less overloads; the Executor
-  /// overloads take their space from the executor.
-  exec::Space space = exec::Space::parallel;
   ExpansionPolicy expansion = ExpansionPolicy::multilevel;
   /// Reject inputs that are not spanning trees with finite weights.
   bool validate_input = false;

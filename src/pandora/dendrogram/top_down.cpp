@@ -98,7 +98,7 @@ Dendrogram top_down_dendrogram(const SortedEdges& sorted) {
 
 Dendrogram top_down_dendrogram(const graph::EdgeList& mst, index_t num_vertices) {
   return top_down_dendrogram(
-      sort_edges(exec::default_executor(exec::Space::serial), mst, num_vertices));
+      sort_edges(exec::default_executor(exec::serial_backend()), mst, num_vertices));
 }
 
 Dendrogram top_down_dendrogram(const exec::Executor& exec, const graph::EdgeList& mst,

@@ -51,22 +51,4 @@ Dendrogram union_find_dendrogram(const exec::Executor& exec, const graph::EdgeLi
   return union_find_dendrogram(exec, *sorted);
 }
 
-Dendrogram union_find_dendrogram(const SortedEdges& sorted, PhaseTimes* times) {
-  const exec::Executor& executor = exec::default_executor(exec::Space::serial);
-  exec::ScopedPhaseTimes scope(executor, times);
-  return union_find_dendrogram(executor, sorted);
-}
-
-Dendrogram union_find_dendrogram(const SortedEdges& sorted) {
-  return union_find_dendrogram(exec::default_executor(exec::Space::serial), sorted);
-}
-
-Dendrogram union_find_dendrogram(const graph::EdgeList& mst, index_t num_vertices,
-                                 exec::Space sort_space, PhaseTimes* times,
-                                 bool validate_input) {
-  const exec::Executor& executor = exec::default_executor(sort_space);
-  exec::ScopedPhaseTimes scope(executor, times);
-  return union_find_dendrogram(executor, mst, num_vertices, validate_input);
-}
-
 }  // namespace pandora::dendrogram

@@ -5,7 +5,6 @@
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/sorted_edges.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
 namespace pandora::dendrogram {
@@ -29,24 +28,6 @@ namespace pandora::dendrogram {
 [[nodiscard]] Dendrogram union_find_dendrogram(const exec::Executor& exec,
                                                const graph::EdgeList& mst,
                                                index_t num_vertices,
-                                               bool validate_input = false);
-
-/// Deprecated shims over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] Dendrogram union_find_dendrogram(const SortedEdges& sorted,
-                                               PhaseTimes* times);
-
-/// (The old SortedEdges signature defaulted `times` to nullptr; that exact
-/// call now resolves to the Executor-less overload above with an explicit
-/// nullptr, or to the new API when an Executor is passed.)
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] Dendrogram union_find_dendrogram(const SortedEdges& sorted);
-
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] Dendrogram union_find_dendrogram(const graph::EdgeList& mst,
-                                               index_t num_vertices,
-                                               exec::Space sort_space = exec::Space::parallel,
-                                               PhaseTimes* times = nullptr,
                                                bool validate_input = false);
 
 }  // namespace pandora::dendrogram

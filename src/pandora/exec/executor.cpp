@@ -1,24 +1,23 @@
 #include "pandora/exec/executor.hpp"
 
-#include <omp.h>
-
-#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
 
 namespace pandora::exec {
 
-int Executor::num_threads() const {
-  if (space_ == Space::serial) return 1;
-  // An explicit budget is honoured verbatim (the OpenMP runtime may still
-  // grant fewer; every kernel chunks by the granted team size).  With no
-  // budget the OpenMP default applies.
-  if (requested_threads_ > 0) return requested_threads_;
-  return omp_get_max_threads();
-}
+const Executor& default_executor() { return default_executor(default_backend()); }
 
-const Executor& default_executor(Space space) {
-  thread_local Executor serial_executor(Space::serial);
-  thread_local Executor parallel_executor(Space::parallel);
-  return space == Space::serial ? serial_executor : parallel_executor;
+const Executor& default_executor(const std::shared_ptr<const Backend>& backend) {
+  // One default executor per (thread, backend instance).  A handful of
+  // backends exist per process, so a linear scan beats a map; unique_ptr
+  // keeps the executors address-stable as the vector grows.
+  thread_local std::vector<std::pair<const Backend*, std::unique_ptr<Executor>>> executors;
+  for (const auto& [key, executor] : executors) {
+    if (key == backend.get()) return *executor;
+  }
+  executors.emplace_back(backend.get(), std::make_unique<Executor>(backend));
+  return *executors.back().second;
 }
 
 }  // namespace pandora::exec

@@ -16,36 +16,30 @@
 
 #include "pandora/common/timer.hpp"
 #include "pandora/common/types.hpp"
-#include "pandora/exec/space.hpp"
+#include "pandora/exec/backend.hpp"
+#include "pandora/exec/memory.hpp"
 
 /// The execution context of the library: `Executor`.
 ///
 /// The paper's implementation expresses every kernel against Kokkos execution
 /// space *instances* — objects carrying the backend choice, resources and
 /// reusable scratch memory.  This reproduction mirrors that design: an
-/// `Executor` owns (a) the space selection (serial / OpenMP, extensible to a
-/// future GPU backend), (b) a thread budget, (c) a reusable `Workspace` arena
-/// that amortises scratch-buffer allocations across repeated dendrogram /
-/// HDBSCAN* calls on same-sized inputs, (d) an optional `Profiler` hook that
-/// subsumes the old `PhaseTimes*` out-parameters, (e) the edge-sort algorithm
-/// selection (key-packed radix by default, comparison merge as the fallback),
-/// and (f) an `ArtifactCache` that lets upper layers reuse derived artifacts
-/// (e.g. the canonical SortedEdges of an MST) across calls.  Every kernel
-/// takes a `const Executor&`; the surviving bare-`Space` signatures are
-/// deprecated shims that forward to a per-thread default executor.
+/// `Executor` owns (a) the execution `Backend` (serial / OpenMP / pinned
+/// pool, extensible to a device backend — see backend.hpp), (b) a thread
+/// budget, (c) a reusable `Workspace` arena — allocating through the
+/// backend's `MemoryResource` — that amortises scratch-buffer allocations
+/// across repeated dendrogram / HDBSCAN* calls on same-sized inputs, (d) an
+/// optional `Profiler` hook that subsumes the old `PhaseTimes*`
+/// out-parameters, (e) the edge-sort algorithm selection (key-packed radix
+/// by default, comparison merge as the fallback), and (f) an `ArtifactCache`
+/// that lets upper layers reuse derived artifacts (e.g. the canonical
+/// SortedEdges of an MST) across calls.  Every kernel takes a
+/// `const Executor&`.  (The old two-value `Space` enum and its bare-`Space`
+/// shims are fully retired; see the README migration table.)
 namespace pandora::exec {
 
-/// Deprecation marker for the old `Space`-enum API.  Define
-/// PANDORA_NO_DEPRECATION_WARNINGS to silence (e.g. for a gradual migration).
-#if defined(PANDORA_NO_DEPRECATION_WARNINGS)
-#define PANDORA_DEPRECATED(msg)
-#else
-#define PANDORA_DEPRECATED(msg) [[deprecated(msg)]]
-#endif
-
-/// Below this trip count the OpenMP fork/join overhead dominates; kernels run
-/// serially.  (Previously lived in parallel.hpp; the Executor needs it to
-/// answer `parallelize(n)`.)
+/// Below this trip count per-kernel dispatch overhead dominates; kernels run
+/// serially.  (The Executor needs it to answer `parallelize(n)`.)
 inline constexpr size_type kParallelForGrain = 2048;
 
 /// A size-class-aware byte arena handing out typed spans.
@@ -64,6 +58,10 @@ inline constexpr size_type kParallelForGrain = 2048;
 /// Element types must be trivially copyable and trivially destructible (the
 /// arena never runs constructors or destructors); `take_uninit` hands out the
 /// block's previous bytes, `take` fills with a value.
+///
+/// Blocks come from a `MemoryResource` (the owning backend's, host memory by
+/// default), so a device backend substitutes device buffers without touching
+/// the lease/size-class logic here.
 ///
 /// Not thread-safe: one Workspace belongs to one Executor and kernels on an
 /// Executor run one at a time (parallelism happens *inside* kernels).
@@ -136,10 +134,15 @@ class Workspace {
     int size_class_ = 0;
   };
 
-  Workspace() = default;
+  /// `memory == nullptr` selects the process-wide host resource.  The
+  /// resource must outlive the Workspace and every lease taken from it.
+  explicit Workspace(MemoryResource* memory = nullptr)
+      : memory_(memory != nullptr ? memory : &host_memory_resource()) {}
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
   ~Workspace() { clear(); }
+
+  [[nodiscard]] MemoryResource& memory_resource() const noexcept { return *memory_; }
 
   /// Lease a span over `n` elements with unspecified contents (the recycled
   /// block's previous bytes).  For scratch that is fully overwritten before
@@ -217,19 +220,22 @@ class Workspace {
     }
     ++stats_.misses;
     size_class = wanted;
-    return ::operator new(std::size_t{1} << (static_cast<std::size_t>(wanted) + kMinClassLog2),
-                          std::align_val_t{kBlockAlignment});
+    return memory_->allocate(
+        std::size_t{1} << (static_cast<std::size_t>(wanted) + kMinClassLog2),
+        kBlockAlignment);
   }
 
   void release_block(void* block, int size_class) {
     if (block != nullptr) free_[static_cast<std::size_t>(size_class)].push_back(block);
   }
 
-  static void deallocate_block(void* block, int size_class) {
-    ::operator delete(block, std::align_val_t{kBlockAlignment});
-    (void)size_class;
+  void deallocate_block(void* block, int size_class) const noexcept {
+    memory_->deallocate(block,
+                        std::size_t{1} << (static_cast<std::size_t>(size_class) + kMinClassLog2),
+                        kBlockAlignment);
   }
 
+  MemoryResource* memory_ = &host_memory_resource();
   std::array<std::vector<void*>, kNumClasses> free_;
   Stats stats_;
 };
@@ -409,21 +415,43 @@ enum class EdgeSortAlgorithm {
 /// (parallelism happens inside kernels, governed by `num_threads`).
 class Executor {
  public:
-  explicit Executor(Space space = Space::parallel, int num_threads = 0)
-      : space_(space), requested_threads_(num_threads) {}
+  /// An executor on `backend` (nullptr selects `default_backend()`) with an
+  /// optional explicit thread budget (0 = the backend's default).  The
+  /// Workspace arena allocates through the backend's MemoryResource.
+  explicit Executor(std::shared_ptr<const Backend> backend, int num_threads = 0)
+      : backend_(backend != nullptr ? std::move(backend) : default_backend()),
+        requested_threads_(num_threads),
+        workspace_(&backend_->memory_resource()) {}
 
-  [[nodiscard]] Space space() const noexcept { return space_; }
+  /// An executor on the default backend (openmp, or whatever PANDORA_BACKEND
+  /// names) with its default thread budget.
+  Executor() : Executor(std::shared_ptr<const Backend>{}, 0) {}
 
-  /// Human-readable name for benchmark tables.
-  [[nodiscard]] const char* name() const { return space_name(space_); }
+  /// An executor on the default backend with an explicit thread budget.
+  explicit Executor(int num_threads) : Executor(std::shared_ptr<const Backend>{}, num_threads) {}
 
-  /// The thread budget: 1 for the serial space; for the parallel space the
-  /// constructor-requested count, or the OpenMP default when 0 was requested.
-  [[nodiscard]] int num_threads() const;
+  /// The execution backend every kernel on this executor dispatches through.
+  [[nodiscard]] const Backend& backend() const noexcept { return *backend_; }
+  [[nodiscard]] const std::shared_ptr<const Backend>& backend_ptr() const noexcept {
+    return backend_;
+  }
+
+  /// Human-readable backend name for benchmark tables.
+  [[nodiscard]] const char* name() const { return backend_->name(); }
+
+  /// The thread budget the backend granted this executor: the requested
+  /// count (clamped by fixed-capacity backends) or the backend's default.
+  /// Answered by the backend itself, never by global runtime state, so a
+  /// nested executor (e.g. a batch serving slot) reports truthfully.
+  [[nodiscard]] int num_threads() const { return backend_->grant_threads(requested_threads_); }
+
+  /// The thread count the constructor requested (0 = backend default) —
+  /// what a sub-executor should inherit as its own ceiling.
+  [[nodiscard]] int requested_threads() const noexcept { return requested_threads_; }
 
   /// True when a kernel over `n` items should take its parallel path.
   [[nodiscard]] bool parallelize(size_type n) const {
-    return space_ == Space::parallel && n >= kParallelForGrain && num_threads() > 1;
+    return n >= kParallelForGrain && num_threads() > 1;
   }
 
   /// The scratch-buffer arena (see Workspace).
@@ -478,7 +506,7 @@ class Executor {
   }
 
  private:
-  Space space_;
+  std::shared_ptr<const Backend> backend_;
   int requested_threads_;
   mutable Workspace workspace_;
   mutable ArtifactCache artifact_cache_;
@@ -488,11 +516,16 @@ class Executor {
   mutable bool artifact_caching_ = true;
 };
 
-/// The per-thread default executor of a space — the context behind the
-/// deprecated `Space`-enum shims.  Old-style callers share its workspace, so
-/// they too amortise allocations across calls; per-thread storage keeps the
-/// shims safe under concurrent callers.
-[[nodiscard]] const Executor& default_executor(Space space);
+/// The per-thread default executor on `default_backend()`.  Callers without
+/// a long-lived executor of their own share its workspace, so they too
+/// amortise allocations across calls; per-thread storage keeps it safe under
+/// concurrent callers.
+[[nodiscard]] const Executor& default_executor();
+
+/// The per-thread default executor on a specific backend (one per (thread,
+/// backend instance); the backend must outlive its use, which the shared
+/// singletons of backend.hpp always do).
+[[nodiscard]] const Executor& default_executor(const std::shared_ptr<const Backend>& backend);
 
 /// Scope guard bridging the old `PhaseTimes*` out-params to the profiler
 /// hook: installs a PhaseTimesProfiler writing to `times` (chained to any

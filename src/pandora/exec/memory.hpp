@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+/// Memory resources: where execution backends get their bytes.
+///
+/// The `Workspace` byte arena allocates its 64-byte-aligned blocks through a
+/// `MemoryResource` owned by the executing `Backend`, so a device backend can
+/// substitute device buffers (cudaMalloc/hipMalloc arenas, pinned host
+/// staging, ...) without touching the arena's lease/size-class logic — the
+/// same separation RAFT/Kokkos draw between execution and memory spaces.
+namespace pandora::exec {
+
+/// Allocates and frees raw blocks for a Workspace arena.  Implementations
+/// must return blocks aligned to at least `alignment`; `deallocate` receives
+/// the exact (bytes, alignment) of the matching `allocate`.
+///
+/// Thread-safety contract: `allocate`/`deallocate` may be called from any
+/// thread (multiple executors can share one backend), so implementations must
+/// be thread-safe — the default host resource simply forwards to the global
+/// operator new/delete.
+class MemoryResource {
+ public:
+  virtual ~MemoryResource() = default;
+  [[nodiscard]] virtual void* allocate(std::size_t bytes, std::size_t alignment) = 0;
+  virtual void deallocate(void* block, std::size_t bytes, std::size_t alignment) noexcept = 0;
+};
+
+/// The default resource: global operator new/delete with extended alignment.
+/// (Tests that count heap allocations observe arena misses through this —
+/// the steady-state zero-allocation guarantee is asserted per backend.)
+class HostMemoryResource final : public MemoryResource {
+ public:
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t alignment) override {
+    return ::operator new(bytes, std::align_val_t{alignment});
+  }
+  void deallocate(void* block, std::size_t bytes, std::size_t alignment) noexcept override {
+    (void)bytes;
+    ::operator delete(block, std::align_val_t{alignment});
+  }
+};
+
+/// The process-wide host resource every CPU backend shares.
+[[nodiscard]] MemoryResource& host_memory_resource();
+
+}  // namespace pandora::exec

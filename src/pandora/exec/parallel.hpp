@@ -1,90 +1,79 @@
 #pragma once
 
-#include <omp.h>
-
 #include <atomic>
 #include <type_traits>
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/backend.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 
 /// Data-parallel primitives: parallel_for and parallel_reduce, plus the
 /// relaxed atomic read-modify-write helpers GPU kernels rely on.
 ///
 /// Every kernel in the library is written against these (never against raw
-/// OpenMP pragmas) so that the serial and parallel spaces execute the exact
-/// same code, mirroring the performance-portability claim of Section 5.
-/// All primitives take the `Executor` execution context; the bare-`Space`
-/// overloads are deprecated shims over the per-thread default executors.
+/// threading pragmas) so that every registered backend — serial, OpenMP,
+/// pinned pool, a future device backend — executes the exact same code,
+/// mirroring the performance-portability claim of Section 5.  Each primitive
+/// decomposes its index range into `Executor::num_threads()` deterministic
+/// chunks and dispatches them through `Backend::run_chunks`; per-chunk
+/// partials are combined left-to-right on the calling thread, so results are
+/// bit-identical across backends and across runs (the conformance suite
+/// asserts both).
 namespace pandora::exec {
 
 /// Apply `f(i)` for every i in [0, n).
 template <class F>
 void parallel_for(const Executor& exec, size_type n, F&& f) {
   if (exec.parallelize(n)) {
-    const int num_threads = exec.num_threads();
-#pragma omp parallel for schedule(static) num_threads(num_threads)
-    for (size_type i = 0; i < n; ++i) f(i);
+    const int num_chunks = exec.num_threads();
+    auto body = [&](int c) {
+      const size_type lo = n * c / num_chunks;
+      const size_type hi = n * (c + 1) / num_chunks;
+      for (size_type i = lo; i < hi; ++i) f(i);
+    };
+    exec.backend().run_chunks(num_chunks, num_chunks, body);
   } else {
     for (size_type i = 0; i < n; ++i) f(i);
   }
 }
 
-template <class F>
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-void parallel_for(Space space, size_type n, F&& f) {
-  parallel_for(default_executor(space), n, static_cast<F&&>(f));
-}
-
 /// Reduce `transform(i)` over i in [0, n) with the associative `combine`,
 /// starting from `identity`.
 ///
-/// Each thread folds a contiguous index chunk into a private accumulator;
-/// the per-thread partials are then combined *sequentially in thread-id
-/// order* after the parallel region.  Because chunk t covers indices strictly
-/// before chunk t+1, the overall combine order is left-to-right over [0, n),
-/// so `combine` only has to be associative — it need NOT be commutative.
-/// (The previous implementation merged partials inside an OpenMP `critical`
-/// section in whatever order threads arrived: that both serialised the
-/// combines behind a lock and produced a nondeterministic combine order,
-/// which is wrong for non-commutative operators and for floating-point
-/// reproducibility.)
+/// Each chunk folds a contiguous index range into a private accumulator; the
+/// per-chunk partials are then combined *sequentially in chunk order* on the
+/// calling thread.  Because chunk c covers indices strictly before chunk
+/// c+1, the overall combine order is left-to-right over [0, n), so `combine`
+/// only has to be associative — it need NOT be commutative — and the result
+/// does not depend on which backend worker ran which chunk.
 template <class T, class Transform, class Combine>
 [[nodiscard]] T parallel_reduce(const Executor& exec, size_type n, T identity,
                                 Transform&& transform, Combine&& combine) {
   if (exec.parallelize(n)) {
-    const int num_threads = exec.num_threads();
-    // Per-thread partials live in leased scratch when T fits the byte arena
-    // (the common case: integral/fingerprint reductions on the hot path stay
-    // allocation-free after warm-up); other types fall back to a vector.
+    const int num_chunks = exec.num_threads();
     const auto reduce_into = [&](T* partial) {
-      int team = 1;
-#pragma omp parallel num_threads(num_threads)
-      {
-        // Chunk by the team size OpenMP actually granted, so every index is
-        // covered even if fewer than `num_threads` threads materialise.
-        const int nt = omp_get_num_threads();
-        const int t = omp_get_thread_num();
-#pragma omp single
-        team = nt;
-        const size_type lo = n * t / nt;
-        const size_type hi = n * (t + 1) / nt;
+      auto body = [&](int c) {
+        const size_type lo = n * c / num_chunks;
+        const size_type hi = n * (c + 1) / num_chunks;
         T local = identity;
         for (size_type i = lo; i < hi; ++i) local = combine(local, transform(i));
-        partial[static_cast<std::size_t>(t)] = std::move(local);
-      }
+        partial[static_cast<std::size_t>(c)] = std::move(local);
+      };
+      exec.backend().run_chunks(num_chunks, num_chunks, body);
       T result = identity;
-      for (int t = 0; t < team; ++t)
-        result = combine(std::move(result), std::move(partial[static_cast<std::size_t>(t)]));
+      for (int c = 0; c < num_chunks; ++c)
+        result = combine(std::move(result), std::move(partial[static_cast<std::size_t>(c)]));
       return result;
     };
+    // Per-chunk partials live in leased scratch when T fits the byte arena
+    // (the common case: integral/fingerprint reductions on the hot path stay
+    // allocation-free after warm-up); other types fall back to a vector.
     if constexpr (std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>) {
-      auto partial = exec.workspace().template take<T>(num_threads, identity);
+      auto partial = exec.workspace().template take<T>(num_chunks, identity);
       return reduce_into(partial.data());
     } else {
-      std::vector<T> partial(static_cast<std::size_t>(num_threads), identity);
+      std::vector<T> partial(static_cast<std::size_t>(num_chunks), identity);
       return reduce_into(partial.data());
     }
   }
@@ -93,27 +82,12 @@ template <class T, class Transform, class Combine>
   return result;
 }
 
-template <class T, class Transform, class Combine>
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] T parallel_reduce(Space space, size_type n, T identity, Transform&& transform,
-                                Combine&& combine) {
-  return parallel_reduce(default_executor(space), n, std::move(identity),
-                         static_cast<Transform&&>(transform), static_cast<Combine&&>(combine));
-}
-
 /// Sum of `transform(i)` over [0, n).
 template <class T, class Transform>
 [[nodiscard]] T parallel_sum(const Executor& exec, size_type n, T identity,
                              Transform&& transform) {
   return parallel_reduce(exec, n, std::move(identity), static_cast<Transform&&>(transform),
                          [](T a, T b) { return a + b; });
-}
-
-template <class T, class Transform>
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] T parallel_sum(Space space, size_type n, T identity, Transform&& transform) {
-  return parallel_sum(default_executor(space), n, std::move(identity),
-                      static_cast<Transform&&>(transform));
 }
 
 /// Relaxed atomic max on an integral slot; returns nothing (used for

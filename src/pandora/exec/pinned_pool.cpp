@@ -1,0 +1,148 @@
+#include "pandora/exec/pinned_pool.hpp"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pandora::exec {
+
+namespace {
+
+/// The pool this thread is a worker of (nullptr on non-pool threads).  Lets
+/// run_chunks detect a nested launch from ANY worker of the same pool — not
+/// just the original caller — and run it inline instead of deadlocking on
+/// the run mutex the caller holds.
+thread_local const PinnedPoolBackend* t_worker_of = nullptr;
+
+int default_pool_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void pin_current_thread(int core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  // Best-effort: a cpuset-restricted container may refuse; the pool works
+  // unpinned exactly the same, just without the locality guarantee.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)core;
+#endif
+}
+
+}  // namespace
+
+PinnedPoolBackend::PinnedPoolBackend(PinnedPoolOptions options) : options_(options) {
+  if (options_.num_threads <= 0) options_.num_threads = default_pool_threads();
+  const int pool_workers = std::max(0, options_.num_threads - 1);
+  workers_.reserve(static_cast<std::size_t>(pool_workers));
+  for (int i = 0; i < pool_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+PinnedPoolBackend::~PinnedPoolBackend() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void PinnedPoolBackend::worker_main(int worker_index) {
+  t_worker_of = this;
+  if (options_.pin_threads) {
+    const int cores = default_pool_threads();
+    pin_current_thread((worker_index + 1) % cores);
+  }
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    // Spin on the epoch before parking: back-to-back kernels re-engage hot
+    // workers without a futex round trip.  The epoch atomic is only the
+    // wake-up signal — job fields are read under the mutex below.
+    if (!stop_ && epoch_.load(std::memory_order_relaxed) == seen) {
+      lock.unlock();
+      for (int i = 0; i < options_.spin_iterations; ++i) {
+        if (epoch_.load(std::memory_order_relaxed) != seen) break;
+      }
+      lock.lock();
+      work_cv_.wait(lock, [&] {
+        return stop_ || epoch_.load(std::memory_order_relaxed) != seen;
+      });
+    }
+    if (stop_) return;
+    seen = epoch_.load(std::memory_order_relaxed);
+    if (joined_workers_ >= wanted_workers_) continue;  // job fully staffed
+    ++joined_workers_;
+    const ChunkBody body = job_body_;
+    const int num_chunks = job_num_chunks_;
+    lock.unlock();
+    while (true) {
+      const int chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= num_chunks) break;
+      body(chunk);
+    }
+    lock.lock();
+    if (++done_workers_ == wanted_workers_) done_cv_.notify_one();
+  }
+}
+
+void PinnedPoolBackend::run_chunks(int num_chunks, int max_workers, ChunkBody body) const {
+  if (num_chunks <= 0) return;
+  // Nested launch from inside a chunk body (or no pool workers at all):
+  // run inline on the calling worker.
+  const std::thread::id self = std::this_thread::get_id();
+  const int pool_workers =
+      std::min({static_cast<int>(workers_.size()), std::max(0, max_workers - 1), num_chunks});
+  if (pool_workers == 0 || t_worker_of == this ||
+      run_owner_.load(std::memory_order_relaxed) == self) {
+    for (int c = 0; c < num_chunks; ++c) body(c);
+    return;
+  }
+
+  // Concurrent callers (two executors sharing one pool) serialise here.
+  const std::lock_guard<std::mutex> run_lock(run_mutex_);
+  run_owner_.store(self, std::memory_order_relaxed);
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    job_body_ = body;
+    job_num_chunks_ = num_chunks;
+    wanted_workers_ = pool_workers;
+    joined_workers_ = 0;
+    done_workers_ = 0;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+
+  // The caller is a worker too.
+  while (true) {
+    const int chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= num_chunks) break;
+    body(chunk);
+  }
+
+  // Wait until every *wanted* worker has joined and finished — a worker
+  // that has not yet woken must still pass through the (already exhausted)
+  // cursor and report done, so no straggler can ever touch a later job's
+  // cursor.  All chunk effects happen-before this mutex acquisition.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return done_workers_ == wanted_workers_; });
+  }
+  run_owner_.store(std::thread::id{}, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Backend> make_pinned_pool_backend(PinnedPoolOptions options) {
+  return std::make_shared<PinnedPoolBackend>(options);
+}
+
+}  // namespace pandora::exec

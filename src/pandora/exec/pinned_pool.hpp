@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "pandora/exec/backend.hpp"
+
+namespace pandora::exec {
+
+struct PinnedPoolOptions {
+  /// Worker threads *including* the calling thread (so `num_threads` total
+  /// workers execute chunks, `num_threads - 1` of them pool-owned).
+  /// 0 = hardware concurrency.
+  int num_threads = 0;
+  /// Pin pool worker i to core (i + 1) % hardware_concurrency (the caller
+  /// keeps core 0's default affinity).  Linux only; a no-op elsewhere.
+  bool pin_threads = false;
+  /// Iterations a worker spins on the job epoch before parking on the
+  /// condition variable.  Back-to-back kernels (a dendrogram build is dozens
+  /// of launches) dispatch without a syscall while workers are still hot.
+  int spin_iterations = 1 << 14;
+};
+
+/// A persistent worker-pool backend: threads are created once, parked
+/// between kernels (bounded spin, then condition variable), and re-used for
+/// every `run_chunks` — eliminating the per-kernel fork/join that dominates
+/// small launches.  Chunks are claimed from a shared atomic cursor, so
+/// uneven chunk costs balance dynamically; determinism is unaffected because
+/// callers make each chunk a pure function of its index (see Backend).
+///
+/// Concurrency: `run_chunks` from different threads serialises on an
+/// internal run mutex (two executors may share one pool); a nested call from
+/// inside a chunk body runs inline on that worker.
+class PinnedPoolBackend final : public Backend {
+ public:
+  explicit PinnedPoolBackend(PinnedPoolOptions options = {});
+  ~PinnedPoolBackend() override;
+  PinnedPoolBackend(const PinnedPoolBackend&) = delete;
+  PinnedPoolBackend& operator=(const PinnedPoolBackend&) = delete;
+
+  [[nodiscard]] const char* name() const noexcept override { return "pinned"; }
+  [[nodiscard]] int concurrency() const noexcept override {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+  /// A fixed-size pool cannot honour more threads than it owns: the grant is
+  /// clamped, so nested executors report a truthful budget.
+  [[nodiscard]] int grant_threads(int requested) const noexcept override {
+    const int capacity = concurrency();
+    return requested > 0 ? (requested < capacity ? requested : capacity) : capacity;
+  }
+  void run_chunks(int num_chunks, int max_workers, ChunkBody body) const override;
+
+  [[nodiscard]] bool threads_pinned() const noexcept { return options_.pin_threads; }
+
+ private:
+  void worker_main(int worker_index);
+
+  PinnedPoolOptions options_;
+
+  // Job state.  Publication protocol: the caller writes the job fields and
+  // bumps `epoch_` under `mutex_`, then notifies; a worker joins a job only
+  // while holding `mutex_` (wake -> observe new epoch -> take a participant
+  // slot), reads the job fields into locals, and claims chunks lock-free
+  // from `next_chunk_`.  Completion: each participant bumps `done_` under
+  // `mutex_` when the cursor is exhausted; the caller waits until every
+  // *wanted* participant finished, so no straggler can touch a later job's
+  // cursor.  `epoch_` is additionally an atomic so the spin phase can poll
+  // it without the lock (the mutex release/acquire still orders the job
+  // fields).
+  mutable std::mutex mutex_;
+  mutable std::condition_variable work_cv_;
+  mutable std::condition_variable done_cv_;
+  mutable std::atomic<std::uint64_t> epoch_{0};
+  mutable ChunkBody job_body_{empty_body_};
+  mutable int job_num_chunks_ = 0;
+  mutable int wanted_workers_ = 0;   ///< pool workers this job needs
+  mutable int joined_workers_ = 0;   ///< pool workers that took a slot
+  mutable int done_workers_ = 0;     ///< pool workers finished with the job
+  mutable std::atomic<int> next_chunk_{0};
+  bool stop_ = false;  ///< guarded by mutex_
+
+  /// Serialises whole-kernel launches from concurrent callers; `run_owner_`
+  /// detects nesting from a chunk body (run inline instead of deadlocking).
+  mutable std::mutex run_mutex_;
+  mutable std::atomic<std::thread::id> run_owner_{};
+
+  std::vector<std::thread> workers_;
+
+  static void empty_chunk(int) {}
+  inline static void (*empty_body_)(int) = &empty_chunk;
+};
+
+/// A dedicated pool (own threads), e.g. for an executor that must not share
+/// workers with the process-wide `pinned_pool_backend()` singleton.
+[[nodiscard]] std::shared_ptr<const Backend> make_pinned_pool_backend(
+    PinnedPoolOptions options = {});
+
+}  // namespace pandora::exec

@@ -1,18 +1,21 @@
 #pragma once
 
-#include <omp.h>
-
 #include <span>
 #include <type_traits>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/backend.hpp"
 #include "pandora/exec/executor.hpp"
 #include "pandora/exec/parallel.hpp"
-#include "pandora/exec/space.hpp"
 
 /// Prefix sums.  Tree contraction is "equivalent to a prefix sum on an array
 /// with 2n entries" (Section 4.2); the compaction/relabelling steps of the
 /// contraction and the chain bucketing of the expansion are built on these.
+///
+/// The parallel path is the classic three-step chunked scan — per-chunk sums,
+/// a serial prefix over the chunk partials on the calling thread, per-chunk
+/// rescan with the chunk's offset — expressed as two `Backend::run_chunks`
+/// launches, so every backend produces identical outputs.
 namespace pandora::exec {
 
 /// out[i] = sum of in[0..i-1]; returns the grand total.
@@ -30,45 +33,37 @@ T exclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) 
     return running;
   }
 
-  const int max_team = exec.num_threads();
-  // Leased per-thread partials keep repeated scans allocation-free (scan
+  const int num_chunks = exec.num_threads();
+  // Leased per-chunk partials keep repeated scans allocation-free (scan
   // element types are arithmetic throughout the library).
   static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
                 "exclusive_scan leases its partials from the byte arena");
-  auto partial_lease = exec.workspace().template take<T>(max_team + 1, T{});
+  auto partial_lease = exec.workspace().template take<T>(num_chunks + 1, T{});
   T* const partial = partial_lease.data();
-  int team = 1;
-#pragma omp parallel num_threads(max_team)
-  {
-    // Chunk by the team size OpenMP actually granted, so every index is
-    // covered even if fewer than `max_team` threads materialise.
-    const int num_threads = omp_get_num_threads();
-    const int t = omp_get_thread_num();
-    const size_type lo = n * t / num_threads;
-    const size_type hi = n * (t + 1) / num_threads;
+
+  auto sum_chunk = [&](int c) {
+    const size_type lo = n * c / num_chunks;
+    const size_type hi = n * (c + 1) / num_chunks;
     T local{};
     for (size_type i = lo; i < hi; ++i) local += in[i];
-    partial[static_cast<std::size_t>(t) + 1] = local;
-#pragma omp barrier
-#pragma omp single
-    {
-      team = num_threads;
-      for (int k = 1; k <= num_threads; ++k) partial[k] += partial[k - 1];
-    }
-    T running = partial[t];
+    partial[c + 1] = local;
+  };
+  exec.backend().run_chunks(num_chunks, num_chunks, sum_chunk);
+
+  for (int c = 1; c <= num_chunks; ++c) partial[c] += partial[c - 1];
+
+  auto scan_chunk = [&](int c) {
+    const size_type lo = n * c / num_chunks;
+    const size_type hi = n * (c + 1) / num_chunks;
+    T running = partial[c];
     for (size_type i = lo; i < hi; ++i) {
       T v = in[i];
       out[i] = running;
       running += v;
     }
-  }
-  return partial[team];
-}
-
-template <class T>
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-T exclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
-  return exclusive_scan<T>(default_executor(space), in, out);
+  };
+  exec.backend().run_chunks(num_chunks, num_chunks, scan_chunk);
+  return partial[num_chunks];
 }
 
 /// out[i] = sum of in[0..i]; returns the grand total.
@@ -90,12 +85,6 @@ T inclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) 
   }
   parallel_for(exec, n, [&](size_type i) { out[i] += in[i]; });
   return total;
-}
-
-template <class T>
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-T inclusive_scan(Space space, std::span<const T> in, std::span<T> out) {
-  return inclusive_scan<T>(default_executor(space), in, out);
 }
 
 }  // namespace pandora::exec

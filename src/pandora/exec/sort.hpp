@@ -1,9 +1,6 @@
 #pragma once
 
-#include <omp.h>
-
 #include <algorithm>
-#include <array>
 #include <bit>
 #include <cstdint>
 #include <cstring>
@@ -11,8 +8,8 @@
 #include <vector>
 
 #include "pandora/common/types.hpp"
+#include "pandora/exec/backend.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 
 /// Parallel sorting.
 ///
@@ -29,14 +26,14 @@
 ///    leaves the ids as the stable tie-break.  This mirrors the paper's
 ///    observation that GPU dendrogram time is dominated by sorts and that
 ///    radix-style sorts are the best-scaling primitive (Figure 12).
+///    The parallel path dispatches to `Backend::radix_sort_u64`, whose
+///    default implementation runs chunked histogram/scatter passes through
+///    `run_chunks`; a device backend overrides it with a native sort.
 ///
-/// All scratch (ping-pong buffers, per-thread histograms) is leased from the
+/// All scratch (ping-pong buffers, per-chunk histograms) is leased from the
 /// Executor's Workspace, so repeated sorts on same-sized inputs allocate
 /// nothing after the first call.
 namespace pandora::exec {
-
-/// Per-thread radix histogram: count (then write cursor) per byte value.
-using RadixHistogram = std::array<size_type, 256>;
 
 namespace detail {
 
@@ -56,39 +53,27 @@ void parallel_merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
   std::vector<size_type> bounds(static_cast<std::size_t>(chunks) + 1);
   for (int c = 0; c <= chunks; ++c) bounds[c] = n * c / chunks;
 
-#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
-  for (int c = 0; c < chunks; ++c)
+  auto sort_chunk = [&](int c) {
     std::stable_sort(v.begin() + bounds[c], v.begin() + bounds[c + 1], comp);
+  };
+  exec.backend().run_chunks(chunks, num_threads, sort_chunk);
 
   auto buffer = exec.workspace().template take_uninit<T>(n);
   T* src = v.data();
   T* dst = buffer.data();
   for (int width = 1; width < chunks; width *= 2) {
-#pragma omp parallel for schedule(dynamic, 1) num_threads(num_threads)
-    for (int c = 0; c < chunks; c += 2 * width) {
+    const int merges = chunks / (2 * width);
+    auto merge_pair = [&](int m) {
+      const int c = m * 2 * width;
       const size_type lo = bounds[c];
       const size_type mid = bounds[std::min(c + width, chunks)];
       const size_type hi = bounds[std::min(c + 2 * width, chunks)];
       std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
-    }
+    };
+    exec.backend().run_chunks(merges, num_threads, merge_pair);
     std::swap(src, dst);
   }
   if (src != v.data()) std::memcpy(v.data(), src, sizeof(T) * static_cast<std::size_t>(n));
-}
-
-/// Which byte positions vary across `keys` (constant passes are skipped, so
-/// sorting keys bounded by 2^k costs ceil(k/8) scatter passes).
-inline std::uint64_t varying_bytes(const Executor& exec, const std::uint64_t* keys,
-                                   size_type n) {
-  std::uint64_t all_or = 0, all_and = ~std::uint64_t{0};
-  const int num_threads = exec.num_threads();
-#pragma omp parallel for schedule(static) num_threads(num_threads) \
-    reduction(|: all_or) reduction(&: all_and)
-  for (size_type i = 0; i < n; ++i) {
-    all_or |= keys[i];
-    all_and &= keys[i];
-  }
-  return all_or & ~all_and;
 }
 
 }  // namespace detail
@@ -96,17 +81,11 @@ inline std::uint64_t varying_bytes(const Executor& exec, const std::uint64_t* ke
 /// Stable comparison sort of `v` under `comp`.
 template <class T, class Comp>
 void merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
-  if (exec.space() == Space::parallel) {
+  if (exec.num_threads() > 1) {
     detail::parallel_merge_sort(exec, v, comp);
   } else {
     std::stable_sort(v.begin(), v.end(), comp);
   }
-}
-
-template <class T, class Comp>
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-void merge_sort(Space space, std::vector<T>& v, Comp comp) {
-  merge_sort(default_executor(space), v, static_cast<Comp&&>(comp));
 }
 
 /// Stable LSD radix sort of 64-bit keys, ascending, over the byte range
@@ -134,57 +113,8 @@ inline void radix_sort_u64(const Executor& exec, std::span<std::uint64_t> keys,
     }
     return;
   }
-
-  const std::uint64_t varying = detail::varying_bytes(exec, keys.data(), n);
-  const int num_threads = exec.num_threads();
-  auto buffer = exec.workspace().take_uninit<std::uint64_t>(n);
-  std::uint64_t* src = keys.data();
-  std::uint64_t* dst = buffer.data();
-  // hist[t][b]: count of byte-value b in thread t's chunk.
-  auto hist = exec.workspace().take_uninit<RadixHistogram>(num_threads);
-
-  for (int pass = first_byte; pass < last_byte; ++pass) {
-    const int shift = pass * 8;
-    if (((varying >> shift) & 0xff) == 0) continue;
-
-#pragma omp parallel num_threads(num_threads)
-    {
-      // Chunk by the team size OpenMP actually granted, so every index is
-      // covered even if fewer than `num_threads` threads materialise.
-      const int nt = omp_get_num_threads();
-      const int t = omp_get_thread_num();
-      const size_type lo = n * t / nt;
-      const size_type hi = n * (t + 1) / nt;
-      auto& h = hist[static_cast<std::size_t>(t)];
-      h.fill(0);
-      for (size_type i = lo; i < hi; ++i) ++h[(src[i] >> shift) & 0xff];
-#pragma omp barrier
-#pragma omp single
-      {
-        // Column-major exclusive scan: for byte b, thread t, the write base is
-        // (all counts of smaller bytes) + (counts of b in earlier threads).
-        size_type running = 0;
-        for (int b = 0; b < 256; ++b) {
-          for (int tt = 0; tt < nt; ++tt) {
-            size_type c = hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)];
-            hist[static_cast<std::size_t>(tt)][static_cast<std::size_t>(b)] = running;
-            running += c;
-          }
-        }
-      }
-      // `h` now holds this thread's write cursors; scatter preserves the
-      // relative order of equal bytes (stability).
-      for (size_type i = lo; i < hi; ++i) dst[h[(src[i] >> shift) & 0xff]++] = src[i];
-    }
-    std::swap(src, dst);
-  }
-  if (src != keys.data())
-    std::memcpy(keys.data(), src, sizeof(std::uint64_t) * static_cast<std::size_t>(n));
-}
-
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-inline void radix_sort_u64(Space space, std::span<std::uint64_t> keys) {
-  radix_sort_u64(default_executor(space), keys);
+  exec.backend().radix_sort_u64(exec.workspace(), exec.num_threads(), keys, first_byte,
+                                last_byte);
 }
 
 // --- order-preserving key transforms ---------------------------------------

@@ -145,13 +145,4 @@ EulerTour build_euler_tour(const exec::Executor& exec, const EdgeList& edges,
   return tour;
 }
 
-std::vector<index_t> list_rank(exec::Space space, const std::vector<index_t>& next) {
-  return list_rank(exec::default_executor(space), next);
-}
-
-EulerTour build_euler_tour(exec::Space space, const EdgeList& edges, index_t num_vertices,
-                           index_t root) {
-  return build_euler_tour(exec::default_executor(space), edges, num_vertices, root);
-}
-
 }  // namespace pandora::graph

@@ -4,7 +4,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
 namespace pandora::graph {
@@ -45,15 +44,6 @@ struct EulerTour {
 /// Parallel list ranking by pointer jumping: given `next` (successor index or
 /// kNone at the tail), returns for every element its distance to the tail.
 [[nodiscard]] std::vector<index_t> list_rank(const exec::Executor& exec,
-                                             const std::vector<index_t>& next);
-
-/// Deprecated shims over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] EulerTour build_euler_tour(exec::Space space, const EdgeList& edges,
-                                         index_t num_vertices, index_t root = 0);
-
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] std::vector<index_t> list_rank(exec::Space space,
                                              const std::vector<index_t>& next);
 
 }  // namespace pandora::graph

@@ -108,8 +108,4 @@ EdgeList boruvka_mst(const exec::Executor& exec, const EdgeList& edges,
   return mst;
 }
 
-EdgeList boruvka_mst(exec::Space space, const EdgeList& edges, index_t num_vertices) {
-  return boruvka_mst(exec::default_executor(space), edges, num_vertices);
-}
-
 }  // namespace pandora::graph

@@ -2,7 +2,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 
 /// Minimum spanning trees of explicit weighted graphs.
@@ -21,11 +20,6 @@ namespace pandora::graph {
 /// Borůvka's algorithm, parallel over edges within each round.
 /// The graph must be connected.
 [[nodiscard]] EdgeList boruvka_mst(const exec::Executor& exec, const EdgeList& edges,
-                                   index_t num_vertices);
-
-/// Deprecated shim over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] EdgeList boruvka_mst(exec::Space space, const EdgeList& edges,
                                    index_t num_vertices);
 
 }  // namespace pandora::graph

@@ -54,9 +54,4 @@ std::shared_ptr<const std::vector<double>> core_distances_cached(
   return {std::move(entry), view};
 }
 
-std::vector<double> core_distances(exec::Space space, const spatial::PointSet& points,
-                                   const spatial::KdTree& tree, int min_pts) {
-  return core_distances(exec::default_executor(space), points, tree, min_pts);
-}
-
 }  // namespace pandora::hdbscan

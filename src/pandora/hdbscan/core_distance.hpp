@@ -6,7 +6,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "pandora/spatial/point_set.hpp"
 
@@ -34,11 +33,5 @@ namespace pandora::hdbscan {
 [[nodiscard]] std::shared_ptr<const std::vector<double>> core_distances_cached(
     const exec::Executor& exec, const spatial::PointSet& points, const spatial::KdTree& tree,
     int min_pts, std::optional<std::uint64_t> points_fingerprint = std::nullopt);
-
-/// Deprecated shim over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] std::vector<double> core_distances(exec::Space space,
-                                                 const spatial::PointSet& points,
-                                                 const spatial::KdTree& tree, int min_pts);
 
 }  // namespace pandora::hdbscan

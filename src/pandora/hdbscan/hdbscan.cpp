@@ -170,8 +170,4 @@ std::vector<HdbscanResult> hdbscan_sweep_min_pts(const exec::Executor& exec,
   return results;
 }
 
-HdbscanResult hdbscan(const spatial::PointSet& points, const HdbscanOptions& options) {
-  return hdbscan(exec::default_executor(options.space), points, options);
-}
-
 }  // namespace pandora::hdbscan

@@ -10,7 +10,6 @@
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/condensed_tree.hpp"
 #include "pandora/spatial/point_set.hpp"
@@ -27,9 +26,6 @@ enum class DendrogramAlgorithm {
 struct HdbscanOptions {
   int min_pts = 2;                  ///< the paper's "mpts" (default 2, Section 6.5)
   index_t min_cluster_size = 5;     ///< condensed-tree shedding threshold
-  /// Consulted only by the deprecated Executor-less overload; the Executor
-  /// overload takes its space from the executor.
-  exec::Space space = exec::Space::parallel;
   DendrogramAlgorithm dendrogram_algorithm = DendrogramAlgorithm::pandora;
   bool allow_single_cluster = false;
   ClusterSelectionMethod cluster_selection_method = ClusterSelectionMethod::excess_of_mass;
@@ -104,10 +100,5 @@ struct MinClusterSizeSweep {
 [[nodiscard]] std::vector<HdbscanResult> hdbscan_sweep_min_pts(
     const exec::Executor& exec, const spatial::PointSet& points,
     std::span<const int> min_pts_values, const HdbscanOptions& base = {});
-
-/// Deprecated shim over the per-thread default executor of `options.space`.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of HdbscanOptions::space")
-[[nodiscard]] HdbscanResult hdbscan(const spatial::PointSet& points,
-                                    const HdbscanOptions& options = {});
 
 }  // namespace pandora::hdbscan

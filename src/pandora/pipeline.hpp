@@ -36,6 +36,15 @@ class Pipeline {
  public:
   [[nodiscard]] static Pipeline on(const exec::Executor& executor) { return Pipeline(executor); }
 
+  /// Backend front door: a pipeline over the per-thread default executor of
+  /// `backend` — `Pipeline::on(exec::pinned_pool_backend())` runs the whole
+  /// pipeline on the pinned worker pool without managing an Executor by
+  /// hand.  The shared default executor keeps its warm workspace arena and
+  /// artifact cache across pipelines on the same backend.
+  [[nodiscard]] static Pipeline on(const std::shared_ptr<const exec::Backend>& backend) {
+    return Pipeline(exec::default_executor(backend));
+  }
+
   // --- configuration -------------------------------------------------------
 
   /// HDBSCAN* minPts (core-distance neighbour count).  Default 2.
@@ -191,8 +200,6 @@ class Pipeline {
 
   [[nodiscard]] dendrogram::PandoraOptions pandora_options() const {
     dendrogram::PandoraOptions options;
-    // options.space is left at its default: the Executor overloads take the
-    // space from the executor and never read it.
     options.expansion = expansion_;
     options.validate_input = validate_input_;
     return options;

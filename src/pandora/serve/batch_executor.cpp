@@ -15,7 +15,7 @@ BatchExecutor::BatchExecutor(const exec::Executor& parent, BatchOptions options)
   slots = std::max(slots, 1);
   slots_.reserve(static_cast<std::size_t>(slots));
   for (int i = 0; i < slots; ++i) {
-    auto slot = std::make_unique<exec::Executor>(exec::Space::serial);
+    auto slot = std::make_unique<exec::Executor>(exec::serial_backend());
     // All slots share the parent's artifact pool (thread-safe by the
     // ArtifactCache locking contract); each keeps its own Workspace arena.
     slot->use_shared_artifact_cache(&parent.artifact_cache());

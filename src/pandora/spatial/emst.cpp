@@ -162,10 +162,6 @@ graph::EdgeList join_components_emst(const exec::Executor& exec, const PointSet&
   return boruvka_emst(exec, points, tree, {}, false, uf);
 }
 
-graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points, const KdTree& tree) {
-  return euclidean_mst(exec::default_executor(space), points, tree);
-}
-
 graph::EdgeList mutual_reachability_mst(const exec::Executor& exec, const PointSet& points,
                                         const KdTree& tree,
                                         std::span<const double> core_distances) {
@@ -221,12 +217,6 @@ std::shared_ptr<const graph::EdgeList> mutual_reachability_mst_cached(
   }
   const graph::EdgeList* view = &entry->mst;
   return {std::move(entry), view};
-}
-
-graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,
-                                        const KdTree& tree,
-                                        std::span<const double> core_distances) {
-  return mutual_reachability_mst(exec::default_executor(space), points, tree, core_distances);
 }
 
 }  // namespace pandora::spatial

@@ -6,7 +6,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/graph/union_find.hpp"
 #include "pandora/spatial/kdtree.hpp"
@@ -63,15 +62,5 @@ namespace pandora::spatial {
     const exec::Executor& exec, const PointSet& points, const KdTree& tree,
     std::span<const double> core_distances, int min_pts,
     std::optional<std::uint64_t> points_fingerprint = std::nullopt);
-
-/// Deprecated shims over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] graph::EdgeList euclidean_mst(exec::Space space, const PointSet& points,
-                                            const KdTree& tree);
-
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] graph::EdgeList mutual_reachability_mst(exec::Space space, const PointSet& points,
-                                                      const KdTree& tree,
-                                                      std::span<const double> core_distances);
 
 }  // namespace pandora::spatial

@@ -11,7 +11,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/spatial/point_set.hpp"
 
 namespace pandora::spatial {

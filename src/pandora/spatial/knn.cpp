@@ -1,9 +1,9 @@
 #include "pandora/spatial/knn.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <omp.h>
 
-#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/backend.hpp"
 
 namespace pandora::spatial {
 
@@ -13,32 +13,31 @@ std::vector<double> kth_neighbor_distances(const exec::Executor& exec, const Poi
   std::vector<double> result(static_cast<std::size_t>(n), 0.0);
   if (k <= 0 || n <= 1) return result;
 
-  if (exec.space() == exec::Space::parallel) {
-    const int num_threads = exec.num_threads();
-#pragma omp parallel num_threads(num_threads)
-    {
-      std::vector<Neighbor> scratch;
-#pragma omp for schedule(dynamic, 256)
-      for (index_t q = 0; q < n; ++q) {
-        tree.knn(q, k, scratch);
-        result[static_cast<std::size_t>(q)] =
-            scratch.empty() ? 0.0 : std::sqrt(scratch.back().squared_distance);
-      }
-    }
+  const auto query = [&](index_t q, std::vector<Neighbor>& scratch) {
+    tree.knn(q, k, scratch);
+    result[static_cast<std::size_t>(q)] =
+        scratch.empty() ? 0.0 : std::sqrt(scratch.back().squared_distance);
+  };
+  if (exec.num_threads() > 1) {
+    // Small chunks so uneven query costs balance dynamically across the
+    // backend's workers (kd-tree searches vary with local density).
+    constexpr index_t kQueriesPerChunk = 256;
+    const int num_chunks = static_cast<int>((n + kQueriesPerChunk - 1) / kQueriesPerChunk);
+    auto body = [&](int c) {
+      // Per-worker scratch, persistent across chunks and calls (backend
+      // workers are long-lived threads), mirroring the old per-thread
+      // hoisting — steady-state passes allocate nothing here.
+      thread_local std::vector<Neighbor> scratch;
+      const index_t lo = static_cast<index_t>(c) * kQueriesPerChunk;
+      const index_t hi = std::min<index_t>(n, lo + kQueriesPerChunk);
+      for (index_t q = lo; q < hi; ++q) query(q, scratch);
+    };
+    exec.backend().run_chunks(num_chunks, exec.num_threads(), body);
   } else {
     std::vector<Neighbor> scratch;
-    for (index_t q = 0; q < n; ++q) {
-      tree.knn(q, k, scratch);
-      result[static_cast<std::size_t>(q)] =
-          scratch.empty() ? 0.0 : std::sqrt(scratch.back().squared_distance);
-    }
+    for (index_t q = 0; q < n; ++q) query(q, scratch);
   }
   return result;
-}
-
-std::vector<double> kth_neighbor_distances(exec::Space space, const PointSet& points,
-                                           const KdTree& tree, int k) {
-  return kth_neighbor_distances(exec::default_executor(space), points, tree, k);
 }
 
 }  // namespace pandora::spatial

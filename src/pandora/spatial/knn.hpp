@@ -4,7 +4,6 @@
 
 #include "pandora/common/types.hpp"
 #include "pandora/exec/executor.hpp"
-#include "pandora/exec/space.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "pandora/spatial/point_set.hpp"
 
@@ -13,12 +12,6 @@ namespace pandora::spatial {
 /// Distance (not squared) from every point to its k-th nearest neighbour,
 /// excluding the point itself.  k <= 0 yields zeros.  Parallel over points.
 [[nodiscard]] std::vector<double> kth_neighbor_distances(const exec::Executor& exec,
-                                                         const PointSet& points,
-                                                         const KdTree& tree, int k);
-
-/// Deprecated shim over the per-thread default executor.
-PANDORA_DEPRECATED("pass a const exec::Executor& instead of a bare Space")
-[[nodiscard]] std::vector<double> kth_neighbor_distances(exec::Space space,
                                                          const PointSet& points,
                                                          const KdTree& tree, int k);
 

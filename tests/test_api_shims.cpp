@@ -1,26 +1,24 @@
-// The deprecated bare-`Space` API must keep compiling and produce results
-// bit-identical to the Executor-based API it forwards to.  This is the one
-// translation unit that intentionally exercises the old signatures, so the
-// deprecation attributes are disabled here.
-
-#define PANDORA_NO_DEPRECATION_WARNINGS
+// Migration contract for the retired bare-`Space` API.
+//
+// Every deprecation cycle is complete: the `Space` enum itself, the exec
+// primitive shims (`parallel_for` / `parallel_reduce` / `exclusive_scan` /
+// `radix_sort_u64` over a bare `Space`), the graph entry points
+// (`boruvka_mst`, `build_euler_tour`, `list_rank`), the spatial/hdbscan entry
+// points (`euclidean_mst`, `mutual_reachability_mst`,
+// `kth_neighbor_distances`, `core_distances`, `hdbscan(points, options)`),
+// the union-find dendrogram shims and the `HdbscanOptions::space` /
+// `PandoraOptions::space` fields are gone.  Callers pass a
+// `const exec::Executor&` (constructed on a Backend — see exec/backend.hpp)
+// and, for the old `PhaseTimes*` plumbing, attach a profiler.
+//
+// What this file still asserts is the surviving bridge: `ScopedPhaseTimes`
+// delivers the phases exactly as the retired `PhaseTimes*` out-params did.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-
-#include "pandora/common/rng.hpp"
-#include "pandora/data/point_generators.hpp"
-#include "pandora/dendrogram/mixed.hpp"
 #include "pandora/dendrogram/pandora.hpp"
-#include "pandora/dendrogram/sorted_edges.hpp"
-#include "pandora/dendrogram/union_find_dendrogram.hpp"
-#include "pandora/exec/parallel.hpp"
-#include "pandora/exec/scan.hpp"
-#include "pandora/exec/sort.hpp"
-#include "pandora/graph/euler_tour.hpp"
-#include "pandora/graph/mst.hpp"
-#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/graph/edge.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -29,20 +27,12 @@ using namespace pandora;
 using pandora::testing::Topology;
 using pandora::testing::make_tree;
 
-// Note: the former bare-`Space` shims for `sort_edges`, `contract_one_level`
-// (removed in PR 2) and `pandora_dendrogram` / `mixed_dendrogram` (removed
-// this deprecation cycle) are gone — the Executor overloads are the only
-// entry points for those now.  The `PhaseTimes*` plumbing they carried is
-// covered through the scoped-profiler bridge below; this file covers the
-// shims that remain (exec primitives, graph entry points, union-find
-// dendrogram, hdbscan).
-
 TEST(ApiShims, ScopedPhaseTimesBridgesTheRetiredPhaseTimesPlumbing) {
   // Old-style callers of the retired pandora_dendrogram(mst, n, options,
   // &times) shim migrate to an Executor plus ScopedPhaseTimes; the phases
   // must arrive exactly as the shim delivered them.
   const graph::EdgeList tree = make_tree(Topology::random_attach, 8000, 7, 0);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor;
   PhaseTimes times;
   dendrogram::Dendrogram via_executor;
   {
@@ -53,76 +43,6 @@ TEST(ApiShims, ScopedPhaseTimesBridgesTheRetiredPhaseTimesPlumbing) {
   EXPECT_GT(times.get("contraction"), 0.0);
   EXPECT_GT(times.get("expansion"), 0.0);
   EXPECT_EQ(via_executor.num_edges, 7999);
-}
-
-TEST(ApiShims, UnionFindMatchesExecutorOverload) {
-  const graph::EdgeList tree = make_tree(Topology::caterpillar, 3000, 5, 3);
-  const exec::Executor executor(exec::Space::parallel);
-  const auto uf_shim = dendrogram::union_find_dendrogram(tree, 3000, exec::Space::parallel);
-  const auto uf_executor = dendrogram::union_find_dendrogram(executor, tree, 3000);
-  EXPECT_EQ(uf_shim.parent, uf_executor.parent);
-}
-
-TEST(ApiShims, ExecPrimitivesMatchExecutorOverloads) {
-  const size_type n = 100000;
-  const exec::Executor executor(exec::Space::parallel);
-
-  std::vector<int> hits(static_cast<std::size_t>(n), 0);
-  exec::parallel_for(exec::Space::parallel, n,
-                     [&](size_type i) { hits[static_cast<std::size_t>(i)]++; });
-  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), n);
-
-  const auto shim_sum = exec::parallel_sum(exec::Space::parallel, n, std::int64_t{0},
-                                           [](size_type i) { return std::int64_t{i}; });
-  const auto executor_sum = exec::parallel_sum(executor, n, std::int64_t{0},
-                                               [](size_type i) { return std::int64_t{i}; });
-  EXPECT_EQ(shim_sum, executor_sum);
-
-  std::vector<index_t> in(static_cast<std::size_t>(n), 2);
-  std::vector<index_t> out_shim(in.size()), out_executor(in.size());
-  EXPECT_EQ(exec::exclusive_scan<index_t>(exec::Space::parallel, in, out_shim),
-            exec::exclusive_scan<index_t>(executor, in, out_executor));
-  EXPECT_EQ(out_shim, out_executor);
-
-  Rng rng(21);
-  std::vector<std::uint64_t> keys_shim(static_cast<std::size_t>(n));
-  for (auto& k : keys_shim) k = rng.next_u64();
-  std::vector<std::uint64_t> keys_executor = keys_shim;
-  exec::radix_sort_u64(exec::Space::parallel, keys_shim);
-  exec::radix_sort_u64(executor, keys_executor);
-  EXPECT_EQ(keys_shim, keys_executor);
-}
-
-TEST(ApiShims, GraphShimsMatchExecutorOverloads) {
-  graph::EdgeList tree = make_tree(Topology::balanced, 2000, 9, 0);
-  const exec::Executor executor(exec::Space::parallel);
-  const auto tour_shim = graph::build_euler_tour(exec::Space::parallel, tree, 2000, 0);
-  const auto tour_executor = graph::build_euler_tour(executor, tree, 2000, 0);
-  EXPECT_EQ(tour_shim.rank, tour_executor.rank);
-  EXPECT_EQ(tour_shim.parent_vertex, tour_executor.parent_vertex);
-
-  // A small connected graph: the tree plus some extra edges.
-  graph::EdgeList graph_edges = tree;
-  graph_edges.push_back({0, 1999, 100.0});
-  graph_edges.push_back({1, 1000, 50.0});
-  const auto mst_shim = graph::boruvka_mst(exec::Space::parallel, graph_edges, 2000);
-  const auto mst_executor = graph::boruvka_mst(executor, graph_edges, 2000);
-  ASSERT_EQ(mst_shim.size(), mst_executor.size());
-  for (std::size_t i = 0; i < mst_shim.size(); ++i) EXPECT_EQ(mst_shim[i], mst_executor[i]);
-}
-
-TEST(ApiShims, HdbscanShimMatchesExecutorOverload) {
-  const spatial::PointSet points = data::gaussian_blobs(1500, 2, 5, 0.03, 0.05, 3);
-  hdbscan::HdbscanOptions options;
-  options.min_pts = 3;
-  options.min_cluster_size = 15;
-  options.space = exec::Space::parallel;
-  const exec::Executor executor(exec::Space::parallel);
-  const auto via_shim = hdbscan::hdbscan(points, options);
-  const auto via_executor = hdbscan::hdbscan(executor, points, options);
-  EXPECT_EQ(via_shim.labels, via_executor.labels);
-  EXPECT_EQ(via_shim.dendrogram.parent, via_executor.dendrogram.parent);
-  EXPECT_EQ(via_shim.num_clusters, via_executor.num_clusters);
 }
 
 }  // namespace

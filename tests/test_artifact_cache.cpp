@@ -125,8 +125,8 @@ TEST(ArtifactCache, ConcurrentClearIsSafe) {
 }
 
 TEST(Executor, SharedArtifactCacheInstallAndRestore) {
-  const exec::Executor parent(exec::Space::serial);
-  const exec::Executor worker(exec::Space::serial);
+  const exec::Executor parent(exec::serial_backend());
+  const exec::Executor worker(exec::serial_backend());
   ASSERT_NE(&parent.artifact_cache(), &worker.artifact_cache());
 
   worker.use_shared_artifact_cache(&parent.artifact_cache());

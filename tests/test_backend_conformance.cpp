@@ -1,0 +1,281 @@
+// Backend conformance: every registered execution backend — and a pinned
+// pool forced to multiple workers, which a 1-core CI host would otherwise
+// degrade to inline execution — must produce BIT-IDENTICAL results for the
+// primitive set the subsystems consume (radix sort, scan, deterministic
+// left-to-right reduce, parallel_for) and for the full dendrogram / HDBSCAN*
+// pipelines, and must uphold the warm-executor zero-steady-state-allocation
+// guarantee.  This is the contract that makes "add a device backend" an
+// implementation of one interface instead of a rewrite.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "alloc_counter.hpp"
+#include "pandora/common/rng.hpp"
+#include "pandora/data/point_generators.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/exec/parallel.hpp"
+#include "pandora/exec/pinned_pool.hpp"
+#include "pandora/exec/scan.hpp"
+#include "pandora/exec/sort.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/pipeline.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace pandora;
+using pandora::testing::AllocationCounterScope;
+using pandora::testing::Topology;
+using pandora::testing::make_tree;
+
+/// Every backend under conformance test: the registered singletons plus a
+/// dedicated 4-worker pinned pool (so the pool's cross-thread machinery is
+/// exercised even on a 1-core host, where the shared singleton owns no
+/// workers) — pinned to cores, so the affinity path runs too.
+std::vector<std::shared_ptr<const exec::Backend>> conformance_backends() {
+  auto backends = exec::registered_backends();
+  backends.push_back(exec::make_pinned_pool_backend(
+      {.num_threads = 4, .pin_threads = true, .spin_iterations = 1024}));
+  return backends;
+}
+
+/// A 4-thread executor on `backend`: all parallel backends chunk identically
+/// (the serial backend grants 1 and runs the sequential reference).
+exec::Executor executor_on(const std::shared_ptr<const exec::Backend>& backend) {
+  return exec::Executor(backend, 4);
+}
+
+TEST(BackendConformance, RegisteredBackendsAreDistinctAndNamed) {
+  const auto backends = exec::registered_backends();
+  ASSERT_EQ(backends.size(), 3u);
+  EXPECT_STREQ(backends[0]->name(), "serial");
+  EXPECT_STREQ(backends[1]->name(), "openmp");
+  EXPECT_STREQ(backends[2]->name(), "pinned");
+  EXPECT_EQ(backends[0]->concurrency(), 1);
+  for (const auto& backend : backends) EXPECT_GE(backend->concurrency(), 1);
+}
+
+TEST(BackendConformance, ParallelForCoversEveryIndexExactlyOnce) {
+  const size_type n = 100000;
+  for (const auto& backend : conformance_backends()) {
+    const exec::Executor executor = executor_on(backend);
+    std::vector<int> hits(static_cast<std::size_t>(n), 0);
+    exec::parallel_for(executor, n,
+                       [&](size_type i) { hits[static_cast<std::size_t>(i)]++; });
+    EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), n) << backend->name();
+  }
+}
+
+TEST(BackendConformance, RadixSortBitIdentityIncludingByteRanges) {
+  Rng rng(7);
+  std::vector<std::uint64_t> input(100000);
+  for (auto& k : input) k = rng.next_u64();
+  // Some equal keys so stability matters.
+  for (std::size_t i = 0; i < input.size(); i += 37) input[i] = input[0];
+
+  for (const auto [first_byte, last_byte] :
+       {std::array<int, 2>{0, 8}, std::array<int, 2>{4, 8}, std::array<int, 2>{2, 5}}) {
+    const std::uint64_t hi = last_byte >= 8 ? ~std::uint64_t{0}
+                                            : (std::uint64_t{1} << (8 * last_byte)) - 1;
+    const std::uint64_t mask = hi & (~std::uint64_t{0} << (8 * first_byte));
+    std::vector<std::uint64_t> reference = input;
+    std::stable_sort(reference.begin(), reference.end(),
+                     [mask](std::uint64_t a, std::uint64_t b) { return (a & mask) < (b & mask); });
+
+    for (const auto& backend : conformance_backends()) {
+      const exec::Executor executor = executor_on(backend);
+      std::vector<std::uint64_t> keys = input;
+      exec::radix_sort_u64(executor, keys, first_byte, last_byte);
+      EXPECT_EQ(keys, reference)
+          << backend->name() << " bytes [" << first_byte << ", " << last_byte << ")";
+    }
+  }
+}
+
+TEST(BackendConformance, ExclusiveAndInclusiveScanMatchSerialReference) {
+  const size_type n = 50000;
+  Rng rng(11);
+  std::vector<index_t> in(static_cast<std::size_t>(n));
+  for (auto& v : in) v = static_cast<index_t>(rng.next_u64() % 5);
+
+  std::vector<index_t> reference(in.size());
+  index_t running = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    reference[i] = running;
+    running += in[i];
+  }
+
+  for (const auto& backend : conformance_backends()) {
+    const exec::Executor executor = executor_on(backend);
+    std::vector<index_t> out(in.size());
+    const index_t total = exec::exclusive_scan<index_t>(executor, in, out);
+    EXPECT_EQ(total, running) << backend->name();
+    EXPECT_EQ(out, reference) << backend->name();
+
+    std::vector<index_t> inc(in.size());
+    exec::inclusive_scan<index_t>(executor, in, inc);
+    for (std::size_t i = 0; i < in.size(); ++i)
+      ASSERT_EQ(inc[i], reference[i] + in[i]) << backend->name() << " @" << i;
+  }
+}
+
+/// 2x2 integer matrices under multiplication: associative, NOT commutative.
+/// The left-to-right combine contract means every backend must reproduce the
+/// serial fold exactly, and repeated runs must agree bit-for-bit no matter
+/// which pool worker ran which chunk.
+struct Mat2 {
+  std::int64_t a, b, c, d;
+  friend bool operator==(const Mat2&, const Mat2&) = default;
+};
+
+Mat2 mat_mul(const Mat2& x, const Mat2& y) {
+  // Entries stay bounded: inputs are small rotations/shears mod a prime.
+  constexpr std::int64_t kMod = 1000003;
+  return {(x.a * y.a + x.b * y.c) % kMod, (x.a * y.b + x.b * y.d) % kMod,
+          (x.c * y.a + x.d * y.c) % kMod, (x.c * y.b + x.d * y.d) % kMod};
+}
+
+Mat2 element(size_type i) {
+  const auto v = static_cast<std::int64_t>(i);
+  return {1 + v % 3, v % 5, v % 7, 1 + v % 2};
+}
+
+TEST(BackendConformance, NonCommutativeReduceIsLeftToRightOnEveryBackend) {
+  const size_type n = 200000;
+  Mat2 reference{1, 0, 0, 1};
+  for (size_type i = 0; i < n; ++i) reference = mat_mul(reference, element(i));
+
+  for (const auto& backend : conformance_backends()) {
+    const exec::Executor executor = executor_on(backend);
+    const Mat2 identity{1, 0, 0, 1};
+    const Mat2 result = exec::parallel_reduce(executor, n, identity, element, mat_mul);
+    EXPECT_EQ(result, reference) << backend->name();
+
+    // Determinism under scheduling jitter: the pinned pool hands chunks to
+    // whichever worker claims them first, which must never show in the
+    // result.
+    for (int repeat = 0; repeat < 10; ++repeat) {
+      ASSERT_EQ(exec::parallel_reduce(executor, n, identity, element, mat_mul), reference)
+          << backend->name() << " repeat " << repeat;
+    }
+  }
+}
+
+TEST(BackendConformance, NestedLaunchesRunInlineOnEveryBackend) {
+  // A chunk body that launches again on the same backend must complete (the
+  // nested launch runs inline on whichever worker executes the chunk — pool
+  // worker or caller — never deadlocking on the in-flight outer launch).
+  for (const auto& backend : conformance_backends()) {
+    std::array<std::atomic<int>, 4 * 8> hits{};
+    auto outer = [&](int c) {
+      auto inner = [&](int i) { hits[static_cast<std::size_t>(c * 8 + i)]++; };
+      backend->run_chunks(8, 4, inner);
+    };
+    backend->run_chunks(4, 4, outer);
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1) << backend->name();
+  }
+}
+
+TEST(BackendConformance, FullDendrogramBitIdenticalAcrossBackends) {
+  for (const auto topology : {Topology::caterpillar, Topology::preferential}) {
+    const index_t nv = 20000;
+    const graph::EdgeList tree = make_tree(topology, nv, 13, 4);
+    const exec::Executor serial(exec::serial_backend());
+    const dendrogram::Dendrogram reference = dendrogram::pandora_dendrogram(serial, tree, nv);
+
+    for (const auto& backend : conformance_backends()) {
+      const exec::Executor executor = executor_on(backend);
+      const dendrogram::Dendrogram d = dendrogram::pandora_dendrogram(executor, tree, nv);
+      EXPECT_EQ(d.parent, reference.parent) << backend->name();
+      EXPECT_EQ(d.weight, reference.weight) << backend->name();
+      EXPECT_EQ(d.edge_order, reference.edge_order) << backend->name();
+    }
+  }
+}
+
+TEST(BackendConformance, HdbscanBitIdenticalAcrossBackends) {
+  const spatial::PointSet points = data::gaussian_blobs(3000, 2, 4, 0.04, 0.06, 5);
+  hdbscan::HdbscanOptions options;
+  options.min_pts = 4;
+  options.min_cluster_size = 20;
+
+  const exec::Executor serial(exec::serial_backend());
+  const auto reference = hdbscan::hdbscan(serial, points, options);
+
+  for (const auto& backend : conformance_backends()) {
+    const exec::Executor executor = executor_on(backend);
+    const auto result = hdbscan::hdbscan(executor, points, options);
+    EXPECT_EQ(result.labels, reference.labels) << backend->name();
+    EXPECT_EQ(result.num_clusters, reference.num_clusters) << backend->name();
+    EXPECT_EQ(result.dendrogram.parent, reference.dendrogram.parent) << backend->name();
+    EXPECT_EQ(result.core_distances, reference.core_distances) << backend->name();
+    ASSERT_EQ(result.mst.size(), reference.mst.size()) << backend->name();
+    for (std::size_t i = 0; i < result.mst.size(); ++i)
+      ASSERT_EQ(result.mst[i], reference.mst[i]) << backend->name() << " edge " << i;
+  }
+}
+
+TEST(BackendConformance, WarmExecutorSteadyStateAllocatesNothingOnEveryBackend) {
+  const index_t nv = 30000;
+  const graph::EdgeList tree = make_tree(Topology::preferential, nv, 3, 0);
+  for (const auto& backend : conformance_backends()) {
+    const exec::Executor executor = executor_on(backend);
+    const auto pipeline = Pipeline::on(executor);
+    dendrogram::Dendrogram out;
+    pipeline.build_dendrogram_into(tree, nv, out);  // warm-up: sizes the arena
+    pipeline.build_dendrogram_into(tree, nv, out);  // settles runtime/pool state
+    const dendrogram::Dendrogram reference = out;
+
+    executor.workspace().reset_stats();
+    const AllocationCounterScope scope;
+    pipeline.build_dendrogram_into(tree, nv, out);
+    EXPECT_EQ(scope.count(), 0u)
+        << backend->name() << ": the steady-state pipeline must not touch the heap";
+    EXPECT_EQ(executor.workspace().stats().misses, 0u) << backend->name();
+    EXPECT_EQ(out.parent, reference.parent) << backend->name();
+  }
+}
+
+/// The Workspace arena allocates through the backend's MemoryResource hook —
+/// the seam a device backend substitutes device buffers through.  A counting
+/// resource must observe every arena miss and every arena release.
+class CountingResource final : public exec::MemoryResource {
+ public:
+  void* allocate(std::size_t bytes, std::size_t alignment) override {
+    ++allocations;
+    return exec::host_memory_resource().allocate(bytes, alignment);
+  }
+  void deallocate(void* block, std::size_t bytes, std::size_t alignment) noexcept override {
+    ++deallocations;
+    exec::host_memory_resource().deallocate(block, bytes, alignment);
+  }
+  int allocations = 0;
+  int deallocations = 0;
+};
+
+TEST(BackendConformance, WorkspaceAllocatesThroughTheMemoryResourceHook) {
+  CountingResource resource;
+  {
+    exec::Workspace workspace(&resource);
+    {
+      auto lease = workspace.take_uninit<std::uint64_t>(1000);
+      EXPECT_EQ(resource.allocations, 1);
+      lease[0] = 42;  // the block is writable host memory
+    }
+    {
+      // Recycled: same size class, no new allocation through the resource.
+      auto lease = workspace.take_uninit<std::uint64_t>(900);
+      EXPECT_EQ(resource.allocations, 1);
+      (void)lease;
+    }
+  }
+  EXPECT_EQ(resource.deallocations, resource.allocations);
+}
+
+}  // namespace

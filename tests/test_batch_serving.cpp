@@ -29,7 +29,7 @@ std::vector<graph::EdgeList> make_batch_trees(index_t num_vertices, std::size_t 
 }
 
 TEST(BatchExecutor, BatchedDendrogramsMatchSequential) {
-  const exec::Executor parent(exec::Space::parallel, 4);
+  const exec::Executor parent(exec::default_backend(), 4);
   serve::BatchExecutor batch(parent, {.num_slots = 4});
 
   // Mixed sizes straddling the small/large threshold, so both phases of the
@@ -48,7 +48,7 @@ TEST(BatchExecutor, BatchedDendrogramsMatchSequential) {
   const std::vector<dendrogram::Dendrogram> batched = batch.build_dendrograms(queries);
 
   // Sequential reference on an independent executor.
-  const exec::Executor reference(exec::Space::parallel, 4);
+  const exec::Executor reference(exec::default_backend(), 4);
   ASSERT_EQ(batched.size(), queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const dendrogram::Dendrogram expected =
@@ -60,7 +60,7 @@ TEST(BatchExecutor, BatchedDendrogramsMatchSequential) {
 }
 
 TEST(BatchExecutor, BatchedHdbscanMatchesSequential) {
-  const exec::Executor parent(exec::Space::parallel, 4);
+  const exec::Executor parent(exec::default_backend(), 4);
   serve::BatchExecutor batch(parent);
 
   std::vector<spatial::PointSet> point_sets;
@@ -76,7 +76,7 @@ TEST(BatchExecutor, BatchedHdbscanMatchesSequential) {
   }
   const std::vector<hdbscan::HdbscanResult> batched = batch.run_hdbscan(queries);
 
-  const exec::Executor reference(exec::Space::parallel, 4);
+  const exec::Executor reference(exec::default_backend(), 4);
   for (std::size_t i = 0; i < queries.size(); ++i) {
     const hdbscan::HdbscanResult expected =
         hdbscan::hdbscan(reference, point_sets[i], queries[i].options);
@@ -87,7 +87,7 @@ TEST(BatchExecutor, BatchedHdbscanMatchesSequential) {
 }
 
 TEST(BatchExecutor, SlotArenasReachSteadyState) {
-  const exec::Executor parent(exec::Space::parallel, 4);
+  const exec::Executor parent(exec::default_backend(), 4);
   serve::BatchExecutor batch(parent, {.num_slots = 4});
   // Caching off so every batch re-sorts through the slot arenas (with it on,
   // the second batch would hit the SortedEdges cache and lease nothing).
@@ -125,7 +125,7 @@ TEST(BatchExecutor, SlotArenasReachSteadyState) {
 }
 
 TEST(BatchExecutor, SlotsShareTheParentArtifactCache) {
-  const exec::Executor parent(exec::Space::parallel, 4);
+  const exec::Executor parent(exec::default_backend(), 4);
   serve::BatchExecutor batch(parent, {.num_slots = 4});
 
   const graph::EdgeList tree = make_tree(Topology::random_attach, 3000, 42, 0);
@@ -147,7 +147,7 @@ TEST(BatchExecutor, OverlappedAndSequentialPhasesAgree) {
   // identical results, and with overlap the large jobs must be able to run
   // while small jobs are still in flight (observed via a latch the small
   // jobs only release after a large job ran).
-  const exec::Executor parent(exec::Space::parallel, 4);
+  const exec::Executor parent(exec::default_backend(), 4);
   std::vector<graph::EdgeList> trees;
   std::vector<index_t> sizes = {600, 30000, 900, 700, 30000, 1100};
   for (std::size_t i = 0; i < sizes.size(); ++i)
@@ -187,7 +187,7 @@ TEST(BatchExecutor, OverlappedAndSequentialPhasesAgree) {
 }
 
 TEST(BatchExecutor, ExceptionsAreIsolatedAndRethrown) {
-  const exec::Executor parent(exec::Space::parallel, 2);
+  const exec::Executor parent(exec::default_backend(), 2);
   serve::BatchExecutor batch(parent, {.num_slots = 2});
 
   std::atomic<int> completed{0};
@@ -204,7 +204,7 @@ TEST(BatchExecutor, ExceptionsAreIsolatedAndRethrown) {
 }
 
 TEST(BatchExecutor, WaveQueryExceptionsAreIsolatedButUpdatesStillApply) {
-  const exec::Executor parent(exec::Space::parallel, 2);
+  const exec::Executor parent(exec::default_backend(), 2);
   serve::BatchExecutor batch(parent, {.num_slots = 2});
 
   std::atomic<int> updates_applied{0};
@@ -231,7 +231,7 @@ TEST(BatchExecutor, WaveQueryExceptionsAreIsolatedButUpdatesStillApply) {
 }
 
 TEST(BatchExecutor, PipelineBatchFrontDoor) {
-  const exec::Executor executor(exec::Space::parallel, 2);
+  const exec::Executor executor(exec::default_backend(), 2);
   const std::vector<graph::EdgeList> trees = make_batch_trees(1500, 3);
   std::vector<serve::DendrogramQuery> queries;
   for (const auto& tree : trees) queries.push_back({&tree, 1500, {}});

@@ -38,8 +38,8 @@ TEST(Extraction, LeafSelectsAtLeastAsManyClustersAsEom) {
   eom.min_cluster_size = 30;
   HdbscanOptions leaf = eom;
   leaf.cluster_selection_method = ClusterSelectionMethod::leaf;
-  const auto r_eom = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, eom);
-  const auto r_leaf = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, leaf);
+  const auto r_eom = hdbscan::hdbscan(exec::default_executor(), points, eom);
+  const auto r_leaf = hdbscan::hdbscan(exec::default_executor(), points, leaf);
   EXPECT_GE(r_leaf.num_clusters, r_eom.num_clusters);
   // The fine scale has 12 subclusters; leaf selection should find them.
   EXPECT_GE(r_leaf.num_clusters, 10);
@@ -54,8 +54,8 @@ TEST(Extraction, LeafLabelsRefineEomLabels) {
   eom.min_cluster_size = 25;
   HdbscanOptions leaf = eom;
   leaf.cluster_selection_method = ClusterSelectionMethod::leaf;
-  const auto r_eom = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, eom);
-  const auto r_leaf = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, leaf);
+  const auto r_eom = hdbscan::hdbscan(exec::default_executor(), points, eom);
+  const auto r_leaf = hdbscan::hdbscan(exec::default_executor(), points, leaf);
   std::map<index_t, index_t> leaf_to_eom;
   for (index_t p = 0; p < points.size(); ++p) {
     const index_t l = r_leaf.labels[static_cast<std::size_t>(p)];
@@ -74,8 +74,8 @@ TEST(Extraction, EpsilonMergesFineClusters) {
   fine.cluster_selection_method = ClusterSelectionMethod::leaf;
   HdbscanOptions merged = fine;
   merged.cluster_selection_epsilon = 2.0;  // above the fine gap (~0.6), below the coarse (~8)
-  const auto r_fine = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, fine);
-  const auto r_merged = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, merged);
+  const auto r_fine = hdbscan::hdbscan(exec::default_executor(), points, fine);
+  const auto r_merged = hdbscan::hdbscan(exec::default_executor(), points, merged);
   EXPECT_GT(r_fine.num_clusters, r_merged.num_clusters);
   EXPECT_GE(r_merged.num_clusters, 2);
   EXPECT_LE(r_merged.num_clusters, 6);  // the four coarse groups (some slack)
@@ -88,8 +88,8 @@ TEST(Extraction, EpsilonZeroIsIdentity) {
   base.min_cluster_size = 20;
   HdbscanOptions with_zero = base;
   with_zero.cluster_selection_epsilon = 0.0;
-  const auto a = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, base);
-  const auto b = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, with_zero);
+  const auto a = hdbscan::hdbscan(exec::default_executor(), points, base);
+  const auto b = hdbscan::hdbscan(exec::default_executor(), points, with_zero);
   EXPECT_EQ(a.labels, b.labels);
 }
 
@@ -104,7 +104,7 @@ TEST(Extraction, SelectedClustersAreAnAntichain) {
       options.min_cluster_size = 20;
       options.cluster_selection_method = method;
       options.cluster_selection_epsilon = eps;
-      const auto result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+      const auto result = hdbscan::hdbscan(exec::default_executor(), points, options);
       // Recompute the selected set through the public API.
       hdbscan::ExtractOptions extract;
       extract.method = method;

@@ -22,7 +22,8 @@ using pandora::testing::all_topologies;
 using pandora::testing::make_tree;
 using pandora::testing::topology_name;
 
-ContractionHierarchy hierarchy_of(const graph::EdgeList& tree, index_t nv, exec::Space space) {
+ContractionHierarchy hierarchy_of(const graph::EdgeList& tree, index_t nv,
+                                  const std::shared_ptr<const exec::Backend>& space) {
   const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(space), tree, nv);
   std::vector<index_t> gid(static_cast<std::size_t>(sorted.num_edges()));
   std::iota(gid.begin(), gid.end(), index_t{0});
@@ -41,7 +42,7 @@ TEST_P(ContractionSweep, PaperBoundsHold) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const graph::EdgeList tree = make_tree(topo, nv, seed);
     const index_t n = nv - 1;
-    const ContractionHierarchy h = hierarchy_of(tree, nv, exec::Space::parallel);
+    const ContractionHierarchy h = hierarchy_of(tree, nv, exec::default_backend());
 
     // Section 4.2: at most ceil(log2(n+1)) contraction levels.
     const auto level_bound =
@@ -80,7 +81,7 @@ TEST_P(ContractionSweep, PaperBoundsHold) {
 TEST_P(ContractionSweep, VertexMapsComposeToConnectedPartitions) {
   const auto& [topo, nv] = GetParam();
   const graph::EdgeList tree = make_tree(topo, nv, 1);
-  const ContractionHierarchy h = hierarchy_of(tree, nv, exec::Space::serial);
+  const ContractionHierarchy h = hierarchy_of(tree, nv, exec::serial_backend());
   for (index_t l = 0; l + 1 < h.num_levels(); ++l) {
     const auto& level = h.levels[static_cast<std::size_t>(l)];
     ASSERT_EQ(static_cast<index_t>(level.vertex_map.size()), level.num_vertices);
@@ -99,10 +100,10 @@ TEST_P(ContractionSweep, VertexMapsComposeToConnectedPartitions) {
 TEST_P(ContractionSweep, SidedParentsAreIncidentEdges) {
   const auto& [topo, nv] = GetParam();
   const graph::EdgeList tree = make_tree(topo, nv, 2);
-  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, nv);
+  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), tree, nv);
   std::vector<index_t> gid(static_cast<std::size_t>(sorted.num_edges()));
   std::iota(gid.begin(), gid.end(), index_t{0});
-  const ContractionHierarchy h = dendrogram::build_hierarchy(exec::default_executor(exec::Space::serial), sorted.u, sorted.v, std::move(gid), nv, sorted.num_edges());
+  const ContractionHierarchy h = dendrogram::build_hierarchy(exec::default_executor(exec::serial_backend()), sorted.u, sorted.v, std::move(gid), nv, sorted.num_edges());
 
   // Level 0 sided parents are Eq. (1): the lightest incident edge, with the
   // side bit naming the endpoint.
@@ -128,7 +129,7 @@ TEST(Contraction, StarTreeContractsInOneLevel) {
   graph::EdgeList tree = data::star_tree(500);
   pandora::Rng rng(1);
   data::assign_random_weights(tree, rng);
-  const ContractionHierarchy h = hierarchy_of(tree, 500, exec::Space::parallel);
+  const ContractionHierarchy h = hierarchy_of(tree, 500, exec::default_backend());
   EXPECT_EQ(h.num_levels(), 1);
   EXPECT_EQ(h.levels[0].num_alpha, 0);
 }
@@ -138,8 +139,8 @@ TEST(Contraction, AlphaCountMatchesDendrogramClassification) {
   // nodes with two edge children in the final dendrogram.
   for (const Topology topo : all_topologies()) {
     const graph::EdgeList tree = make_tree(topo, 600, 5);
-    const ContractionHierarchy h = hierarchy_of(tree, 600, exec::Space::parallel);
-    const auto d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 600);
+    const ContractionHierarchy h = hierarchy_of(tree, 600, exec::default_backend());
+    const auto d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 600);
     const auto counts = dendrogram::classify_edges(d);
     EXPECT_EQ(h.levels[0].num_alpha, counts.alpha_edges) << topology_name(topo);
     // And the paper's identity n_alpha = n_leaf - 1.

@@ -23,7 +23,7 @@ TEST(Analysis, HeightAndSkewnessOfExtremeShapes) {
   {
     graph::EdgeList tree = data::star_tree(257);
     data::assign_increasing_weights(tree);
-    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 257);
+    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 257);
     EXPECT_EQ(dendrogram::height(d), 256);
     EXPECT_NEAR(dendrogram::skewness(d), 256.0 / std::log2(256.0), 1e-9);
   }
@@ -33,7 +33,7 @@ TEST(Analysis, HeightAndSkewnessOfExtremeShapes) {
     graph::EdgeList tree = data::balanced_tree(256);
     for (std::size_t i = 0; i < tree.size(); ++i)
       tree[i].weight = static_cast<double>(tree.size() - i);
-    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 256);
+    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 256);
     EXPECT_LE(dendrogram::height(d), 2 * 8 + 2);
     EXPECT_LE(dendrogram::skewness(d), 2.5);
   }
@@ -41,7 +41,7 @@ TEST(Analysis, HeightAndSkewnessOfExtremeShapes) {
 
 TEST(Analysis, EdgeDepthsAreParentDepthsPlusOne) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 800, 3);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 800);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 800);
   const auto depth = dendrogram::edge_depths(d);
   EXPECT_EQ(depth[0], 1);
   for (index_t e = 1; e < d.num_edges; ++e)
@@ -52,7 +52,7 @@ TEST(Analysis, EdgeDepthsAreParentDepthsPlusOne) {
 TEST(Analysis, ClassificationCountsSumToEdges) {
   for (const Topology topo : all_topologies()) {
     const graph::EdgeList tree = make_tree(topo, 1000, 4);
-    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 1000);
+    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 1000);
     const auto counts = dendrogram::classify_edges(d);
     EXPECT_EQ(counts.leaf_edges + counts.chain_edges + counts.alpha_edges, d.num_edges)
         << topology_name(topo);
@@ -63,7 +63,7 @@ TEST(Analysis, ClassificationCountsSumToEdges) {
 
 TEST(Analysis, EdgeChildrenAreConsistentWithParents) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 500, 9);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 500);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 500);
   const auto children = dendrogram::edge_children(d);
   index_t total = 0;
   for (index_t e = 0; e < d.num_edges; ++e) {
@@ -113,7 +113,7 @@ TEST_P(CutThresholds, CutLabelsMatchUnionFindComponents) {
   const double t = GetParam();
   for (const Topology topo : {Topology::random_attach, Topology::star, Topology::balanced}) {
     const graph::EdgeList tree = make_tree(topo, 300, 5);
-    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 300);
+    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 300);
     EXPECT_TRUE(same_partition(dendrogram::cut_labels(d, t), reference_cut(tree, 300, t)))
         << topology_name(topo) << " t=" << t;
   }
@@ -121,7 +121,7 @@ TEST_P(CutThresholds, CutLabelsMatchUnionFindComponents) {
 
 TEST(Analysis, CutAtExtremesIsAllSingletonsOrOneCluster) {
   const graph::EdgeList tree = make_tree(Topology::caterpillar, 100, 2);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 100);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 100);
   const auto singletons = dendrogram::cut_labels(d, -0.5);
   std::vector<index_t> sorted_labels = singletons;
   std::sort(sorted_labels.begin(), sorted_labels.end());
@@ -132,7 +132,7 @@ TEST(Analysis, CutAtExtremesIsAllSingletonsOrOneCluster) {
 
 TEST(Analysis, SubtreePointCountsSumCorrectly) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 400, 6);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 400);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 400);
   const auto counts = dendrogram::subtree_point_counts(d);
   EXPECT_EQ(counts[0], 400);  // the root holds every point
   const auto children = dendrogram::edge_children(d);
@@ -147,7 +147,7 @@ TEST(Analysis, SubtreePointCountsSumCorrectly) {
 TEST(Analysis, LinkageMatrixIsScipyShaped) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 300, 4);
   const index_t nv = 300;
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, nv);
   const auto rows = dendrogram::linkage_matrix(d);
   ASSERT_EQ(rows.size(), static_cast<std::size_t>(nv - 1));
 
@@ -175,7 +175,7 @@ TEST(Analysis, LinkageMatrixIsScipyShaped) {
 
 TEST(Analysis, LinkageMatrixSingleEdge) {
   const graph::EdgeList tree{{0, 1, 4.2}};
-  const auto rows = dendrogram::linkage_matrix(dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 2));
+  const auto rows = dendrogram::linkage_matrix(dendrogram::pandora_dendrogram(exec::default_executor(), tree, 2));
   ASSERT_EQ(rows.size(), 1u);
   EXPECT_EQ(rows[0].cluster_a, 0);
   EXPECT_EQ(rows[0].cluster_b, 1);
@@ -185,7 +185,7 @@ TEST(Analysis, LinkageMatrixSingleEdge) {
 
 TEST(Analysis, ValidateRejectsCorruptedDendrograms) {
   const graph::EdgeList tree = make_tree(Topology::path, 50, 1);
-  Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 50);
+  Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 50);
   EXPECT_NO_THROW(dendrogram::validate_dendrogram(d));
 
   auto broken = d;

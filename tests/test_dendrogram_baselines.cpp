@@ -22,7 +22,7 @@ TEST(UnionFindDendrogram, StarWithAscendingWeightsIsASortedChain) {
   const index_t nv = 64;
   graph::EdgeList tree = data::star_tree(nv);
   data::assign_increasing_weights(tree);
-  const Dendrogram d = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
+  const Dendrogram d = dendrogram::union_find_dendrogram(exec::default_executor(), tree, nv);
   dendrogram::validate_dendrogram(d);
   EXPECT_EQ(d.parent[0], kNone);
   for (index_t e = 1; e < d.num_edges; ++e)
@@ -40,7 +40,7 @@ TEST(UnionFindDendrogram, PathWithAscendingWeightsIsAComb) {
   const index_t nv = 32;
   graph::EdgeList tree = data::path_tree(nv);
   data::assign_increasing_weights(tree);
-  const Dendrogram d = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
+  const Dendrogram d = dendrogram::union_find_dendrogram(exec::default_executor(), tree, nv);
   dendrogram::validate_dendrogram(d);
   for (index_t e = 1; e < d.num_edges; ++e)
     EXPECT_EQ(d.parent[static_cast<std::size_t>(e)], e - 1);
@@ -56,7 +56,7 @@ TEST(UnionFindDendrogram, BalancedFourPointExample) {
   //   2 -1.5- 3   (edge 1)
   //   1 -9.0- 2   (edge 2, the bridge)
   const graph::EdgeList tree{{0, 1, 1.0}, {2, 3, 1.5}, {1, 2, 9.0}};
-  const Dendrogram d = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, 4);
+  const Dendrogram d = dendrogram::union_find_dendrogram(exec::default_executor(), tree, 4);
   // Sorted descending: rank0 = bridge(9.0), rank1 = 1.5, rank2 = 1.0.
   EXPECT_EQ(d.edge_order, (std::vector<index_t>{2, 1, 0}));
   EXPECT_EQ(d.parent[0], kNone);
@@ -76,7 +76,7 @@ TEST(TopDownDendrogram, MatchesUnionFindOnPaperStyleExample) {
   pandora::Rng rng(21);
   graph::EdgeList tree = data::preferential_attachment_tree(12, rng);
   data::assign_random_weights(tree, rng);
-  const Dendrogram a = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, 12);
+  const Dendrogram a = dendrogram::union_find_dendrogram(exec::default_executor(), tree, 12);
   const Dendrogram b = dendrogram::top_down_dendrogram(tree, 12);
   EXPECT_EQ(a.parent, b.parent);
 }
@@ -104,7 +104,7 @@ TEST(UnionFindDendrogram, PhaseTimesAreRecorded) {
   graph::EdgeList tree = data::random_attachment_tree(5000, rng);
   data::assign_random_weights(tree, rng);
   // The Profiler hook subsumes the old PhaseTimes* out-params.
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   exec::PhaseTimesProfiler profiler;
   executor.set_profiler(&profiler);
   (void)dendrogram::union_find_dendrogram(executor, tree, 5000);

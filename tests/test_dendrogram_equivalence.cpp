@@ -19,7 +19,6 @@ using namespace pandora;
 using dendrogram::Dendrogram;
 using dendrogram::ExpansionPolicy;
 using dendrogram::PandoraOptions;
-using exec::Space;
 using pandora::testing::Topology;
 using pandora::testing::all_topologies;
 using pandora::testing::make_tree;
@@ -47,10 +46,10 @@ TEST_P(EquivalenceTest, PandoraMatchesUnionFindAllSpacesAndPolicies) {
   const auto& [topo, n, distinct] = GetParam();
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     const graph::EdgeList tree = make_tree(topo, n, seed, distinct);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, n);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(), tree, n);
     dendrogram::validate_dendrogram(reference);
 
-    for (const Space space : {Space::serial, Space::parallel}) {
+    for (const auto& space : exec::registered_backends()) {
       for (const ExpansionPolicy policy :
            {ExpansionPolicy::multilevel, ExpansionPolicy::single_level}) {
         PandoraOptions options;
@@ -59,7 +58,7 @@ TEST_P(EquivalenceTest, PandoraMatchesUnionFindAllSpacesAndPolicies) {
             dendrogram::pandora_dendrogram(exec::default_executor(space), tree, n, options);
         ASSERT_EQ(ours.parent, reference.parent)
             << topology_name(topo) << " n=" << n << " seed=" << seed
-            << " space=" << exec::space_name(space)
+            << " space=" << space->name()
             << " policy=" << (policy == ExpansionPolicy::multilevel ? "multilevel" : "single");
         ASSERT_EQ(ours.edge_order, reference.edge_order);
         ASSERT_EQ(ours.weight, reference.weight);
@@ -73,7 +72,7 @@ TEST_P(EquivalenceTest, TopDownAgreesOnSmallTrees) {
   if (n > 300) GTEST_SKIP() << "top-down oracle is O(n h); small sizes only";
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const graph::EdgeList tree = make_tree(topo, n, seed, distinct);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, n);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(), tree, n);
     const Dendrogram top_down = dendrogram::top_down_dendrogram(tree, n);
     ASSERT_EQ(top_down.parent, reference.parent)
         << topology_name(topo) << " n=" << n << " seed=" << seed;
@@ -83,7 +82,7 @@ TEST_P(EquivalenceTest, TopDownAgreesOnSmallTrees) {
 TEST(EquivalenceEdgeCases, SingleVertex) {
   const graph::EdgeList empty;
   const Dendrogram d =
-      dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), empty, 1);
+      dendrogram::pandora_dendrogram(exec::default_executor(), empty, 1);
   EXPECT_EQ(d.num_edges, 0);
   EXPECT_EQ(d.num_vertices, 1);
   EXPECT_EQ(d.parent, std::vector<index_t>{kNone});
@@ -92,7 +91,7 @@ TEST(EquivalenceEdgeCases, SingleVertex) {
 
 TEST(EquivalenceEdgeCases, SingleEdge) {
   const graph::EdgeList tree{{0, 1, 2.5}};
-  for (const Space space : {Space::serial, Space::parallel}) {
+  for (const auto& space : exec::registered_backends()) {
     const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(space), tree, 2);
     EXPECT_EQ(d.parent[0], kNone);             // the lone edge is the root
     EXPECT_EQ(d.parent[d.vertex_node(0)], 0);  // both vertices hang below it
@@ -106,9 +105,9 @@ TEST(EquivalenceEdgeCases, AllWeightsEqual) {
   // three algorithms must still agree exactly.
   for (const Topology topo : all_topologies()) {
     const graph::EdgeList tree = make_tree(topo, 128, /*seed=*/1, /*distinct=*/1);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, 128);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(), tree, 128);
     const Dendrogram ours =
-        dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), tree, 128);
+        dendrogram::pandora_dendrogram(exec::default_executor(), tree, 128);
     ASSERT_EQ(ours.parent, reference.parent) << topology_name(topo);
   }
 }
@@ -116,9 +115,9 @@ TEST(EquivalenceEdgeCases, AllWeightsEqual) {
 TEST(EquivalenceEdgeCases, DeterministicAcrossRepeatsAndSpaces) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 3000, 42, 0);
   const Dendrogram first =
-      dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), tree, 3000);
+      dendrogram::pandora_dendrogram(exec::default_executor(), tree, 3000);
   for (int repeat = 0; repeat < 3; ++repeat) {
-    for (const Space space : {Space::serial, Space::parallel}) {
+    for (const auto& space : exec::registered_backends()) {
       const Dendrogram d =
           dendrogram::pandora_dendrogram(exec::default_executor(space), tree, 3000);
       ASSERT_EQ(d.parent, first.parent) << "repeat " << repeat;
@@ -130,9 +129,9 @@ TEST(EquivalenceLarge, RandomTreesTenThousandVertices) {
   for (const Topology topo : {Topology::preferential, Topology::random_attach,
                               Topology::star, Topology::balanced}) {
     const graph::EdgeList tree = make_tree(topo, 10000, 9, 0);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, 10000);
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(), tree, 10000);
     const Dendrogram ours =
-        dendrogram::pandora_dendrogram(exec::default_executor(Space::parallel), tree, 10000);
+        dendrogram::pandora_dendrogram(exec::default_executor(), tree, 10000);
     ASSERT_EQ(ours.parent, reference.parent) << topology_name(topo);
     dendrogram::validate_dendrogram(ours);
   }

@@ -39,9 +39,9 @@ INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1, 2, 3, 8, 16)
 
 TEST_P(ThreadSweep, PandoraDendrogramIsThreadCountInvariant) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 30000, 11, /*distinct=*/4);
-  const auto reference = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 30000);
+  const auto reference = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 30000);
   ThreadCountGuard guard(GetParam());
-  const auto under_test = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 30000);
+  const auto under_test = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 30000);
   ASSERT_EQ(under_test.parent, reference.parent);
   ASSERT_EQ(under_test.edge_order, reference.edge_order);
 }
@@ -50,10 +50,10 @@ TEST_P(ThreadSweep, EmstIsThreadCountInvariant) {
   const spatial::PointSet points = data::power_law_blobs(5000, 3, 12, 1.2, 5);
   spatial::KdTree reference_tree(points);
   const auto reference =
-      spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, reference_tree);
+      spatial::euclidean_mst(exec::default_executor(), points, reference_tree);
   ThreadCountGuard guard(GetParam());
   spatial::KdTree tree(points);
-  const auto under_test = spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, tree);
+  const auto under_test = spatial::euclidean_mst(exec::default_executor(), points, tree);
   ASSERT_EQ(under_test.size(), reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i)
     ASSERT_EQ(under_test[i], reference[i]) << "edge " << i;
@@ -64,9 +64,9 @@ TEST_P(ThreadSweep, HdbscanLabelsAreThreadCountInvariant) {
   hdbscan::HdbscanOptions options;
   options.min_pts = 4;
   options.min_cluster_size = 20;
-  const auto reference = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const auto reference = hdbscan::hdbscan(exec::default_executor(), points, options);
   ThreadCountGuard guard(GetParam());
-  const auto under_test = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const auto under_test = hdbscan::hdbscan(exec::default_executor(), points, options);
   ASSERT_EQ(under_test.labels, reference.labels);
   ASSERT_EQ(under_test.dendrogram.parent, reference.dendrogram.parent);
 }
@@ -76,10 +76,10 @@ TEST(Determinism, WorkspaceReuseIsBitIdenticalAcrossRepeatedCalls) {
   // contents; results must nevertheless be bit-identical call after call,
   // and identical to a fresh-executor run (the arena is invisible).
   const graph::EdgeList tree = make_tree(Topology::preferential, 25000, 19, /*distinct=*/4);
-  const exec::Executor fresh(exec::Space::parallel);
+  const exec::Executor fresh(exec::default_backend());
   const auto reference = dendrogram::pandora_dendrogram(fresh, tree, 25000);
 
-  const exec::Executor reused(exec::Space::parallel);
+  const exec::Executor reused(exec::default_backend());
   for (int repeat = 0; repeat < 4; ++repeat) {
     const auto d = dendrogram::pandora_dendrogram(reused, tree, 25000);
     ASSERT_EQ(d.parent, reference.parent) << "repeat " << repeat;
@@ -96,10 +96,10 @@ TEST(Determinism, WorkspaceReuseIsBitIdenticalAcrossRepeatedCalls) {
 TEST(Determinism, WorkspaceReuseAcrossDifferentInputSizes) {
   // Shrinking and regrowing inputs on one executor must not leak state
   // between calls.
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   for (const index_t n : {20000, 500, 20000, 7777, 20000}) {
     const graph::EdgeList tree = make_tree(Topology::random_attach, n, 23, 0);
-    const exec::Executor isolated(exec::Space::parallel);
+    const exec::Executor isolated(exec::default_backend());
     const auto expected = dendrogram::pandora_dendrogram(isolated, tree, n);
     const auto got = dendrogram::pandora_dendrogram(executor, tree, n);
     ASSERT_EQ(got.parent, expected.parent) << "n=" << n;
@@ -111,7 +111,7 @@ TEST(Determinism, HdbscanOnReusedExecutorIsBitIdentical) {
   hdbscan::HdbscanOptions options;
   options.min_pts = 4;
   options.min_cluster_size = 15;
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto first = hdbscan::hdbscan(executor, points, options);
   for (int repeat = 0; repeat < 2; ++repeat) {
     const auto again = hdbscan::hdbscan(executor, points, options);

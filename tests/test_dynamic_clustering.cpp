@@ -60,7 +60,7 @@ std::vector<index_t> partition_at(const graph::EdgeList& edges, index_t n, doubl
 void expect_equivalent_to_rebuild(const dyn::DynamicClustering& stream) {
   const index_t n = stream.size();
   const spatial::PointSet& points = stream.points();
-  const exec::Executor reference(exec::Space::parallel);
+  const exec::Executor reference(exec::default_backend());
 
   if (n <= 1) {
     EXPECT_TRUE(stream.emst().empty());
@@ -107,7 +107,7 @@ spatial::PointSet slice_points(const spatial::PointSet& source, index_t begin, i
 }
 
 TEST(DynamicClustering, SingleInsertsMatchRebuildAtEveryStep) {
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream(executor);
   const spatial::PointSet all = data::gaussian_blobs(120, 2, 3, 0.05, 0.1, 11);
 
@@ -123,7 +123,7 @@ TEST(DynamicClustering, SingleInsertsMatchRebuildAtEveryStep) {
 }
 
 TEST(DynamicClustering, ErasesMatchRebuildDownToTinyN) {
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream(executor);
   const std::vector<index_t> ids = stream.insert(data::uniform_points(60, 3, 5));
   expect_equivalent_to_rebuild(stream);
@@ -159,7 +159,7 @@ TEST(DynamicClustering, RandomizedInsertEraseFuzz) {
   // batch.  Three seeds x ~12 batches keeps the suite fast while covering
   // batch inserts, single inserts, erases and interleavings.
   for (const std::uint64_t seed : {1u, 2u, 3u}) {
-    const exec::Executor executor(exec::Space::parallel);
+    const exec::Executor executor(exec::default_backend());
     dyn::DynamicClustering stream(executor);
     Rng rng(seed);
     std::vector<index_t> live;
@@ -200,7 +200,7 @@ TEST(DynamicClustering, RandomizedInsertEraseFuzz) {
 TEST(DynamicClustering, DuplicateDistancesAndDuplicatePoints) {
   // A perfect grid (massive distance ties), then duplicates of existing
   // points, then erases that leave co-located points behind.
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream(executor);
 
   const int side = 7;
@@ -230,7 +230,7 @@ TEST(DynamicClustering, DuplicateDistancesAndDuplicatePoints) {
 TEST(DynamicClustering, DeterministicAcrossRepeats) {
   const spatial::PointSet pool = data::uniform_points(300, 2, 42);
   const auto run_once = [&] {
-    const exec::Executor executor(exec::Space::parallel);
+    const exec::Executor executor(exec::default_backend());
     dyn::DynamicClustering stream(executor);
     stream.insert(slice_points(pool, 0, 200));
     for (index_t i = 200; i < 260; ++i) {
@@ -252,7 +252,7 @@ TEST(DynamicClustering, DeterministicAcrossRepeats) {
 TEST(DynamicClustering, SortedRunMatchesFullSortBitForBit) {
   // The delta merge must reproduce sort_edges over the maintained edge list
   // exactly — order array included (the tie-break renumbering argument).
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream(executor);
   stream.insert(data::gaussian_blobs(400, 2, 4, 0.04, 0.1, 7));
   for (int round = 0; round < 3; ++round) {
@@ -275,7 +275,7 @@ TEST(DynamicClustering, SortedRunMatchesFullSortBitForBit) {
 }
 
 TEST(DynamicClustering, IdsSurviveCompactionAndRejectDoubleErase) {
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream(executor);
   const std::vector<index_t> ids = stream.insert(data::uniform_points(50, 2, 3));
   const index_t victim = ids[10];
@@ -293,7 +293,7 @@ TEST(DynamicClustering, IdsSurviveCompactionAndRejectDoubleErase) {
 }
 
 TEST(DynamicClustering, EpochFingerprintsRekeyHdbscanArtifacts) {
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream = Pipeline::on(executor).dynamic();
   stream.insert(data::gaussian_blobs(500, 2, 4, 0.04, 0.1, 13));
 
@@ -316,7 +316,7 @@ TEST(DynamicClustering, EpochFingerprintsRekeyHdbscanArtifacts) {
   EXPECT_EQ(third.labels.size(), static_cast<std::size_t>(stream.size()));
 
   // The rebuilt reference must agree with the epoch-keyed pipeline.
-  const exec::Executor reference(exec::Space::parallel);
+  const exec::Executor reference(exec::default_backend());
   const auto expected = hdbscan::hdbscan(reference, stream.points(), options);
   EXPECT_EQ(third.labels, expected.labels);
   EXPECT_EQ(third.num_clusters, expected.num_clusters);
@@ -326,7 +326,7 @@ TEST(DynamicClustering, ServingWavesInterleaveQueriesAndUpdates) {
   // The serve:: integration: waves of concurrent read-only queries against
   // the stream's current dendrogram, with updates applied exclusively
   // between waves (race-checked by the CI TSan entry).
-  const exec::Executor parent(exec::Space::parallel, 4);
+  const exec::Executor parent(exec::default_backend(), 4);
   dyn::DynamicClustering stream = Pipeline::on(parent).dynamic();
   stream.insert(data::gaussian_blobs(300, 2, 3, 0.05, 0.1, 21));
 
@@ -366,7 +366,7 @@ TEST(DynamicClustering, ServingWavesInterleaveQueriesAndUpdates) {
 }
 
 TEST(DynamicClustering, UpdateStatsTrackTheIncrementalPath) {
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   dyn::DynamicClustering stream(executor);
   stream.insert(data::uniform_points(400, 2, 17));
   const dyn::UpdateStats& stats = stream.stats();

@@ -30,7 +30,7 @@ TEST_P(EmstSweep, EuclideanMstMatchesBruteForceWeight) {
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const PointSet points = data::uniform_points(n, dim, seed * 31 + 5);
     const EdgeList expected = spatial::brute_force_emst(points);
-    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    for (const auto& space : exec::registered_backends()) {
       KdTree tree(points);
       const EdgeList got = spatial::euclidean_mst(exec::default_executor(space), points, tree);
       ASSERT_TRUE(graph::is_spanning_tree(got, n));
@@ -45,9 +45,9 @@ TEST_P(EmstSweep, MutualReachabilityMstMatchesBruteForce) {
   if (n < 10) GTEST_SKIP() << "core distances need a few points";
   const PointSet points = data::gaussian_blobs(n, dim, 4, 0.08, 0.1, 77);
   KdTree tree(points);
-  const auto core = hdbscan::core_distances(exec::default_executor(exec::Space::parallel), points, tree, 4);
+  const auto core = hdbscan::core_distances(exec::default_executor(), points, tree, 4);
   const EdgeList expected = spatial::brute_force_mreach_mst(points, core);
-  const EdgeList got = spatial::mutual_reachability_mst(exec::default_executor(exec::Space::parallel), points, tree, core);
+  const EdgeList got = spatial::mutual_reachability_mst(exec::default_executor(), points, tree, core);
   ASSERT_TRUE(graph::is_spanning_tree(got, n));
   EXPECT_NEAR(weight_of(got), weight_of(expected), 1e-9 * std::max(1.0, weight_of(expected)));
 }
@@ -55,9 +55,9 @@ TEST_P(EmstSweep, MutualReachabilityMstMatchesBruteForce) {
 TEST(Emst, DeterministicAcrossSpacesAndRepeats) {
   const PointSet points = data::power_law_blobs(3000, 2, 20, 1.2, 3);
   KdTree tree_a(points);
-  const EdgeList first = spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, tree_a);
+  const EdgeList first = spatial::euclidean_mst(exec::default_executor(), points, tree_a);
   for (int repeat = 0; repeat < 2; ++repeat) {
-    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    for (const auto& space : exec::registered_backends()) {
       KdTree tree(points);
       const EdgeList again = spatial::euclidean_mst(exec::default_executor(space), points, tree);
       ASSERT_EQ(again.size(), first.size());
@@ -81,7 +81,7 @@ TEST(Emst, ClusteredDataWithTiedDistances) {
       points.at(x * side + y, 1) = y;
     }
   KdTree tree(points);
-  const EdgeList mst = spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, tree);
+  const EdgeList mst = spatial::euclidean_mst(exec::default_executor(), points, tree);
   ASSERT_TRUE(graph::is_spanning_tree(mst, side * side));
   EXPECT_NEAR(weight_of(mst), side * side - 1, 1e-9);
 }
@@ -93,7 +93,7 @@ TEST(Emst, JoinComponentsRestoresTheFullEmst) {
   // plus the joining edges must BE an EMST).
   const PointSet points = data::power_law_blobs(800, 2, 8, 1.3, 9);
   KdTree tree(points);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const EdgeList full = spatial::euclidean_mst(executor, points, tree);
 
   Rng rng(5);
@@ -125,12 +125,12 @@ TEST(Emst, JoinComponentsRestoresTheFullEmst) {
 TEST(Emst, MinPtsOneReducesMreachToEuclidean) {
   const PointSet points = data::uniform_points(300, 3, 8);
   KdTree tree(points);
-  const auto core = hdbscan::core_distances(exec::default_executor(exec::Space::serial), points, tree, 1);
+  const auto core = hdbscan::core_distances(exec::default_executor(exec::serial_backend()), points, tree, 1);
   EXPECT_TRUE(std::all_of(core.begin(), core.end(), [](double c) { return c == 0.0; }));
   KdTree tree2(points);
-  const EdgeList euclid = spatial::euclidean_mst(exec::default_executor(exec::Space::serial), points, tree2);
+  const EdgeList euclid = spatial::euclidean_mst(exec::default_executor(exec::serial_backend()), points, tree2);
   KdTree tree3(points);
-  const EdgeList mreach = spatial::mutual_reachability_mst(exec::default_executor(exec::Space::serial), points, tree3, core);
+  const EdgeList mreach = spatial::mutual_reachability_mst(exec::default_executor(exec::serial_backend()), points, tree3, core);
   EXPECT_NEAR(weight_of(euclid), weight_of(mreach), 1e-9);
 }
 
@@ -141,8 +141,8 @@ TEST(Emst, LargerMinPtsGivesHeavierMst) {
   double previous = 0.0;
   for (const int min_pts : {1, 2, 4, 8, 16}) {
     KdTree tree(points);
-    const auto core = hdbscan::core_distances(exec::default_executor(exec::Space::parallel), points, tree, min_pts);
-    const EdgeList mst = spatial::mutual_reachability_mst(exec::default_executor(exec::Space::parallel), points, tree, core);
+    const auto core = hdbscan::core_distances(exec::default_executor(), points, tree, min_pts);
+    const EdgeList mst = spatial::mutual_reachability_mst(exec::default_executor(), points, tree, core);
     const double w = weight_of(mst);
     EXPECT_GE(w, previous - 1e-12) << "minPts=" << min_pts;
     previous = w;

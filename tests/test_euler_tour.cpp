@@ -19,7 +19,7 @@ using pandora::testing::topology_name;
 TEST(ListRank, DistancesToTail) {
   // A simple chain 0 -> 1 -> 2 -> 3 -> tail.
   const std::vector<index_t> next{1, 2, 3, kNone};
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+  for (const auto& space : exec::registered_backends()) {
     const auto distance = graph::list_rank(exec::default_executor(space), next);
     EXPECT_EQ(distance, (std::vector<index_t>{3, 2, 1, 0}));
   }
@@ -38,7 +38,7 @@ TEST(ListRank, LongPermutedList) {
   for (index_t k = 0; k + 1 < n; ++k)
     next[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] =
         order[static_cast<std::size_t>(k) + 1];
-  const auto distance = graph::list_rank(exec::default_executor(exec::Space::parallel), next);
+  const auto distance = graph::list_rank(exec::default_executor(), next);
   for (index_t k = 0; k < n; ++k)
     ASSERT_EQ(distance[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])],
               n - 1 - k);
@@ -51,7 +51,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, EulerTourSweep, ::testing::ValuesIn(all_topologi
 TEST_P(EulerTourSweep, RanksAreAPermutationOfHalfEdges) {
   const index_t nv = 500;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 1);
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+  for (const auto& space : exec::registered_backends()) {
     const EulerTour tour = graph::build_euler_tour(exec::default_executor(space), tree, nv, 0);
     std::vector<index_t> sorted = tour.rank;
     std::sort(sorted.begin(), sorted.end());
@@ -63,7 +63,7 @@ TEST_P(EulerTourSweep, RanksAreAPermutationOfHalfEdges) {
 TEST_P(EulerTourSweep, ParentsMatchBfsFromRoot) {
   const index_t nv = 400;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 2);
-  const EulerTour tour = graph::build_euler_tour(exec::default_executor(exec::Space::parallel), tree, nv, 0);
+  const EulerTour tour = graph::build_euler_tour(exec::default_executor(), tree, nv, 0);
 
   const graph::Adjacency adj = graph::build_adjacency(tree, nv);
   std::vector<index_t> parent(static_cast<std::size_t>(nv), kNone);
@@ -89,7 +89,7 @@ TEST_P(EulerTourSweep, ParentsMatchBfsFromRoot) {
 TEST_P(EulerTourSweep, SubtreeSizesMatchRecursiveCount) {
   const index_t nv = 300;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 3);
-  const EulerTour tour = graph::build_euler_tour(exec::default_executor(exec::Space::parallel), tree, nv, 0);
+  const EulerTour tour = graph::build_euler_tour(exec::default_executor(), tree, nv, 0);
   // Accumulate sizes bottom-up over the BFS order implied by parent_vertex.
   std::vector<index_t> expected(static_cast<std::size_t>(nv), 1);
   // Children before parents: order vertices by decreasing BFS depth.
@@ -120,11 +120,11 @@ TEST_P(EulerTourSweep, SubtreeSizesMatchRecursiveCount) {
 
 TEST(EulerTourEdgeCases, SingleEdgeAndAlternateRoots) {
   const graph::EdgeList one{{0, 1, 1.0}};
-  const EulerTour tour = graph::build_euler_tour(exec::default_executor(exec::Space::serial), one, 2, 1);
+  const EulerTour tour = graph::build_euler_tour(exec::default_executor(exec::serial_backend()), one, 2, 1);
   EXPECT_EQ(tour.parent_vertex[0], 1);
   EXPECT_EQ(tour.parent_vertex[1], kNone);
   EXPECT_EQ(tour.subtree_size[1], 2);
-  EXPECT_THROW((void)graph::build_euler_tour(exec::default_executor(exec::Space::serial), one, 2, 5),
+  EXPECT_THROW((void)graph::build_euler_tour(exec::default_executor(exec::serial_backend()), one, 2, 5),
                std::invalid_argument);
 }
 

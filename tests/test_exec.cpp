@@ -14,13 +14,13 @@
 namespace {
 
 using namespace pandora;
-using exec::Space;
+using BackendPtr = std::shared_ptr<const exec::Backend>;
 
-class ExecBothSpaces : public ::testing::TestWithParam<Space> {};
+class ExecBothSpaces : public ::testing::TestWithParam<BackendPtr> {};
 
-INSTANTIATE_TEST_SUITE_P(Spaces, ExecBothSpaces,
-                         ::testing::Values(Space::serial, Space::parallel),
-                         [](const auto& info) { return exec::space_name(info.param); });
+INSTANTIATE_TEST_SUITE_P(Backends, ExecBothSpaces,
+                         ::testing::ValuesIn(exec::registered_backends()),
+                         [](const auto& info) { return std::string(info.param->name()); });
 
 TEST_P(ExecBothSpaces, ParallelForCoversEveryIndex) {
   const size_type n = 100000;
@@ -171,7 +171,7 @@ TEST(ExecReduce, NonCommutativeCombineMatchesSequentialOrder) {
 
   // A 4-thread budget forces the parallel path even on small machines (the
   // OpenMP runtime oversubscribes happily).
-  const exec::Executor executor(Space::parallel, 4);
+  const exec::Executor executor(exec::openmp_backend(), 4);
   ASSERT_TRUE(executor.parallelize(n));
   const Mat2 got = exec::parallel_reduce(executor, n, Mat2{}, element, multiply);
   EXPECT_EQ(got.a, expected.a);
@@ -187,7 +187,7 @@ TEST(ExecReduce, NonCommutativeCombineIsStableAcrossThreadBudgets) {
   std::string expected;
   for (size_type i = 0; i < n; ++i) expected += digit(i);
   for (const int threads : {1, 2, 3, 8}) {
-    const exec::Executor executor(Space::parallel, threads);
+    const exec::Executor executor(exec::openmp_backend(), threads);
     const auto got =
         exec::parallel_reduce(executor, n, std::string{}, digit, concat_digit);
     ASSERT_EQ(got, expected) << "threads=" << threads;
@@ -211,7 +211,7 @@ TEST(ExecAtomics, FetchMaxMinAdd) {
 TEST(ExecAtomics, ConcurrentMaxFindsGlobalMax) {
   index_t slot = -1;
   const size_type n = 1 << 20;
-  exec::parallel_for(exec::default_executor(Space::parallel), n, [&](size_type i) {
+  exec::parallel_for(exec::default_executor(), n, [&](size_type i) {
     exec::atomic_fetch_max(slot, static_cast<index_t>((i * 2654435761u) % 1000003));
   });
   EXPECT_EQ(slot, 1000002);  // the residue range is fully covered for n > 10^6

@@ -130,32 +130,52 @@ TEST(Workspace, IdenticalCallSequencesAcquireIdenticalBlocks) {
 }
 
 TEST(Executor, ThreadBudgetResolution) {
-  EXPECT_EQ(exec::Executor(exec::Space::serial).num_threads(), 1);
-  EXPECT_EQ(exec::Executor(exec::Space::serial, 8).num_threads(), 1);
-  EXPECT_EQ(exec::Executor(exec::Space::parallel, 3).num_threads(), 3);
-  EXPECT_GE(exec::Executor(exec::Space::parallel).num_threads(), 1);
-  EXPECT_STREQ(exec::Executor(exec::Space::serial).name(), "serial");
-  EXPECT_STREQ(exec::Executor(exec::Space::parallel).name(), "parallel");
+  // The budget is answered by the backend, never by global runtime state:
+  // the serial backend grants 1 regardless of the request, OpenMP grants
+  // explicit requests verbatim (its runtime oversubscribes), and the pinned
+  // pool clamps to its fixed capacity.
+  EXPECT_EQ(exec::Executor(exec::serial_backend()).num_threads(), 1);
+  EXPECT_EQ(exec::Executor(exec::serial_backend(), 8).num_threads(), 1);
+  EXPECT_EQ(exec::Executor(exec::openmp_backend(), 3).num_threads(), 3);
+  EXPECT_GE(exec::Executor(exec::openmp_backend()).num_threads(), 1);
+  const auto& pinned = exec::pinned_pool_backend();
+  EXPECT_EQ(exec::Executor(pinned, pinned->concurrency() + 7).num_threads(),
+            pinned->concurrency());
+  EXPECT_GE(exec::Executor(exec::default_backend()).num_threads(), 1);
+  EXPECT_STREQ(exec::Executor(exec::serial_backend()).name(), "serial");
+  EXPECT_STREQ(exec::Executor(exec::openmp_backend()).name(), "openmp");
+  EXPECT_STREQ(exec::Executor(pinned).name(), "pinned");
 }
 
-TEST(Executor, ParallelizeRespectsGrainSpaceAndBudget) {
-  const exec::Executor serial(exec::Space::serial);
+TEST(Executor, NestedExecutorsReportTruthfulBudgets) {
+  // A batch serving slot is an executor on the serial backend: whatever the
+  // global machine state, it must answer 1 — its kernels never fork.
+  const exec::Executor parent(exec::openmp_backend(), 4);
+  const exec::Executor slot(exec::serial_backend());
+  EXPECT_EQ(parent.num_threads(), 4);
+  EXPECT_EQ(parent.requested_threads(), 4);
+  EXPECT_EQ(slot.num_threads(), 1);
+  EXPECT_FALSE(slot.parallelize(1 << 20));
+}
+
+TEST(Executor, ParallelizeRespectsGrainBackendAndBudget) {
+  const exec::Executor serial(exec::serial_backend());
   EXPECT_FALSE(serial.parallelize(1 << 20));
-  const exec::Executor budget_one(exec::Space::parallel, 1);
+  const exec::Executor budget_one(exec::openmp_backend(), 1);
   EXPECT_FALSE(budget_one.parallelize(1 << 20));
-  const exec::Executor parallel(exec::Space::parallel, 4);
+  const exec::Executor parallel(exec::openmp_backend(), 4);
   EXPECT_FALSE(parallel.parallelize(exec::kParallelForGrain - 1));
   EXPECT_TRUE(parallel.parallelize(exec::kParallelForGrain));
 }
 
 TEST(Executor, RecordPhaseWithoutProfilerIsANoop) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   EXPECT_EQ(executor.profiler(), nullptr);
   executor.record_phase("anything", 1.0);  // must not crash
 }
 
 TEST(Executor, ProfilerReceivesPhases) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   exec::PhaseTimesProfiler profiler;
   executor.set_profiler(&profiler);
   executor.record_phase("alpha", 0.25);
@@ -168,7 +188,7 @@ TEST(Executor, ProfilerReceivesPhases) {
 }
 
 TEST(Executor, ScopedPhaseTimesChainsAndRestores) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   exec::PhaseTimesProfiler outer;
   executor.set_profiler(&outer);
   PhaseTimes inner;
@@ -183,7 +203,7 @@ TEST(Executor, ScopedPhaseTimesChainsAndRestores) {
 }
 
 TEST(Executor, ScopedPhaseTimesWithNullSinkIsTransparent) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   exec::PhaseTimesProfiler outer;
   executor.set_profiler(&outer);
   {
@@ -199,7 +219,7 @@ TEST(Executor, RepeatedDendrogramsAllocateNothingAfterWarmup) {
   // the second and later pipeline runs are served entirely from recycled
   // buffers.
   const graph::EdgeList tree = make_tree(Topology::preferential, 20000, 3, 0);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   (void)dendrogram::pandora_dendrogram(executor, tree, 20000);  // warm-up
   executor.workspace().reset_stats();
   (void)dendrogram::pandora_dendrogram(executor, tree, 20000);
@@ -208,15 +228,18 @@ TEST(Executor, RepeatedDendrogramsAllocateNothingAfterWarmup) {
       << "steady-state dendrogram construction must reuse every scratch buffer";
 }
 
-TEST(Executor, DefaultExecutorsAreDistinctPerSpace) {
-  const exec::Executor& serial = exec::default_executor(exec::Space::serial);
-  const exec::Executor& parallel = exec::default_executor(exec::Space::parallel);
-  EXPECT_NE(&serial, &parallel);
-  EXPECT_EQ(serial.space(), exec::Space::serial);
-  EXPECT_EQ(parallel.space(), exec::Space::parallel);
+TEST(Executor, DefaultExecutorsAreDistinctPerBackend) {
+  const exec::Executor& serial = exec::default_executor(exec::serial_backend());
+  const exec::Executor& openmp = exec::default_executor(exec::openmp_backend());
+  EXPECT_NE(&serial, &openmp);
+  EXPECT_EQ(&serial.backend(), exec::serial_backend().get());
+  EXPECT_EQ(&openmp.backend(), exec::openmp_backend().get());
+  // The no-argument form resolves to whatever backend PANDORA_BACKEND chose.
+  EXPECT_EQ(&exec::default_executor().backend(), exec::default_backend().get());
   // Stable addresses: repeated lookups return the same context (that is what
-  // makes the deprecated shims amortise allocations too).
-  EXPECT_EQ(&serial, &exec::default_executor(exec::Space::serial));
+  // lets executor-less callers amortise allocations too).
+  EXPECT_EQ(&serial, &exec::default_executor(exec::serial_backend()));
+  EXPECT_EQ(&exec::default_executor(), &exec::default_executor());
 }
 
 }  // namespace

@@ -30,11 +30,13 @@ using pandora::testing::make_tree;
 //
 // Descending ranks: r0=bridge, r1=(2,3,30), r2=(6,7,20), r3=(1,2,10),
 // r4=(5,6,8), r5=(0,1,3), r6=(4,5,2).
-class InvertedY : public ::testing::TestWithParam<std::tuple<exec::Space, ExpansionPolicy>> {};
+class InvertedY
+    : public ::testing::TestWithParam<
+          std::tuple<std::shared_ptr<const exec::Backend>, ExpansionPolicy>> {};
 
 INSTANTIATE_TEST_SUITE_P(
     AllModes, InvertedY,
-    ::testing::Combine(::testing::Values(exec::Space::serial, exec::Space::parallel),
+    ::testing::Combine(::testing::ValuesIn(exec::registered_backends()),
                        ::testing::Values(ExpansionPolicy::multilevel,
                                          ExpansionPolicy::single_level)));
 
@@ -76,10 +78,10 @@ TEST_P(InvertedY, HandComputedParents) {
 }
 
 TEST(InvertedYContraction, OneAlphaEdgeTwoLevels) {
-  const auto sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), inverted_y_tree(), 8);
+  const auto sorted = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), inverted_y_tree(), 8);
   std::vector<index_t> gid(7);
   std::iota(gid.begin(), gid.end(), index_t{0});
-  const auto h = dendrogram::build_hierarchy(exec::default_executor(exec::Space::serial), sorted.u, sorted.v,
+  const auto h = dendrogram::build_hierarchy(exec::default_executor(exec::serial_backend()), sorted.u, sorted.v,
                                              std::move(gid), 8, 7);
   ASSERT_EQ(h.num_levels(), 2);
   EXPECT_EQ(h.levels[0].num_alpha, 1);
@@ -112,7 +114,7 @@ TEST(Expansion, StarIsASingleRootChain) {
     PandoraOptions options;
     options.expansion = policy;
     const Dendrogram d = dendrogram::pandora_dendrogram(
-        exec::default_executor(exec::Space::parallel), tree, 1000, options);
+        exec::default_executor(), tree, 1000, options);
     EXPECT_EQ(d.parent[0], kNone);
     for (index_t e = 1; e < d.num_edges; ++e)
       ASSERT_EQ(d.parent[static_cast<std::size_t>(e)], e - 1);
@@ -128,7 +130,7 @@ TEST(Expansion, PoliciesAgreeUnderHeavyTies) {
     PandoraOptions multi;
     PandoraOptions single;
     single.expansion = ExpansionPolicy::single_level;
-    const exec::Executor executor(exec::Space::parallel);
+    const exec::Executor executor(exec::default_backend());
     const Dendrogram a = dendrogram::pandora_dendrogram(executor, tree, 20000, multi);
     const Dendrogram b = dendrogram::pandora_dendrogram(executor, tree, 20000, single);
     ASSERT_EQ(a.parent, b.parent);
@@ -142,14 +144,14 @@ TEST(Expansion, DeepChainOfBridgesExercisesManyLevels) {
   graph::EdgeList tree = data::balanced_tree(4096);
   pandora::Rng rng(9);
   data::assign_random_weights(tree, rng);
-  const auto sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, 4096);
+  const auto sorted = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), tree, 4096);
   std::vector<index_t> gid(sorted.u.size());
   std::iota(gid.begin(), gid.end(), index_t{0});
-  const auto h = dendrogram::build_hierarchy(exec::default_executor(exec::Space::serial), sorted.u, sorted.v,
+  const auto h = dendrogram::build_hierarchy(exec::default_executor(exec::serial_backend()), sorted.u, sorted.v,
                                              std::move(gid), 4096, 4095);
   EXPECT_GE(h.num_levels(), 3) << "random balanced trees need multiple contraction levels";
 
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const Dendrogram reference =
       dendrogram::pandora_dendrogram(executor, tree, 4096, PandoraOptions{});
   PandoraOptions single;

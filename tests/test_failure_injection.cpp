@@ -26,19 +26,19 @@ PandoraOptions validating() {
 
 TEST(FailureInjection, CycleRejected) {
   const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), cycle, 3, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), cycle, 3, validating()),
                std::invalid_argument);
 }
 
 TEST(FailureInjection, ForestRejected) {
   const graph::EdgeList forest{{0, 1, 1.0}, {2, 3, 2.0}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), forest, 4, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), forest, 4, validating()),
                std::invalid_argument);
 }
 
 TEST(FailureInjection, SelfLoopRejected) {
   const graph::EdgeList self_loop{{0, 0, 1.0}, {0, 1, 2.0}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), self_loop, 2, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), self_loop, 2, validating()),
                std::invalid_argument);
 }
 
@@ -50,31 +50,31 @@ TEST(FailureInjection, UnvalidatedMultigraphFailsFastInsteadOfCorrupting) {
   for (int k = 0; k < 9; ++k)
     multi.push_back({0, 1, 1.0 + k});
   EXPECT_THROW((void)dendrogram::pandora_dendrogram(
-                   exec::default_executor(exec::Space::parallel), multi, 2),
+                   exec::default_executor(), multi, 2),
                std::invalid_argument);
 }
 
 TEST(FailureInjection, OutOfRangeEndpointRejected) {
   const graph::EdgeList bad{{0, 5, 1.0}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), bad, 2, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), bad, 2, validating()),
                std::invalid_argument);
 }
 
 TEST(FailureInjection, NanAndNegativeWeightsRejected) {
   const graph::EdgeList nan_edge{{0, 1, std::numeric_limits<double>::quiet_NaN()}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), nan_edge, 2, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), nan_edge, 2, validating()),
                std::invalid_argument);
   const graph::EdgeList inf_edge{{0, 1, std::numeric_limits<double>::infinity()}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), inf_edge, 2, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), inf_edge, 2, validating()),
                std::invalid_argument);
   const graph::EdgeList negative{{0, 1, -1.0}};
-  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), negative, 2, validating()),
+  EXPECT_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), negative, 2, validating()),
                std::invalid_argument);
 }
 
 TEST(FailureInjection, UnionFindBaselineValidatesToo) {
   const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
-  EXPECT_THROW((void)dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::serial), cycle, 3,
+  EXPECT_THROW((void)dendrogram::union_find_dendrogram(exec::default_executor(exec::serial_backend()), cycle, 3,
                                                        /*validate_input=*/true),
                std::invalid_argument);
 }
@@ -84,40 +84,40 @@ TEST(FailureInjection, ValidationOffMeansCallerContract) {
   // tree passes through both entry points unchanged.
   const graph::EdgeList tree = pandora::testing::make_tree(
       pandora::testing::Topology::random_attach, 128, 3);
-  EXPECT_NO_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 128));
-  EXPECT_NO_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 128, validating()));
+  EXPECT_NO_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), tree, 128));
+  EXPECT_NO_THROW((void)dendrogram::pandora_dendrogram(exec::default_executor(), tree, 128, validating()));
 }
 
 TEST(FailureInjection, HdbscanRejectsEmptyInput) {
   const spatial::PointSet empty(2, 0);
-  EXPECT_THROW((void)hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), empty, {}), std::invalid_argument);
+  EXPECT_THROW((void)hdbscan::hdbscan(exec::default_executor(), empty, {}), std::invalid_argument);
 }
 
 TEST(FailureInjection, HdbscanRejectsBadMinPts) {
   spatial::PointSet points(2, 10);
   hdbscan::HdbscanOptions options;
   options.min_pts = 0;
-  EXPECT_THROW((void)hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options), std::invalid_argument);
+  EXPECT_THROW((void)hdbscan::hdbscan(exec::default_executor(), points, options), std::invalid_argument);
 }
 
 TEST(FailureInjection, HdbscanRejectsBadMinClusterSize) {
   spatial::PointSet points(2, 10);
   hdbscan::HdbscanOptions options;
   options.min_cluster_size = 0;
-  EXPECT_THROW((void)hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options), std::invalid_argument);
+  EXPECT_THROW((void)hdbscan::hdbscan(exec::default_executor(), points, options), std::invalid_argument);
 }
 
 TEST(FailureInjection, MstRequiresConnectivity) {
   const graph::EdgeList forest{{0, 1, 1.0}, {2, 3, 2.0}};
   EXPECT_THROW((void)graph::kruskal_mst(forest, 4), std::invalid_argument);
-  EXPECT_THROW((void)graph::boruvka_mst(exec::default_executor(exec::Space::parallel), forest, 4),
+  EXPECT_THROW((void)graph::boruvka_mst(exec::default_executor(), forest, 4),
                std::invalid_argument);
 }
 
 TEST(FailureInjection, SinglePointHdbscanDegeneratesGracefully) {
   spatial::PointSet one(3, 1);
   one.at(0, 0) = 1.0;
-  const auto result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), one, {});
+  const auto result = hdbscan::hdbscan(exec::default_executor(), one, {});
   EXPECT_EQ(result.labels.size(), 1u);
   EXPECT_EQ(result.num_clusters, 0);
 }

@@ -49,7 +49,7 @@ TEST_P(MstRandomGraphs, BoruvkaMatchesKruskalWeightAndSpansTree) {
     const EdgeList graph = random_connected_graph(n, extra, rng, distinct);
     const EdgeList kruskal = graph::kruskal_mst(graph, n);
     ASSERT_TRUE(graph::is_spanning_tree(kruskal, n));
-    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    for (const auto& space : exec::registered_backends()) {
       const EdgeList boruvka = graph::boruvka_mst(exec::default_executor(space), graph, n);
       ASSERT_TRUE(graph::is_spanning_tree(boruvka, n));
       // MST weight is unique even under ties.
@@ -66,20 +66,20 @@ TEST_P(MstRandomGraphs, BoruvkaMatchesKruskalWeightAndSpansTree) {
 TEST(Mst, KruskalRejectsDisconnectedGraphs) {
   const EdgeList two_components{{0, 1, 1.0}, {2, 3, 2.0}};
   EXPECT_THROW((void)graph::kruskal_mst(two_components, 4), std::invalid_argument);
-  EXPECT_THROW((void)graph::boruvka_mst(exec::default_executor(exec::Space::serial), two_components, 4),
+  EXPECT_THROW((void)graph::boruvka_mst(exec::default_executor(exec::serial_backend()), two_components, 4),
                std::invalid_argument);
 }
 
 TEST(Mst, SingleVertexGraph) {
   const EdgeList empty;
   EXPECT_TRUE(graph::kruskal_mst(empty, 1).empty());
-  EXPECT_TRUE(graph::boruvka_mst(exec::default_executor(exec::Space::parallel), empty, 1).empty());
+  EXPECT_TRUE(graph::boruvka_mst(exec::default_executor(), empty, 1).empty());
 }
 
 TEST(Mst, ParallelEdgesAndDuplicateWeights) {
   // Two vertices, three parallel edges: the cheapest must win.
   const EdgeList graph{{0, 1, 3.0}, {0, 1, 1.0}, {1, 0, 2.0}};
-  const EdgeList mst = graph::boruvka_mst(exec::default_executor(exec::Space::parallel), graph, 2);
+  const EdgeList mst = graph::boruvka_mst(exec::default_executor(), graph, 2);
   ASSERT_EQ(mst.size(), 1u);
   EXPECT_EQ(mst[0].weight, 1.0);
 }

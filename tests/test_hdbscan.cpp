@@ -50,7 +50,7 @@ TEST(Hdbscan, RecoversThreeWellSeparatedBlobs) {
   HdbscanOptions options;
   options.min_pts = 4;
   options.min_cluster_size = 10;
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, options);
   EXPECT_EQ(result.num_clusters, 3);
   EXPECT_TRUE(labels_refine_truth(result.labels, truth));
   // Blobs are tight: the vast majority of points must be clustered.
@@ -67,8 +67,8 @@ TEST(Hdbscan, PandoraAndUnionFindPipelinesAgreeExactly) {
     a.dendrogram_algorithm = DendrogramAlgorithm::pandora;
     HdbscanOptions b = a;
     b.dendrogram_algorithm = DendrogramAlgorithm::union_find;
-    const HdbscanResult ra = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, a);
-    const HdbscanResult rb = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, b);
+    const HdbscanResult ra = hdbscan::hdbscan(exec::default_executor(), points, a);
+    const HdbscanResult rb = hdbscan::hdbscan(exec::default_executor(), points, b);
     ASSERT_EQ(ra.dendrogram.parent, rb.dendrogram.parent) << "min_pts=" << min_pts;
     ASSERT_EQ(ra.labels, rb.labels) << "min_pts=" << min_pts;
     ASSERT_EQ(ra.num_clusters, rb.num_clusters);
@@ -82,9 +82,9 @@ TEST(Hdbscan, SerialAndParallelSpacesAgreeExactly) {
   HdbscanOptions parallel_options;
 
   const HdbscanResult a =
-      hdbscan::hdbscan(exec::default_executor(exec::Space::serial), points, serial_options);
+      hdbscan::hdbscan(exec::default_executor(exec::serial_backend()), points, serial_options);
   const HdbscanResult b =
-      hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, parallel_options);
+      hdbscan::hdbscan(exec::default_executor(), points, parallel_options);
   EXPECT_EQ(a.dendrogram.parent, b.dendrogram.parent);
   EXPECT_EQ(a.labels, b.labels);
 }
@@ -109,7 +109,7 @@ TEST(Hdbscan, NoiseGetsRejectedOnUniformBackground) {
   HdbscanOptions options;
   options.min_pts = 8;
   options.min_cluster_size = 25;
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, options);
   EXPECT_GE(result.num_clusters, 2);
   index_t background_noise = 0;
   for (index_t i = 700; i < 1000; ++i)
@@ -124,7 +124,7 @@ TEST(Hdbscan, NoiseGetsRejectedOnUniformBackground) {
 
 TEST(CondensedTreeTest, SizesAndStabilitiesAreConsistent) {
   const PointSet points = data::gaussian_blobs(600, 2, 5, 0.04, 0.1, 13);
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, {});
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, {});
   const CondensedTree& tree = result.condensed_tree;
   ASSERT_GE(tree.num_clusters(), 1);
   EXPECT_EQ(tree.clusters[0].size, points.size());
@@ -155,7 +155,7 @@ TEST(CondensedTreeTest, MinClusterSizeOneMirrorsDendrogram) {
   const PointSet points = data::uniform_points(64, 2, 2);
   HdbscanOptions options;
   options.min_cluster_size = 1;
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, options);
   // With mcs = 1 every dendrogram split is a true split: one cluster per
   // edge node plus the root.
   EXPECT_EQ(result.condensed_tree.num_clusters(),
@@ -166,7 +166,7 @@ TEST(CondensedTreeTest, LargeMinClusterSizeYieldsSingleRootNoExtraction) {
   const PointSet points = data::uniform_points(200, 2, 4);
   HdbscanOptions options;
   options.min_cluster_size = 200;  // nothing can split
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, options);
   EXPECT_EQ(result.condensed_tree.num_clusters(), 1);
   EXPECT_EQ(result.num_clusters, 0);  // root not selectable by default
   EXPECT_TRUE(std::all_of(result.labels.begin(), result.labels.end(),
@@ -178,7 +178,7 @@ TEST(CondensedTreeTest, AllowSingleClusterLabelsEverythingInOneBlob) {
   HdbscanOptions options;
   options.min_cluster_size = 50;
   options.allow_single_cluster = true;
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, options);
   EXPECT_GE(result.num_clusters, 1);
   const auto clustered = static_cast<index_t>(std::count_if(
       result.labels.begin(), result.labels.end(), [](index_t l) { return l != kNone; }));
@@ -192,7 +192,7 @@ TEST(Hdbscan, MinPtsMonotonicallyLoosensDendrogram) {
   for (const int min_pts : {2, 4, 8, 16}) {
     HdbscanOptions options;
     options.min_pts = min_pts;
-    const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+    const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, options);
     const double w = graph::total_weight(result.mst);
     EXPECT_GE(w, previous - 1e-12);
     previous = w;
@@ -201,7 +201,7 @@ TEST(Hdbscan, MinPtsMonotonicallyLoosensDendrogram) {
 
 TEST(Hdbscan, PhaseTimesCoverThePipeline) {
   const PointSet points = data::uniform_points(5000, 3, 15);
-  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, {});
+  const HdbscanResult result = hdbscan::hdbscan(exec::default_executor(), points, {});
   for (const char* phase : {"core_distance", "mst", "condense", "extract"})
     EXPECT_GT(result.times.get(phase), 0.0) << phase;
   // Pandora's dendrogram phases.

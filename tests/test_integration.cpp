@@ -38,15 +38,15 @@ TEST_P(DatasetSweep, FullPipelineAgreesAcrossAlgorithmsAndSpaces) {
   const index_t n = 3000;
   const PointSet points = data::make_dataset(GetParam(), n, 2024);
   KdTree tree(points);
-  const auto core = hdbscan::core_distances(exec::default_executor(exec::Space::parallel), points, tree, 2);
+  const auto core = hdbscan::core_distances(exec::default_executor(), points, tree, 2);
   const graph::EdgeList mst =
-      spatial::mutual_reachability_mst(exec::default_executor(exec::Space::parallel), points, tree, core);
+      spatial::mutual_reachability_mst(exec::default_executor(), points, tree, core);
   ASSERT_TRUE(graph::is_spanning_tree(mst, n));
 
-  const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), mst, n);
+  const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(), mst, n);
   dendrogram::validate_dendrogram(reference);
 
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+  for (const auto& space : exec::registered_backends()) {
     for (const auto policy : {dendrogram::ExpansionPolicy::multilevel,
                               dendrogram::ExpansionPolicy::single_level}) {
       dendrogram::PandoraOptions options;
@@ -54,7 +54,7 @@ TEST_P(DatasetSweep, FullPipelineAgreesAcrossAlgorithmsAndSpaces) {
       const Dendrogram ours =
           dendrogram::pandora_dendrogram(exec::default_executor(space), mst, n, options);
       ASSERT_EQ(ours.parent, reference.parent)
-          << GetParam() << " space=" << exec::space_name(space);
+          << GetParam() << " space=" << space->name();
     }
   }
 }
@@ -66,10 +66,10 @@ TEST_P(DatasetSweep, SkewnessIsSubstantialOnRealisticData) {
   const index_t n = 4000;
   const PointSet points = data::make_dataset(GetParam(), n, 7);
   KdTree tree(points);
-  const auto core = hdbscan::core_distances(exec::default_executor(exec::Space::parallel), points, tree, 2);
+  const auto core = hdbscan::core_distances(exec::default_executor(), points, tree, 2);
   const graph::EdgeList mst =
-      spatial::mutual_reachability_mst(exec::default_executor(exec::Space::parallel), points, tree, core);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), mst, n);
+      spatial::mutual_reachability_mst(exec::default_executor(), points, tree, core);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), mst, n);
   EXPECT_GE(dendrogram::skewness(d), 1.5) << GetParam();
 }
 
@@ -81,10 +81,10 @@ TEST(Integration, SkewnessOrderingMatchesTable2) {
     const index_t n = 5000;
     const PointSet points = data::make_dataset(name, n, 99);
     KdTree tree(points);
-    const auto core = hdbscan::core_distances(exec::default_executor(exec::Space::parallel), points, tree, 2);
+    const auto core = hdbscan::core_distances(exec::default_executor(), points, tree, 2);
     const graph::EdgeList mst =
-        spatial::mutual_reachability_mst(exec::default_executor(exec::Space::parallel), points, tree, core);
-    return dendrogram::skewness(dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), mst, n));
+        spatial::mutual_reachability_mst(exec::default_executor(), points, tree, core);
+    return dendrogram::skewness(dendrogram::pandora_dendrogram(exec::default_executor(), mst, n));
   };
   const double sim = skewness_of("VisualSim5D");
   EXPECT_GT(skewness_of("HaccProxy"), 1.2 * sim);
@@ -96,7 +96,7 @@ TEST(Integration, EuclideanPipelineMatchesGraphMst) {
   // pipeline when the graph contains the EMST edges.
   const PointSet points = data::gaussian_blobs(400, 2, 4, 0.05, 0.1, 55);
   KdTree tree(points);
-  const graph::EdgeList emst = spatial::euclidean_mst(exec::default_executor(exec::Space::parallel), points, tree);
+  const graph::EdgeList emst = spatial::euclidean_mst(exec::default_executor(), points, tree);
 
   // Build a k-NN graph and force EMST containment (k-NN graphs can miss long
   // bridge edges), then extract its MST with Borůvka and compare dendrograms.
@@ -108,11 +108,11 @@ TEST(Integration, EuclideanPipelineMatchesGraphMst) {
       if (q < nb.index) knn_graph.push_back({q, nb.index, std::sqrt(nb.squared_distance)});
   }
   const graph::EdgeList graph_mst =
-      graph::boruvka_mst(exec::default_executor(exec::Space::parallel), knn_graph, points.size());
+      graph::boruvka_mst(exec::default_executor(), knn_graph, points.size());
   EXPECT_NEAR(graph::total_weight(graph_mst), graph::total_weight(emst), 1e-9);
 
-  const Dendrogram a = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), emst, points.size());
-  const Dendrogram b = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), graph_mst, points.size());
+  const Dendrogram a = dendrogram::pandora_dendrogram(exec::default_executor(), emst, points.size());
+  const Dendrogram b = dendrogram::pandora_dendrogram(exec::default_executor(), graph_mst, points.size());
   // The dendrograms are built from different-but-equal MSTs; cluster
   // structure at every cut must agree.
   for (const double t : {0.01, 0.05, 0.2, 1.0}) {
@@ -128,7 +128,7 @@ TEST(Integration, HdbscanEndToEndOnEveryDatasetFamily) {
     hdbscan::HdbscanOptions options;
     options.min_pts = 4;
     options.min_cluster_size = 15;
-    const auto result = hdbscan::hdbscan(exec::default_executor(exec::Space::parallel), points, options);
+    const auto result = hdbscan::hdbscan(exec::default_executor(), points, options);
     EXPECT_EQ(result.labels.size(), static_cast<std::size_t>(points.size())) << spec.name;
     dendrogram::validate_dendrogram(result.dendrogram);
     // Labels are dense in [0, num_clusters).

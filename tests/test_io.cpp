@@ -15,7 +15,7 @@ using pandora::testing::make_tree;
 
 TEST(Io, DendrogramBinaryRoundTrip) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 500, 3);
-  const auto original = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 500);
+  const auto original = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 500);
   std::stringstream stream;
   io::save_dendrogram(stream, original);
   const auto loaded = io::load_dendrogram(stream);
@@ -31,7 +31,7 @@ TEST(Io, DendrogramRejectsGarbageAndTruncation) {
   EXPECT_THROW((void)io::load_dendrogram(garbage), std::invalid_argument);
 
   const graph::EdgeList tree = make_tree(Topology::path, 50, 1);
-  const auto original = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 50);
+  const auto original = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 50);
   std::stringstream stream;
   io::save_dendrogram(stream, original);
   const std::string bytes = stream.str();
@@ -51,7 +51,7 @@ TEST(Io, EdgeListRoundTrip) {
 
 TEST(Io, LinkageCsvHasHeaderAndAllRows) {
   const graph::EdgeList tree = make_tree(Topology::balanced, 64, 2);
-  const auto d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 64);
+  const auto d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 64);
   std::stringstream stream;
   io::write_linkage_csv(stream, d);
   std::string line;
@@ -80,7 +80,7 @@ TEST(Io, PointsCsvRejectsRaggedRows) {
 
 TEST(Io, FileRoundTrip) {
   const graph::EdgeList tree = make_tree(Topology::broom, 100, 7);
-  const auto original = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 100);
+  const auto original = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 100);
   const std::string path = ::testing::TempDir() + "/pandora_io_test.bin";
   io::save_dendrogram_file(path, original);
   const auto loaded = io::load_dendrogram_file(path);

@@ -76,7 +76,7 @@ TEST(KdTree, NearestOtherComponentHonorsFilterAndAnnotation) {
   for (index_t i = 0; i < 500; ++i) component[static_cast<std::size_t>(i)] =
       points.at(i, 0) < 0.5 ? 0 : 1;
   spatial::KdTreeAnnotations notes;
-  tree.annotate_components(exec::default_executor(exec::Space::serial), component, notes);
+  tree.annotate_components(exec::default_executor(exec::serial_backend()), component, notes);
 
   for (index_t q = 0; q < 500; q += 11) {
     const index_t mine = component[static_cast<std::size_t>(q)];
@@ -106,8 +106,8 @@ TEST(KdTree, NearestOtherComponentMreachMatchesBruteForce) {
   std::vector<index_t> component(300);
   for (index_t i = 0; i < 300; ++i) component[static_cast<std::size_t>(i)] = i % 7;
   spatial::KdTreeAnnotations notes;
-  tree.annotate_components(exec::default_executor(exec::Space::parallel), component, notes);
-  tree.annotate_min_core(exec::default_executor(exec::Space::parallel), core_sq, notes);
+  tree.annotate_components(exec::default_executor(), component, notes);
+  tree.annotate_min_core(exec::default_executor(), core_sq, notes);
 
   for (index_t q = 0; q < 300; q += 5) {
     const index_t mine = component[static_cast<std::size_t>(q)];
@@ -130,8 +130,8 @@ TEST(KdTree, NearestOtherComponentMreachMatchesBruteForce) {
 TEST(KdTree, KthNeighborDistancesSerialEqualsParallel) {
   const PointSet points = data::normal_points(2000, 3, 12);
   const KdTree tree(points);
-  const auto serial = spatial::kth_neighbor_distances(exec::default_executor(exec::Space::serial), points, tree, 4);
-  const auto parallel = spatial::kth_neighbor_distances(exec::default_executor(exec::Space::parallel), points, tree, 4);
+  const auto serial = spatial::kth_neighbor_distances(exec::default_executor(exec::serial_backend()), points, tree, 4);
+  const auto parallel = spatial::kth_neighbor_distances(exec::default_executor(), points, tree, 4);
   EXPECT_EQ(serial, parallel);
   // And each equals brute force.
   for (index_t q = 0; q < 2000; q += 97) {

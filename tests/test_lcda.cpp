@@ -89,8 +89,8 @@ TEST_P(LcdaSweep, LcdaIsHeaviestEdgeOnPath) {
   const index_t nv = 60;
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const graph::EdgeList tree = make_tree(GetParam(), nv, seed);
-    const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, nv);
-    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), sorted);
+    const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), tree, nv);
+    const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), sorted);
     for (index_t a = 0; a < d.num_edges; ++a)
       for (index_t b = a; b < d.num_edges; ++b)
         ASSERT_EQ(lcda_by_parents(d, a, b), heaviest_on_path(sorted, a, b))
@@ -102,8 +102,8 @@ TEST_P(LcdaSweep, IncidentEdgesAreAncestorRelated) {
   // Corollary 1.1: adjacent tree edges are comparable in the dendrogram.
   const index_t nv = 200;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 4);
-  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, nv);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), sorted);
+  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), tree, nv);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), sorted);
   for (index_t a = 0; a < d.num_edges; ++a)
     for (index_t b = a + 1; b < d.num_edges; ++b) {
       const bool incident = sorted.u[static_cast<std::size_t>(a)] ==
@@ -126,13 +126,13 @@ TEST(LineagePreservation, AlphaContractionPreservesAncestry) {
   for (const Topology topo : all_topologies()) {
     const index_t nv = 120;
     const graph::EdgeList tree = make_tree(topo, nv, 7);
-    const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, nv);
-    const Dendrogram full = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), sorted);
+    const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), tree, nv);
+    const Dendrogram full = dendrogram::pandora_dendrogram(exec::default_executor(), sorted);
 
     // Build the alpha-MST and its dendrogram (over global indices).
     std::vector<index_t> gid(static_cast<std::size_t>(sorted.num_edges()));
     std::iota(gid.begin(), gid.end(), index_t{0});
-    const auto base = dendrogram::detail::contract_one_level(exec::default_executor(exec::Space::serial), sorted.u,
+    const auto base = dendrogram::detail::contract_one_level(exec::default_executor(exec::serial_backend()), sorted.u,
                                                              sorted.v, gid, nv);
     if (base.level.num_alpha == 0) continue;
     graph::EdgeList alpha_tree;
@@ -143,7 +143,7 @@ TEST(LineagePreservation, AlphaContractionPreservesAncestry) {
       alpha_gid.push_back(base.next_gid[i]);
     }
     const Dendrogram alpha_dendro =
-        dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), alpha_tree, base.next_num_vertices);
+        dendrogram::pandora_dendrogram(exec::default_executor(), alpha_tree, base.next_num_vertices);
 
     // Compare ancestor relations pairwise (alpha dendrogram indices map to
     // global ones through alpha_gid; sort order is preserved, so position i

@@ -33,20 +33,20 @@ TEST_P(MixedSweep, MatchesUnionFindExactly) {
   const auto& [topo, n, fraction] = GetParam();
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const graph::EdgeList tree = make_tree(topo, n, seed, seed == 2 ? 3 : 0);
-    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(exec::Space::parallel), tree, n);
-    for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+    const Dendrogram reference = dendrogram::union_find_dendrogram(exec::default_executor(), tree, n);
+    for (const auto& space : exec::registered_backends()) {
       const Dendrogram mixed =
           dendrogram::mixed_dendrogram(exec::default_executor(space), tree, n, fraction);
       ASSERT_EQ(mixed.parent, reference.parent)
           << topology_name(topo) << " n=" << n << " fraction=" << fraction
-          << " space=" << exec::space_name(space) << " seed=" << seed;
+          << " space=" << space->name() << " seed=" << seed;
     }
   }
 }
 
 TEST(Mixed, PhaseTimesSplitSubtreesStitch) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 50000, 1);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   exec::PhaseTimesProfiler profiler;
   executor.set_profiler(&profiler);
   (void)dendrogram::mixed_dendrogram(executor, tree, 50000, 0.1);
@@ -60,7 +60,7 @@ TEST(Mixed, PhaseTimesSplitSubtreesStitch) {
 
 TEST(Mixed, RejectsBadFraction) {
   const graph::EdgeList tree = make_tree(Topology::path, 10, 1);
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   EXPECT_THROW((void)dendrogram::mixed_dendrogram(executor, tree, 10, -0.1),
                std::invalid_argument);
   EXPECT_THROW((void)dendrogram::mixed_dendrogram(executor, tree, 10, 1.5),
@@ -86,7 +86,7 @@ INSTANTIATE_TEST_SUITE_P(Sweep, LcaSweep, ::testing::ValuesIn(all_topologies()),
 TEST_P(LcaSweep, MatchesBruteForceOnAllPairs) {
   const index_t nv = 150;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 5);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, nv);
   const dendrogram::DendrogramLca lca(d);
   for (index_t a = 0; a < d.num_edges; a += 3)
     for (index_t b = 0; b < d.num_edges; b += 5)
@@ -98,7 +98,7 @@ TEST_P(LcaSweep, CopheneticDistanceIsMaxEdgeOnTreePath) {
   // the heaviest edge weight on the MST path between them.
   const index_t nv = 120;
   const graph::EdgeList tree = make_tree(GetParam(), nv, 11);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, nv);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, nv);
   const dendrogram::DendrogramLca lca(d);
   const graph::Adjacency adj = graph::build_adjacency(tree, nv);
 
@@ -128,7 +128,7 @@ TEST_P(LcaSweep, CopheneticDistanceIsMaxEdgeOnTreePath) {
 
 TEST(Lca, SelfDistanceIsZeroAndSymmetry) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 200, 2);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 200);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 200);
   const dendrogram::DendrogramLca lca(d);
   EXPECT_EQ(lca.cophenetic_distance(5, 5), 0.0);
   for (index_t a = 0; a < 200; a += 17)
@@ -138,7 +138,7 @@ TEST(Lca, SelfDistanceIsZeroAndSymmetry) {
 
 TEST(Lca, DepthsMatchAnalysis) {
   const graph::EdgeList tree = make_tree(Topology::broom, 300, 4);
-  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(exec::Space::parallel), tree, 300);
+  const Dendrogram d = dendrogram::pandora_dendrogram(exec::default_executor(), tree, 300);
   const dendrogram::DendrogramLca lca(d);
   for (index_t e = 1; e < d.num_edges; ++e)
     EXPECT_EQ(lca.depth(e),

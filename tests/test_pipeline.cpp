@@ -19,7 +19,7 @@ using pandora::testing::make_tree;
 
 TEST(Pipeline, BuildDendrogramMatchesPandoraFreeFunction) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 6000, 13, 0);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto via_pipeline = Pipeline::on(executor).build_dendrogram(tree, 6000);
   const auto via_free = dendrogram::pandora_dendrogram(executor, tree, 6000);
   EXPECT_EQ(via_pipeline.parent, via_free.parent);
@@ -28,7 +28,7 @@ TEST(Pipeline, BuildDendrogramMatchesPandoraFreeFunction) {
 
 TEST(Pipeline, UnionFindAlgorithmSelection) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 4000, 5, 3);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto via_pipeline =
       Pipeline::on(executor)
           .with_dendrogram_algorithm(hdbscan::DendrogramAlgorithm::union_find)
@@ -42,7 +42,7 @@ TEST(Pipeline, UnionFindAlgorithmSelection) {
 
 TEST(Pipeline, SortedEdgesPathSharesOneSort) {
   const graph::EdgeList tree = make_tree(Topology::broom, 3000, 2, 0);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto pipeline = Pipeline::on(executor);
   const auto sorted = pipeline.sort_edges(tree, 3000);
   const auto from_sorted = pipeline.build_dendrogram(sorted);
@@ -52,7 +52,7 @@ TEST(Pipeline, SortedEdgesPathSharesOneSort) {
 
 TEST(Pipeline, ExpansionPolicySelection) {
   const graph::EdgeList tree = make_tree(Topology::caterpillar, 5000, 4, 0);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto multilevel = Pipeline::on(executor).build_dendrogram(tree, 5000);
   const auto single = Pipeline::on(executor)
                           .with_expansion(dendrogram::ExpansionPolicy::single_level)
@@ -62,7 +62,7 @@ TEST(Pipeline, ExpansionPolicySelection) {
 
 TEST(Pipeline, ValidationRejectsNonTrees) {
   const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   EXPECT_THROW((void)Pipeline::on(executor).with_validation().build_dendrogram(cycle, 3),
                std::invalid_argument);
   EXPECT_THROW((void)Pipeline::on(executor)
@@ -74,7 +74,7 @@ TEST(Pipeline, ValidationRejectsNonTrees) {
 
 TEST(Pipeline, BuildMstSelectsMetricByMinPts) {
   const spatial::PointSet points = data::gaussian_blobs(900, 2, 3, 0.05, 0.05, 9);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
 
   spatial::KdTree tree_a(points);
   const auto euclid = Pipeline::on(executor).with_min_pts(1).build_mst(points, tree_a);
@@ -94,7 +94,7 @@ TEST(Pipeline, BuildMstSelectsMetricByMinPts) {
 
 TEST(Pipeline, RunHdbscanMatchesFreeFunction) {
   const spatial::PointSet points = data::power_law_blobs(1000, 2, 10, 1.3, 5);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto via_pipeline = Pipeline::on(executor)
                                 .with_min_pts(4)
                                 .with_min_cluster_size(20)
@@ -110,7 +110,7 @@ TEST(Pipeline, RunHdbscanMatchesFreeFunction) {
 
 TEST(Pipeline, SelectionOptionsReachExtraction) {
   const spatial::PointSet points = data::power_law_blobs(1000, 2, 10, 1.3, 6);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   const auto base = Pipeline::on(executor).with_min_pts(3).with_min_cluster_size(10);
   auto leaf_pipeline = base;  // builders are cheap copyable values
   const auto eom = base.run_hdbscan(points);
@@ -123,7 +123,7 @@ TEST(Pipeline, SelectionOptionsReachExtraction) {
 
 TEST(Pipeline, ProfilerObservesPipelinePhases) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 5000, 8, 0);
-  const exec::Executor executor(exec::Space::parallel);
+  const exec::Executor executor(exec::default_backend());
   exec::PhaseTimesProfiler profiler;
   executor.set_profiler(&profiler);
   (void)Pipeline::on(executor).build_dendrogram(tree, 5000);

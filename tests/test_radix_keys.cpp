@@ -96,8 +96,8 @@ std::vector<index_t> reference_order(const graph::EdgeList& edges) {
 }
 
 void expect_radix_matches_merge(const graph::EdgeList& tree, index_t nv, const char* what) {
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
-    const exec::Executor executor(space, space == exec::Space::parallel ? 4 : 0);
+  for (const auto& space : exec::registered_backends()) {
+    const exec::Executor executor(space, 4);
     executor.set_artifact_caching(false);
 
     executor.set_edge_sort_algorithm(exec::EdgeSortAlgorithm::radix);
@@ -190,7 +190,7 @@ TEST(RadixEdgeSort, MixedZerosKeepIdTieBreak) {
     tree[i].weight = (i % 3 == 0) ? -0.0 : 0.0;
   expect_radix_matches_merge(tree, 2000, "signed zeros");
 
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const SortedEdges sorted = dendrogram::sort_edges(executor, tree, 2000);
   for (index_t i = 1; i < sorted.num_edges(); ++i)
     ASSERT_LT(sorted.order[static_cast<std::size_t>(i - 1)],

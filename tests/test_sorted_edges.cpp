@@ -12,7 +12,7 @@ using pandora::testing::make_tree;
 
 TEST(SortedEdges, DescendingWeightsWithStableTieBreak) {
   const graph::EdgeList tree = make_tree(Topology::random_attach, 500, 7, /*distinct=*/3);
-  for (const exec::Space space : {exec::Space::serial, exec::Space::parallel}) {
+  for (const auto& space : exec::registered_backends()) {
     const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(space), tree, 500);
     ASSERT_EQ(sorted.num_edges(), 499);
     for (index_t i = 1; i < sorted.num_edges(); ++i) {
@@ -30,7 +30,7 @@ TEST(SortedEdges, DescendingWeightsWithStableTieBreak) {
 
 TEST(SortedEdges, OrderIsAPermutationCarryingEndpoints) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 300, 3, 0);
-  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(exec::Space::parallel), tree, 300);
+  const SortedEdges sorted = dendrogram::sort_edges(exec::default_executor(), tree, 300);
   std::vector<bool> seen(tree.size(), false);
   for (index_t i = 0; i < sorted.num_edges(); ++i) {
     const index_t original = sorted.order[static_cast<std::size_t>(i)];
@@ -47,8 +47,8 @@ TEST(SortedEdges, OrderIsAPermutationCarryingEndpoints) {
 
 TEST(SortedEdges, SerialAndParallelAgreeExactly) {
   const graph::EdgeList tree = make_tree(Topology::caterpillar, 20000, 11, /*distinct=*/2);
-  const SortedEdges a = dendrogram::sort_edges(exec::default_executor(exec::Space::serial), tree, 20000);
-  const SortedEdges b = dendrogram::sort_edges(exec::default_executor(exec::Space::parallel), tree, 20000);
+  const SortedEdges a = dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), tree, 20000);
+  const SortedEdges b = dendrogram::sort_edges(exec::default_executor(), tree, 20000);
   EXPECT_EQ(a.order, b.order);
   EXPECT_EQ(a.u, b.u);
   EXPECT_EQ(a.v, b.v);
@@ -59,7 +59,7 @@ TEST(SortedEdges, DeltaMergeIsBitIdenticalToAFullSort) {
   // deliberate exact weight ties against survivors), optionally remap
   // vertices — the linear delta merge must equal sort_edges over the
   // materialised updated list, order array included.
-  const exec::Executor& executor = exec::default_executor(exec::Space::parallel);
+  const exec::Executor& executor = exec::default_executor();
   const graph::EdgeList tree = make_tree(Topology::random_attach, 2000, 13, /*distinct=*/4);
   const SortedEdges base = dendrogram::sort_edges(executor, tree, 2000);
 
@@ -114,10 +114,10 @@ TEST(SortedEdges, DeltaMergeIsBitIdenticalToAFullSort) {
 
 TEST(SortedEdges, ValidationRejectsNonTrees) {
   graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
-  EXPECT_THROW((void)dendrogram::sort_edges(exec::default_executor(exec::Space::serial), cycle, 3, true),
+  EXPECT_THROW((void)dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), cycle, 3, true),
                std::invalid_argument);
   graph::EdgeList nan_weight{{0, 1, std::numeric_limits<double>::quiet_NaN()}};
-  EXPECT_THROW((void)dendrogram::sort_edges(exec::default_executor(exec::Space::serial), nan_weight, 2, true),
+  EXPECT_THROW((void)dendrogram::sort_edges(exec::default_executor(exec::serial_backend()), nan_weight, 2, true),
                std::invalid_argument);
 }
 

@@ -19,7 +19,7 @@ using pandora::testing::Topology;
 using pandora::testing::make_tree;
 
 TEST(MstFingerprint, SensitiveToEveryInput) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   graph::EdgeList tree = make_tree(Topology::random_attach, 1000, 3, 0);
   const std::uint64_t base = dendrogram::mst_fingerprint(executor, tree, 1000);
   EXPECT_EQ(base, dendrogram::mst_fingerprint(executor, tree, 1000)) << "deterministic";
@@ -40,13 +40,13 @@ TEST(MstFingerprint, SensitiveToEveryInput) {
   EXPECT_NE(base, dendrogram::mst_fingerprint(executor, tree, 1001));
 
   // Serial and parallel executors agree (deterministic left-to-right sum).
-  const exec::Executor parallel(exec::Space::parallel, 4);
+  const exec::Executor parallel(exec::default_backend(), 4);
   EXPECT_EQ(base, dendrogram::mst_fingerprint(parallel, tree, 1000));
 }
 
 TEST(SortedEdgesCache, RepeatedCallsReplayTheSameArtifact) {
   const graph::EdgeList tree = make_tree(Topology::preferential, 8000, 7, 2);
-  const exec::Executor executor(exec::Space::parallel, 4);
+  const exec::Executor executor(exec::default_backend(), 4);
   ASSERT_TRUE(executor.artifact_caching());
 
   const auto first = dendrogram::sorted_edges_cached(executor, tree, 8000);
@@ -63,7 +63,7 @@ TEST(SortedEdgesCache, RepeatedCallsReplayTheSameArtifact) {
 }
 
 TEST(SortedEdgesCache, DifferentMstsDoNotCollide) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const graph::EdgeList a = make_tree(Topology::path, 2000, 1, 0);
   graph::EdgeList b = a;
   b[1000].weight *= 2.0;
@@ -78,7 +78,7 @@ TEST(SortedEdgesCache, DifferentMstsDoNotCollide) {
 
 TEST(SortedEdgesCache, DisabledCachingSortsAfresh) {
   const graph::EdgeList tree = make_tree(Topology::broom, 3000, 9, 0);
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   executor.set_artifact_caching(false);
   const auto first = dendrogram::sorted_edges_cached(executor, tree, 3000);
   const auto second = dendrogram::sorted_edges_cached(executor, tree, 3000);
@@ -90,7 +90,7 @@ TEST(SortedEdgesCache, ValidationAppliesOnHitsToo) {
   // A cycle is not a tree: caching the unvalidated sort must not launder a
   // later validation request.
   const graph::EdgeList cycle{{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}};
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const auto unvalidated = dendrogram::sorted_edges_cached(executor, cycle, 3, false);
   EXPECT_EQ(unvalidated->num_edges(), 3);
   EXPECT_THROW((void)dendrogram::sorted_edges_cached(executor, cycle, 3, true),
@@ -98,7 +98,7 @@ TEST(SortedEdgesCache, ValidationAppliesOnHitsToo) {
 }
 
 TEST(SortedEdgesCache, EvictionKeepsCorrectness) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   executor.artifact_cache().clear();
   std::vector<graph::EdgeList> trees;
   for (std::uint64_t seed = 0; seed < 6; ++seed)
@@ -113,8 +113,8 @@ TEST(SortedEdgesCache, EvictionKeepsCorrectness) {
 
 TEST(SortedEdgesCache, DendrogramsAgreeWithAndWithoutCache) {
   const graph::EdgeList tree = make_tree(Topology::caterpillar, 12000, 4, 3);
-  const exec::Executor cached_executor(exec::Space::parallel, 4);
-  const exec::Executor uncached_executor(exec::Space::parallel, 4);
+  const exec::Executor cached_executor(exec::default_backend(), 4);
+  const exec::Executor uncached_executor(exec::default_backend(), 4);
   uncached_executor.set_artifact_caching(false);
 
   const auto d1 = dendrogram::pandora_dendrogram(cached_executor, tree, 12000);

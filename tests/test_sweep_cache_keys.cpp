@@ -38,7 +38,7 @@ TEST(Fingerprint, CombineSeparatesParametersAndOrder) {
 }
 
 TEST(PointSetFingerprint, SensitiveToEveryCoordinateAndShape) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const spatial::PointSet points = data::uniform_points(500, 3, 11);
   const std::uint64_t base = spatial::point_set_fingerprint(executor, points);
   EXPECT_EQ(base, spatial::point_set_fingerprint(executor, points)) << "deterministic";
@@ -53,12 +53,12 @@ TEST(PointSetFingerprint, SensitiveToEveryCoordinateAndShape) {
       << "point order is part of the key";
 
   // Serial and parallel executors agree (deterministic left-to-right sum).
-  const exec::Executor parallel(exec::Space::parallel, 4);
+  const exec::Executor parallel(exec::default_backend(), 4);
   EXPECT_EQ(base, spatial::point_set_fingerprint(parallel, points));
 }
 
 TEST(KdTreeCache, HitsSameObjectMissesMutatedAndOtherLeafSizes) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   spatial::PointSet points = data::uniform_points(800, 2, 3);
 
   const auto first = spatial::kdtree_cached(executor, points);
@@ -82,7 +82,7 @@ TEST(KdTreeCache, HitsSameObjectMissesMutatedAndOtherLeafSizes) {
 }
 
 TEST(CoreDistanceCache, MptsValuesNeverAlias) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const spatial::PointSet points = data::gaussian_blobs(600, 2, 4, 0.05, 0.2, 21);
   const auto tree = spatial::kdtree_cached(executor, points);
 
@@ -103,7 +103,7 @@ TEST(CoreDistanceCache, MptsValuesNeverAlias) {
 }
 
 TEST(EmstCache, MptsValuesNeverAliasAndSweepsSkipBoruvka) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const spatial::PointSet points = data::gaussian_blobs(600, 2, 4, 0.05, 0.2, 22);
   const auto tree = spatial::kdtree_cached(executor, points);
   const auto core4 = hdbscan::core_distances_cached(executor, points, *tree, 4);
@@ -142,7 +142,7 @@ TEST(EmstCache, MptsValuesNeverAliasAndSweepsSkipBoruvka) {
 }
 
 TEST(DendrogramCache, KeyedOnMstAndExpansionPolicy) {
-  const exec::Executor executor(exec::Space::serial);
+  const exec::Executor executor(exec::serial_backend());
   const graph::EdgeList tree = make_tree(Topology::random_attach, 4000, 5, 0);
 
   const auto multilevel = dendrogram::pandora_dendrogram_cached(executor, tree, 4000);
@@ -165,7 +165,7 @@ TEST(DendrogramCache, KeyedOnMstAndExpansionPolicy) {
 
 TEST(Sweeps, MinClusterSizeSweepMatchesIndependentRuns) {
   const spatial::PointSet points = data::gaussian_blobs(700, 2, 4, 0.04, 0.25, 33);
-  const exec::Executor executor(exec::Space::parallel, 4);
+  const exec::Executor executor(exec::default_backend(), 4);
   const std::array<index_t, 3> sizes = {3, 10, 40};
 
   const hdbscan::MinClusterSizeSweep sweep =
@@ -173,7 +173,7 @@ TEST(Sweeps, MinClusterSizeSweepMatchesIndependentRuns) {
   ASSERT_EQ(sweep.entries.size(), sizes.size());
 
   // Ground truth from an executor with caching disabled: nothing can alias.
-  const exec::Executor reference(exec::Space::parallel, 4);
+  const exec::Executor reference(exec::default_backend(), 4);
   reference.set_artifact_caching(false);
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     hdbscan::HdbscanOptions options;
@@ -195,14 +195,14 @@ TEST(Sweeps, MinClusterSizeSweepMatchesIndependentRuns) {
 
 TEST(Sweeps, MinPtsSweepMatchesIndependentRuns) {
   const spatial::PointSet points = data::gaussian_blobs(600, 3, 3, 0.05, 0.3, 44);
-  const exec::Executor executor(exec::Space::parallel, 4);
+  const exec::Executor executor(exec::default_backend(), 4);
   const std::array<int, 3> mpts = {2, 4, 8};
 
   const std::vector<hdbscan::HdbscanResult> sweep =
       Pipeline::on(executor).with_min_cluster_size(10).sweep_min_pts(points, mpts);
   ASSERT_EQ(sweep.size(), mpts.size());
 
-  const exec::Executor reference(exec::Space::parallel, 4);
+  const exec::Executor reference(exec::default_backend(), 4);
   reference.set_artifact_caching(false);
   for (std::size_t i = 0; i < mpts.size(); ++i) {
     hdbscan::HdbscanOptions options;

@@ -58,7 +58,7 @@ TEST(ConcurrentUnionFindTest, MatchesSequentialOnRandomOperations) {
     for (auto [a, b] : ops) sequential.unite(a, b);
 
     ConcurrentUnionFind concurrent(n);
-    exec::parallel_for(exec::default_executor(exec::Space::parallel), static_cast<size_type>(ops.size()),
+    exec::parallel_for(exec::default_executor(), static_cast<size_type>(ops.size()),
                        [&](size_type i) {
                          concurrent.unite(ops[static_cast<std::size_t>(i)].first,
                                           ops[static_cast<std::size_t>(i)].second);
@@ -71,12 +71,12 @@ TEST(ConcurrentUnionFindTest, MatchesSequentialOnRandomOperations) {
 TEST(ConcurrentUnionFindTest, ParallelChainAndStarUnions) {
   const index_t n = 100000;
   ConcurrentUnionFind uf(n);
-  exec::parallel_for(exec::default_executor(exec::Space::parallel), n - 1,
+  exec::parallel_for(exec::default_executor(), n - 1,
                      [&](size_type i) { uf.unite(static_cast<index_t>(i), static_cast<index_t>(i + 1)); });
   for (index_t v : {index_t{0}, index_t{1}, n / 2, n - 1}) EXPECT_EQ(uf.find(v), 0);
 
   ConcurrentUnionFind star(n);
-  exec::parallel_for(exec::default_executor(exec::Space::parallel), n - 1,
+  exec::parallel_for(exec::default_executor(), n - 1,
                      [&](size_type i) { star.unite(n - 1, static_cast<index_t>(i)); });
   for (index_t v : {index_t{0}, n / 3, n - 1}) EXPECT_EQ(star.find(v), 0);
 }

@@ -20,17 +20,18 @@ using pandora::testing::AllocationCounterScope;
 using pandora::testing::Topology;
 using pandora::testing::make_tree;
 
-class ArenaBothSpaces : public ::testing::TestWithParam<exec::Space> {};
+class ArenaBothSpaces : public ::testing::TestWithParam<std::shared_ptr<const exec::Backend>> {};
 
-INSTANTIATE_TEST_SUITE_P(Spaces, ArenaBothSpaces,
-                         ::testing::Values(exec::Space::serial, exec::Space::parallel),
-                         [](const auto& info) { return exec::space_name(info.param); });
+INSTANTIATE_TEST_SUITE_P(Backends, ArenaBothSpaces,
+                         ::testing::ValuesIn(exec::registered_backends()),
+                         [](const auto& info) { return std::string(info.param->name()); });
 
 TEST_P(ArenaBothSpaces, SecondIdenticalPipelineRunAllocatesNothing) {
   const index_t nv = 30000;
   const graph::EdgeList tree = make_tree(Topology::preferential, nv, 3, 0);
-  // A 4-thread budget forces the parallel code path even on small machines.
-  const exec::Executor executor(GetParam(), GetParam() == exec::Space::parallel ? 4 : 0);
+  // A 4-thread budget forces the parallel code path even on small machines
+  // (the serial backend grants 1 regardless; the pinned pool clamps).
+  const exec::Executor executor(GetParam(), 4);
   const auto pipeline = Pipeline::on(executor);
 
   dendrogram::Dendrogram out;
@@ -57,7 +58,7 @@ TEST(Arena, LargerQueryAfterSmallerGrowsAndStaysCorrect) {
   // the bigger query are allocation-free again.
   const graph::EdgeList small_tree = make_tree(Topology::random_attach, 4000, 5, 0);
   const graph::EdgeList big_tree = make_tree(Topology::random_attach, 50000, 6, 0);
-  const exec::Executor executor(exec::Space::parallel, 4);
+  const exec::Executor executor(exec::default_backend(), 4);
   const auto pipeline = Pipeline::on(executor);
 
   dendrogram::Dendrogram out;
@@ -65,7 +66,7 @@ TEST(Arena, LargerQueryAfterSmallerGrowsAndStaysCorrect) {
   pipeline.build_dendrogram_into(big_tree, 50000, out);  // growth happens here
 
   // Correctness against a cold executor.
-  const exec::Executor fresh(exec::Space::parallel, 4);
+  const exec::Executor fresh(exec::default_backend(), 4);
   const auto expected = dendrogram::pandora_dendrogram(fresh, big_tree, 50000);
   EXPECT_EQ(out.parent, expected.parent);
   EXPECT_EQ(out.edge_order, expected.edge_order);
@@ -88,7 +89,7 @@ TEST(Arena, RepeatedHdbscanReusesScratch) {
   // End-to-end sanity at the workspace-stats level: repeated full HDBSCAN*
   // queries on one executor lease everything from the arena.
   const spatial::PointSet points = data::gaussian_blobs(4000, 2, 4, 0.05, 0.05, 11);
-  const exec::Executor executor(exec::Space::parallel, 4);
+  const exec::Executor executor(exec::default_backend(), 4);
   const auto pipeline = Pipeline::on(executor).with_min_pts(3).with_min_cluster_size(20);
   const auto first = pipeline.run_hdbscan(points);
   executor.workspace().reset_stats();
