@@ -44,17 +44,25 @@ double rebuild_once(const spatial::PointSet& points) {
   return timer.seconds();
 }
 
-void report(const char* scenario, index_t n, const bench::Measurement& update,
-            const bench::Measurement& rebuild, bench::JsonReport& json) {
+void report(const char* scenario, index_t n, const exec::Executor& executor,
+            const bench::Measurement& update, const bench::Measurement& rebuild,
+            bench::JsonReport& json) {
   const double speedup = update.median() > 0 ? rebuild.median() / update.median() : 0.0;
   std::printf("%-13s | n %7lld | update %9.3fms  rebuild %9.3fms | %6.2fx\n", scenario,
               static_cast<long long>(n), 1e3 * update.median(), 1e3 * rebuild.median(),
               speedup);
+  // Cumulative ArtifactCache counters of the stream's executor: how much the
+  // incremental path replayed vs recomputed across the scenario so far.
+  const auto cache = executor.artifact_cache().stats();
   json.field("scenario", std::string(scenario))
       .field("n", n)
       .timing("update", update)
       .timing("rebuild", rebuild)
-      .field("update_speedup", speedup);
+      .field("update_speedup", speedup)
+      .field("cache_hits", cache.hits)
+      .field("cache_misses", cache.misses)
+      .field("cache_evictions", cache.evictions)
+      .field("cache_pinned_slots", cache.pinned_slots);
   json.end_row();
 }
 
@@ -101,7 +109,7 @@ int main() {
     const bench::Measurement rebuild =
         bench::measure(kSamples, [&] { (void)rebuild_once(stream.points()); });
     check_exact(stream);
-    report("single-insert", stream.size(), update, rebuild, json);
+    report("single-insert", stream.size(), executor, update, rebuild, json);
   }
 
   // --- 1% churn batches ----------------------------------------------------
@@ -125,7 +133,7 @@ int main() {
     const bench::Measurement rebuild =
         bench::measure(kSamples, [&] { (void)rebuild_once(stream.points()); });
     check_exact(stream);
-    report("churn-1pct", stream.size(), update, rebuild, json);
+    report("churn-1pct", stream.size(), executor, update, rebuild, json);
   }
 
   std::printf(

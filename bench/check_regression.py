@@ -36,6 +36,11 @@ Two kinds of checks:
      value with ~10% median-of-a-few-samples jitter; a genuine backend
      regression is far larger.  Skipped below 4 threads like the batch
      gate.
+   * ``--max-reader-degradation``: the mixed_rw scenario of
+     bench_batch_serving (8 snapshot readers with vs without a churning
+     writer) must keep reader p90 within that ratio of the writer-idle p90
+     (writers publish snapshots; they never block readers).  Skipped below
+     4 threads like the batch gate.
    * ``--fig15-json``: per dataset, the summed cache-replay preparation must
      beat the summed rebuild preparation.
    * ``--dynamic-json``: bench_dynamic_updates' single-insert scenario at
@@ -182,6 +187,28 @@ def check_backend_gate(path: pathlib.Path, min_speedup: float, noise: float) -> 
     return []
 
 
+def check_reader_gate(path: pathlib.Path, max_degradation: float) -> list[str]:
+    report = load(path)
+    threads = report.get("threads", 1)
+    for row in report.get("rows", []):
+        if row.get("scenario") != "mixed_rw":
+            continue
+        degradation = row.get("reader_p90_degradation", 0.0)
+        if threads < 4:
+            print(f"reader gate: skipped (threads={threads} < 4); "
+                  f"observed p90 degradation {degradation:.2f}x")
+            return []
+        print(f"reader gate: mixed_rw reader p90 with writer "
+              f"{row.get('reader_rw_p90', 0.0) * 1e3:.2f}ms vs without "
+              f"{row.get('reader_ro_p90', 0.0) * 1e3:.2f}ms = {degradation:.2f}x "
+              f"(allowed {max_degradation:.2f}x)")
+        if degradation > max_degradation:
+            return [f"mixed_rw reader p90 degraded {degradation:.2f}x under writer churn "
+                    f"(> allowed {max_degradation:.2f}x) — the writer is blocking readers"]
+        return []
+    return [f"{path.name}: no mixed_rw row found"]
+
+
 def check_fig15_gate(path: pathlib.Path) -> list[str]:
     report = load(path)
     rebuild: dict[str, float] = {}
@@ -249,6 +276,10 @@ def main() -> int:
     parser.add_argument("--backend-noise", type=float, default=0.1,
                         help="measurement-noise allowance subtracted from the "
                              "backend-parity requirement (default 0.1)")
+    parser.add_argument("--max-reader-degradation", type=float, default=1.5,
+                        help="allowed mixed_rw reader-p90 ratio with vs without a "
+                             "churning writer (default 1.5; snapshot publication "
+                             "must keep writers off the reader path)")
     parser.add_argument("--fig15-json", type=pathlib.Path,
                         help="BENCH_fig15.json for the sweep replay-beats-rebuild gate")
     parser.add_argument("--dynamic-json", type=pathlib.Path,
@@ -265,6 +296,7 @@ def main() -> int:
         failures += check_batch_gate(args.batch_json, args.min_batch_speedup)
         failures += check_backend_gate(args.batch_json, args.min_backend_speedup,
                                        args.backend_noise)
+        failures += check_reader_gate(args.batch_json, args.max_reader_degradation)
     if args.fig15_json is not None:
         failures += check_fig15_gate(args.fig15_json)
     if args.dynamic_json is not None:

@@ -514,4 +514,17 @@ hdbscan::HdbscanResult DynamicClustering::hdbscan(const hdbscan::HdbscanOptions&
   return pandora::hdbscan::hdbscan(*exec_, *points_, options, points_fingerprint());
 }
 
+ArtifactBundle DynamicClustering::capture_artifacts() const {
+  PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
+  ArtifactBundle bundle;
+  bundle.epoch = epoch_;
+  bundle.fingerprint = points_fingerprint();
+  bundle.points = std::make_shared<const spatial::PointSet>(*points_);
+  bundle.emst = std::make_shared<const graph::EdgeList>(edges_);
+  bundle.sorted_edges = std::make_shared<const dendrogram::SortedEdges>(sorted_);
+  bundle.dendrogram = std::make_shared<const dendrogram::Dendrogram>(dendrogram_);
+  bundle.expansion = options_.expansion;
+  return bundle;
+}
+
 }  // namespace pandora::dyn

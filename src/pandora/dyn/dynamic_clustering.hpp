@@ -58,6 +58,21 @@ struct UpdateStats {
   std::uint64_t index_rebuilds = 0;   ///< kd-index rebuilds (tail overflow / erase)
 };
 
+/// One epoch of a stream, captured as an immutable unit: deep copies of the
+/// live points and every maintained derived structure, all consistent with
+/// one `epoch()` / `points_fingerprint()` pair.  This is what the snapshot
+/// tier freezes and publishes — the copies share nothing with the stream, so
+/// the writer may keep mutating while readers hold the bundle.
+struct ArtifactBundle {
+  std::uint64_t epoch = 0;
+  std::uint64_t fingerprint = 0;  ///< epoch_fingerprint at capture time
+  std::shared_ptr<const spatial::PointSet> points;
+  std::shared_ptr<const graph::EdgeList> emst;
+  std::shared_ptr<const dendrogram::SortedEdges> sorted_edges;
+  std::shared_ptr<const dendrogram::Dendrogram> dendrogram;
+  dendrogram::ExpansionPolicy expansion = dendrogram::ExpansionPolicy::multilevel;
+};
+
 /// A mutable point set with stable ids, an incrementally maintained exact
 /// Euclidean MST, and a dendrogram replayed from it after every update.
 ///
@@ -174,7 +189,17 @@ class DynamicClustering {
   /// not incrementality.)
   [[nodiscard]] hdbscan::HdbscanResult hdbscan(const hdbscan::HdbscanOptions& options = {}) const;
 
+  /// Freezes the current epoch as an immutable `ArtifactBundle` (deep
+  /// copies: points, EMST, sorted run, dendrogram — one consistent unit).
+  /// O(n·d + E) copy cost; this is the "materialize the successor snapshot
+  /// off to the side" step of `snapshot::PublishedClustering::publish`, so
+  /// it runs on the writer thread without touching anything a reader holds.
+  /// Like the structure accessors, throws if the stream is poisoned.
+  [[nodiscard]] ArtifactBundle capture_artifacts() const;
+
   [[nodiscard]] const UpdateStats& stats() const { return stats_; }
+
+  [[nodiscard]] const DynamicOptions& options() const { return options_; }
 
   [[nodiscard]] const exec::Executor& executor() const { return *exec_; }
 

@@ -48,7 +48,7 @@ std::shared_ptr<const std::vector<double>> core_distances_cached(
       exec.artifact_cache().find<CachedCoreDistances>(key);
   if (entry == nullptr || entry->points != &points) {
     entry = compute();
-    exec.artifact_cache().insert(key, entry);
+    exec.artifact_cache().insert(key, entry, exec.cache_owner());
   }
   const std::vector<double>* view = &entry->values;
   return {std::move(entry), view};

@@ -102,7 +102,8 @@ HdbscanResult hdbscan(const exec::Executor& exec, const spatial::PointSet& point
 MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
                                                    const spatial::PointSet& points,
                                                    std::span<const index_t> min_cluster_sizes,
-                                                   const HdbscanOptions& base) {
+                                                   const HdbscanOptions& base,
+                                                   std::optional<std::uint64_t> points_fingerprint) {
   PANDORA_EXPECT(points.size() > 0, "need at least one point");
   MinClusterSizeSweep sweep;
 
@@ -110,8 +111,8 @@ MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
   // ArtifactCache across calls: min_cluster_size touches nothing above the
   // condensed tree, so repeated sweeps skip the kd-tree build, the core
   // distances AND the Borůvka EMST (the cached-EMST ROADMAP follow-up).
-  std::optional<std::uint64_t> points_fp;
-  if (exec.artifact_caching())
+  std::optional<std::uint64_t> points_fp = points_fingerprint;
+  if (exec.artifact_caching() && !points_fp)
     points_fp = spatial::point_set_fingerprint(exec, points);
   const std::shared_ptr<const spatial::KdTree> tree =
       spatial::kdtree_cached(exec, points, 32, points_fp);
@@ -152,15 +153,16 @@ MinClusterSizeSweep hdbscan_sweep_min_cluster_size(const exec::Executor& exec,
 std::vector<HdbscanResult> hdbscan_sweep_min_pts(const exec::Executor& exec,
                                                  const spatial::PointSet& points,
                                                  std::span<const int> min_pts_values,
-                                                 const HdbscanOptions& base) {
+                                                 const HdbscanOptions& base,
+                                                 std::optional<std::uint64_t> points_fingerprint) {
   std::vector<HdbscanResult> results;
   results.reserve(min_pts_values.size());
   // One content hash serves the whole sweep; per value, the kd-tree replays
   // from the cache after the first, while the core distances and EMST depend
   // on mpts and are rebuilt (under distinct, never-aliasing cache keys for
   // the former).
-  std::optional<std::uint64_t> points_fp;
-  if (exec.artifact_caching() && points.size() > 0)
+  std::optional<std::uint64_t> points_fp = points_fingerprint;
+  if (exec.artifact_caching() && points.size() > 0 && !points_fp)
     points_fp = spatial::point_set_fingerprint(exec, points);
   for (const int min_pts : min_pts_values) {
     HdbscanOptions options = base;

@@ -88,9 +88,13 @@ struct MinClusterSizeSweep {
   std::vector<Entry> entries;
 };
 
+/// `points_fingerprint` overrides the content hash (see `hdbscan`): the
+/// snapshot tier passes its epoch fingerprint so sweep artifacts key on the
+/// pinned epoch without hashing the frozen points.
 [[nodiscard]] MinClusterSizeSweep hdbscan_sweep_min_cluster_size(
     const exec::Executor& exec, const spatial::PointSet& points,
-    std::span<const index_t> min_cluster_sizes, const HdbscanOptions& base = {});
+    std::span<const index_t> min_cluster_sizes, const HdbscanOptions& base = {},
+    std::optional<std::uint64_t> points_fingerprint = std::nullopt);
 
 /// An mpts sweep over one point set: one full pipeline per `min_pts` value
 /// (results aligned with `min_pts_values`), sharing the kd-tree through the
@@ -99,6 +103,7 @@ struct MinClusterSizeSweep {
 /// derive distinct core-distance cache keys and never alias.
 [[nodiscard]] std::vector<HdbscanResult> hdbscan_sweep_min_pts(
     const exec::Executor& exec, const spatial::PointSet& points,
-    std::span<const int> min_pts_values, const HdbscanOptions& base = {});
+    std::span<const int> min_pts_values, const HdbscanOptions& base = {},
+    std::optional<std::uint64_t> points_fingerprint = std::nullopt);
 
 }  // namespace pandora::hdbscan

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "pandora/common/expect.hpp"
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
 #include "pandora/dendrogram/pandora.hpp"
@@ -9,6 +10,8 @@
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/hdbscan.hpp"
 #include "pandora/serve/batch_executor.hpp"
+#include "pandora/snapshot/published_clustering.hpp"
+#include "pandora/snapshot/snapshot.hpp"
 #include "pandora/spatial/kdtree.hpp"
 #include "pandora/spatial/point_set.hpp"
 
@@ -43,6 +46,26 @@ class Pipeline {
   /// artifact cache across pipelines on the same backend.
   [[nodiscard]] static Pipeline on(const std::shared_ptr<const exec::Backend>& backend) {
     return Pipeline(exec::default_executor(backend));
+  }
+
+  /// Snapshot front door: a pipeline whose terminal operations run against a
+  /// pinned `snapshot::Snapshot` instead of caller-supplied points — the
+  /// reader-side idiom of the serving tier:
+  ///
+  ///   snapshot::SnapshotPtr snap = published.acquire();
+  ///   auto clusters = Pipeline::on_snapshot(reader_exec, *snap)
+  ///                       .with_min_pts(4)
+  ///                       .with_min_cluster_size(25)
+  ///                       .run_hdbscan();              // no points argument
+  ///
+  /// Both the executor and the snapshot must outlive the terminal call (hold
+  /// the SnapshotPtr across it).  Point-set terminals (`run_hdbscan(points)`
+  /// etc.) remain available and ignore the snapshot.
+  [[nodiscard]] static Pipeline on_snapshot(const exec::Executor& executor,
+                                            const snapshot::Snapshot& snap) {
+    Pipeline pipeline(executor);
+    pipeline.snapshot_ = &snap;
+    return pipeline;
   }
 
   // --- configuration -------------------------------------------------------
@@ -138,6 +161,30 @@ class Pipeline {
   /// The full HDBSCAN* pipeline.
   [[nodiscard]] hdbscan::HdbscanResult run_hdbscan(const spatial::PointSet& points) const;
 
+  // --- snapshot terminals (require on_snapshot) ------------------------------
+
+  /// HDBSCAN* against the pinned snapshot (see Snapshot::hdbscan).
+  [[nodiscard]] hdbscan::HdbscanResult run_hdbscan() const {
+    PANDORA_EXPECT(snapshot_ != nullptr, "run_hdbscan() without points requires on_snapshot");
+    return snapshot_->hdbscan(*executor_, options_);
+  }
+
+  /// `min_cluster_size` sweep against the pinned snapshot.
+  [[nodiscard]] hdbscan::MinClusterSizeSweep sweep_min_cluster_size(
+      std::span<const index_t> min_cluster_sizes) const {
+    PANDORA_EXPECT(snapshot_ != nullptr,
+                   "sweep_min_cluster_size() without points requires on_snapshot");
+    return snapshot_->sweep_min_cluster_size(*executor_, min_cluster_sizes, options_);
+  }
+
+  /// mpts sweep against the pinned snapshot.
+  [[nodiscard]] std::vector<hdbscan::HdbscanResult> sweep_min_pts(
+      std::span<const int> min_pts_values) const {
+    PANDORA_EXPECT(snapshot_ != nullptr,
+                   "sweep_min_pts() without points requires on_snapshot");
+    return snapshot_->sweep_min_pts(*executor_, min_pts_values, options_);
+  }
+
   // --- batched serving & parameter sweeps -----------------------------------
 
   /// The batched serving front door: a `serve::BatchExecutor` over this
@@ -193,6 +240,21 @@ class Pipeline {
     return dyn::DynamicClustering(*executor_, options);
   }
 
+  /// The serving front door: a `snapshot::PublishedClustering` whose writer
+  /// side is bound to this pipeline's executor.  Writers mutate and publish;
+  /// readers `acquire()` pinned snapshots from their own threads and query
+  /// them through `Pipeline::on_snapshot` (writers never block readers —
+  /// see published_clustering.hpp).  The zero-argument form carries the
+  /// pipeline's expansion policy over.
+  [[nodiscard]] snapshot::PublishedClustering published() const {
+    snapshot::PublishedOptions options;
+    options.dynamic.expansion = expansion_;
+    return snapshot::PublishedClustering(*executor_, options);
+  }
+  [[nodiscard]] snapshot::PublishedClustering published(snapshot::PublishedOptions options) const {
+    return snapshot::PublishedClustering(*executor_, options);
+  }
+
   [[nodiscard]] const exec::Executor& executor() const { return *executor_; }
 
  private:
@@ -206,6 +268,7 @@ class Pipeline {
   }
 
   const exec::Executor* executor_;
+  const snapshot::Snapshot* snapshot_ = nullptr;
   hdbscan::HdbscanOptions options_;
   dendrogram::ExpansionPolicy expansion_ = dendrogram::ExpansionPolicy::multilevel;
   bool validate_input_ = false;

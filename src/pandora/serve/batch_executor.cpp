@@ -10,7 +10,7 @@
 namespace pandora::serve {
 
 BatchExecutor::BatchExecutor(const exec::Executor& parent, BatchOptions options)
-    : parent_(&parent), options_(options) {
+    : parent_(&parent), options_(options), gate_(std::make_unique<GateState>()) {
   int slots = options_.num_slots > 0 ? options_.num_slots : parent.num_threads();
   slots = std::max(slots, 1);
   slots_.reserve(static_cast<std::size_t>(slots));
@@ -21,9 +21,18 @@ BatchExecutor::BatchExecutor(const exec::Executor& parent, BatchOptions options)
     slot->use_shared_artifact_cache(&parent.artifact_cache());
     slots_.push_back(std::move(slot));
   }
+  if (options_.max_cache_slots_per_tenant > 0)
+    parent.artifact_cache().set_tenant_quota(options_.max_cache_slots_per_tenant);
 }
 
 void BatchExecutor::run(std::span<Job> jobs) {
+  // One batch at a time on these slots (they are single-occupancy), inside
+  // the epoch gate's shared section: a legacy wave update (exclusive
+  // section) either finished before this batch was admitted or waits until
+  // it drains — a batch can never observe a half-applied epoch.
+  const std::lock_guard<std::mutex> batch_lock(gate_->batch_mutex);
+  const auto read_section = gate_->epoch_gate.read_section();
+
   // Policy toggles on the parent propagate to the slots at batch start (the
   // parent may have flipped caching or the sort algorithm since last run).
   for (const auto& slot : slots_) {
@@ -52,6 +61,10 @@ void BatchExecutor::run(std::span<Job> jobs) {
       if (next >= small.size()) return;
       const std::size_t j = small[next];
       try {
+        // The job's tenant tag governs cache-quota accounting for every
+        // artifact the job inserts.
+        const exec::ScopedCacheOwner owner(
+            slot_exec, exec::ArtifactCache::Owner{0, jobs[j].tenant});
         jobs[j].run(slot_exec);
       } catch (...) {
         errors[j] = std::current_exception();
@@ -63,6 +76,8 @@ void BatchExecutor::run(std::span<Job> jobs) {
   auto drain_large = [&] {
     for (const std::size_t j : large) {
       try {
+        const exec::ScopedCacheOwner owner(
+            *parent_, exec::ArtifactCache::Owner{0, jobs[j].tenant});
         jobs[j].run(*parent_);
       } catch (...) {
         errors[j] = std::current_exception();
@@ -111,9 +126,59 @@ void BatchExecutor::run_waves(std::span<Wave> waves) {
     } catch (...) {
       if (first_query_error == nullptr) first_query_error = std::current_exception();
     }
-    // Exclusive update: every query above has settled (run joins its
-    // workers), and no query of the next wave has started.
-    if (wave.update) wave.update(*parent_);
+    // Exclusive update through the epoch gate: every query above has
+    // settled (run joins its workers and released the shared section), no
+    // query batch — from this thread or any other — can be admitted until
+    // the gate is released, and the epoch counter records the publish.
+    if (wave.update) {
+      gate_->epoch_gate.publish([&] { wave.update(*parent_); });
+    }
+  }
+  if (first_query_error != nullptr) std::rethrow_exception(first_query_error);
+}
+
+void BatchExecutor::run_waves(snapshot::PublishedClustering& published,
+                              std::span<SnapshotWave> waves) {
+  std::exception_ptr first_query_error;
+  for (SnapshotWave& wave : waves) {
+    std::vector<Job> jobs;
+    jobs.reserve(wave.queries.size());
+    for (SnapshotJob& query : wave.queries) {
+      PANDORA_EXPECT(query.run != nullptr, "SnapshotJob::run must be set");
+      jobs.push_back(Job{
+          [&published, &query](const exec::Executor& exec) {
+            // Pin at admission: the snapshot current when the job starts.
+            // Immutable from here on — the concurrent writer only publishes
+            // successors, never touches what this query reads.
+            const snapshot::SnapshotPtr snap = published.acquire();
+            query.run(exec, *snap);
+          },
+          query.size_hint,
+          query.tenant,
+      });
+    }
+
+    // The wave's update runs concurrently with its queries: writers never
+    // block readers.  Its failure aborts the remaining waves (matching the
+    // legacy semantics), but the queries of this wave still settle first.
+    std::exception_ptr update_error;
+    std::thread writer;
+    if (wave.update) {
+      writer = std::thread([&] {
+        try {
+          wave.update(published);
+        } catch (...) {
+          update_error = std::current_exception();
+        }
+      });
+    }
+    try {
+      run(jobs);
+    } catch (...) {
+      if (first_query_error == nullptr) first_query_error = std::current_exception();
+    }
+    if (writer.joinable()) writer.join();
+    if (update_error != nullptr) std::rethrow_exception(update_error);
   }
   if (first_query_error != nullptr) std::rethrow_exception(first_query_error);
 }

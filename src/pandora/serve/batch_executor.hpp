@@ -11,6 +11,9 @@
 #include "pandora/exec/executor.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/snapshot/epoch_gate.hpp"
+#include "pandora/snapshot/published_clustering.hpp"
+#include "pandora/snapshot/snapshot.hpp"
 #include "pandora/spatial/point_set.hpp"
 
 /// Batched multi-query serving on one Executor.
@@ -73,6 +76,13 @@ struct BatchOptions {
   /// parent executor and small jobs only their slot; the shared
   /// ArtifactCache locks internally.
   bool overlap_phases = true;
+
+  /// Per-tenant cap on shared-ArtifactCache slots (0 = unlimited).  Jobs
+  /// carry a tenant tag (`Job::tenant`); with a cap set, a tenant at its cap
+  /// displaces its own least-recently-used entry on insert, so one tenant's
+  /// parameter sweep cannot evict another tenant's hot kd-tree.  Applied to
+  /// the parent's cache at construction (see ArtifactCache::set_tenant_quota).
+  std::size_t max_cache_slots_per_tenant = 0;
 };
 
 class BatchExecutor {
@@ -88,6 +98,10 @@ class BatchExecutor {
   struct Job {
     std::function<void(const exec::Executor&)> run;
     size_type size_hint = 0;
+    /// Cache-quota accounting tag (0 = untagged); see
+    /// BatchOptions::max_cache_slots_per_tenant.  Installed as the assigned
+    /// executor's cache owner for the job's duration.
+    std::uint64_t tenant = 0;
   };
 
   /// Runs every job to completion.  Small jobs execute concurrently: worker
@@ -117,7 +131,45 @@ class BatchExecutor {
   /// wave.  An update exception aborts the remaining waves (the stream
   /// state is no longer trustworthy) and propagates immediately — it
   /// supersedes any pending query exception, which is then not reported.
+  ///
+  /// Updates run through the executor's `snapshot::EpochGate`: every `run`
+  /// (from any thread) holds the gate's shared section, every wave update
+  /// its exclusive section — so a query batch admitted concurrently with a
+  /// pending update can never observe a half-applied epoch, by construction
+  /// rather than by caller sequencing.  This is the compatibility path; new
+  /// code should prefer the snapshot-backed overload below, where updates
+  /// do not block queries at all.
   void run_waves(std::span<Wave> waves);
+
+  /// A wave of the snapshot-backed streaming workload: queries against
+  /// pinned snapshots of `published`, plus an optional update that runs
+  /// **concurrently with the queries** on a dedicated writer thread.
+  struct SnapshotJob {
+    /// Receives the assigned executor and the snapshot pinned when the job
+    /// was admitted (dispatched to a worker) — queries of one wave may
+    /// observe different epochs, each of them consistent.
+    std::function<void(const exec::Executor&, const snapshot::Snapshot&)> run;
+    size_type size_hint = 0;
+    std::uint64_t tenant = 0;
+  };
+  struct SnapshotWave {
+    std::vector<SnapshotJob> queries;
+    /// Applies mutations through the front door (insert/erase publish
+    /// successor snapshots); may be empty.  Runs on its own thread against
+    /// the PublishedClustering's writer executor.
+    std::function<void(snapshot::PublishedClustering&)> update;
+  };
+
+  /// The snapshot-backed wave driver: wave i's queries run batched (as
+  /// `run`) while wave i's update mutates and publishes concurrently —
+  /// writers never block readers, because every query reads the immutable
+  /// snapshot it acquired at admission.  The next wave starts after both
+  /// settle.  Exception semantics match `run_waves(span<Wave>)`.
+  ///
+  /// The PublishedClustering's writer executor must be distinct from this
+  /// batch's parent executor (large jobs run on the parent concurrently
+  /// with the update; an Executor is not thread-safe).
+  void run_waves(snapshot::PublishedClustering& published, std::span<SnapshotWave> waves);
 
   /// Batched dendrogram construction; results are index-aligned with
   /// `queries`.  `build_dendrograms_into` reuses the storage of `out`
@@ -140,11 +192,21 @@ class BatchExecutor {
   [[nodiscard]] const BatchOptions& options() const noexcept { return options_; }
 
  private:
+  /// Shared synchronisation state, heap-held so the executor stays movable:
+  /// `batch_mutex` serialises whole batches on the slots (two threads may
+  /// submit `run` concurrently; the slots are single-occupancy), and
+  /// `epoch_gate` orders legacy wave updates against query batches.
+  struct GateState {
+    std::mutex batch_mutex;
+    snapshot::EpochGate epoch_gate;
+  };
+
   const exec::Executor* parent_;
   BatchOptions options_;
   /// Persistent serial executors, one per slot: their Workspace arenas stay
   /// warm across batches.  unique_ptr keeps them address-stable.
   std::vector<std::unique_ptr<exec::Executor>> slots_;
+  std::unique_ptr<GateState> gate_;
 };
 
 }  // namespace pandora::serve

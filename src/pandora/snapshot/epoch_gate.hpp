@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+namespace pandora::snapshot {
+
+/// The reader/publisher exclusion primitive of the serving tier.
+///
+/// Readers enter shared sections (`read_section`) that may overlap freely;
+/// a publisher runs its mutation under `publish`, which excludes every
+/// reader section and bumps the epoch counter on completion.  This is the
+/// strong half of the snapshot story: `snapshot::PublishedClustering` never
+/// needs it on the query path (readers there pin immutable snapshots and the
+/// writer publishes with a pointer swap), but the legacy
+/// `serve::BatchExecutor::run_waves` path mutates shared state in place —
+/// its updates now run through `publish`, so a query admitted concurrently
+/// with a pending update can no longer observe a half-applied epoch: it
+/// either drained before the update took the gate, or it starts after the
+/// update released it.  Impossible by construction, not by caller
+/// discipline.
+class EpochGate {
+ public:
+  EpochGate() = default;
+  EpochGate(const EpochGate&) = delete;
+  EpochGate& operator=(const EpochGate&) = delete;
+
+  /// A shared lock readers hold for the duration of one query batch.
+  [[nodiscard]] std::shared_lock<std::shared_mutex> read_section() const {
+    return std::shared_lock<std::shared_mutex>(mutex_);
+  }
+
+  /// Runs `mutate` exclusively (no reader section in flight, none admitted
+  /// until it returns) and bumps the epoch.  The epoch bump happens even if
+  /// `mutate` throws: a failed update may have partially mutated state, so
+  /// anything keyed on the old epoch must not be trusted.
+  template <class F>
+  void publish(F&& mutate) {
+    const std::unique_lock<std::shared_mutex> lock(mutex_);
+    epoch_.fetch_add(1, std::memory_order_release);
+    std::forward<F>(mutate)();
+  }
+
+  /// Completed-or-in-flight publish count (0 before the first publish).
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::atomic<std::uint64_t> epoch_{0};
+};
+
+}  // namespace pandora::snapshot

@@ -1,0 +1,49 @@
+#include "pandora/snapshot/published_clustering.hpp"
+
+#include <utility>
+
+namespace pandora::snapshot {
+
+PublishedClustering::PublishedClustering(const exec::Executor& writer, PublishedOptions options)
+    : cache_(std::make_shared<exec::ArtifactCache>(options.cache_slots)),
+      stream_(writer, options.dynamic) {
+  publish();  // readers may acquire before the first insert (empty snapshot)
+}
+
+std::vector<index_t> PublishedClustering::insert(const spatial::PointSet& batch) {
+  std::vector<index_t> ids = stream_.insert(batch);
+  publish();
+  return ids;
+}
+
+index_t PublishedClustering::insert(std::span<const double> coords) {
+  const index_t id = stream_.insert(coords);
+  publish();
+  return id;
+}
+
+void PublishedClustering::erase(std::span<const index_t> ids) {
+  stream_.erase(ids);
+  publish();
+}
+
+void PublishedClustering::publish() {
+  // Materialize off to the side: the deep copy and the group pin happen
+  // before — and entirely outside — the pointer-swap critical section, so a
+  // concurrent acquire() never waits on capture work.
+  SnapshotPtr next = std::make_shared<const Snapshot>(cache_, stream_.capture_artifacts());
+  const std::lock_guard<std::mutex> lock(current_mutex_);
+  current_ = std::move(next);
+}
+
+SnapshotPtr PublishedClustering::acquire() const {
+  const std::lock_guard<std::mutex> lock(current_mutex_);
+  return current_;
+}
+
+std::uint64_t PublishedClustering::published_epoch() const {
+  const std::lock_guard<std::mutex> lock(current_mutex_);
+  return current_->epoch();
+}
+
+}  // namespace pandora::snapshot

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/dyn/dynamic_clustering.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/snapshot/snapshot.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+namespace pandora::snapshot {
+
+struct PublishedOptions {
+  /// Options of the owned `dyn::DynamicClustering` writer side.
+  dyn::DynamicOptions dynamic;
+
+  /// Nominal slot count of the serving cache shared by every reader of every
+  /// snapshot of this stream.  The cache grows past it only while pinned
+  /// snapshots need the room, and shrinks back as they retire — so the
+  /// steady-state footprint is the nominal slots plus whatever the live
+  /// epochs (at most 1 + max-in-flight-readers of them) have cached.
+  std::size_t cache_slots = 64;
+};
+
+/// The front door of the serving tier: one writer, any number of readers,
+/// and the guarantee that **writers never block readers**.
+///
+///   exec::Executor writer_exec;                      // the writer's executor
+///   snapshot::PublishedClustering published(writer_exec);
+///   published.insert(initial_points);                // mutate + publish
+///
+///   // any reader thread, with its own executor:
+///   snapshot::SnapshotPtr snap = published.acquire();   // pin the epoch
+///   auto clusters = snap->hdbscan(reader_exec, {.min_pts = 4});
+///
+/// **Read side.**  `acquire()` returns the current snapshot under a mutex
+/// held only for the pointer copy (never while any clustering work runs), so
+/// a reader waits nanoseconds at worst — and the snapshot it gets is
+/// immutable, so the query itself takes no lock at all.  A reader keeps its
+/// `SnapshotPtr` for as long as it wants a consistent epoch; dropping it is
+/// the release.
+///
+/// **Write side.**  `insert` / `erase` apply the batch through the owned
+/// `dyn::DynamicClustering` (exact incremental EMST repair + dendrogram
+/// replay), then *materialize the successor snapshot off to the side* (deep
+/// copies — readers' snapshots share nothing with the stream) and publish it
+/// with a single pointer swap.  Readers mid-query keep their pinned epochs;
+/// the retired snapshot — artifacts and pinned serving-cache entries — is
+/// reclaimed when its last reader drains (RCU-style).  Memory cost: at most
+/// `1 + max-in-flight-readers` epochs resident.
+///
+/// Thread-safety: one writer thread at a time (like `dyn::`); `acquire` /
+/// `published_epoch` are safe from any thread concurrently with the writer.
+/// The writer's executor must not be used by readers (give each reader its
+/// own).
+class PublishedClustering {
+ public:
+  explicit PublishedClustering(const exec::Executor& writer, PublishedOptions options = {});
+  PublishedClustering(const PublishedClustering&) = delete;
+  PublishedClustering& operator=(const PublishedClustering&) = delete;
+
+  // --- writer side ----------------------------------------------------------
+
+  /// Inserts a batch of points and publishes the successor snapshot; returns
+  /// the stable ids (batch order).
+  std::vector<index_t> insert(const spatial::PointSet& batch);
+
+  /// Inserts one point and publishes; returns its stable id.
+  index_t insert(std::span<const double> coords);
+
+  /// Erases points by stable id and publishes.
+  void erase(std::span<const index_t> ids);
+
+  // --- reader side ----------------------------------------------------------
+
+  /// Pins and returns the current snapshot.  O(1), lock held only for the
+  /// pointer copy; never blocks on writer work.
+  [[nodiscard]] SnapshotPtr acquire() const;
+
+  /// Epoch of the currently published snapshot.
+  [[nodiscard]] std::uint64_t published_epoch() const;
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] const dyn::DynamicClustering& stream() const { return stream_; }
+  [[nodiscard]] exec::ArtifactCache& serving_cache() const { return *cache_; }
+  [[nodiscard]] const exec::Executor& writer_executor() const { return stream_.executor(); }
+
+ private:
+  /// Materializes a snapshot from the stream's current epoch and swaps it in.
+  void publish();
+
+  std::shared_ptr<exec::ArtifactCache> cache_;
+  dyn::DynamicClustering stream_;
+  /// Guards only the `current_` pointer: held for the copy in `acquire` and
+  /// the swap in `publish`, never while clustering work runs.
+  mutable std::mutex current_mutex_;
+  SnapshotPtr current_;
+};
+
+}  // namespace pandora::snapshot

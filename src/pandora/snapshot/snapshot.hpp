@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "pandora/common/types.hpp"
+#include "pandora/dendrogram/dendrogram.hpp"
+#include "pandora/dendrogram/pandora.hpp"
+#include "pandora/dendrogram/sorted_edges.hpp"
+#include "pandora/dyn/dynamic_clustering.hpp"
+#include "pandora/exec/executor.hpp"
+#include "pandora/graph/edge.hpp"
+#include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/spatial/kdtree.hpp"
+#include "pandora/spatial/point_set.hpp"
+
+/// The epoch-published serving tier.
+///
+/// `snapshot::Snapshot` is one epoch of a stream frozen as an immutable,
+/// refcounted unit: the points plus every maintained derived structure
+/// (EMST, canonical sorted run, dendrogram), all consistent with one
+/// `exec::epoch_fingerprint`.  Readers run full queries against it — HDBSCAN*,
+/// `min_cluster_size` / mpts sweeps, `Pipeline::on_snapshot` — with complete
+/// intra-query parallelism and never take a lock a writer holds: everything
+/// a query reads is immutable, and everything it caches lands in the serving
+/// cache under the snapshot's epoch key, pinned against eviction for the
+/// snapshot's lifetime.
+///
+/// `snapshot::PublishedClustering` (published_clustering.hpp) is the front
+/// door that owns the writer side and swaps the current-snapshot pointer.
+namespace pandora::snapshot {
+
+/// An immutable, epoch-consistent bundle of clustering artifacts.
+///
+/// Lifecycle (RCU-style): readers hold a `SnapshotPtr` (shared_ptr refcount
+/// = the reader count); the publisher drops its reference when a successor
+/// is published, so the snapshot — and with it the deep-copied artifacts and
+/// the serving-cache entries of its pin group — is reclaimed exactly when
+/// the last reader drains.  Construction pins the snapshot's cache group;
+/// destruction purges it (epoch fingerprints never repeat, so the entries
+/// are unreachable afterwards and must not squat in the LRU).
+///
+/// Thread-safety: all query methods are const and safe to call from many
+/// reader threads concurrently, **each with its own Executor** (the usual
+/// one-kernel-per-executor rule still applies per reader).
+class Snapshot {
+ public:
+  /// Freezes `bundle` over the serving cache `cache` (may be nullptr: the
+  /// snapshot then uses each reader's own cache, unpinned).  Normally called
+  /// by `PublishedClustering::publish`, not user code.
+  Snapshot(std::shared_ptr<exec::ArtifactCache> cache, dyn::ArtifactBundle bundle);
+  ~Snapshot();
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return bundle_.epoch; }
+  /// The epoch fingerprint every artifact of this snapshot is keyed on —
+  /// also the snapshot's cache pin group.
+  [[nodiscard]] std::uint64_t fingerprint() const noexcept { return bundle_.fingerprint; }
+
+  [[nodiscard]] const spatial::PointSet& points() const noexcept { return *bundle_.points; }
+  [[nodiscard]] index_t size() const { return bundle_.points->size(); }
+  [[nodiscard]] int dim() const { return bundle_.points->dim(); }
+  [[nodiscard]] const graph::EdgeList& emst() const noexcept { return *bundle_.emst; }
+  [[nodiscard]] const dendrogram::SortedEdges& sorted_edges() const noexcept {
+    return *bundle_.sorted_edges;
+  }
+  /// The single-linkage dendrogram at this epoch (leaves are the stream's
+  /// dense slots at capture time).
+  [[nodiscard]] const dendrogram::Dendrogram& dendrogram() const noexcept {
+    return *bundle_.dendrogram;
+  }
+  [[nodiscard]] dendrogram::ExpansionPolicy expansion() const noexcept {
+    return bundle_.expansion;
+  }
+
+  /// The kd-tree over the snapshot's points, built lazily by the first
+  /// reader that needs it (concurrent first readers block on one build
+  /// rather than racing N redundant ones) and pinned in the serving cache
+  /// for the snapshot's lifetime.
+  [[nodiscard]] std::shared_ptr<const spatial::KdTree> tree(const exec::Executor& exec) const;
+
+  /// Full HDBSCAN* against the pinned epoch.  Bit-identical to a cold
+  /// `hdbscan::hdbscan(exec, snapshot.points(), options)` — the cache only
+  /// skips recomputation, never changes results.  Repeated reader queries
+  /// (any reader) replay the kd-tree, core distances and mutual-reachability
+  /// EMST from the serving cache.
+  [[nodiscard]] pandora::hdbscan::HdbscanResult hdbscan(
+      const exec::Executor& exec, const pandora::hdbscan::HdbscanOptions& options = {}) const;
+
+  /// `min_cluster_size` sweep at the pinned epoch (see
+  /// hdbscan_sweep_min_cluster_size); the shared pipeline prefix keys on the
+  /// epoch fingerprint, so concurrent readers sweeping the same snapshot
+  /// share one kd-tree, one core-distance pass, one EMST.
+  [[nodiscard]] pandora::hdbscan::MinClusterSizeSweep sweep_min_cluster_size(
+      const exec::Executor& exec, std::span<const index_t> min_cluster_sizes,
+      const pandora::hdbscan::HdbscanOptions& base = {}) const;
+
+  /// mpts sweep at the pinned epoch (see hdbscan_sweep_min_pts).
+  [[nodiscard]] std::vector<pandora::hdbscan::HdbscanResult> sweep_min_pts(
+      const exec::Executor& exec, std::span<const int> min_pts_values,
+      const pandora::hdbscan::HdbscanOptions& base = {}) const;
+
+  /// The serving cache this snapshot pins (nullptr when standalone).
+  [[nodiscard]] exec::ArtifactCache* serving_cache() const noexcept { return cache_.get(); }
+
+ private:
+  class ReaderScope;
+
+  std::shared_ptr<exec::ArtifactCache> cache_;
+  dyn::ArtifactBundle bundle_;
+  mutable std::once_flag tree_once_;
+  mutable std::shared_ptr<const spatial::KdTree> tree_;
+};
+
+/// How readers hold a snapshot: the refcount is the reader pin.
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+}  // namespace pandora::snapshot

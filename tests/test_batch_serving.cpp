@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <stdexcept>
 #include <thread>
 
@@ -228,6 +229,94 @@ TEST(BatchExecutor, WaveQueryExceptionsAreIsolatedButUpdatesStillApply) {
   EXPECT_THROW(batch.run_waves(waves), std::runtime_error);
   EXPECT_EQ(updates_applied.load(), 3);
   EXPECT_EQ(queries_completed.load(), 8);
+}
+
+TEST(BatchExecutor, TenantQuotaConfinesEvictionToTheOffendingTenant) {
+  const exec::Executor parent(exec::default_backend(), 2);
+  serve::BatchExecutor batch(parent, {.num_slots = 2, .max_cache_slots_per_tenant = 2});
+  ASSERT_EQ(parent.artifact_cache().tenant_quota(), 2u);
+
+  // Artifacts land in the shared cache under the owner tag the scheduler
+  // installed for the job (Job::tenant -> Executor::cache_owner).
+  struct Artifact {
+    std::uint64_t key;
+  };
+  auto insert_artifact = [](const exec::Executor& exec, std::uint64_t key) {
+    exec.artifact_cache().insert(key, std::make_shared<Artifact>(Artifact{key}),
+                                 exec.cache_owner());
+  };
+
+  std::vector<serve::BatchExecutor::Job> jobs;
+  // Tenant 1 sweeps past its quota (three inserts, cap two) in one job, so
+  // the insert order — and with it which entry is the tenant's LRU — is
+  // deterministic regardless of job scheduling.
+  jobs.push_back({[&](const exec::Executor& exec) {
+                    EXPECT_EQ(exec.cache_owner().tenant, 1u);
+                    insert_artifact(exec, 1);
+                    insert_artifact(exec, 2);
+                    insert_artifact(exec, 3);
+                  },
+                  /*size_hint=*/16, /*tenant=*/1});
+  jobs.push_back({[&](const exec::Executor& exec) { insert_artifact(exec, 10); },
+                  /*size_hint=*/16, /*tenant=*/2});
+  batch.run(jobs);
+
+  // The quota-exceeding tenant displaced its own LRU entry; the sibling
+  // tenant's artifact — and the cache's plentiful empty slots — are intact.
+  exec::ArtifactCache& cache = parent.artifact_cache();
+  EXPECT_EQ(cache.find<Artifact>(1), nullptr) << "tenant 1 paid with its own LRU entry";
+  EXPECT_NE(cache.find<Artifact>(2), nullptr);
+  EXPECT_NE(cache.find<Artifact>(3), nullptr);
+  EXPECT_NE(cache.find<Artifact>(10), nullptr) << "tenant 2 is unaffected";
+}
+
+// The regression test for the old run_waves semantics gap: a query batch
+// submitted from another thread while waves are in flight must never observe
+// a half-applied update.  The update writes a pair that is equal exactly at
+// the epoch boundaries; the epoch gate makes the torn state unobservable by
+// construction (and the pair is gate-protected plain data, so the CI
+// ThreadSanitizer entry also proves the gate's synchronisation, not just its
+// outcome).
+TEST(BatchExecutor, ConcurrentBatchesNeverObserveHalfAppliedWaveUpdates) {
+  const exec::Executor parent(exec::default_backend(), 2);
+  serve::BatchExecutor batch(parent, {.num_slots = 2});
+
+  std::uint64_t epoch_a = 0;  // gate-protected: shared section reads,
+  std::uint64_t epoch_b = 0;  // exclusive wave updates write
+  std::atomic<bool> done{false};
+  std::atomic<bool> torn{false};
+
+  std::thread prober([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::vector<serve::BatchExecutor::Job> jobs;
+      for (int q = 0; q < 4; ++q) {
+        jobs.push_back({[&](const exec::Executor&) {
+                          const std::uint64_t a = epoch_a;
+                          std::this_thread::yield();  // widen any torn window
+                          const std::uint64_t b = epoch_b;
+                          if (a != b) torn.store(true, std::memory_order_relaxed);
+                        },
+                        /*size_hint=*/16});
+      }
+      batch.run(jobs);
+    }
+  });
+
+  std::vector<serve::BatchExecutor::Wave> waves(50);
+  for (auto& wave : waves) {
+    wave.update = [&](const exec::Executor&) {
+      ++epoch_a;
+      std::this_thread::yield();  // a batch admitted here would see a != b
+      ++epoch_b;
+    };
+  }
+  batch.run_waves(waves);
+  done.store(true, std::memory_order_release);
+  prober.join();
+
+  EXPECT_FALSE(torn.load()) << "a query batch observed a half-applied epoch";
+  EXPECT_EQ(epoch_a, 50u);
+  EXPECT_EQ(epoch_b, 50u);
 }
 
 TEST(BatchExecutor, PipelineBatchFrontDoor) {

@@ -1,0 +1,341 @@
+// The snapshot:: epoch-published serving tier: publish/acquire lifecycle,
+// reader-pinned epochs under concurrent writer churn (the CI gcc-tsan matrix
+// entry race-checks the stress test), RCU-style reclaim when the last reader
+// drains (the gcc-sanitize / ASan entry leak-checks it), the Pipeline
+// front door, and the snapshot-backed wave driver where writers never block
+// readers.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pandora/data/point_generators.hpp"
+#include "pandora/pipeline.hpp"
+#include "pandora/serve/batch_executor.hpp"
+#include "pandora/snapshot/published_clustering.hpp"
+#include "pandora/snapshot/snapshot.hpp"
+
+namespace {
+
+using namespace pandora;
+
+hdbscan::HdbscanOptions stress_options() {
+  hdbscan::HdbscanOptions options;
+  options.min_pts = 3;
+  options.min_cluster_size = 8;
+  return options;
+}
+
+/// The bit-identity contract: `result` (computed by a reader against a
+/// pinned snapshot, possibly replaying cached artifacts) must equal a cold
+/// rebuild over the same frozen points.
+void expect_bit_identical(const hdbscan::HdbscanResult& result,
+                          const hdbscan::HdbscanResult& cold, std::uint64_t epoch) {
+  EXPECT_EQ(result.labels, cold.labels) << "epoch " << epoch;
+  EXPECT_EQ(result.num_clusters, cold.num_clusters) << "epoch " << epoch;
+  EXPECT_EQ(result.core_distances, cold.core_distances) << "epoch " << epoch;
+  EXPECT_EQ(result.dendrogram.parent, cold.dendrogram.parent) << "epoch " << epoch;
+  EXPECT_EQ(result.dendrogram.weight, cold.dendrogram.weight) << "epoch " << epoch;
+}
+
+TEST(SnapshotServing, PublishAcquireLifecycle) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  snapshot::PublishedClustering published(writer_exec);
+
+  // Before any insert: an empty epoch-0 snapshot is already acquirable.
+  const snapshot::SnapshotPtr empty = published.acquire();
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->epoch(), 0u);
+  EXPECT_EQ(empty->size(), 0);
+
+  published.insert(data::gaussian_blobs(300, 2, 3, 0.04, 0.1, 7));
+  const snapshot::SnapshotPtr first = published.acquire();
+  EXPECT_EQ(first->epoch(), 1u);
+  EXPECT_EQ(first->size(), 300);
+  EXPECT_EQ(published.published_epoch(), 1u);
+
+  // A pinned snapshot is frozen: the writer keeps mutating, the reader's
+  // epoch does not move and its artifacts stay bit-identical.
+  const dendrogram::Dendrogram before = first->dendrogram();
+  published.insert(data::gaussian_blobs(50, 2, 3, 0.04, 0.1, 8));
+  EXPECT_EQ(published.published_epoch(), 2u);
+  EXPECT_EQ(first->epoch(), 1u);
+  EXPECT_EQ(first->size(), 300);
+  EXPECT_EQ(first->dendrogram().parent, before.parent);
+  EXPECT_EQ(published.acquire()->size(), 350);
+}
+
+TEST(SnapshotServing, QueriesOnEmptySnapshotThrow) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  const snapshot::PublishedClustering published(writer_exec);
+  const snapshot::SnapshotPtr empty = published.acquire();
+  const exec::Executor reader(exec::serial_backend());
+  EXPECT_THROW((void)empty->hdbscan(reader, stress_options()), std::invalid_argument);
+  EXPECT_THROW((void)empty->tree(reader), std::invalid_argument);
+}
+
+TEST(SnapshotServing, ReaderQueriesMatchColdRebuildAndShareTheServingCache) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  snapshot::PublishedClustering published(writer_exec);
+  published.insert(data::gaussian_blobs(500, 2, 4, 0.03, 0.1, 11));
+  const snapshot::SnapshotPtr snap = published.acquire();
+
+  const exec::Executor reader_a(exec::serial_backend());
+  const exec::Executor reader_b(exec::serial_backend());
+  const hdbscan::HdbscanResult via_a = snap->hdbscan(reader_a, stress_options());
+  const auto warm = published.serving_cache().stats();
+  const hdbscan::HdbscanResult via_b = snap->hdbscan(reader_b, stress_options());
+  const auto after = published.serving_cache().stats();
+  EXPECT_GE(after.hits - warm.hits, 3u)
+      << "the second reader replays the first reader's kd-tree, core "
+         "distances and EMST from the shared serving cache";
+  EXPECT_GT(after.pinned_slots, 0u) << "snapshot artifacts are pinned while it lives";
+
+  const exec::Executor cold(exec::serial_backend());
+  const hdbscan::HdbscanResult rebuild = hdbscan::hdbscan(cold, snap->points(), stress_options());
+  expect_bit_identical(via_a, rebuild, snap->epoch());
+  expect_bit_identical(via_b, rebuild, snap->epoch());
+
+  // Reader state restored: the reader executors left the scope with their
+  // own caches and untagged owners.
+  EXPECT_EQ(reader_a.shared_artifact_cache(), nullptr);
+  EXPECT_EQ(reader_a.cache_owner().pin_group, 0u);
+}
+
+// The TSan stress test (the gcc-tsan CI entry runs this suite): N reader
+// threads run HDBSCAN and min_cluster_size sweeps against pinned snapshots
+// while the writer thread churns insert/erase batches, publishing after
+// every mutation.  Every reader-observed clustering must be bit-identical
+// to a cold rebuild at its pinned epoch.
+TEST(SnapshotServing, ConcurrentReadersObserveConsistentPinnedEpochs) {
+  const exec::Executor writer_exec;  // default backend: the writer may be parallel
+  snapshot::PublishedClustering published(writer_exec);
+  published.insert(data::gaussian_blobs(300, 2, 3, 0.04, 0.1, 21));
+
+  constexpr int kReaders = 4;
+  constexpr int kWriterRounds = 10;
+  std::atomic<bool> writer_done{false};
+
+  struct Observation {
+    snapshot::SnapshotPtr snap;  // held: the epoch stays resident until we verify
+    hdbscan::HdbscanResult result;
+  };
+  std::vector<std::vector<Observation>> observed(kReaders);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      // One executor per reader (the one-kernel-per-executor rule); serial
+      // backend so N readers and the writer's pool coexist on any host.
+      const exec::Executor reader(exec::serial_backend());
+      while (!writer_done.load(std::memory_order_acquire)) {
+        const snapshot::SnapshotPtr snap = published.acquire();
+        if (snap->size() == 0) continue;
+        Observation obs;
+        obs.snap = snap;
+        if (r % 2 == 0) {
+          obs.result = snap->hdbscan(reader, stress_options());
+        } else {
+          // Sweep readers: keep the largest-min_cluster_size entry as the
+          // recorded clustering; the sweep shares the pipeline prefix with
+          // the hdbscan readers through the serving cache.
+          const std::array<index_t, 2> sizes = {8, 16};
+          const auto sweep = snap->sweep_min_cluster_size(reader, sizes, stress_options());
+          obs.result.labels = sweep.entries[0].labels;
+          obs.result.num_clusters = sweep.entries[0].num_clusters;
+          obs.result.core_distances = sweep.core_distances;
+          obs.result.dendrogram = *sweep.dendrogram;
+        }
+        observed[static_cast<std::size_t>(r)].push_back(std::move(obs));
+      }
+    });
+  }
+
+  // Writer churn: insert a fresh batch every round, erase the oldest batch
+  // once three are in flight.  Every call publishes a successor snapshot.
+  std::deque<std::vector<index_t>> live_batches;
+  for (int round = 0; round < kWriterRounds; ++round) {
+    live_batches.push_back(
+        published.insert(data::gaussian_blobs(20, 2, 3, 0.04, 0.1, 100 + round)));
+    if (live_batches.size() > 3) {
+      published.erase(live_batches.front());
+      live_batches.pop_front();
+    }
+  }
+  writer_done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Verify off-line: one cold rebuild per distinct observed epoch, compared
+  // against every reader observation pinned to it.
+  std::map<std::uint64_t, hdbscan::HdbscanResult> cold_by_epoch;
+  const exec::Executor cold(exec::serial_backend());
+  std::size_t total = 0;
+  for (const auto& reader_observations : observed) {
+    for (const Observation& obs : reader_observations) {
+      auto it = cold_by_epoch.find(obs.snap->epoch());
+      if (it == cold_by_epoch.end()) {
+        it = cold_by_epoch
+                 .emplace(obs.snap->epoch(),
+                          hdbscan::hdbscan(cold, obs.snap->points(), stress_options()))
+                 .first;
+      }
+      expect_bit_identical(obs.result, it->second, obs.snap->epoch());
+      ++total;
+    }
+  }
+  EXPECT_GT(total, 0u) << "readers must have completed queries during the churn";
+}
+
+// The ASan reclaim test (the gcc-sanitize CI entry leak-checks this suite):
+// a retired snapshot's artifacts — bundle and pinned serving-cache entries —
+// are freed exactly when the last reader drains, with no leak and no
+// use-after-free.
+TEST(SnapshotServing, RetiredSnapshotReclaimedWhenLastReaderDrains) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  snapshot::PublishedClustering published(writer_exec);
+  published.insert(data::gaussian_blobs(250, 2, 3, 0.05, 0.1, 5));
+
+  snapshot::SnapshotPtr pinned = published.acquire();
+  std::weak_ptr<const snapshot::Snapshot> watch = pinned;
+  const exec::Executor reader(exec::serial_backend());
+  const hdbscan::HdbscanResult result = pinned->hdbscan(reader, stress_options());
+  EXPECT_GT(published.serving_cache().stats().pinned_slots, 0u);
+
+  // Publish a successor: the retired snapshot survives — its one reader
+  // still holds it — and its pinned artifacts stay resident and readable.
+  published.insert(data::gaussian_blobs(30, 2, 3, 0.05, 0.1, 6));
+  ASSERT_FALSE(watch.expired());
+  EXPECT_GT(published.serving_cache().stats().pinned_slots, 0u);
+  const hdbscan::HdbscanResult again = pinned->hdbscan(reader, stress_options());
+  EXPECT_EQ(again.labels, result.labels);
+
+  // Last reader drains: the snapshot dies, its cache group is purged.
+  pinned.reset();
+  EXPECT_TRUE(watch.expired()) << "no hidden reference keeps a retired snapshot alive";
+  EXPECT_EQ(published.serving_cache().stats().pinned_slots, 0u)
+      << "the retired epoch's pinned entries were purged with it";
+}
+
+TEST(SnapshotServing, PipelineOnSnapshotFrontDoor) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  snapshot::PublishedClustering published = Pipeline::on(writer_exec).published();
+  published.insert(data::gaussian_blobs(400, 2, 3, 0.04, 0.1, 13));
+  const snapshot::SnapshotPtr snap = published.acquire();
+
+  const exec::Executor reader(exec::serial_backend());
+  const hdbscan::HdbscanResult via_pipeline = Pipeline::on_snapshot(reader, *snap)
+                                                  .with_min_pts(3)
+                                                  .with_min_cluster_size(8)
+                                                  .run_hdbscan();
+  const hdbscan::HdbscanResult direct = snap->hdbscan(reader, stress_options());
+  EXPECT_EQ(via_pipeline.labels, direct.labels);
+  EXPECT_EQ(via_pipeline.num_clusters, direct.num_clusters);
+
+  const std::array<int, 2> mpts = {2, 4};
+  const auto sweep = Pipeline::on_snapshot(reader, *snap).sweep_min_pts(mpts);
+  ASSERT_EQ(sweep.size(), 2u);
+  const exec::Executor cold(exec::serial_backend());
+  hdbscan::HdbscanOptions base;
+  base.min_pts = 4;
+  expect_bit_identical(sweep[1], hdbscan::hdbscan(cold, snap->points(), base), snap->epoch());
+}
+
+// Writers never block readers, witnessed structurally: a reader query that
+// refuses to finish until the wave's own update has published can only
+// complete because the update runs concurrently with the queries (the
+// legacy exclusive-wave driver would deadlock here).
+TEST(SnapshotServing, SnapshotWaveUpdatesRunConcurrentlyWithQueries) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  snapshot::PublishedClustering published(writer_exec);
+  published.insert(data::gaussian_blobs(200, 2, 3, 0.05, 0.1, 17));
+  const std::uint64_t epoch_before = published.published_epoch();
+
+  const exec::Executor parent(exec::default_backend(), 2);
+  serve::BatchExecutor batch(parent, {.num_slots = 2});
+
+  std::atomic<int> queries_ran{0};
+  std::vector<serve::BatchExecutor::SnapshotWave> waves(1);
+  waves[0].queries.push_back(serve::BatchExecutor::SnapshotJob{
+      [&](const exec::Executor& exec, const snapshot::Snapshot& snap) {
+        // The pinned epoch stays valid and queryable throughout...
+        (void)snap.hdbscan(exec, stress_options());
+        // ...while we wait for the concurrent update's publish to land.
+        while (published.published_epoch() == epoch_before) std::this_thread::yield();
+        EXPECT_EQ(snap.epoch(), epoch_before) << "the pinned snapshot never moves";
+        queries_ran.fetch_add(1);
+      },
+      /*size_hint=*/16});
+  waves[0].update = [](snapshot::PublishedClustering& stream) {
+    stream.insert(data::gaussian_blobs(40, 2, 3, 0.05, 0.1, 18));
+  };
+  batch.run_waves(published, waves);
+
+  EXPECT_EQ(queries_ran.load(), 1);
+  EXPECT_EQ(published.published_epoch(), epoch_before + 1);
+  EXPECT_EQ(published.acquire()->size(), 240);
+}
+
+TEST(SnapshotServing, SnapshotWaveResultsMatchPinnedEpochRebuilds) {
+  const exec::Executor writer_exec(exec::serial_backend());
+  snapshot::PublishedClustering published(writer_exec);
+  published.insert(data::gaussian_blobs(300, 2, 3, 0.04, 0.1, 23));
+
+  const exec::Executor parent(exec::default_backend(), 2);
+  serve::BatchExecutor batch(parent, {.num_slots = 2});
+
+  constexpr int kWaves = 3;
+  constexpr int kQueriesPerWave = 4;
+  struct Observation {
+    std::uint64_t epoch = 0;
+    /// Copy of the pinned epoch's frozen points, for the offline rebuild
+    /// (the snapshot itself dies when the wave's readers drain).
+    std::shared_ptr<const spatial::PointSet> points;
+    hdbscan::HdbscanResult result;
+  };
+  std::vector<Observation> observed(kWaves * kQueriesPerWave);
+
+  std::vector<serve::BatchExecutor::SnapshotWave> waves(kWaves);
+  for (int w = 0; w < kWaves; ++w) {
+    for (int q = 0; q < kQueriesPerWave; ++q) {
+      Observation& slot = observed[static_cast<std::size_t>(w * kQueriesPerWave + q)];
+      waves[static_cast<std::size_t>(w)].queries.push_back(serve::BatchExecutor::SnapshotJob{
+          [&slot](const exec::Executor& exec, const snapshot::Snapshot& snap) {
+            slot.epoch = snap.epoch();
+            slot.points = std::make_shared<const spatial::PointSet>(snap.points());
+            slot.result = snap.hdbscan(exec, stress_options());
+          },
+          /*size_hint=*/16});
+    }
+    waves[static_cast<std::size_t>(w)].update = [w](snapshot::PublishedClustering& stream) {
+      stream.insert(data::gaussian_blobs(25, 2, 3, 0.04, 0.1, 200 + w));
+    };
+  }
+  batch.run_waves(published, waves);
+  EXPECT_EQ(published.published_epoch(), 1u + kWaves);
+
+  // Queries of one wave may straddle the concurrent publish and so observe
+  // different epochs — each must still be bit-identical to a cold rebuild
+  // over the points frozen at the epoch it pinned.
+  std::map<std::uint64_t, hdbscan::HdbscanResult> cold_by_epoch;
+  const exec::Executor cold(exec::serial_backend());
+  for (const Observation& obs : observed) {
+    ASSERT_NE(obs.points, nullptr);
+    auto it = cold_by_epoch.find(obs.epoch);
+    if (it == cold_by_epoch.end()) {
+      it = cold_by_epoch.emplace(obs.epoch, hdbscan::hdbscan(cold, *obs.points, stress_options()))
+               .first;
+    }
+    expect_bit_identical(obs.result, it->second, obs.epoch);
+  }
+}
+
+}  // namespace
