@@ -110,6 +110,68 @@ void run_scenario(const char* name, const exec::Executor& executor,
   json.end_row();
 }
 
+/// Admission control under a QoS policy: the same dendrogram batch with one
+/// oversized query (shed while batchmates are pending) and one query carrying
+/// an already-expired deadline (cancelled at its first chunk boundary).  The
+/// payload is the JobOutcome counters, not a timing gate: the JSON row lets
+/// CI watch the shed/cancel plumbing end to end.  On a single hardware thread
+/// the oversized query may be admitted after the small phase drained (no
+/// pressure left), so jobs_shed is reported, not gated.
+void run_qos(const exec::Executor& executor, bench::JsonReport& json) {
+  const index_t n = 20000;
+  constexpr std::size_t kQueries = 8;
+  const std::vector<graph::EdgeList> trees = make_query_trees(n, kQueries, 400);
+
+  serve::BatchOptions options;
+  options.small_query_threshold = static_cast<size_type>(n);
+  options.qos.shed_above = static_cast<size_type>(n);
+  options.qos.pressure_threshold = 0;
+  serve::BatchExecutor batch = Pipeline::on(executor).batch(options);
+
+  std::vector<dendrogram::Dendrogram> out(kQueries);
+  std::vector<serve::BatchExecutor::Job> jobs;
+  for (std::size_t i = 0; i < kQueries; ++i) {
+    jobs.push_back(serve::BatchExecutor::Job{
+        .run =
+            [&, i](const exec::Executor& exec) {
+              dendrogram::pandora_dendrogram_into(exec, trees[i], n, {}, out[i]);
+            },
+        .size_hint = static_cast<size_type>(trees[i].size()),
+    });
+  }
+  jobs[kQueries - 2].size_hint = 4 * static_cast<size_type>(n);  // above shed_above
+  jobs[kQueries - 1].deadline = std::chrono::nanoseconds(1);     // expired on arrival
+
+  (void)batch.run_jobs(jobs);  // warm the slot arenas
+  Timer timer;
+  const std::vector<serve::JobResult> results = batch.run_jobs(jobs);
+  const double seconds = timer.seconds();
+
+  std::int64_t ok = 0, shed = 0, cancelled = 0, failed = 0;
+  for (const serve::JobResult& result : results) {
+    switch (result.outcome) {
+      case serve::JobOutcome::ok: ++ok; break;
+      case serve::JobOutcome::shed: ++shed; break;
+      case serve::JobOutcome::cancelled: ++cancelled; break;
+      case serve::JobOutcome::failed: ++failed; break;
+    }
+  }
+
+  std::printf("%-14s | %4zu queries %9s | ok %lld shed %lld cancelled %lld failed %lld | %6.2fms\n",
+              "qos", kQueries, "", static_cast<long long>(ok), static_cast<long long>(shed),
+              static_cast<long long>(cancelled), static_cast<long long>(failed), 1e3 * seconds);
+
+  json.field("scenario", std::string("qos"))
+      .field("num_queries", static_cast<std::int64_t>(kQueries))
+      .field("n", n)
+      .field("batch_seconds", seconds)
+      .field("jobs_ok", ok)
+      .field("jobs_shed", shed)
+      .field("jobs_cancelled", cancelled)
+      .field("jobs_failed", failed);
+  json.end_row();
+}
+
 /// The snapshot serving tier under a read/write mix: 8 reader threads (each
 /// with its own serial executor, as the snapshot contract prescribes) running
 /// HDBSCAN* against pinned snapshots of one PublishedClustering — first with
@@ -248,6 +310,9 @@ int main() {
     }
     run_scenario("mixed", executor, trees, sizes, small_threshold, json);
   }
+
+  // Admission control: JobOutcome counters under a QoS policy.
+  run_qos(executor, json);
 
   // Read/write mix on the snapshot serving tier (epoch publication).
   run_mixed_rw(json);

@@ -63,12 +63,38 @@ IDENTITY_KEYS = ("dataset", "scenario", "name", "backend", "n", "mpts", "num_que
                  "threads_used")
 
 
-def load(path: pathlib.Path):
+def die(message: str) -> None:
+    """Abort with a one-line actionable error and the usage/IO exit code (2).
+
+    Distinct from exit 1 (a real perf regression) so CI can tell "the gate
+    tripped" apart from "the gate never ran" — a missing or corrupt artifact
+    must never read as green OR as a regression.
+    """
+    print(f"error: {message}", file=sys.stderr)
+    raise SystemExit(2)
+
+
+def load(path: pathlib.Path) -> dict:
+    if not path.exists():
+        die(f"{path}: no such bench artifact — did the bench binary run and "
+            "write its BENCH_*.json next to it?")
     try:
         with open(path) as f:
-            return json.load(f)
-    except (OSError, json.JSONDecodeError) as error:
-        sys.exit(f"error: cannot read {path}: {error}")
+            report = json.load(f)
+    except OSError as error:
+        die(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        die(f"{path} is not valid JSON ({error}) — truncated artifact from a "
+            "crashed or interrupted bench run? Delete it and re-run the bench.")
+    if not isinstance(report, dict) or not isinstance(report.get("rows"), list):
+        die(f"{path}: schema mismatch — expected an object with a \"rows\" list "
+            "(bench_common.hpp JsonReport); artifact written by an older or "
+            "foreign tool?")
+    for i, row in enumerate(report["rows"]):
+        if not isinstance(row, dict):
+            die(f"{path}: schema mismatch — rows[{i}] is not an object; "
+                "regenerate the artifact with the current bench binary.")
+    return report
 
 
 def row_identity(row: dict) -> tuple:

@@ -92,7 +92,7 @@ Dendrogram mixed_dendrogram(const exec::Executor& exec, const SortedEdges& sorte
           buckets[static_cast<std::size_t>(roots[static_cast<std::size_t>(b)])];
       for (const index_t i : bucket) merge_edge(sorted, i, uf, rep_edge, dendrogram);
     };
-    exec.backend().run_chunks(static_cast<int>(roots.size()), exec.num_threads(), subtree);
+    exec.run_chunks(static_cast<int>(roots.size()), exec.num_threads(), subtree);
   } else {
     for (const index_t root : roots)
       for (const index_t i : buckets[static_cast<std::size_t>(root)])

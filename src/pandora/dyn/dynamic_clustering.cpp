@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "pandora/common/expect.hpp"
+#include "pandora/exec/failpoint.hpp"
 #include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
 #include "pandora/exec/sort.hpp"
@@ -75,6 +76,9 @@ std::vector<index_t> DynamicClustering::insert(const spatial::PointSet& batch) {
 
   PANDORA_EXPECT(&batch != points_.get(), "cannot insert a stream's own point set into itself");
   PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
+  // Validate before any mutation: a rejected batch must leave the stream
+  // untouched (and healthy), unlike a mid-repair failure.
+  spatial::validate_points(batch, "dyn::insert");
   const index_t n_before = points_->size();
   if (n_before == 0) {
     *points_ = batch;
@@ -99,6 +103,8 @@ std::vector<index_t> DynamicClustering::insert(const spatial::PointSet& batch) {
   // exception cannot keep computing on a half-updated tree.
   ++epoch_;
   healthy_ = false;
+  // Chaos seam: the widest mid-repair window — points mutated, structures not.
+  PANDORA_FAILPOINT("dyn.insert.repair");
 
   if (n_before == 0) {
     rebuild_from_scratch();
@@ -412,6 +418,7 @@ void DynamicClustering::erase(std::span<const index_t> ids) {
   ++stats_.update_batches;
   ++epoch_;  // first mutation, same rationale (and same healthy_ window) as insert()
   healthy_ = false;
+  PANDORA_FAILPOINT("dyn.erase.repair");
 
   const index_t n_new = n_old - static_cast<index_t>(ids.size());
   if (n_new == 0) {
@@ -520,11 +527,50 @@ ArtifactBundle DynamicClustering::capture_artifacts() const {
   bundle.epoch = epoch_;
   bundle.fingerprint = points_fingerprint();
   bundle.points = std::make_shared<const spatial::PointSet>(*points_);
+  bundle.ids = std::make_shared<const std::vector<index_t>>(id_of_slot_);
   bundle.emst = std::make_shared<const graph::EdgeList>(edges_);
   bundle.sorted_edges = std::make_shared<const dendrogram::SortedEdges>(sorted_);
   bundle.dendrogram = std::make_shared<const dendrogram::Dendrogram>(dendrogram_);
   bundle.expansion = options_.expansion;
   return bundle;
+}
+
+void DynamicClustering::restore(const ArtifactBundle& bundle) {
+  PANDORA_EXPECT(bundle.points != nullptr && bundle.ids != nullptr && bundle.emst != nullptr &&
+                     bundle.sorted_edges != nullptr && bundle.dendrogram != nullptr,
+                 "restore: incomplete artifact bundle");
+  PANDORA_EXPECT(bundle.ids->size() == static_cast<std::size_t>(bundle.points->size()),
+                 "restore: bundle id map does not match its point set");
+
+  *points_ = *bundle.points;
+  id_of_slot_ = *bundle.ids;
+  edges_ = *bundle.emst;
+  sorted_ = *bundle.sorted_edges;
+  dendrogram_ = *bundle.dendrogram;
+  options_.expansion = bundle.expansion;
+
+  // Rebuild the inverse id map.  Ids issued after the bundle was captured
+  // stay burned: next_id_ never decreases, so a recovered stream cannot hand
+  // out an id that some caller already holds for a (now rolled-back) point.
+  index_t max_id = -1;
+  for (const index_t id : id_of_slot_) max_id = std::max(max_id, id);
+  next_id_ = std::max(next_id_, max_id + 1);
+  slot_of_id_.assign(static_cast<std::size_t>(next_id_), kNone);
+  for (index_t s = 0; s < static_cast<index_t>(id_of_slot_.size()); ++s)
+    slot_of_id_[static_cast<std::size_t>(id_of_slot_[static_cast<std::size_t>(s)])] = s;
+
+  if (points_->size() > 0) {
+    rebuild_index();
+  } else {
+    tree_.reset();
+    indexed_ = 0;
+  }
+
+  // A fresh epoch, never the bundle's: the failed update already burned
+  // epoch numbers, and reusing one would let the shared ArtifactCache serve
+  // artifacts computed against the half-updated state.
+  ++epoch_;
+  healthy_ = true;
 }
 
 }  // namespace pandora::dyn

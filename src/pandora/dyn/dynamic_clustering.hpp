@@ -67,6 +67,7 @@ struct ArtifactBundle {
   std::uint64_t epoch = 0;
   std::uint64_t fingerprint = 0;  ///< epoch_fingerprint at capture time
   std::shared_ptr<const spatial::PointSet> points;
+  std::shared_ptr<const std::vector<index_t>> ids;  ///< slot -> stable id
   std::shared_ptr<const graph::EdgeList> emst;
   std::shared_ptr<const dendrogram::SortedEdges> sorted_edges;
   std::shared_ptr<const dendrogram::Dendrogram> dendrogram;
@@ -140,6 +141,13 @@ class DynamicClustering {
   /// Monotone mutation counter (0 before the first update).
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
+  /// False while (or after) a structural update failed mid-repair: the
+  /// derived structures no longer describe `points()` and every accessor /
+  /// update entry point fails fast.  Recover via `restore()` — typically
+  /// driven by `snapshot::PublishedClustering::recover()`, which rolls the
+  /// stream back to the last published bundle.
+  [[nodiscard]] bool healthy() const { return healthy_; }
+
   /// The epoch-aware cache key standing in for a content hash of the points
   /// (see exec::epoch_fingerprint).
   [[nodiscard]] std::uint64_t points_fingerprint() const {
@@ -196,6 +204,15 @@ class DynamicClustering {
   /// it runs on the writer thread without touching anything a reader holds.
   /// Like the structure accessors, throws if the stream is poisoned.
   [[nodiscard]] ArtifactBundle capture_artifacts() const;
+
+  /// Resets the stream to the state frozen in `bundle` (deep copies back:
+  /// points, stable-id map, EMST, sorted run, dendrogram), clears the poison
+  /// flag and *advances* the epoch — burned epoch numbers are never reused,
+  /// so cached artifacts keyed on a failed epoch's fingerprint can never be
+  /// served after recovery.  Accepts any bundle captured from this stream or
+  /// a compatible one; this is the writer-recovery primitive behind
+  /// `snapshot::PublishedClustering::recover()`.
+  void restore(const ArtifactBundle& bundle);
 
   [[nodiscard]] const UpdateStats& stats() const { return stats_; }
 

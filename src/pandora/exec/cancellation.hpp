@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+/// Cooperative cancellation and deadlines for the execution layer.
+///
+/// A `CancellationToken` is an atomic flag plus an optional steady-clock
+/// deadline.  The Executor carries a (non-owning) pointer to at most one
+/// token; `Executor::run_chunks` consults it at chunk boundaries and the
+/// serial fallbacks of parallel_for / parallel_reduce consult it every
+/// `kParallelForGrain` iterations, so any dendrogram / HDBSCAN* / EMST
+/// computation cancels with ~one-chunk latency regardless of backend.
+///
+/// Cancellation surfaces as `pandora::Cancelled` — a distinct exception type
+/// so callers (and `serve::BatchExecutor`'s structured `JobResult`) can tell
+/// "the server gave up on this query" apart from "the query failed".
+///
+/// Chunk bodies must never throw (Backend contract: a throw on a pool worker
+/// would terminate the process), so cancellation never throws *inside* a
+/// chunk: the wrapper skips remaining chunks' work and the calling thread
+/// throws after the launch returns.
+namespace pandora {
+
+/// Thrown by the execution layer when the installed CancellationToken fires
+/// (explicit `cancel()` or deadline passed).  Derives from std::runtime_error
+/// so legacy catch-all error handling keeps working, but is distinct from
+/// std::invalid_argument (caller bugs) and plain runtime errors (failures).
+class Cancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace pandora
+
+namespace pandora::exec {
+
+/// A cooperative cancellation signal: an atomic flag, an optional
+/// steady-clock deadline, and up to two parent tokens (a batch-level budget
+/// and an external caller token, say) whose cancellation propagates to this
+/// one.  `cancel()` may be called from any thread; `cancelled()` is safe to
+/// poll concurrently and costs one relaxed load when no deadline is set.
+///
+/// Tokens are non-copyable (they are identity objects — kernels hold
+/// pointers to them) and must outlive every executor they are installed on.
+class CancellationToken {
+ public:
+  using clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// A token that auto-cancels once `budget` elapses from now.
+  [[nodiscard]] static CancellationToken after(std::chrono::nanoseconds budget) {
+    CancellationToken token;
+    token.set_deadline(clock::now() + budget);
+    return token;
+  }
+
+  /// Requests cancellation.  Idempotent; callable from any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+  /// Arms (or moves) the deadline.  Not thread-safe against concurrent
+  /// `cancelled()` polls — set the deadline before installing the token.
+  void set_deadline(clock::time_point deadline) noexcept {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Chains a parent whose cancellation implies this token's (up to two;
+  /// additional parents are ignored).  nullptr is a no-op.  Set parents
+  /// before installing the token.
+  void add_parent(const CancellationToken* parent) noexcept {
+    if (parent == nullptr) return;
+    if (parents_[0] == nullptr) {
+      parents_[0] = parent;
+    } else if (parents_[1] == nullptr && parents_[0] != parent) {
+      parents_[1] = parent;
+    }
+  }
+
+  /// True once `cancel()` was called, a parent fired, or the deadline
+  /// passed.  The deadline check reads the clock, so prefer chunk-boundary
+  /// polling cadence over per-element polling.
+  [[nodiscard]] bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (parents_[0] != nullptr && parents_[0]->cancelled()) return true;
+    if (parents_[1] != nullptr && parents_[1]->cancelled()) return true;
+    return has_deadline_ && clock::now() >= deadline_;
+  }
+
+  /// True when this token fired because of its own (or a parent's) deadline
+  /// rather than an explicit cancel() — lets error messages say "deadline
+  /// exceeded" instead of the generic "cancelled".
+  [[nodiscard]] bool deadline_exceeded() const noexcept {
+    if (has_deadline_ && clock::now() >= deadline_) return true;
+    if (parents_[0] != nullptr && parents_[0]->deadline_exceeded()) return true;
+    return parents_[1] != nullptr && parents_[1]->deadline_exceeded();
+  }
+
+ private:
+  // Movable only for the `after` factory (before the token is shared).
+  CancellationToken(CancellationToken&& other) noexcept
+      : deadline_(other.deadline_), has_deadline_(other.has_deadline_) {
+    cancelled_.store(other.cancelled_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    parents_[0] = other.parents_[0];
+    parents_[1] = other.parents_[1];
+  }
+
+  std::atomic<bool> cancelled_{false};
+  clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  const CancellationToken* parents_[2] = {nullptr, nullptr};
+};
+
+/// Throws pandora::Cancelled describing why `token` fired.
+[[noreturn]] inline void throw_cancelled(const CancellationToken& token) {
+  throw Cancelled(token.deadline_exceeded() ? "pandora: deadline exceeded"
+                                            : "pandora: computation cancelled");
+}
+
+}  // namespace pandora::exec

@@ -19,6 +19,8 @@
 #include "pandora/common/timer.hpp"
 #include "pandora/common/types.hpp"
 #include "pandora/exec/backend.hpp"
+#include "pandora/exec/cancellation.hpp"
+#include "pandora/exec/failpoint.hpp"
 #include "pandora/exec/memory.hpp"
 
 /// The execution context of the library: `Executor`.
@@ -647,6 +649,46 @@ class Executor {
     edge_sort_ = algorithm;
   }
 
+  /// The installed cancellation token (nullptr = not cancellable).
+  /// Non-owning; the token must outlive its installation.  Installed via
+  /// `ScopedCancellation` by the Pipeline / batch layers; mutable behind
+  /// const like the profiler — it is execution context, not kernel input.
+  [[nodiscard]] const CancellationToken* cancellation_token() const noexcept {
+    return cancellation_;
+  }
+  void set_cancellation_token(const CancellationToken* token) const noexcept {
+    cancellation_ = token;
+  }
+
+  /// Throws pandora::Cancelled when the installed token has fired.  Kernels
+  /// with long serial sections call this at their natural grain; everything
+  /// dispatched through `run_chunks` below is covered automatically.
+  void check_cancellation() const {
+    if (cancellation_ != nullptr && cancellation_->cancelled()) throw_cancelled(*cancellation_);
+  }
+
+  /// Dispatches a bulk launch through the backend, honouring the installed
+  /// cancellation token at chunk boundaries: once the token fires, remaining
+  /// chunks are skipped (bodies must not throw — Backend contract) and the
+  /// calling thread throws pandora::Cancelled after the launch returns, so
+  /// cancellation latency is bounded by one chunk regardless of backend.
+  /// With no token installed this is a direct backend dispatch (one branch).
+  /// Kernels call this — never `backend().run_chunks` directly.
+  void run_chunks(int num_chunks, int max_workers, ChunkBody body) const {
+    PANDORA_FAILPOINT("exec.run_chunks");
+    const CancellationToken* token = cancellation_;
+    if (token == nullptr) {
+      backend_->run_chunks(num_chunks, max_workers, body);
+      return;
+    }
+    if (token->cancelled()) throw_cancelled(*token);
+    auto guarded = [&](int chunk) {
+      if (!token->cancelled()) body(chunk);
+    };
+    backend_->run_chunks(num_chunks, max_workers, guarded);
+    if (token->cancelled()) throw_cancelled(*token);
+  }
+
   /// The attached profiler, or nullptr.  Non-owning.
   [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
   void set_profiler(Profiler* profiler) const noexcept { profiler_ = profiler; }
@@ -678,6 +720,7 @@ class Executor {
   mutable Profiler* profiler_ = nullptr;
   mutable EdgeSortAlgorithm edge_sort_ = EdgeSortAlgorithm::radix;
   mutable bool artifact_caching_ = true;
+  mutable const CancellationToken* cancellation_ = nullptr;
 };
 
 /// The per-thread default executor on `default_backend()`.  Callers without
@@ -711,6 +754,29 @@ class ScopedCacheOwner {
  private:
   const Executor& executor_;
   ArtifactCache::Owner saved_;
+};
+
+/// Scope guard installing a cancellation token on an executor (a deadline'd
+/// pipeline run, a batch job), restoring the previous token on exit so
+/// nested scopes compose.  A null `token` leaves the executor's current
+/// token in place (the guard is then a no-op), so callers can pass "maybe a
+/// token" without branching.
+class ScopedCancellation {
+ public:
+  ScopedCancellation(const Executor& executor, const CancellationToken* token)
+      : executor_(executor), saved_(executor.cancellation_token()), active_(token != nullptr) {
+    if (active_) executor_.set_cancellation_token(token);
+  }
+  ScopedCancellation(const ScopedCancellation&) = delete;
+  ScopedCancellation& operator=(const ScopedCancellation&) = delete;
+  ~ScopedCancellation() {
+    if (active_) executor_.set_cancellation_token(saved_);
+  }
+
+ private:
+  const Executor& executor_;
+  const CancellationToken* saved_;
+  bool active_;
 };
 
 class ScopedPhaseTimes {

@@ -1,0 +1,169 @@
+#include "pandora/exec/failpoint.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <unordered_map>
+
+namespace pandora::exec::failpoint {
+
+namespace detail {
+std::atomic<int> armed_sites{0};
+}  // namespace detail
+
+namespace {
+
+struct SiteState {
+  Config config;
+  std::uint64_t hits = 0;       ///< passes since (re-)arming
+  std::uint64_t triggered = 0;  ///< throws since (re-)arming
+  bool armed = false;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives static dtors
+  return *instance;
+}
+
+/// One-time env arming: runs on the first pass through any armed-count
+/// check... except the fast path never calls us when the count is zero, so
+/// the env parse must happen at static-init time instead.
+struct EnvArmer {
+  EnvArmer() {
+    const char* spec = std::getenv("PANDORA_FAILPOINTS");
+    if (spec != nullptr && spec[0] != '\0') arm_from_spec(spec);
+  }
+};
+const EnvArmer env_armer{};
+
+[[noreturn]] void trigger(const std::string& site, Kind kind) {
+  if (kind == Kind::bad_alloc) throw std::bad_alloc();
+  throw InjectedFault("failpoint '" + site + "' triggered");
+}
+
+}  // namespace
+
+namespace detail {
+
+void evaluate(const char* site) {
+  Registry& reg = registry();
+  Kind kind{};
+  bool due = false;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.sites.find(site);
+    if (it == reg.sites.end() || !it->second.armed) return;
+    SiteState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.config.skip) return;
+    if (state.config.limit != 0 && state.triggered >= state.config.limit) return;
+    ++state.triggered;
+    if (state.config.limit != 0 && state.triggered >= state.config.limit) {
+      state.armed = false;
+      armed_sites.fetch_sub(1, std::memory_order_relaxed);
+    }
+    kind = state.config.kind;
+    due = true;
+  }
+  if (due) trigger(site, kind);
+}
+
+}  // namespace detail
+
+void arm(std::string_view site, Config config) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  SiteState& state = reg.sites[std::string(site)];
+  if (!state.armed) detail::armed_sites.fetch_add(1, std::memory_order_relaxed);
+  state = SiteState{config, 0, 0, true};
+}
+
+void disarm(std::string_view site) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(std::string(site));
+  if (it == reg.sites.end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, state] : reg.sites) {
+    if (state.armed) detail::armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+  reg.sites.clear();
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(std::string(site));
+  return it == reg.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t triggered(std::string_view site) {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const auto it = reg.sites.find(std::string(site));
+  return it == reg.sites.end() ? 0 : it->second.triggered;
+}
+
+void arm_from_spec(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    std::string_view entry =
+        spec.substr(pos, comma == std::string_view::npos ? std::string_view::npos : comma - pos);
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+
+    Config config;
+    std::string_view counters;
+    const std::size_t eq = entry.find('=');
+    if (eq != std::string_view::npos) {
+      counters = entry.substr(eq + 1);
+      entry = entry.substr(0, eq);
+    }
+    const std::size_t at = entry.find('@');
+    std::string_view site = entry;
+    if (at != std::string_view::npos) {
+      const std::string_view kind = entry.substr(at + 1);
+      site = entry.substr(0, at);
+      if (kind == "badalloc") {
+        config.kind = Kind::bad_alloc;
+      } else if (kind == "error") {
+        config.kind = Kind::error;
+      } else {
+        throw std::invalid_argument("PANDORA_FAILPOINTS: unknown kind '" + std::string(kind) +
+                                    "' (expected error|badalloc)");
+      }
+    }
+    if (!counters.empty()) {
+      const auto parse_u64 = [](std::string_view text) -> std::uint64_t {
+        if (text.empty()) throw std::invalid_argument("PANDORA_FAILPOINTS: empty number");
+        std::uint64_t value = 0;
+        for (const char c : text) {
+          if (c < '0' || c > '9')
+            throw std::invalid_argument("PANDORA_FAILPOINTS: bad number '" + std::string(text) +
+                                        "'");
+          value = value * 10 + static_cast<std::uint64_t>(c - '0');
+        }
+        return value;
+      };
+      const std::size_t colon = counters.find(':');
+      config.skip = parse_u64(counters.substr(0, colon));
+      if (colon != std::string_view::npos) config.limit = parse_u64(counters.substr(colon + 1));
+    }
+    if (site.empty()) throw std::invalid_argument("PANDORA_FAILPOINTS: empty site name");
+    arm(site, config);
+  }
+}
+
+}  // namespace pandora::exec::failpoint

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+/// Failpoints: named fault-injection sites for chaos testing.
+///
+/// A failpoint is a named site on a failure-relevant seam — the arena's
+/// MemoryResource::allocate, the Executor's run_chunks launch, dyn::'s
+/// mid-repair windows, the snapshot tier's materialise/publish steps.  A
+/// disarmed site costs exactly one relaxed atomic load and a predictable
+/// branch (the process-wide armed-site count is zero), so the sites stay
+/// compiled into release builds and the perf gates.  Arming a site — either
+/// programmatically (`arm`) or via the PANDORA_FAILPOINTS environment
+/// variable — makes the Nth pass through it throw: `InjectedFault` (a
+/// std::runtime_error) or std::bad_alloc, per the site's configuration.
+///
+/// Env grammar (parsed once at process start, and again on demand via
+/// `arm_from_spec` for tests): comma-separated entries
+///
+///     site[@kind][=skip[:limit]]
+///
+/// where `kind` is `error` (default) or `badalloc`, `skip` is how many
+/// passes succeed before the first trigger (default 0) and `limit` caps the
+/// trigger count before the site auto-disarms (default 1; 0 = unlimited).
+/// Example: PANDORA_FAILPOINTS="dyn.insert.repair,exec.memory.allocate@badalloc=2:1"
+///
+/// Failpoints are deliberately *not* placed inside chunk bodies: bodies run
+/// on backend workers and must never throw (Backend contract).  The seam
+/// for "a chunk body failed" is the launch site on the calling thread.
+namespace pandora::exec::failpoint {
+
+/// Thrown by a triggered failpoint of kind `error`.
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// What a triggered site throws.
+enum class Kind : std::uint8_t {
+  error,      ///< InjectedFault("failpoint '<site>' triggered")
+  bad_alloc,  ///< std::bad_alloc (allocation-failure injection)
+};
+
+struct Config {
+  Kind kind = Kind::error;
+  std::uint64_t skip = 0;   ///< passes that succeed before the first trigger
+  std::uint64_t limit = 1;  ///< triggers before auto-disarm (0 = unlimited)
+};
+
+namespace detail {
+/// Process-wide count of armed sites: the fast path's only read.
+extern std::atomic<int> armed_sites;
+/// Slow path: registry lookup, hit accounting, throw when due.
+void evaluate(const char* site);
+}  // namespace detail
+
+/// The per-site check.  Call through PANDORA_FAILPOINT(site).
+inline void check(const char* site) {
+  if (detail::armed_sites.load(std::memory_order_relaxed) != 0) detail::evaluate(site);
+}
+
+/// Arms `site` (re-arming replaces the config and resets counters).
+void arm(std::string_view site, Config config = {});
+
+/// Disarms `site` (keeps its hit/trigger counters readable).  No-op when the
+/// site is not armed.
+void disarm(std::string_view site);
+
+/// Disarms every site and forgets all counters.
+void disarm_all();
+
+/// Passes through `site` since it was (last) armed, triggering or not.
+[[nodiscard]] std::uint64_t hits(std::string_view site);
+
+/// Times `site` actually threw since it was (last) armed.
+[[nodiscard]] std::uint64_t triggered(std::string_view site);
+
+/// Parses one comma-separated spec in the PANDORA_FAILPOINTS grammar and
+/// arms the named sites.  Throws std::invalid_argument on a malformed spec.
+void arm_from_spec(std::string_view spec);
+
+}  // namespace pandora::exec::failpoint
+
+/// The site marker placed on failure seams; `site` must be a string literal
+/// (stable site names are part of the testing surface — see README).
+#define PANDORA_FAILPOINT(site) ::pandora::exec::failpoint::check(site)

@@ -3,6 +3,8 @@
 #include <cstddef>
 #include <new>
 
+#include "pandora/exec/failpoint.hpp"
+
 /// Memory resources: where execution backends get their bytes.
 ///
 /// The `Workspace` byte arena allocates its 64-byte-aligned blocks through a
@@ -33,6 +35,7 @@ class MemoryResource {
 class HostMemoryResource final : public MemoryResource {
  public:
   [[nodiscard]] void* allocate(std::size_t bytes, std::size_t alignment) override {
+    PANDORA_FAILPOINT("exec.memory.allocate");
     return ::operator new(bytes, std::align_val_t{alignment});
   }
   void deallocate(void* block, std::size_t bytes, std::size_t alignment) noexcept override {

@@ -32,7 +32,15 @@ void parallel_for(const Executor& exec, size_type n, F&& f) {
       const size_type hi = n * (c + 1) / num_chunks;
       for (size_type i = lo; i < hi; ++i) f(i);
     };
-    exec.backend().run_chunks(num_chunks, num_chunks, body);
+    exec.run_chunks(num_chunks, num_chunks, body);
+  } else if (const CancellationToken* token = exec.cancellation_token(); token != nullptr) {
+    // Serial fallback (small n, or a 1-thread backend over any n): poll the
+    // token every kParallelForGrain iterations so cancellation latency stays
+    // ~one grain even where run_chunks is never reached.
+    for (size_type i = 0; i < n; ++i) {
+      if ((i & (kParallelForGrain - 1)) == 0 && token->cancelled()) throw_cancelled(*token);
+      f(i);
+    }
   } else {
     for (size_type i = 0; i < n; ++i) f(i);
   }
@@ -60,7 +68,7 @@ template <class T, class Transform, class Combine>
         for (size_type i = lo; i < hi; ++i) local = combine(local, transform(i));
         partial[static_cast<std::size_t>(c)] = std::move(local);
       };
-      exec.backend().run_chunks(num_chunks, num_chunks, body);
+      exec.run_chunks(num_chunks, num_chunks, body);
       T result = identity;
       for (int c = 0; c < num_chunks; ++c)
         result = combine(std::move(result), std::move(partial[static_cast<std::size_t>(c)]));
@@ -76,6 +84,14 @@ template <class T, class Transform, class Combine>
       std::vector<T> partial(static_cast<std::size_t>(num_chunks), identity);
       return reduce_into(partial.data());
     }
+  }
+  if (const CancellationToken* token = exec.cancellation_token(); token != nullptr) {
+    T result = identity;
+    for (size_type i = 0; i < n; ++i) {
+      if ((i & (kParallelForGrain - 1)) == 0 && token->cancelled()) throw_cancelled(*token);
+      result = combine(result, transform(i));
+    }
+    return result;
   }
   T result = identity;
   for (size_type i = 0; i < n; ++i) result = combine(result, transform(i));

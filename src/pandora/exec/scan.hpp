@@ -23,6 +23,7 @@ namespace pandora::exec {
 template <class T>
 T exclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) {
   const size_type n = static_cast<size_type>(in.size());
+  exec.check_cancellation();
   if (!exec.parallelize(n)) {
     T running{};
     for (size_type i = 0; i < n; ++i) {
@@ -48,7 +49,7 @@ T exclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) 
     for (size_type i = lo; i < hi; ++i) local += in[i];
     partial[c + 1] = local;
   };
-  exec.backend().run_chunks(num_chunks, num_chunks, sum_chunk);
+  exec.run_chunks(num_chunks, num_chunks, sum_chunk);
 
   for (int c = 1; c <= num_chunks; ++c) partial[c] += partial[c - 1];
 
@@ -62,7 +63,7 @@ T exclusive_scan(const Executor& exec, std::span<const T> in, std::span<T> out) 
       running += v;
     }
   };
-  exec.backend().run_chunks(num_chunks, num_chunks, scan_chunk);
+  exec.run_chunks(num_chunks, num_chunks, scan_chunk);
   return partial[num_chunks];
 }
 

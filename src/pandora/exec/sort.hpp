@@ -56,7 +56,7 @@ void parallel_merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
   auto sort_chunk = [&](int c) {
     std::stable_sort(v.begin() + bounds[c], v.begin() + bounds[c + 1], comp);
   };
-  exec.backend().run_chunks(chunks, num_threads, sort_chunk);
+  exec.run_chunks(chunks, num_threads, sort_chunk);
 
   auto buffer = exec.workspace().template take_uninit<T>(n);
   T* src = v.data();
@@ -70,7 +70,7 @@ void parallel_merge_sort(const Executor& exec, std::vector<T>& v, Comp comp) {
       const size_type hi = bounds[std::min(c + 2 * width, chunks)];
       std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
     };
-    exec.backend().run_chunks(merges, num_threads, merge_pair);
+    exec.run_chunks(merges, num_threads, merge_pair);
     std::swap(src, dst);
   }
   if (src != v.data()) std::memcpy(v.data(), src, sizeof(T) * static_cast<std::size_t>(n));
@@ -113,8 +113,13 @@ inline void radix_sort_u64(const Executor& exec, std::span<std::uint64_t> keys,
     }
     return;
   }
+  // The backend's native sort is one uncancellable kernel from the caller's
+  // point of view (its internal run_chunks launches bypass the Executor), so
+  // bracket it with explicit checks.
+  exec.check_cancellation();
   exec.backend().radix_sort_u64(exec.workspace(), exec.num_threads(), keys, first_byte,
                                 last_byte);
+  exec.check_cancellation();
 }
 
 // --- order-preserving key transforms ---------------------------------------

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <chrono>
+
 #include "pandora/common/expect.hpp"
 #include "pandora/common/types.hpp"
 #include "pandora/dendrogram/dendrogram.hpp"
@@ -109,9 +111,30 @@ class Pipeline {
     return *this;
   }
 
-  /// Validate that dendrogram inputs are spanning trees with finite weights.
+  /// Validate inputs at the front door: dendrogram inputs must be spanning
+  /// trees with finite weights, point sets must carry only finite (no
+  /// NaN/Inf) coordinates.  Violations throw std::invalid_argument.
   Pipeline& with_validation(bool validate = true) {
     validate_input_ = validate;
+    return *this;
+  }
+
+  /// Wall-clock budget for each terminal operation, measured from the start
+  /// of the call (0 = unlimited, the default).  An expired budget surfaces as
+  /// `pandora::Cancelled` ("deadline exceeded") with ~one-chunk latency —
+  /// the kernels poll a deadline'd CancellationToken at run_chunks chunk
+  /// boundaries on every backend.  Composes with `with_cancellation`.
+  Pipeline& with_deadline(std::chrono::nanoseconds budget) {
+    deadline_ = budget;
+    return *this;
+  }
+
+  /// Observe a caller-owned cancellation token during terminal operations:
+  /// once it fires, the running computation unwinds with
+  /// `pandora::Cancelled`.  The token must outlive the terminal calls;
+  /// nullptr (the default) disables external cancellation at zero cost.
+  Pipeline& with_cancellation(const exec::CancellationToken* token) {
+    cancellation_ = token;
     return *this;
   }
 
@@ -166,7 +189,7 @@ class Pipeline {
   /// HDBSCAN* against the pinned snapshot (see Snapshot::hdbscan).
   [[nodiscard]] hdbscan::HdbscanResult run_hdbscan() const {
     PANDORA_EXPECT(snapshot_ != nullptr, "run_hdbscan() without points requires on_snapshot");
-    return snapshot_->hdbscan(*executor_, options_);
+    return cancellable([&] { return snapshot_->hdbscan(*executor_, options_); });
   }
 
   /// `min_cluster_size` sweep against the pinned snapshot.
@@ -174,7 +197,8 @@ class Pipeline {
       std::span<const index_t> min_cluster_sizes) const {
     PANDORA_EXPECT(snapshot_ != nullptr,
                    "sweep_min_cluster_size() without points requires on_snapshot");
-    return snapshot_->sweep_min_cluster_size(*executor_, min_cluster_sizes, options_);
+    return cancellable(
+        [&] { return snapshot_->sweep_min_cluster_size(*executor_, min_cluster_sizes, options_); });
   }
 
   /// mpts sweep against the pinned snapshot.
@@ -182,7 +206,8 @@ class Pipeline {
       std::span<const int> min_pts_values) const {
     PANDORA_EXPECT(snapshot_ != nullptr,
                    "sweep_min_pts() without points requires on_snapshot");
-    return snapshot_->sweep_min_pts(*executor_, min_pts_values, options_);
+    return cancellable(
+        [&] { return snapshot_->sweep_min_pts(*executor_, min_pts_values, options_); });
   }
 
   // --- batched serving & parameter sweeps -----------------------------------
@@ -267,11 +292,31 @@ class Pipeline {
     return options;
   }
 
+  /// Runs one terminal operation under the configured cancellation scope: a
+  /// fresh deadline token (parented on the external token, so either firing
+  /// cancels) when a budget is set, the bare external token otherwise.  With
+  /// neither configured the scope guard is a no-op and the kernels take their
+  /// null-token fast path.
+  template <class F>
+  auto cancellable(F&& f) const -> decltype(f()) {
+    exec::CancellationToken deadline_token;
+    const exec::CancellationToken* token = cancellation_;
+    if (deadline_.count() > 0) {
+      deadline_token.set_deadline(exec::CancellationToken::clock::now() + deadline_);
+      deadline_token.add_parent(cancellation_);
+      token = &deadline_token;
+    }
+    const exec::ScopedCancellation scope(*executor_, token);
+    return f();
+  }
+
   const exec::Executor* executor_;
   const snapshot::Snapshot* snapshot_ = nullptr;
   hdbscan::HdbscanOptions options_;
   dendrogram::ExpansionPolicy expansion_ = dendrogram::ExpansionPolicy::multilevel;
   bool validate_input_ = false;
+  std::chrono::nanoseconds deadline_{0};
+  const exec::CancellationToken* cancellation_ = nullptr;
 };
 
 }  // namespace pandora

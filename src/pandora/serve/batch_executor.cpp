@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "pandora/common/expect.hpp"
+#include "pandora/common/timer.hpp"
+#include "pandora/exec/cancellation.hpp"
 
 namespace pandora::serve {
 
@@ -25,7 +27,7 @@ BatchExecutor::BatchExecutor(const exec::Executor& parent, BatchOptions options)
     parent.artifact_cache().set_tenant_quota(options_.max_cache_slots_per_tenant);
 }
 
-void BatchExecutor::run(std::span<Job> jobs) {
+std::vector<JobResult> BatchExecutor::run_jobs(std::span<Job> jobs) {
   // One batch at a time on these slots (they are single-occupancy), inside
   // the epoch gate's shared section: a legacy wave update (exclusive
   // section) either finished before this batch was admitted or waits until
@@ -40,15 +42,76 @@ void BatchExecutor::run(std::span<Job> jobs) {
     slot->set_edge_sort_algorithm(parent_->edge_sort_algorithm());
   }
 
+  const QosPolicy& qos = options_.qos;
+  exec::CancellationToken batch_token;
+  const bool has_batch_budget = qos.batch_budget.count() > 0;
+  if (has_batch_budget)
+    batch_token.set_deadline(exec::CancellationToken::clock::now() + qos.batch_budget);
+
   std::vector<std::size_t> small, large;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     (jobs[i].size_hint <= options_.small_query_threshold ? small : large).push_back(i);
   }
 
-  // Exceptions are captured per job and the first (in job order) rethrown
-  // after the whole batch settles, so one poisoned query cannot abort its
-  // batchmates.
-  std::vector<std::exception_ptr> errors(jobs.size());
+  // Outcomes are captured per job and the batch always settles whole: one
+  // poisoned / slow / oversized query can never abort its batchmates.
+  std::vector<JobResult> results(jobs.size());
+  std::atomic<std::size_t> unfinished{jobs.size()};
+
+  // Runs (or sheds) one job on the executor the scheduler assigned.
+  auto run_one = [&](std::size_t j, const exec::Executor& exec) {
+    JobResult& result = results[j];
+    // Admission: a spent batch budget sheds everything not yet started, and
+    // under pressure (other jobs still pending beyond the threshold) jobs
+    // over the size cutoff are shed rather than run.
+    const std::size_t others_pending = unfinished.load(std::memory_order_relaxed) - 1;
+    const bool budget_spent = has_batch_budget && batch_token.cancelled();
+    const bool oversized = qos.shed_above > 0 && jobs[j].size_hint > qos.shed_above &&
+                           others_pending > qos.pressure_threshold;
+    if (budget_spent || oversized) {
+      result.outcome = JobOutcome::shed;
+      unfinished.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // Per-job token: own deadline (job's, else the policy default), chained
+    // to the batch budget and the caller's token.  Stack-allocated — the
+    // scope guard uninstalls it before it dies.
+    exec::CancellationToken job_token;
+    const std::chrono::nanoseconds deadline =
+        jobs[j].deadline.count() > 0 ? jobs[j].deadline : qos.job_deadline;
+    bool cancellable = false;
+    if (deadline.count() > 0) {
+      job_token.set_deadline(exec::CancellationToken::clock::now() + deadline);
+      cancellable = true;
+    }
+    if (has_batch_budget) {
+      job_token.add_parent(&batch_token);
+      cancellable = true;
+    }
+    if (jobs[j].cancellation != nullptr) {
+      job_token.add_parent(jobs[j].cancellation);
+      cancellable = true;
+    }
+
+    Timer timer;
+    try {
+      // The job's tenant tag governs cache-quota accounting for every
+      // artifact the job inserts.
+      const exec::ScopedCacheOwner owner(exec, exec::ArtifactCache::Owner{0, jobs[j].tenant});
+      const exec::ScopedCancellation scope(exec, cancellable ? &job_token : nullptr);
+      jobs[j].run(exec);
+      result.outcome = JobOutcome::ok;
+    } catch (const Cancelled&) {
+      result.outcome = JobOutcome::cancelled;
+      result.error = std::current_exception();
+    } catch (...) {
+      result.outcome = JobOutcome::failed;
+      result.error = std::current_exception();
+    }
+    result.seconds = timer.seconds();
+    unfinished.fetch_sub(1, std::memory_order_relaxed);
+  };
 
   // Small queries packed per thread.  One worker per slot; workers pull
   // from a shared atomic cursor, so uneven job costs balance dynamically
@@ -59,41 +122,28 @@ void BatchExecutor::run(std::span<Job> jobs) {
     while (true) {
       const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
       if (next >= small.size()) return;
-      const std::size_t j = small[next];
-      try {
-        // The job's tenant tag governs cache-quota accounting for every
-        // artifact the job inserts.
-        const exec::ScopedCacheOwner owner(
-            slot_exec, exec::ArtifactCache::Owner{0, jobs[j].tenant});
-        jobs[j].run(slot_exec);
-      } catch (...) {
-        errors[j] = std::current_exception();
-      }
+      run_one(small[next], slot_exec);
     }
   };
   // Large queries one at a time on the calling thread with full intra-query
   // parallelism against the parent executor.
   auto drain_large = [&] {
-    for (const std::size_t j : large) {
-      try {
-        const exec::ScopedCacheOwner owner(
-            *parent_, exec::ArtifactCache::Owner{0, jobs[j].tenant});
-        jobs[j].run(*parent_);
-      } catch (...) {
-        errors[j] = std::current_exception();
-      }
-    }
+    for (const std::size_t j : large) run_one(j, *parent_);
   };
 
   // With overlap (the default) the calling thread drains the large queue
   // while the slot workers drain the small one, so neither phase waits for
   // the other; large jobs mutate only the parent executor, small jobs only
-  // their slot, and the shared ArtifactCache locks internally.  Without
-  // overlap — or when one of the queues is empty — the phases run in
-  // sequence, and a small-only batch keeps the old single-worker shortcut
-  // (no thread spawn when one worker suffices).
+  // their slot, and the shared ArtifactCache locks internally.  Under
+  // pressure, the deprioritise knob turns overlap off for this batch so the
+  // small queries drain first.  Without overlap — or when one of the queues
+  // is empty — the phases run in sequence, and a small-only batch keeps the
+  // old single-worker shortcut (no thread spawn when one worker suffices).
+  const bool deprioritise = qos.deprioritise_large_under_pressure &&
+                            jobs.size() > qos.pressure_threshold + 1;
   const int workers = std::min<int>(num_slots(), static_cast<int>(small.size()));
-  const bool overlapped = options_.overlap_phases && !small.empty() && !large.empty();
+  const bool overlapped =
+      options_.overlap_phases && !deprioritise && !small.empty() && !large.empty();
   if (overlapped || workers > 1) {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers));
@@ -106,8 +156,18 @@ void BatchExecutor::run(std::span<Job> jobs) {
     drain_large();
   }
 
-  for (std::exception_ptr& error : errors) {
-    if (error != nullptr) std::rethrow_exception(error);
+  return results;
+}
+
+void BatchExecutor::run(std::span<Job> jobs) {
+  const std::vector<JobResult> results = run_jobs(jobs);
+  // First failure in job order wins; a shed job (no exception object to
+  // rethrow) surfaces as Cancelled so legacy callers see one error family
+  // for "the server gave up on this query".
+  for (const JobResult& result : results) {
+    if (result.outcome == JobOutcome::ok) continue;
+    if (result.error != nullptr) std::rethrow_exception(result.error);
+    throw Cancelled("pandora: query shed by QoS policy under load");
   }
 }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
@@ -54,6 +57,58 @@ struct HdbscanQuery {
   hdbscan::HdbscanOptions options = {};
 };
 
+/// How one job of a batch ended (see BatchExecutor::run_jobs).
+enum class JobOutcome : std::uint8_t {
+  ok,         ///< ran to completion
+  cancelled,  ///< started, then unwound with pandora::Cancelled (deadline,
+              ///< batch budget, or the caller's token)
+  shed,       ///< never started: rejected at admission by the QoS policy
+  failed,     ///< started, then threw something other than Cancelled
+};
+
+/// Per-job outcome of a batch: what happened, the captured exception for
+/// cancelled/failed jobs (nullptr for ok/shed), and the job's wall time
+/// (0 for shed jobs — they never ran).
+struct JobResult {
+  JobOutcome outcome = JobOutcome::ok;
+  std::exception_ptr error;
+  double seconds = 0.0;
+};
+
+/// Admission control and load shedding for a batch (all knobs off by
+/// default — a default QosPolicy admits everything and never cancels).
+///
+/// "Pressure" is the number of *other* jobs of the batch not yet settled at
+/// the moment a job is picked up: with `pressure_threshold = 0`, a batch of
+/// two jobs is already under pressure while both are pending, and the last
+/// remaining job never is — so shedding drains with the queue, it does not
+/// starve.
+struct QosPolicy {
+  /// Wall budget for the whole batch, measured from run_jobs entry (0 =
+  /// unlimited).  Jobs still running when it expires unwind with
+  /// `Cancelled`; jobs not yet started are shed.
+  std::chrono::nanoseconds batch_budget{0};
+
+  /// Default per-job deadline, measured from the job's own start (0 = none).
+  /// A job's explicit `Job::deadline` takes precedence.
+  std::chrono::nanoseconds job_deadline{0};
+
+  /// Shed jobs whose `size_hint` exceeds this while the batch is under
+  /// pressure (0 = never shed by size).  Large queries monopolise the
+  /// parent executor; under load, dropping one large query frees the whole
+  /// machine for many small ones.
+  size_type shed_above = 0;
+
+  /// Pending-job count above which the batch counts as "under pressure"
+  /// (see the class comment on how pressure is measured).
+  std::size_t pressure_threshold = 0;
+
+  /// Under pressure, give up phase overlap so the small queries drain on
+  /// the slots *before* the calling thread starts the large ones — large
+  /// queries are deprioritised instead of shed.
+  bool deprioritise_large_under_pressure = false;
+};
+
 struct BatchOptions {
   /// Queries whose size hint (edges for dendrogram queries, points for
   /// HDBSCAN queries) is at most this are "small" and are packed onto the
@@ -83,6 +138,9 @@ struct BatchOptions {
   /// parameter sweep cannot evict another tenant's hot kd-tree.  Applied to
   /// the parent's cache at construction (see ArtifactCache::set_tenant_quota).
   std::size_t max_cache_slots_per_tenant = 0;
+
+  /// Admission control / load shedding (off by default).
+  QosPolicy qos;
 };
 
 class BatchExecutor {
@@ -102,6 +160,12 @@ class BatchExecutor {
     /// BatchOptions::max_cache_slots_per_tenant.  Installed as the assigned
     /// executor's cache owner for the job's duration.
     std::uint64_t tenant = 0;
+    /// Per-job deadline, measured from the job's start (0 = use the batch
+    /// policy's `QosPolicy::job_deadline`, or none).
+    std::chrono::nanoseconds deadline{0};
+    /// Caller-owned cancellation token observed while the job runs (nullptr
+    /// = none).  Must outlive the batch call.
+    const exec::CancellationToken* cancellation = nullptr;
   };
 
   /// Runs every job to completion.  Small jobs execute concurrently: worker
@@ -109,9 +173,20 @@ class BatchExecutor {
   /// busy regardless of how job costs vary.  Large jobs execute on the
   /// calling thread against the parent executor, one at a time —
   /// overlapping the small drain by default (BatchOptions::overlap_phases).
-  /// If jobs threw, the first exception (in job order) is rethrown after
-  /// every job has settled; the remaining jobs still ran.
+  /// If jobs threw (or were cancelled or shed), the first failure (in job
+  /// order) is rethrown after every job has settled; the remaining jobs
+  /// still ran.  Prefer `run_jobs` when per-job outcomes matter.
   void run(std::span<Job> jobs);
+
+  /// Runs the batch under the configured `QosPolicy` and reports a
+  /// structured outcome per job (index-aligned with `jobs`) instead of
+  /// first-exception-wins: `ok` jobs completed, `cancelled` jobs unwound
+  /// with `pandora::Cancelled` (their partial work discarded, their slot
+  /// arena intact), `shed` jobs were rejected at admission — batch budget
+  /// already spent, or oversized under pressure — and `failed` jobs threw.
+  /// One poisoned / slow / oversized query can therefore never abort its
+  /// batchmates *or* hide their results.  Never throws for job failures.
+  [[nodiscard]] std::vector<JobResult> run_jobs(std::span<Job> jobs);
 
   /// A wave of a streaming workload: a batch of queries, then an optional
   /// exclusive update applied before the next wave.  The update runs on the

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "pandora/exec/failpoint.hpp"
+
 namespace pandora::snapshot {
 
 PublishedClustering::PublishedClustering(const exec::Executor& writer, PublishedOptions options)
@@ -30,10 +32,21 @@ void PublishedClustering::erase(std::span<const index_t> ids) {
 void PublishedClustering::publish() {
   // Materialize off to the side: the deep copy and the group pin happen
   // before — and entirely outside — the pointer-swap critical section, so a
-  // concurrent acquire() never waits on capture work.
+  // concurrent acquire() never waits on capture work.  A throw anywhere up
+  // to the swap (both chaos seams below) leaves `current_` untouched:
+  // readers keep being served the previous epoch, never a torn one.
+  PANDORA_FAILPOINT("snapshot.materialise");
   SnapshotPtr next = std::make_shared<const Snapshot>(cache_, stream_.capture_artifacts());
+  PANDORA_FAILPOINT("snapshot.publish");
   const std::lock_guard<std::mutex> lock(current_mutex_);
   current_ = std::move(next);
+}
+
+std::uint64_t PublishedClustering::recover() {
+  const SnapshotPtr last = acquire();
+  stream_.restore(last->bundle());
+  publish();
+  return last->epoch();
 }
 
 SnapshotPtr PublishedClustering::acquire() const {

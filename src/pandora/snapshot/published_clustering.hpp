@@ -75,6 +75,20 @@ class PublishedClustering {
   /// Erases points by stable id and publishes.
   void erase(std::span<const index_t> ids);
 
+  /// True when the writer stream failed mid-update and is refusing further
+  /// work.  Readers are unaffected either way: the published snapshot
+  /// predates the failed update and stays served.
+  [[nodiscard]] bool poisoned() const { return !stream_.healthy(); }
+
+  /// Writer recovery: rolls the stream back to the **last published**
+  /// snapshot (the one readers are being served right now) and re-publishes
+  /// it under a fresh epoch.  Unpublished mutations from the failed update
+  /// are dropped — by construction the published bundle is the newest state
+  /// that is provably consistent.  Returns the epoch that was restored.
+  /// Safe to call on a healthy stream too (then it merely re-freezes the
+  /// published state); the writer may resume insert/erase afterwards.
+  std::uint64_t recover();
+
   // --- reader side ----------------------------------------------------------
 
   /// Pins and returns the current snapshot.  O(1), lock held only for the

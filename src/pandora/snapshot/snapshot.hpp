@@ -107,6 +107,11 @@ class Snapshot {
   /// The serving cache this snapshot pins (nullptr when standalone).
   [[nodiscard]] exec::ArtifactCache* serving_cache() const noexcept { return cache_.get(); }
 
+  /// The frozen bundle itself — what `PublishedClustering::recover()` feeds
+  /// back into `dyn::DynamicClustering::restore()` to roll a poisoned writer
+  /// back to this epoch.
+  [[nodiscard]] const dyn::ArtifactBundle& bundle() const noexcept { return bundle_; }
+
  private:
   class ReaderScope;
 

@@ -32,7 +32,7 @@ std::vector<double> kth_neighbor_distances(const exec::Executor& exec, const Poi
       const index_t hi = std::min<index_t>(n, lo + kQueriesPerChunk);
       for (index_t q = lo; q < hi; ++q) query(q, scratch);
     };
-    exec.backend().run_chunks(num_chunks, exec.num_threads(), body);
+    exec.run_chunks(num_chunks, exec.num_threads(), body);
   } else {
     std::vector<Neighbor> scratch;
     for (index_t q = 0; q < n; ++q) query(q, scratch);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "pandora/common/types.hpp"
@@ -74,5 +76,24 @@ class PointSet {
   int dim_ = 0;
   std::vector<double> coords_;
 };
+
+/// Front-door input validation: every coordinate must be finite (no NaN/Inf —
+/// they would silently poison distances, core distances and the EMST).
+/// Throws std::invalid_argument naming the offending point, dimension and
+/// call site (`where`).  O(n·dim) single pass; opt-in at validating entry
+/// points (Pipeline::with_validation, dyn::insert), not in the kernels.
+inline void validate_points(const PointSet& points, const char* where = "points") {
+  const std::vector<double>& coords = points.coords();
+  const int dim = points.dim();
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (!std::isfinite(coords[i])) {
+      const std::size_t point = dim > 0 ? i / static_cast<std::size_t>(dim) : 0;
+      const std::size_t d = dim > 0 ? i % static_cast<std::size_t>(dim) : 0;
+      throw std::invalid_argument("pandora: " + std::string(where) + ": non-finite coordinate at point " +
+                                  std::to_string(point) + ", dim " + std::to_string(d) +
+                                  " (NaN/Inf coordinates are not supported)");
+    }
+  }
+}
 
 }  // namespace pandora::spatial

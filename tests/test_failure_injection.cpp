@@ -11,6 +11,7 @@
 #include "pandora/graph/mst.hpp"
 #include "pandora/graph/tree.hpp"
 #include "pandora/hdbscan/hdbscan.hpp"
+#include "pandora/pipeline.hpp"
 #include "test_helpers.hpp"
 
 namespace {
@@ -112,6 +113,65 @@ TEST(FailureInjection, MstRequiresConnectivity) {
   EXPECT_THROW((void)graph::kruskal_mst(forest, 4), std::invalid_argument);
   EXPECT_THROW((void)graph::boruvka_mst(exec::default_executor(), forest, 4),
                std::invalid_argument);
+}
+
+TEST(FailureInjection, NonFinitePointCoordinatesRejected) {
+  spatial::PointSet points(2, 4);
+  points.at(2, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(spatial::validate_points(points), std::invalid_argument);
+  points.at(2, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(spatial::validate_points(points), std::invalid_argument);
+  points.at(2, 1) = 0.0;
+  EXPECT_NO_THROW(spatial::validate_points(points));
+}
+
+TEST(FailureInjection, PipelineValidationRejectsNonFinitePoints) {
+  spatial::PointSet points(2, 8);
+  for (index_t i = 0; i < 8; ++i) points.at(i, 0) = static_cast<double>(i);
+  points.at(5, 1) = std::numeric_limits<double>::quiet_NaN();
+  const auto pipeline = Pipeline::on(exec::default_executor()).with_validation();
+  EXPECT_THROW((void)pipeline.run_hdbscan(points), std::invalid_argument);
+  const std::vector<index_t> sizes{2, 3};
+  EXPECT_THROW((void)pipeline.sweep_min_cluster_size(points, sizes), std::invalid_argument);
+  // Validation is opt-in: without it the NaN still surfaces as an error, but
+  // from an internal progress check deep in EMST construction instead of a
+  // message naming the offending point and dimension.
+  try {
+    (void)pipeline.run_hdbscan(points);
+    FAIL() << "validated path must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("non-finite coordinate"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)Pipeline::on(exec::default_executor()).run_hdbscan(points),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, DynInsertRejectsNonFinitePointsWithoutMutating) {
+  exec::Executor executor;
+  dyn::DynamicClustering stream(executor);
+  spatial::PointSet good(2, 4);
+  for (index_t i = 0; i < 4; ++i) good.at(i, 0) = static_cast<double>(i);
+  stream.insert(good);
+  const std::uint64_t epoch_before = stream.epoch();
+
+  spatial::PointSet bad(2, 2);
+  bad.at(1, 0) = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)stream.insert(bad), std::invalid_argument);
+  // A rejected batch is a no-op: same epoch, still healthy, still usable.
+  EXPECT_EQ(stream.epoch(), epoch_before);
+  EXPECT_TRUE(stream.healthy());
+  EXPECT_EQ(stream.size(), 4);
+  EXPECT_NO_THROW((void)stream.dendrogram());
+}
+
+TEST(FailureInjection, DynInsertRejectsDimensionMismatch) {
+  exec::Executor executor;
+  dyn::DynamicClustering stream(executor);
+  spatial::PointSet first(3, 2);
+  stream.insert(first);
+  spatial::PointSet wrong_dim(2, 2);
+  EXPECT_THROW((void)stream.insert(wrong_dim), std::invalid_argument);
+  EXPECT_TRUE(stream.healthy());
 }
 
 TEST(FailureInjection, SinglePointHdbscanDegeneratesGracefully) {

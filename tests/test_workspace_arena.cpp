@@ -10,6 +10,7 @@
 
 #include "pandora/data/point_generators.hpp"
 #include "pandora/dendrogram/pandora.hpp"
+#include "pandora/exec/failpoint.hpp"
 #include "pandora/pipeline.hpp"
 #include "test_helpers.hpp"
 
@@ -83,6 +84,57 @@ TEST(Arena, LargerQueryAfterSmallerGrowsAndStaysCorrect) {
   EXPECT_EQ(executor.workspace().stats().misses, 0u);
   const auto expected_small = dendrogram::pandora_dendrogram(fresh, small_tree, 4000);
   EXPECT_EQ(out.parent, expected_small.parent);
+}
+
+TEST(Arena, InjectedFaultMidPipelineReleasesEveryLease) {
+  // Exception safety of the lease discipline: a kernel aborted mid-flight
+  // (fault injected at a run_chunks launch, while scratch leases are live)
+  // must return every block to the arena on unwind.  Proof: the rerun on the
+  // same warm executor is still steady-state — zero heap allocations, zero
+  // arena misses — and bit-identical.  The ASan CI entries additionally
+  // leak-check the unwind itself.
+  const index_t nv = 30000;
+  const graph::EdgeList tree = make_tree(Topology::random_attach, nv, 9, 0);
+  const exec::Executor executor(exec::default_backend(), 4);
+  const auto pipeline = Pipeline::on(executor);
+
+  dendrogram::Dendrogram out;
+  pipeline.build_dendrogram_into(tree, nv, out);  // warm-up: sizes the arena
+  pipeline.build_dendrogram_into(tree, nv, out);
+  const dendrogram::Dendrogram reference = out;
+
+  exec::failpoint::arm("exec.run_chunks", {exec::failpoint::Kind::error, 2, 1});
+  EXPECT_THROW(pipeline.build_dendrogram_into(tree, nv, out),
+               exec::failpoint::InjectedFault);
+  exec::failpoint::disarm("exec.run_chunks");
+
+  executor.workspace().reset_stats();
+  const AllocationCounterScope scope;
+  pipeline.build_dendrogram_into(tree, nv, out);
+  EXPECT_EQ(scope.count(), 0u)
+      << "an aborted run leaked leases: the rerun had to allocate";
+  EXPECT_EQ(executor.workspace().stats().misses, 0u);
+  EXPECT_EQ(out.parent, reference.parent);
+  EXPECT_EQ(out.weight, reference.weight);
+}
+
+TEST(Arena, CancelledQueryReleasesEveryLease) {
+  // Same discipline under cooperative cancellation: a deadline'd query that
+  // unwinds with Cancelled leaves the arena whole and reusable.
+  const spatial::PointSet points = data::gaussian_blobs(4000, 2, 4, 0.05, 0.05, 13);
+  const exec::Executor executor(exec::default_backend(), 4);
+  const auto pipeline = Pipeline::on(executor).with_min_pts(3);
+  const auto reference = pipeline.run_hdbscan(points);  // warm-up
+
+  EXPECT_THROW(
+      (void)Pipeline::on(executor).with_min_pts(3).with_deadline(std::chrono::nanoseconds(1))
+          .run_hdbscan(points),
+      Cancelled);
+
+  executor.workspace().reset_stats();
+  const auto rerun = pipeline.run_hdbscan(points);
+  EXPECT_EQ(executor.workspace().stats().misses, 0u);
+  EXPECT_EQ(rerun.labels, reference.labels);
 }
 
 TEST(Arena, RepeatedHdbscanReusesScratch) {
