@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,11 +43,17 @@ inline double mpoints_per_sec(index_t n, double seconds) {
 }
 
 /// A dataset prepared for dendrogram benchmarking: the mutual-reachability
-/// MST is built once (timed) and shared across algorithms.
+/// MST is built once (timed) and shared across algorithms.  The points, the
+/// kd-tree and the core distances are kept alive (behind stable addresses, so
+/// the struct stays movable) for benches that re-measure spatial phases —
+/// e.g. fig11's edge-sort-excluded EMST column.
 struct PreparedDataset {
   std::string name;
   index_t n = 0;
   int dim = 0;
+  std::shared_ptr<spatial::PointSet> points;
+  std::unique_ptr<spatial::KdTree> tree;  ///< built over *points
+  std::vector<double> core;               ///< core distances at min_pts
   graph::EdgeList mst;
   double tree_build_seconds = 0;
   double core_seconds = 0;
@@ -57,20 +64,21 @@ inline PreparedDataset prepare_dataset(const std::string& name, index_t n, int m
                                        const exec::Executor& exec, std::uint64_t seed = 2024) {
   PreparedDataset prepared;
   prepared.name = name;
-  const spatial::PointSet points = data::make_dataset(name, n, seed);
-  prepared.n = points.size();
-  prepared.dim = points.dim();
+  prepared.points = std::make_shared<spatial::PointSet>(data::make_dataset(name, n, seed));
+  prepared.n = prepared.points->size();
+  prepared.dim = prepared.points->dim();
 
   Timer timer;
-  spatial::KdTree tree(points);
+  prepared.tree = std::make_unique<spatial::KdTree>(*prepared.points);
   prepared.tree_build_seconds = timer.seconds();
 
   timer.reset();
-  const auto core = hdbscan::core_distances(exec, points, tree, min_pts);
+  prepared.core = hdbscan::core_distances(exec, *prepared.points, *prepared.tree, min_pts);
   prepared.core_seconds = timer.seconds();
 
   timer.reset();
-  prepared.mst = spatial::mutual_reachability_mst(exec, points, tree, core);
+  prepared.mst =
+      spatial::mutual_reachability_mst(exec, *prepared.points, *prepared.tree, prepared.core);
   prepared.mst_seconds = timer.seconds();
   return prepared;
 }

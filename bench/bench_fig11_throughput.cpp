@@ -33,9 +33,9 @@ int main() {
                       "Figure 11 (plus the Section 2.3.3 mixed baseline)");
   bench::JsonReport json("fig11");
 
-  std::printf("%-16s %9s | %12s %12s %12s %12s | %10s %10s | %9s\n", "dataset", "npts",
+  std::printf("%-16s %9s | %12s %12s %12s %12s | %10s %10s %10s | %9s\n", "dataset", "npts",
               "UnionFind", "Mixed(MT)", "Pandora(1T)", "Pandora(MT)", "radix [ms]",
-              "merge [ms]", "speedup");
+              "merge [ms]", "emst [ms]", "speedup");
   for (const auto& spec : data::table2_datasets()) {
     const index_t n = bench::scaled(static_cast<index_t>(spec.default_n / 2));
     const bench::PreparedDataset prepared =
@@ -69,15 +69,21 @@ int main() {
       (void)dendrogram::sort_edges(parallel_executor, prepared.mst, prepared.n);
     });
     parallel_executor.set_edge_sort_algorithm(exec::EdgeSortAlgorithm::radix);
+    // The EMST phase on its own, edge sort excluded: this is the column the
+    // SoA/SIMD distance kernels move (Borůvka leaf scans are its hot loop).
+    const bench::Measurement m_emst = bench::measure(3, [&] {
+      (void)spatial::mutual_reachability_mst(parallel_executor, *prepared.points,
+                                             *prepared.tree, prepared.core);
+    });
 
     const double t_uf = m_uf.best();
     const double t_parallel = m_parallel.best();
-    std::printf("%-16s %9d | %12.1f %12.1f %12.1f %12.1f | %10.2f %10.2f | %8.1fx\n",
+    std::printf("%-16s %9d | %12.1f %12.1f %12.1f %12.1f | %10.2f %10.2f %10.2f | %8.1fx\n",
                 spec.name.c_str(), prepared.n, bench::mpoints_per_sec(prepared.n, t_uf),
                 bench::mpoints_per_sec(prepared.n, m_mixed.best()),
                 bench::mpoints_per_sec(prepared.n, m_serial.best()),
                 bench::mpoints_per_sec(prepared.n, t_parallel), 1e3 * m_sort.median(),
-                1e3 * m_sort_merge.median(), t_uf / t_parallel);
+                1e3 * m_sort_merge.median(), 1e3 * m_emst.median(), t_uf / t_parallel);
 
     json.field("dataset", spec.name)
         .field("n", prepared.n)
@@ -87,6 +93,7 @@ int main() {
         .timing("pandora_parallel", m_parallel)
         .timing("edge_sort", m_sort)
         .timing("edge_sort_merge", m_sort_merge)
+        .timing("emst", m_emst)
         .field("pandora_mpoints_per_sec", bench::mpoints_per_sec(prepared.n, t_parallel));
     json.end_row();
   }

@@ -43,6 +43,12 @@ Two kinds of checks:
      4 threads like the batch gate.
    * ``--fig15-json``: per dataset, the summed cache-replay preparation must
      beat the summed rebuild preparation.
+   * ``--distance-json``: bench_distance_kernels' SoA batch kernels must show
+     the SIMD dispatch beating the scalar reference by
+     ``--min-distance-speedup`` (median across the Table 2 dimensionality
+     rows).  Skipped when the artifact reports a runtime vector width < 4
+     (PANDORA_SIMD=OFF build, or a host without AVX2): there the dispatch IS
+     the scalar kernel and the two columns are identical by construction.
    * ``--dynamic-json``: bench_dynamic_updates' single-insert scenario at
      n >= 50k must reach ``--min-dynamic-speedup`` (steady-state incremental
      update + dendrogram replay vs the full cold rebuild, same host).  The
@@ -278,6 +284,33 @@ def check_dynamic_gate(path: pathlib.Path, min_speedup: float) -> list[str]:
     return failures
 
 
+def check_distance_gate(path: pathlib.Path, min_speedup: float) -> list[str]:
+    report = load(path)
+    rows = report.get("rows", [])
+    if not rows:
+        return [f"{path.name}: no distance-kernel rows"]
+    width = min(row.get("simd_width", 1) for row in rows)
+    speedups = []
+    for row in rows:
+        speedup = row.get("speedup", 0.0)
+        print(f"distance gate: dim={row.get('dim', '?')} scalar "
+              f"{row.get('scalar_median', 0.0) * 1e3:.2f}ms vs simd "
+              f"{row.get('simd_median', 0.0) * 1e3:.2f}ms ({speedup:.2f}x, "
+              f"width {row.get('simd_width', 1)})")
+        speedups.append(speedup)
+    if width < 4:
+        print(f"distance gate: skipped (runtime vector width {width} < 4; "
+              "scalar dispatch is the kernel under test)")
+        return []
+    median_speedup = statistics.median(speedups)
+    print(f"distance gate: median SIMD speedup {median_speedup:.2f}x across "
+          f"{len(speedups)} dims (required {min_speedup:.2f}x)")
+    if median_speedup < min_speedup:
+        return [f"SIMD distance kernels {median_speedup:.2f}x scalar "
+                f"< required {min_speedup:.2f}x at vector width {width}"]
+    return []
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -311,6 +344,10 @@ def main() -> int:
     parser.add_argument("--dynamic-json", type=pathlib.Path,
                         help="BENCH_dynamic_updates.json for the update-vs-rebuild gate")
     parser.add_argument("--min-dynamic-speedup", type=float, default=3.0)
+    parser.add_argument("--distance-json", type=pathlib.Path,
+                        help="BENCH_distance_kernels.json for the SIMD-vs-scalar "
+                             "kernel gate (skipped at runtime vector width < 4)")
+    parser.add_argument("--min-distance-speedup", type=float, default=1.2)
     args = parser.parse_args()
 
     failures: list[str] = []
@@ -327,6 +364,8 @@ def main() -> int:
         failures += check_fig15_gate(args.fig15_json)
     if args.dynamic_json is not None:
         failures += check_dynamic_gate(args.dynamic_json, args.min_dynamic_speedup)
+    if args.distance_json is not None:
+        failures += check_distance_gate(args.distance_json, args.min_distance_speedup)
 
     if failures:
         print("\nPERF REGRESSION GATE: FAILED")

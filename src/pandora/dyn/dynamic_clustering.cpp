@@ -160,6 +160,36 @@ void DynamicClustering::repair_after_insert(index_t n_before, index_t m,
   {
     auto bound_lease = workspace.take_uninit<double>(m);
     const std::span<double> bound = bound_lease.span();
+    // Batched index probe pre-pass: the batch rows are contiguous row-major
+    // in the point set, so one knn_batch sweep per chunk probes every new
+    // point's two nearest INDEXED neighbours (coordinate queries — the batch
+    // is not indexed yet), amortizing the tree walk across the group.  Slots
+    // stay +inf where the index has fewer than two points; offering +inf
+    // below is a no-op.
+    auto knn_lease = workspace.take<double>(static_cast<size_type>(m) * 2,
+                                            std::numeric_limits<double>::infinity());
+    const std::span<double> knn_sq = knn_lease.span();
+    if (indexed_ > 0) {
+      const auto k_eff = static_cast<index_t>(std::min<index_t>(2, indexed_));
+      constexpr index_t kProbeChunk = 128;
+      const int num_chunks = static_cast<int>((m + kProbeChunk - 1) / kProbeChunk);
+      auto probe_body = [&](int c) {
+        // thread_local: the batch result buffer keeps its capacity across
+        // chunks and batches, so the steady-state probe allocates nothing
+        // (the arena cannot lease a std::vector).
+        static thread_local std::vector<spatial::Neighbor> probe;
+        const index_t lo = static_cast<index_t>(c) * kProbeChunk;
+        const index_t hi = std::min<index_t>(m, lo + kProbeChunk);
+        tree_->knn_batch(points.point(n_before + lo).data(), hi - lo, 2, probe);
+        for (index_t j = lo; j < hi; ++j)
+          for (index_t t = 0; t < k_eff; ++t)
+            knn_sq[static_cast<std::size_t>(j) * 2 + static_cast<std::size_t>(t)] =
+                probe[static_cast<std::size_t>(j - lo) * static_cast<std::size_t>(k_eff) +
+                      static_cast<std::size_t>(t)]
+                    .squared_distance;
+      };
+      exec_->run_chunks(num_chunks, exec_->num_threads(), probe_body);
+    }
     exec::parallel_for(*exec_, m, [&](size_type j) {
       const index_t q = n_before + static_cast<index_t>(j);
       double d1_sq = std::numeric_limits<double>::infinity();
@@ -172,14 +202,8 @@ void DynamicClustering::repair_after_insert(index_t n_before, index_t m,
           d2_sq = sq;
         }
       };
-      if (indexed_ > 0) {
-        // thread_local: the kNN result buffer keeps its capacity across
-        // batch points and batches, so the steady-state probe allocates
-        // nothing (the arena cannot lease a std::vector).
-        static thread_local std::vector<spatial::Neighbor> probe;
-        tree_->knn(points.point(q), 2, probe);
-        for (const spatial::Neighbor& nb : probe) offer(nb.squared_distance);
-      }
+      offer(knn_sq[static_cast<std::size_t>(j) * 2]);
+      offer(knn_sq[static_cast<std::size_t>(j) * 2 + 1]);
       for (index_t p = indexed_; p < n; ++p) {  // unindexed tail + other new
         if (p == q) continue;
         offer(points.squared_distance(q, p));

@@ -6,6 +6,7 @@
 #include "pandora/common/expect.hpp"
 #include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
+#include "pandora/spatial/distance.hpp"
 
 namespace pandora::spatial {
 
@@ -15,7 +16,37 @@ KdTree::KdTree(const PointSet& points, int leaf_size)
   const index_t n = points.size();
   perm_.resize(static_cast<std::size_t>(n));
   std::iota(perm_.begin(), perm_.end(), index_t{0});
-  if (n > 0) build(0, n);
+  if (n > 0) {
+    build(0, n);
+    build_leaf_soa();
+  }
+}
+
+void KdTree::build_leaf_soa() {
+  // One dimension-blocked SoA block per leaf, laid out back to back in perm
+  // order (a leaf's range [begin, end) owns leaf_soa_[begin*dim, end*dim)).
+  leaf_soa_.resize(perm_.size() * static_cast<std::size_t>(dim_));
+  for (const Node& nd : nodes_) {
+    if (nd.left != kNone) continue;
+    const index_t count = nd.end - nd.begin;
+    max_leaf_count_ = std::max(max_leaf_count_, count);
+    double* block = leaf_soa_.data() +
+                    static_cast<std::size_t>(nd.begin) * static_cast<std::size_t>(dim_);
+    for (index_t i = 0; i < count; ++i) {
+      const std::span<const double> p = points_->point(perm_[static_cast<std::size_t>(nd.begin + i)]);
+      for (int d = 0; d < dim_; ++d)
+        block[static_cast<std::size_t>(d) * static_cast<std::size_t>(count) +
+              static_cast<std::size_t>(i)] = p[static_cast<std::size_t>(d)];
+    }
+  }
+}
+
+void KdTree::scan_leaf(const Node& nd, const double* query, double* out) const {
+  const index_t count = nd.end - nd.begin;
+  distance::batch_squared_distances(
+      query,
+      leaf_soa_.data() + static_cast<std::size_t>(nd.begin) * static_cast<std::size_t>(dim_),
+      dim_, count, count, out);
 }
 
 void KdTree::update_box(index_t node) {
@@ -87,19 +118,32 @@ double KdTree::box_squared_distance(index_t node, const double* query) const {
   return sum;
 }
 
+namespace {
+
+/// Per-thread scratch for one leaf's worth of squared distances, shared by
+/// every query path on the thread (leaf scans never nest).
+double* leaf_scratch(index_t max_leaf_count) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < static_cast<std::size_t>(max_leaf_count))
+    scratch.resize(static_cast<std::size_t>(max_leaf_count));
+  return scratch.data();
+}
+
+}  // namespace
+
 void KdTree::knn_search(const double* query, int k, index_t exclude,
                         std::vector<Neighbor>& out) const {
   out.clear();
   if (k <= 0 || size() == 0) return;
   out.reserve(static_cast<std::size_t>(k));
 
-  const std::span<const double> query_span{query, static_cast<std::size_t>(dim_)};
+  double* leaf_sq = leaf_scratch(max_leaf_count_);
 
   // `out` stays sorted ascending; with <= 16 typical neighbours an insertion
   // buffer beats a heap.
-  auto offer = [&](index_t p) {
+  auto offer = [&](index_t p, double sq) {
     if (p == exclude) return;
-    Neighbor cand{points_->squared_distance(query_span, p), p};
+    Neighbor cand{sq, p};
     if (static_cast<int>(out.size()) == k && !(cand < out.back())) return;
     auto pos = std::lower_bound(out.begin(), out.end(), cand);
     out.insert(pos, cand);
@@ -113,7 +157,9 @@ void KdTree::knn_search(const double* query, int k, index_t exclude,
         box_squared_distance(node, query) > out.back().squared_distance)
       return;
     if (nd.left == kNone) {
-      for (index_t i = nd.begin; i < nd.end; ++i) offer(perm_[static_cast<std::size_t>(i)]);
+      scan_leaf(nd, query, leaf_sq);
+      for (index_t i = nd.begin; i < nd.end; ++i)
+        offer(perm_[static_cast<std::size_t>(i)], leaf_sq[static_cast<std::size_t>(i - nd.begin)]);
       return;
     }
     const bool left_first = query[nd.split_dim] <= nd.split_value;
@@ -131,14 +177,117 @@ void KdTree::knn(std::span<const double> query, int k, std::vector<Neighbor>& ou
   knn_search(query.data(), std::min<index_t>(k, size()), kNone, out);
 }
 
+void KdTree::knn_batch_search(const BatchQuery* queries, index_t num_queries, int k,
+                              std::vector<Neighbor>& out) const {
+  if (k <= 0 || num_queries <= 0 || size() == 0) {
+    out.clear();
+    return;
+  }
+  out.assign(static_cast<std::size_t>(num_queries) * static_cast<std::size_t>(k), Neighbor{});
+
+  constexpr index_t kGroup = 16;  // queries per group DFS (fits a uint32 mask)
+  double* leaf_sq = leaf_scratch(max_leaf_count_);
+
+  struct Frame {
+    index_t node;
+    std::uint32_t mask;  ///< queries still live below this node
+  };
+  thread_local std::vector<Frame> stack;
+
+  int filled[kGroup];
+
+  for (index_t g0 = 0; g0 < num_queries; g0 += kGroup) {
+    const index_t gn = std::min<index_t>(kGroup, num_queries - g0);
+    for (index_t qi = 0; qi < gn; ++qi) filled[qi] = 0;
+
+    // Query qi's result slice doubles as its sorted insertion buffer, so the
+    // per-query offer is byte-for-byte the single-query insertion logic.
+    auto slice = [&](index_t qi) {
+      return out.data() + static_cast<std::size_t>(g0 + qi) * static_cast<std::size_t>(k);
+    };
+    auto bound = [&](index_t qi) {
+      return filled[qi] == k ? slice(qi)[k - 1].squared_distance
+                             : std::numeric_limits<double>::infinity();
+    };
+    auto offer = [&](index_t qi, index_t p, double sq) {
+      if (p == queries[g0 + qi].exclude) return;
+      Neighbor* s = slice(qi);
+      int& n = filled[qi];
+      const Neighbor cand{sq, p};
+      if (n == k && !(cand < s[n - 1])) return;
+      Neighbor* pos = std::lower_bound(s, s + n, cand);
+      for (Neighbor* t = s + std::min(n, k - 1); t > pos; --t) *t = *(t - 1);
+      *pos = cand;
+      if (n < k) ++n;
+    };
+
+    stack.clear();
+    stack.push_back({0, (1u << gn) - 1});  // gn <= 16, shift never overflows
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      // Re-prune against each query's CURRENT bound (it may have tightened
+      // since this frame was pushed); a node is descended if any query
+      // survives.  Relaxed group pruning only adds visits, never changes the
+      // (unique) k-best set, so results stay bit-identical to per-query knn.
+      std::uint32_t live = 0;
+      for (index_t qi = 0; qi < gn; ++qi) {
+        if ((f.mask & (1u << qi)) == 0) continue;
+        if (!(box_squared_distance(f.node, queries[g0 + qi].coords) > bound(qi)))
+          live |= 1u << qi;
+      }
+      if (live == 0) continue;
+      const Node& nd = nodes_[static_cast<std::size_t>(f.node)];
+      if (nd.left == kNone) {
+        // One SoA pass per live query while the leaf block is cache-hot.
+        for (index_t qi = 0; qi < gn; ++qi) {
+          if ((live & (1u << qi)) == 0) continue;
+          scan_leaf(nd, queries[g0 + qi].coords, leaf_sq);
+          for (index_t i = nd.begin; i < nd.end; ++i)
+            offer(qi, perm_[static_cast<std::size_t>(i)],
+                  leaf_sq[static_cast<std::size_t>(i - nd.begin)]);
+        }
+        continue;
+      }
+      // Near-child preference steered by the lowest live query; coherent
+      // groups (consecutive in tree_order) agree on the near side anyway.
+      const auto lead = static_cast<index_t>(std::countr_zero(live));
+      const bool left_first =
+          queries[g0 + lead].coords[nd.split_dim] <= nd.split_value;
+      stack.push_back({left_first ? nd.right : nd.left, live});
+      stack.push_back({left_first ? nd.left : nd.right, live});
+    }
+  }
+}
+
+void KdTree::knn_batch(std::span<const index_t> queries, int k, std::vector<Neighbor>& out) const {
+  const index_t n = size();
+  const int k_eff = static_cast<int>(std::max<index_t>(
+      0, std::min<index_t>(k, n > 0 ? n - 1 : 0)));
+  thread_local std::vector<BatchQuery> batch;
+  batch.resize(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    batch[i] = BatchQuery{points_->point(queries[i]).data(), queries[i]};
+  knn_batch_search(batch.data(), static_cast<index_t>(queries.size()), k_eff, out);
+}
+
+void KdTree::knn_batch(const double* queries, index_t num_queries, int k,
+                       std::vector<Neighbor>& out) const {
+  const int k_eff = static_cast<int>(std::max<index_t>(0, std::min<index_t>(k, size())));
+  thread_local std::vector<BatchQuery> batch;
+  batch.resize(static_cast<std::size_t>(num_queries));
+  for (index_t i = 0; i < num_queries; ++i)
+    batch[static_cast<std::size_t>(i)] =
+        BatchQuery{queries + static_cast<std::size_t>(i) * static_cast<std::size_t>(dim_), kNone};
+  knn_batch_search(batch.data(), num_queries, k_eff, out);
+}
+
 namespace {
 
-/// Plain Euclidean scoring for component queries.
+/// Plain Euclidean scoring for component queries: the leaf scan's batched
+/// squared distance IS the score.
 struct EuclideanScore {
-  const PointSet* points;
-  index_t q;
-
-  double point(index_t p) const { return points->squared_distance(q, p); }
+  double from_sq(index_t /*p*/, double sq) const { return sq; }
 };
 
 }  // namespace
@@ -152,6 +301,7 @@ void KdTree::search(const double* query, Neighbor& best, index_t my_component,
   std::vector<index_t> stack;
   stack.reserve(64);
   stack.push_back(0);
+  double* leaf_sq = leaf_scratch(max_leaf_count_);
   // my_component == kNone disables the component filter entirely (a node's
   // kNone annotation means "mixed", which must never prune in that case).
   const bool filtered = my_component != kNone;
@@ -168,10 +318,11 @@ void KdTree::search(const double* query, Neighbor& best, index_t my_component,
     if (bound > best.squared_distance) continue;
     const Node& nd = nodes_[static_cast<std::size_t>(node)];
     if (nd.left == kNone) {
+      scan_leaf(nd, query, leaf_sq);
       for (index_t i = nd.begin; i < nd.end; ++i) {
         const index_t p = perm_[static_cast<std::size_t>(i)];
         if (filtered && component[static_cast<std::size_t>(p)] == my_component) continue;
-        Neighbor cand{score.point(p), p};
+        Neighbor cand{score.from_sq(p, leaf_sq[static_cast<std::size_t>(i - nd.begin)]), p};
         if (cand < best) best = cand;
       }
       continue;
@@ -188,30 +339,19 @@ Neighbor KdTree::nearest_other_component(index_t q, index_t my_component,
                                          const KdTreeAnnotations& notes) const {
   Neighbor best;
   const double* query = points_->point(q).data();
-  EuclideanScore score{points_, q};
+  EuclideanScore score{};
   search(query, best, my_component, component, notes, score);
   return best;
 }
-
-namespace {
-
-/// Euclidean scoring against raw query coordinates (a point outside the
-/// index, e.g. one appended after the tree was built).
-struct CoordsScore {
-  const PointSet* points;
-  std::span<const double> query;
-
-  double point(index_t p) const { return points->squared_distance(query, p); }
-};
-
-}  // namespace
 
 Neighbor KdTree::nearest_other_component(std::span<const double> query, index_t my_component,
                                          std::span<const index_t> component,
                                          const KdTreeAnnotations& notes) const {
   Neighbor best;
   if (size() == 0) return best;
-  CoordsScore score{points_, query};
+  // An out-of-index coordinate query scores exactly like an indexed one: the
+  // leaf scan's squared distance is the score.
+  EuclideanScore score{};
   search(query.data(), best, my_component, component, notes, score);
   return best;
 }
@@ -220,13 +360,12 @@ namespace {
 
 /// Mreach score with the per-node minimum-core bound wired in.
 struct MreachScoreBound {
-  const PointSet* points;
   index_t q;
   std::span<const double> core_sq;
   const std::vector<double>* node_min_core;
 
-  double point(index_t p) const {
-    return std::max({points->squared_distance(q, p), core_sq[static_cast<std::size_t>(q)],
+  double from_sq(index_t p, double sq) const {
+    return std::max({sq, core_sq[static_cast<std::size_t>(q)],
                      core_sq[static_cast<std::size_t>(p)]});
   }
   double extra_bound(index_t node) const {
@@ -245,7 +384,7 @@ Neighbor KdTree::nearest_other_component_mreach(index_t q, index_t my_component,
                                                 const KdTreeAnnotations& notes) const {
   Neighbor best;
   const double* query = points_->point(q).data();
-  MreachScoreBound score{points_, q, core_sq, &notes.node_min_core};
+  MreachScoreBound score{q, core_sq, &notes.node_min_core};
   search(query, best, my_component, component, notes, score);
   return best;
 }

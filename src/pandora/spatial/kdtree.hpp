@@ -73,6 +73,27 @@ class KdTree {
   /// point that is not (yet) part of the index.
   void knn(std::span<const double> query, int k, std::vector<Neighbor>& out) const;
 
+  /// Batched multi-query kNN: all queries traverse the tree TOGETHER (one
+  /// group DFS; a node is descended if any still-unpruned query needs it),
+  /// so node boxes and SoA leaf blocks are visited once per group instead of
+  /// once per query and the leaf distance kernel amortizes across queries.
+  /// Results are BIT-IDENTICAL to per-query `knn` — the k-nearest set under
+  /// the total (distance, index) order is unique, so relaxed group pruning
+  /// only costs work, never changes answers.  Most effective when the
+  /// queries are spatially coherent (e.g. consecutive in `tree_order()`).
+  ///
+  /// `out` is resized to `queries.size() * k_eff` with query i's neighbours
+  /// ascending at [i * k_eff, (i+1) * k_eff), k_eff = min(k, n-1) (each
+  /// query point excludes itself).  Steady-state calls on a warm thread
+  /// allocate nothing beyond `out`'s capacity.
+  void knn_batch(std::span<const index_t> queries, int k, std::vector<Neighbor>& out) const;
+
+  /// As above for `num_queries` arbitrary row-major coordinate queries
+  /// (dim() doubles each, none excluded): k_eff = min(k, n).  The dynamic
+  /// subsystem's insert path probes whole batches through this.
+  void knn_batch(const double* queries, index_t num_queries, int k,
+                 std::vector<Neighbor>& out) const;
+
   /// Nearest point to `q` under the Euclidean metric among points whose
   /// `component[]` differs from `my_component`.  Uses the component
   /// annotation in `notes` (from annotate_components) to skip
@@ -112,6 +133,10 @@ class KdTree {
   [[nodiscard]] int leaf_size() const { return leaf_size_; }
   [[nodiscard]] const PointSet& points() const { return *points_; }
 
+  /// Point ids in tree (leaf-partition) order: consecutive ids are spatially
+  /// close, which is the coherence `knn_batch` groups want.
+  [[nodiscard]] std::span<const index_t> tree_order() const { return perm_; }
+
  private:
   struct Node {
     index_t begin = 0, end = 0;       ///< range in perm_ (leaf and internal)
@@ -120,13 +145,29 @@ class KdTree {
     double split_value = 0;
   };
 
+  /// One query of a batched search: raw coordinates plus the indexed point
+  /// to exclude (kNone = exclude nothing).
+  struct BatchQuery {
+    const double* coords = nullptr;
+    index_t exclude = kNone;
+  };
+
   index_t build(index_t begin, index_t end);
   void update_box(index_t node);
+  void build_leaf_soa();
+
+  /// Squared distances from `query` to every point of leaf `nd` (tree
+  /// order), through the dimension-blocked SoA leaf block.
+  void scan_leaf(const Node& nd, const double* query, double* out) const;
 
   /// Shared kNN body: nearest indexed points to `query`, excluding the
   /// indexed point `exclude` (kNone = exclude nothing).
   void knn_search(const double* query, int k, index_t exclude,
                   std::vector<Neighbor>& out) const;
+
+  /// Shared batched kNN body; `k` is the already-clamped per-query k_eff.
+  void knn_batch_search(const BatchQuery* queries, index_t num_queries, int k,
+                        std::vector<Neighbor>& out) const;
 
   template <class Score>
   void search(const double* query, Neighbor& best, index_t my_component,
@@ -139,9 +180,15 @@ class KdTree {
   const PointSet* points_ = nullptr;
   int dim_ = 0;
   int leaf_size_ = 32;
+  index_t max_leaf_count_ = 0;          ///< widest leaf (scratch sizing)
   std::vector<index_t> perm_;           ///< point ids, partitioned by node ranges
   std::vector<Node> nodes_;             ///< nodes_[0] is the root
   std::vector<double> box_lo_, box_hi_; ///< per node * dim bounding boxes
+  /// Dimension-blocked SoA copy of the leaf points, one block per leaf in
+  /// perm order: coordinate d of leaf point i (leaf range [begin, end)) is
+  /// leaf_soa_[begin * dim + d * (end - begin) + (i - begin)].  This is what
+  /// the batch distance kernels scan instead of gathering row-major points.
+  std::vector<double> leaf_soa_;
 };
 
 /// Order-sensitive 64-bit content fingerprint of a point set (coordinates,

@@ -13,10 +13,20 @@ std::vector<double> kth_neighbor_distances(const exec::Executor& exec, const Poi
   std::vector<double> result(static_cast<std::size_t>(n), 0.0);
   if (k <= 0 || n <= 1) return result;
 
-  const auto query = [&](index_t q, std::vector<Neighbor>& scratch) {
-    tree.knn(q, k, scratch);
-    result[static_cast<std::size_t>(q)] =
-        scratch.empty() ? 0.0 : std::sqrt(scratch.back().squared_distance);
+  // Queries run in tree (leaf-partition) order so each knn_batch group is
+  // spatially coherent — the group DFS then shares most of its node visits
+  // and leaf SoA scans across the group.  Results scatter back by point id,
+  // so the output is identical to querying 0..n-1 directly.
+  const std::span<const index_t> order = tree.tree_order();
+  const int k_eff = static_cast<int>(std::min<index_t>(k, n - 1));
+
+  const auto run_chunk = [&](index_t lo, index_t hi, std::vector<Neighbor>& scratch) {
+    tree.knn_batch(order.subspan(static_cast<std::size_t>(lo), static_cast<std::size_t>(hi - lo)),
+                   k, scratch);
+    for (index_t i = lo; i < hi; ++i)
+      result[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = std::sqrt(
+          scratch[static_cast<std::size_t>(i - lo + 1) * static_cast<std::size_t>(k_eff) - 1]
+              .squared_distance);
   };
   if (exec.num_threads() > 1) {
     // Small chunks so uneven query costs balance dynamically across the
@@ -25,17 +35,17 @@ std::vector<double> kth_neighbor_distances(const exec::Executor& exec, const Poi
     const int num_chunks = static_cast<int>((n + kQueriesPerChunk - 1) / kQueriesPerChunk);
     auto body = [&](int c) {
       // Per-worker scratch, persistent across chunks and calls (backend
-      // workers are long-lived threads), mirroring the old per-thread
-      // hoisting — steady-state passes allocate nothing here.
+      // workers are long-lived threads) — steady-state passes allocate
+      // nothing here.
       thread_local std::vector<Neighbor> scratch;
       const index_t lo = static_cast<index_t>(c) * kQueriesPerChunk;
       const index_t hi = std::min<index_t>(n, lo + kQueriesPerChunk);
-      for (index_t q = lo; q < hi; ++q) query(q, scratch);
+      run_chunk(lo, hi, scratch);
     };
     exec.run_chunks(num_chunks, exec.num_threads(), body);
   } else {
     std::vector<Neighbor> scratch;
-    for (index_t q = 0; q < n; ++q) query(q, scratch);
+    run_chunk(0, n, scratch);
   }
   return result;
 }
