@@ -36,6 +36,23 @@ using namespace pandora;
 
 namespace {
 
+/// Delta of one obs:: registry counter over a scenario: snapshotted at
+/// construction, read back as what happened since.  The rows used to
+/// hand-plumb ArtifactCache::Stats / JobOutcome tallies per scenario; the
+/// registry is now the single source and the row fields keep their names.
+class CounterDelta {
+ public:
+  explicit CounterDelta(const char* name)
+      : name_(name), start_(obs::registry().counter_value(name)) {}
+  [[nodiscard]] std::int64_t value() const {
+    return static_cast<std::int64_t>(obs::registry().counter_value(name_) - start_);
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t start_;
+};
+
 std::vector<graph::EdgeList> make_query_trees(index_t num_vertices, std::size_t count,
                                               std::uint64_t seed_base) {
   std::vector<graph::EdgeList> trees;
@@ -56,6 +73,10 @@ void run_scenario(const char* name, const exec::Executor& executor,
   std::vector<serve::DendrogramQuery> queries;
   for (std::size_t i = 0; i < trees.size(); ++i)
     queries.push_back({&trees[i], num_vertices[i], {}});
+
+  const CounterDelta cache_hits("pandora_cache_hits_total");
+  const CounterDelta cache_misses("pandora_cache_misses_total");
+  const CounterDelta cache_evictions("pandora_cache_evictions_total");
 
   // The threshold is pinned per scenario so the small/large classification —
   // the thing each scenario exists to measure — holds at every
@@ -92,9 +113,10 @@ void run_scenario(const char* name, const exec::Executor& executor,
               name, queries.size(), static_cast<long long>(total_edges),
               1e3 * sequential.median(), 1e3 * batched.median(), speedup);
 
-  // Cumulative shared-ArtifactCache counters after the scenario: the replay
-  // economy the batch rides on, alongside the timings.
-  const auto cache = executor.artifact_cache().stats();
+  // Shared-ArtifactCache traffic over this scenario, read back from the
+  // obs:: registry as deltas: the replay economy the batch rides on,
+  // alongside the timings.  (The full cumulative registry snapshot also
+  // rides along in the report's top-level "metrics" object.)
   json.field("scenario", std::string(name))
       .field("backend", std::string(executor.name()))
       .field("num_queries", static_cast<std::int64_t>(queries.size()))
@@ -103,10 +125,10 @@ void run_scenario(const char* name, const exec::Executor& executor,
       .timing("sequential", sequential)
       .timing("batched", batched)
       .field("batched_speedup", speedup)
-      .field("cache_hits", cache.hits)
-      .field("cache_misses", cache.misses)
-      .field("cache_evictions", cache.evictions)
-      .field("cache_pinned_slots", cache.pinned_slots);
+      .field("cache_hits", cache_hits.value())
+      .field("cache_misses", cache_misses.value())
+      .field("cache_evictions", cache_evictions.value())
+      .field("cache_pinned_slots", obs::registry().gauge_value("pandora_cache_pinned_slots"));
   json.end_row();
 }
 
@@ -143,32 +165,33 @@ void run_qos(const exec::Executor& executor, bench::JsonReport& json) {
   jobs[kQueries - 1].deadline = std::chrono::nanoseconds(1);     // expired on arrival
 
   (void)batch.run_jobs(jobs);  // warm the slot arenas
+
+  // Outcome tallies come back from the obs:: registry, not from the returned
+  // JobResult vector — the row doubles as an end-to-end check that the
+  // serve-layer instrumentation counts what actually happened.  Deltas start
+  // after the warm pass so the warm batch's outcomes don't pollute the row.
+  const CounterDelta ok("pandora_serve_jobs_total{outcome=\"ok\"}");
+  const CounterDelta shed("pandora_serve_jobs_total{outcome=\"shed\"}");
+  const CounterDelta cancelled("pandora_serve_jobs_total{outcome=\"cancelled\"}");
+  const CounterDelta failed("pandora_serve_jobs_total{outcome=\"failed\"}");
+
   Timer timer;
-  const std::vector<serve::JobResult> results = batch.run_jobs(jobs);
+  (void)batch.run_jobs(jobs);
   const double seconds = timer.seconds();
 
-  std::int64_t ok = 0, shed = 0, cancelled = 0, failed = 0;
-  for (const serve::JobResult& result : results) {
-    switch (result.outcome) {
-      case serve::JobOutcome::ok: ++ok; break;
-      case serve::JobOutcome::shed: ++shed; break;
-      case serve::JobOutcome::cancelled: ++cancelled; break;
-      case serve::JobOutcome::failed: ++failed; break;
-    }
-  }
-
   std::printf("%-14s | %4zu queries %9s | ok %lld shed %lld cancelled %lld failed %lld | %6.2fms\n",
-              "qos", kQueries, "", static_cast<long long>(ok), static_cast<long long>(shed),
-              static_cast<long long>(cancelled), static_cast<long long>(failed), 1e3 * seconds);
+              "qos", kQueries, "", static_cast<long long>(ok.value()),
+              static_cast<long long>(shed.value()), static_cast<long long>(cancelled.value()),
+              static_cast<long long>(failed.value()), 1e3 * seconds);
 
   json.field("scenario", std::string("qos"))
       .field("num_queries", static_cast<std::int64_t>(kQueries))
       .field("n", n)
       .field("batch_seconds", seconds)
-      .field("jobs_ok", ok)
-      .field("jobs_shed", shed)
-      .field("jobs_cancelled", cancelled)
-      .field("jobs_failed", failed);
+      .field("jobs_ok", ok.value())
+      .field("jobs_shed", shed.value())
+      .field("jobs_cancelled", cancelled.value())
+      .field("jobs_failed", failed.value());
   json.end_row();
 }
 
@@ -184,6 +207,10 @@ void run_mixed_rw(bench::JsonReport& json) {
   constexpr int kReaders = 8;
   constexpr int kQueriesPerReader = 6;
   const index_t n = bench::scaled(4000);
+
+  const CounterDelta cache_hits("pandora_cache_hits_total");
+  const CounterDelta cache_misses("pandora_cache_misses_total");
+  const CounterDelta cache_evictions("pandora_cache_evictions_total");
 
   const exec::Executor writer_exec(exec::serial_backend());
   snapshot::PublishedClustering published(writer_exec);
@@ -244,7 +271,8 @@ void run_mixed_rw(bench::JsonReport& json) {
               "mixed_rw", kReaders, static_cast<long long>(n), 1e3 * read_only.p90(),
               1e3 * read_write.p90(), degradation);
 
-  const auto cache = published.serving_cache().stats();
+  // Serving-cache traffic for the whole scenario (all snapshot epochs), as
+  // obs:: registry deltas since the scenario began.
   json.field("scenario", std::string("mixed_rw"))
       .field("num_readers", static_cast<std::int64_t>(kReaders))
       .field("queries_per_reader", static_cast<std::int64_t>(kQueriesPerReader))
@@ -252,10 +280,10 @@ void run_mixed_rw(bench::JsonReport& json) {
       .timing("reader_ro", read_only)
       .timing("reader_rw", read_write)
       .field("reader_p90_degradation", degradation)
-      .field("cache_hits", cache.hits)
-      .field("cache_misses", cache.misses)
-      .field("cache_evictions", cache.evictions)
-      .field("cache_pinned_slots", cache.pinned_slots);
+      .field("cache_hits", cache_hits.value())
+      .field("cache_misses", cache_misses.value())
+      .field("cache_evictions", cache_evictions.value())
+      .field("cache_pinned_slots", obs::registry().gauge_value("pandora_cache_pinned_slots"));
   json.end_row();
 }
 

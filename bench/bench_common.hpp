@@ -19,6 +19,7 @@
 #include "pandora/exec/executor.hpp"
 #include "pandora/graph/edge.hpp"
 #include "pandora/hdbscan/core_distance.hpp"
+#include "pandora/obs/metrics.hpp"
 #include "pandora/spatial/emst.hpp"
 #include "pandora/spatial/kdtree.hpp"
 
@@ -135,11 +136,15 @@ Measurement measure(int repeats, F&& f) {
 /// `<dir>/BENCH_<name>.json` on destruction:
 ///
 ///   {"bench": "fig11", "threads": 8, "scale": 1.0,
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
 ///    "rows": [{"dataset": "HaccProxy", "n": 500000, ...}, ...]}
 ///
 /// so the perf trajectory (median/p90 wall times, steady-state allocations)
-/// can be diffed across PRs.  With the variable unset the report is inert and
-/// the bench prints its usual human-readable table only.
+/// can be diffed across PRs.  The `metrics` object is the process-wide
+/// obs:: registry snapshot taken as the report is written — cache traffic,
+/// QoS outcomes, publish latencies etc. ride along without per-bench
+/// plumbing (check_regression.py validates its shape).  With the variable
+/// unset the report is inert and the bench prints its usual table only.
 class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {
@@ -213,18 +218,22 @@ class JsonReport {
     // by default (rows that sweep backends carry their own "backend" field).
     const char* backend = exec::default_backend()->name();
     const int threads = exec::default_backend()->concurrency();
+    const std::string metrics = obs::registry().json();
     if (rows_.empty()) {
       // Keep the artifact parseable even if the bench exited before any row.
       std::fprintf(f,
                    "{\n  \"bench\": \"%s\",\n  \"backend\": \"%s\",\n"
-                   "  \"threads\": %d,\n  \"scale\": %.6g,\n  \"rows\": []\n}\n",
-                   name_.c_str(), backend, threads, bench_scale());
+                   "  \"threads\": %d,\n  \"scale\": %.6g,\n"
+                   "  \"metrics\": %s,\n  \"rows\": []\n}\n",
+                   name_.c_str(), backend, threads, bench_scale(), metrics.c_str());
     } else {
       std::fprintf(f,
                    "{\n  \"bench\": \"%s\",\n  \"backend\": \"%s\",\n"
                    "  \"threads\": %d,\n  \"scale\": %.6g,\n"
+                   "  \"metrics\": %s,\n"
                    "  \"rows\": [\n    %s\n  ]\n}\n",
-                   name_.c_str(), backend, threads, bench_scale(), rows_.c_str());
+                   name_.c_str(), backend, threads, bench_scale(), metrics.c_str(),
+                   rows_.c_str());
     }
     std::fclose(f);
   }

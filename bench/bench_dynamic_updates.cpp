@@ -44,25 +44,29 @@ double rebuild_once(const spatial::PointSet& points) {
   return timer.seconds();
 }
 
-void report(const char* scenario, index_t n, const exec::Executor& executor,
-            const bench::Measurement& update, const bench::Measurement& rebuild,
-            bench::JsonReport& json) {
+void report(const char* scenario, index_t n, const bench::Measurement& update,
+            const bench::Measurement& rebuild, bench::JsonReport& json) {
   const double speedup = update.median() > 0 ? rebuild.median() / update.median() : 0.0;
   std::printf("%-13s | n %7lld | update %9.3fms  rebuild %9.3fms | %6.2fx\n", scenario,
               static_cast<long long>(n), 1e3 * update.median(), 1e3 * rebuild.median(),
               speedup);
-  // Cumulative ArtifactCache counters of the stream's executor: how much the
-  // incremental path replayed vs recomputed across the scenario so far.
-  const auto cache = executor.artifact_cache().stats();
+  // Cumulative ArtifactCache counters from the obs:: registry: how much the
+  // incremental path replayed vs recomputed across the scenario so far (the
+  // cold rebuilds run on fresh cacheless executors, so this is all stream
+  // traffic).
+  obs::Registry& reg = obs::registry();
   json.field("scenario", std::string(scenario))
       .field("n", n)
       .timing("update", update)
       .timing("rebuild", rebuild)
       .field("update_speedup", speedup)
-      .field("cache_hits", cache.hits)
-      .field("cache_misses", cache.misses)
-      .field("cache_evictions", cache.evictions)
-      .field("cache_pinned_slots", cache.pinned_slots);
+      .field("cache_hits",
+             static_cast<std::int64_t>(reg.counter_value("pandora_cache_hits_total")))
+      .field("cache_misses",
+             static_cast<std::int64_t>(reg.counter_value("pandora_cache_misses_total")))
+      .field("cache_evictions",
+             static_cast<std::int64_t>(reg.counter_value("pandora_cache_evictions_total")))
+      .field("cache_pinned_slots", reg.gauge_value("pandora_cache_pinned_slots"));
   json.end_row();
 }
 
@@ -109,7 +113,7 @@ int main() {
     const bench::Measurement rebuild =
         bench::measure(kSamples, [&] { (void)rebuild_once(stream.points()); });
     check_exact(stream);
-    report("single-insert", stream.size(), executor, update, rebuild, json);
+    report("single-insert", stream.size(), update, rebuild, json);
   }
 
   // --- 1% churn batches ----------------------------------------------------
@@ -133,7 +137,7 @@ int main() {
     const bench::Measurement rebuild =
         bench::measure(kSamples, [&] { (void)rebuild_once(stream.points()); });
     check_exact(stream);
-    report("churn-1pct", stream.size(), executor, update, rebuild, json);
+    report("churn-1pct", stream.size(), update, rebuild, json);
   }
 
   std::printf(

@@ -56,6 +56,11 @@ Two kinds of checks:
      hovers near 1x and swings +/-40% run-to-run on shared single-core
      runners, so a hard gate would only measure host noise.
 
+Every loaded artifact is also schema-checked, including the embedded
+``metrics`` object (the obs:: registry snapshot bench_common.hpp writes into
+each report) — a malformed or missing snapshot is a usage error (exit 2),
+never a silent pass.
+
 Exit code 0 = gate green, 1 = regression, 2 = usage/IO error.
 """
 
@@ -100,7 +105,57 @@ def load(path: pathlib.Path) -> dict:
         if not isinstance(row, dict):
             die(f"{path}: schema mismatch — rows[{i}] is not an object; "
                 "regenerate the artifact with the current bench binary.")
+    validate_metrics(path, report)
     return report
+
+
+def validate_metrics(path: pathlib.Path, report: dict) -> None:
+    """Validate the embedded obs:: registry snapshot.
+
+    Every artifact written by the current bench_common.hpp carries a top-level
+    ``metrics`` object (the process-wide telemetry registry at report time).
+    Baseline artifacts recorded before the registry existed may omit it; a
+    *current* artifact without it means a stale bench binary, and a malformed
+    one means the emitter broke — both are usage errors (exit 2), never green.
+    """
+    metrics = report.get("metrics")
+    if metrics is None:
+        if path.name.endswith(".baseline.json"):
+            return  # pre-registry baseline; nothing to validate
+        die(f"{path}: no \"metrics\" object — artifact written by a bench "
+            "binary older than the obs:: registry? Rebuild and re-run.")
+    if not isinstance(metrics, dict):
+        die(f"{path}: \"metrics\" is not an object")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            die(f"{path}: metrics.{section} missing or not an object")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            die(f"{path}: metrics.counters[{name!r}] is not a non-negative integer")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, int):
+            die(f"{path}: metrics.gauges[{name!r}] is not an integer")
+    for name, hist in metrics["histograms"].items():
+        if not isinstance(hist, dict):
+            die(f"{path}: metrics.histograms[{name!r}] is not an object")
+        for key in ("count", "sum_seconds", "p50", "p90", "p99"):
+            if not isinstance(hist.get(key), (int, float)):
+                die(f"{path}: metrics.histograms[{name!r}].{key} missing or not a number")
+        buckets = hist.get("buckets")
+        if not isinstance(buckets, dict):
+            die(f"{path}: metrics.histograms[{name!r}].buckets missing or not an object")
+        for key, value in buckets.items():
+            if not (key.isdigit() and 0 <= int(key) < 64):
+                die(f"{path}: metrics.histograms[{name!r}].buckets key {key!r} is not "
+                    "a bucket index in [0, 64)")
+            if not isinstance(value, int) or value < 0:
+                die(f"{path}: metrics.histograms[{name!r}].buckets[{key!r}] is not a "
+                    "non-negative integer")
+        if sum(buckets.values()) != hist["count"]:
+            die(f"{path}: metrics.histograms[{name!r}]: bucket counts sum to "
+                f"{sum(buckets.values())}, not count={hist['count']} — torn "
+                "(snapshot taken while threads were still recording) or "
+                "hand-edited artifact")
 
 
 def row_identity(row: dict) -> tuple:

@@ -6,16 +6,30 @@
 #include <limits>
 
 #include "pandora/common/expect.hpp"
+#include "pandora/common/timer.hpp"
 #include "pandora/exec/failpoint.hpp"
 #include "pandora/exec/fingerprint.hpp"
 #include "pandora/exec/parallel.hpp"
 #include "pandora/exec/sort.hpp"
 #include "pandora/graph/union_find.hpp"
+#include "pandora/obs/metrics.hpp"
 #include "pandora/spatial/emst.hpp"
 
 namespace pandora::dyn {
 
 namespace {
+
+/// Repair latency histograms (whole insert/erase call, validation through
+/// dendrogram replay); recorded on successful completion only — a repair
+/// that throws poisons the stream and its time is not a latency sample.
+obs::Histogram& insert_metric() {
+  static obs::Histogram& metric = obs::registry().histogram("pandora_dyn_insert_seconds");
+  return metric;
+}
+obs::Histogram& erase_metric() {
+  static obs::Histogram& metric = obs::registry().histogram("pandora_dyn_erase_seconds");
+  return metric;
+}
 
 /// Process-unique instance ids: the epoch fingerprints of two concurrently
 /// live DynamicClustering objects must never collide in a shared cache.
@@ -73,6 +87,8 @@ std::vector<index_t> DynamicClustering::insert(const spatial::PointSet& batch) {
   std::vector<index_t> ids;
   ids.reserve(static_cast<std::size_t>(m));
   if (m == 0) return ids;
+  const exec::ScopedSpan span(*exec_, "dyn.insert");
+  const Timer timer;
 
   PANDORA_EXPECT(&batch != points_.get(), "cannot insert a stream's own point set into itself");
   PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
@@ -109,6 +125,7 @@ std::vector<index_t> DynamicClustering::insert(const spatial::PointSet& batch) {
   if (n_before == 0) {
     rebuild_from_scratch();
     healthy_ = true;
+    insert_metric().observe(timer.seconds());
     return ids;
   }
 
@@ -124,6 +141,7 @@ std::vector<index_t> DynamicClustering::insert(const spatial::PointSet& batch) {
   if (tail > std::max(64.0, options_.index_rebuild_fraction *
                                 static_cast<double>(points_->size())))
     rebuild_index();
+  insert_metric().observe(timer.seconds());
   return ids;
 }
 
@@ -424,6 +442,8 @@ void DynamicClustering::repair_after_insert(index_t n_before, index_t m,
 
 void DynamicClustering::erase(std::span<const index_t> ids) {
   if (ids.empty()) return;
+  const exec::ScopedSpan span(*exec_, "dyn.erase");
+  const Timer timer;
   PANDORA_EXPECT(healthy_, "stream poisoned by an earlier failed update");
   const index_t n_old = points_->size();
   exec::Workspace& workspace = exec_->workspace();
@@ -454,6 +474,7 @@ void DynamicClustering::erase(std::span<const index_t> ids) {
     indexed_ = 0;
     replay_dendrogram();
     healthy_ = true;
+    erase_metric().observe(timer.seconds());
     return;
   }
 
@@ -507,6 +528,7 @@ void DynamicClustering::erase(std::span<const index_t> ids) {
 
   finish_update(keep, added, remap, n_new);
   healthy_ = true;
+  erase_metric().observe(timer.seconds());
 }
 
 void DynamicClustering::finish_update(std::span<const char> keep, const graph::EdgeList& added,

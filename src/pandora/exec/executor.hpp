@@ -16,12 +16,15 @@
 #include <utility>
 #include <vector>
 
+#include "pandora/common/expect.hpp"
 #include "pandora/common/timer.hpp"
 #include "pandora/common/types.hpp"
 #include "pandora/exec/backend.hpp"
 #include "pandora/exec/cancellation.hpp"
 #include "pandora/exec/failpoint.hpp"
 #include "pandora/exec/memory.hpp"
+#include "pandora/obs/metrics.hpp"
+#include "pandora/obs/trace.hpp"
 
 /// The execution context of the library: `Executor`.
 ///
@@ -45,6 +48,55 @@ namespace pandora::exec {
 /// Below this trip count per-kernel dispatch overhead dominates; kernels run
 /// serially.  (The Executor needs it to answer `parallelize(n)`.)
 inline constexpr size_type kParallelForGrain = 2048;
+
+namespace detail {
+
+/// Pre-registered process-wide handles for the exec-layer metrics (see
+/// pandora/obs/metrics.hpp).  The function-local static pins registration to
+/// first use; after that a call is the init-guard check plus one relaxed
+/// atomic RMW — cheap enough for the launch/lease hot paths, and
+/// allocation-free, which the warm-query zero-heap gates rely on.
+inline obs::Counter& run_chunks_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_exec_run_chunks_total");
+  return metric;
+}
+inline obs::Counter& thread_grants_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_exec_thread_grants_total");
+  return metric;
+}
+inline obs::Counter& thread_grants_clamped_metric() {
+  static obs::Counter& metric =
+      obs::registry().counter("pandora_exec_thread_grants_clamped_total");
+  return metric;
+}
+inline obs::Counter& workspace_bytes_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_workspace_leased_bytes_total");
+  return metric;
+}
+inline obs::Counter& workspace_miss_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_workspace_arena_misses_total");
+  return metric;
+}
+inline obs::Counter& cache_hits_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_cache_hits_total");
+  return metric;
+}
+inline obs::Counter& cache_misses_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_cache_misses_total");
+  return metric;
+}
+inline obs::Counter& cache_evictions_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_cache_evictions_total");
+  return metric;
+}
+/// Live pinned entries summed over *all* ArtifactCache instances (each cache
+/// still reports its own exact count via `stats()`).
+inline obs::Gauge& cache_pinned_metric() {
+  static obs::Gauge& metric = obs::registry().gauge("pandora_cache_pinned_slots");
+  return metric;
+}
+
+}  // namespace detail
 
 /// A size-class-aware byte arena handing out typed spans.
 ///
@@ -209,6 +261,7 @@ class Workspace {
   }
 
   [[nodiscard]] void* acquire_block(std::size_t bytes, int& size_class) {
+    detail::workspace_bytes_metric().inc(bytes);
     const int wanted = class_of(bytes);
     // Exact class first, then the smallest larger class with a free block
     // (a shrinking workload reuses its big blocks instead of allocating).
@@ -223,6 +276,7 @@ class Workspace {
       }
     }
     ++stats_.misses;
+    detail::workspace_miss_metric().inc();
     size_class = wanted;
     return memory_->allocate(
         std::size_t{1} << (static_cast<std::size_t>(wanted) + kMinClassLog2),
@@ -317,10 +371,12 @@ class ArtifactCache {
           *entry.type == typeid(T)) {
         entry.stamp = ++clock_;
         hits_.fetch_add(1, std::memory_order_relaxed);
+        detail::cache_hits_metric().inc();
         return std::static_pointer_cast<T>(entry.value);
       }
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
+    detail::cache_misses_metric().inc();
     return nullptr;
   }
 
@@ -379,8 +435,14 @@ class ArtifactCache {
       }
     }
     if (slot->value != nullptr) {
-      if (slot != match) evictions_.fetch_add(1, std::memory_order_relaxed);
-      if (pinned(*slot)) pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (slot != match) {
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        detail::cache_evictions_metric().inc();
+      }
+      if (pinned(*slot)) {
+        pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+        detail::cache_pinned_metric().add(-1);
+      }
     }
     doomed = std::move(slot->value);
     slot->fingerprint = fingerprint;
@@ -389,7 +451,10 @@ class ArtifactCache {
     slot->stamp = ++clock_;
     slot->pin_group = owner.pin_group;
     slot->tenant = owner.tenant;
-    if (pinned(*slot)) pinned_count_.fetch_add(1, std::memory_order_relaxed);
+    if (pinned(*slot)) {
+      pinned_count_.fetch_add(1, std::memory_order_relaxed);
+      detail::cache_pinned_metric().add(1);
+    }
   }
 
   /// Declares `group` pinned (refcounted): entries inserted with
@@ -403,8 +468,10 @@ class ArtifactCache {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (++pins_[group] == 1) {
       for (const Entry& entry : entries_) {
-        if (entry.value != nullptr && entry.pin_group == group)
+        if (entry.value != nullptr && entry.pin_group == group) {
           pinned_count_.fetch_add(1, std::memory_order_relaxed);
+          detail::cache_pinned_metric().add(1);
+        }
       }
     }
   }
@@ -419,8 +486,10 @@ class ArtifactCache {
     if (--it->second == 0) {
       pins_.erase(it);
       for (const Entry& entry : entries_) {
-        if (entry.value != nullptr && entry.pin_group == group)
+        if (entry.value != nullptr && entry.pin_group == group) {
           pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+          detail::cache_pinned_metric().add(-1);
+        }
       }
     }
   }
@@ -438,7 +507,10 @@ class ArtifactCache {
       if (entry.value == nullptr || entry.pin_group != group) continue;
       doomed.push_back(std::move(entry.value));
       entry = Entry{};
-      if (was_pinned) pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+      if (was_pinned) {
+        pinned_count_.fetch_sub(1, std::memory_order_relaxed);
+        detail::cache_pinned_metric().add(-1);
+      }
     }
     while (entries_.size() > nominal_slots_ && entries_.back().value == nullptr)
       entries_.pop_back();
@@ -461,7 +533,8 @@ class ArtifactCache {
       const std::lock_guard<std::mutex> lock(mutex_);
       doomed = std::move(entries_);
       entries_.assign(nominal_slots_, Entry{});
-      pinned_count_.store(0, std::memory_order_relaxed);
+      const std::size_t pinned = pinned_count_.exchange(0, std::memory_order_relaxed);
+      detail::cache_pinned_metric().add(-static_cast<std::int64_t>(pinned));
     }
   }
 
@@ -523,6 +596,14 @@ class Profiler {
 
 /// A Profiler accumulating into a PhaseTimes (owned or external), optionally
 /// chaining to another profiler so nested scopes all observe the phases.
+///
+/// Single-thread contract: PhaseTimes is a plain std::map, so `on_phase`
+/// must never run concurrently with itself — attach one PhaseTimesProfiler
+/// to one executor at a time and never share it across batch-slot executors
+/// running in parallel (each slot gets its own, or none).  Sequential use
+/// from different threads (e.g. a batch that runs jobs one after another on
+/// worker threads) is fine.  Violations are detected with a busy flag and
+/// fail loudly (std::invalid_argument) instead of racing the map.
 class PhaseTimesProfiler final : public Profiler {
  public:
   PhaseTimesProfiler() = default;
@@ -530,6 +611,14 @@ class PhaseTimesProfiler final : public Profiler {
       : sink_(sink), next_(next) {}
 
   void on_phase(std::string_view phase, double seconds) override {
+    PANDORA_EXPECT(!busy_.exchange(true, std::memory_order_acquire),
+                   "PhaseTimesProfiler::on_phase called from two threads at once; "
+                   "PhaseTimes is unsynchronized — give each concurrent executor "
+                   "its own profiler");
+    struct Unbusy {
+      std::atomic<bool>& flag;
+      ~Unbusy() { flag.store(false, std::memory_order_release); }
+    } unbusy{busy_};
     times().add(std::string(phase), seconds);
     if (next_ != nullptr) next_->on_phase(phase, seconds);
   }
@@ -543,6 +632,7 @@ class PhaseTimesProfiler final : public Profiler {
   PhaseTimes own_;
   PhaseTimes* sink_ = nullptr;
   Profiler* next_ = nullptr;
+  std::atomic<bool> busy_{false};  ///< concurrent-misuse detector (see above)
 };
 
 /// Which algorithm runs the initial descending-(weight, id) edge sort of
@@ -595,7 +685,13 @@ class Executor {
   /// count (clamped by fixed-capacity backends) or the backend's default.
   /// Answered by the backend itself, never by global runtime state, so a
   /// nested executor (e.g. a batch serving slot) reports truthfully.
-  [[nodiscard]] int num_threads() const { return backend_->grant_threads(requested_threads_); }
+  [[nodiscard]] int num_threads() const {
+    const int granted = backend_->grant_threads(requested_threads_);
+    detail::thread_grants_metric().inc();
+    if (requested_threads_ > 0 && granted < requested_threads_)
+      detail::thread_grants_clamped_metric().inc();
+    return granted;
+  }
 
   /// The thread count the constructor requested (0 = backend default) —
   /// what a sub-executor should inherit as its own ceiling.
@@ -676,6 +772,16 @@ class Executor {
   /// Kernels call this — never `backend().run_chunks` directly.
   void run_chunks(int num_chunks, int max_workers, ChunkBody body) const {
     PANDORA_FAILPOINT("exec.run_chunks");
+    detail::run_chunks_metric().inc();
+    // Manual span guard (ScopedSpan is declared below Executor): records the
+    // launch even when a fired cancellation token unwinds it.
+    struct SpanGuard {
+      obs::TraceRecorder* recorder;
+      std::uint64_t start_ns;
+      ~SpanGuard() {
+        if (recorder != nullptr) recorder->record("run_chunks", start_ns, recorder->now_ns());
+      }
+    } span{trace_, trace_ != nullptr ? trace_->now_ns() : 0};
     const CancellationToken* token = cancellation_;
     if (token == nullptr) {
       backend_->run_chunks(num_chunks, max_workers, body);
@@ -693,21 +799,33 @@ class Executor {
   [[nodiscard]] Profiler* profiler() const noexcept { return profiler_; }
   void set_profiler(Profiler* profiler) const noexcept { profiler_ = profiler; }
 
+  /// The attached trace recorder, or nullptr (tracing off).  Non-owning;
+  /// installed via `ScopedTrace`, mutable behind const like the profiler.
+  /// When set, `phase` and `run_chunks` record spans into it.
+  [[nodiscard]] obs::TraceRecorder* trace_recorder() const noexcept { return trace_; }
+  void set_trace_recorder(obs::TraceRecorder* recorder) const noexcept { trace_ = recorder; }
+
   /// Record a phase duration with the attached profiler (no-op when none).
   void record_phase(std::string_view phase, double seconds) const {
     if (profiler_ != nullptr) profiler_->on_phase(phase, seconds);
   }
 
-  /// Run `f()` and record its duration under `phase`.
+  /// Run `f()` and record its duration under `phase`: with the attached
+  /// profiler as a phase time, with the attached trace recorder as a span.
+  /// With neither attached this is one branch around `f()`.
   template <class F>
   void phase(std::string_view phase_name, F&& f) const {
-    if (profiler_ == nullptr) {
+    if (profiler_ == nullptr && trace_ == nullptr) {
       f();
       return;
     }
+    obs::TraceRecorder* const recorder = trace_;
+    const std::uint64_t span_start = recorder != nullptr ? recorder->now_ns() : 0;
     Timer timer;
     f();
-    profiler_->on_phase(phase_name, timer.seconds());
+    const double seconds = timer.seconds();
+    if (recorder != nullptr) recorder->record(phase_name, span_start, recorder->now_ns());
+    if (profiler_ != nullptr) profiler_->on_phase(phase_name, seconds);
   }
 
  private:
@@ -718,6 +836,7 @@ class Executor {
   mutable ArtifactCache* shared_cache_ = nullptr;
   mutable ArtifactCache::Owner cache_owner_{};
   mutable Profiler* profiler_ = nullptr;
+  mutable obs::TraceRecorder* trace_ = nullptr;
   mutable EdgeSortAlgorithm edge_sort_ = EdgeSortAlgorithm::radix;
   mutable bool artifact_caching_ = true;
   mutable const CancellationToken* cancellation_ = nullptr;
@@ -777,6 +896,51 @@ class ScopedCancellation {
   const Executor& executor_;
   const CancellationToken* saved_;
   bool active_;
+};
+
+/// Scope guard enabling trace-span recording on an executor for its
+/// lifetime, restoring the previously installed recorder on exit so nested
+/// scopes compose.  The recorder is non-owning and must outlive the guard.
+/// A null recorder leaves the executor's current recorder in place.
+class ScopedTrace {
+ public:
+  ScopedTrace(const Executor& executor, obs::TraceRecorder* recorder)
+      : executor_(executor), saved_(executor.trace_recorder()), active_(recorder != nullptr) {
+    if (active_) executor_.set_trace_recorder(recorder);
+  }
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+  ~ScopedTrace() {
+    if (active_) executor_.set_trace_recorder(saved_);
+  }
+
+ private:
+  const Executor& executor_;
+  obs::TraceRecorder* saved_;
+  bool active_;
+};
+
+/// RAII span over an executor's installed trace recorder: the guard's
+/// lifetime becomes one "X" event named `name` (which must outlive the guard
+/// — string literals do).  With tracing off the guard costs two loads.
+/// Upper layers use it for query-level spans around whole pipeline calls;
+/// phases and run_chunks launches inside nest automatically.
+class ScopedSpan {
+ public:
+  ScopedSpan(const Executor& executor, std::string_view name) noexcept
+      : recorder_(executor.trace_recorder()),
+        name_(name),
+        start_ns_(recorder_ != nullptr ? recorder_->now_ns() : 0) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (recorder_ != nullptr) recorder_->record(name_, start_ns_, recorder_->now_ns());
+  }
+
+ private:
+  obs::TraceRecorder* recorder_;
+  std::string_view name_;
+  std::uint64_t start_ns_;
 };
 
 class ScopedPhaseTimes {

@@ -5,6 +5,8 @@
 #include <new>
 #include <unordered_map>
 
+#include "pandora/obs/metrics.hpp"
+
 namespace pandora::exec::failpoint {
 
 namespace detail {
@@ -42,6 +44,9 @@ struct EnvArmer {
 const EnvArmer env_armer{};
 
 [[noreturn]] void trigger(const std::string& site, Kind kind) {
+  static obs::Counter& triggered_metric =
+      obs::registry().counter("pandora_failpoints_triggered_total");
+  triggered_metric.inc();
   if (kind == Kind::bad_alloc) throw std::bad_alloc();
   throw InjectedFault("failpoint '" + site + "' triggered");
 }

@@ -1,0 +1,267 @@
+#include "pandora/obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pandora::obs {
+
+namespace {
+
+/// Splits `pandora_x_total{outcome="ok"}` into base name and the inner label
+/// list (without braces); labels are empty when the name carries none.
+struct SplitName {
+  std::string_view base;
+  std::string_view labels;
+};
+
+SplitName split_name(std::string_view name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) return {name, {}};
+  std::string_view labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.remove_suffix(1);
+  return {name.substr(0, brace), labels};
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_double(std::string& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+/// `base_bucket{labels,le="1.23e-05"}` — merges `le` into any existing
+/// label list.
+void append_bucket_line(std::string& out, const SplitName& name, double le_seconds,
+                        std::uint64_t cumulative) {
+  out += name.base;
+  out += "_bucket{";
+  if (!name.labels.empty()) {
+    out += name.labels;
+    out += ',';
+  }
+  out += "le=\"";
+  append_double(out, le_seconds);
+  out += "\"} ";
+  append_u64(out, cumulative);
+  out += '\n';
+}
+
+void append_inf_bucket_line(std::string& out, const SplitName& name, std::uint64_t count) {
+  out += name.base;
+  out += "_bucket{";
+  if (!name.labels.empty()) {
+    out += name.labels;
+    out += ',';
+  }
+  out += "le=\"+Inf\"} ";
+  append_u64(out, count);
+  out += '\n';
+}
+
+/// `base_suffix{labels}` for the _sum/_count samples.
+void append_suffixed_name(std::string& out, const SplitName& name, const char* suffix) {
+  out += name.base;
+  out += suffix;
+  if (!name.labels.empty()) {
+    out += '{';
+    out += name.labels;
+    out += '}';
+  }
+}
+
+/// Emits `# TYPE` once per base name (labelled variants of one base sort
+/// adjacently in the std::map, so tracking the last emitted base suffices).
+void append_type_line(std::string& out, std::string& last_base, std::string_view base,
+                      const char* type) {
+  if (last_base == base) return;
+  last_base.assign(base);
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                           std::forward_as_tuple())
+      .first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                         std::forward_as_tuple())
+      .first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::piecewise_construct, std::forward_as_tuple(name),
+                             std::forward_as_tuple())
+      .first->second;
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.value() : 0;
+}
+
+std::int64_t Registry::gauge_value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.value() : 0;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::string Registry::prometheus_text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string last_base;
+  for (const auto& [name, counter] : counters_) {
+    const SplitName split = split_name(name);
+    append_type_line(out, last_base, split.base, "counter");
+    out += name;
+    out += ' ';
+    append_u64(out, counter.value());
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, gauge] : gauges_) {
+    const SplitName split = split_name(name);
+    append_type_line(out, last_base, split.base, "gauge");
+    out += name;
+    out += ' ';
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, gauge.value());
+    out += buf;
+    out += '\n';
+  }
+  last_base.clear();
+  for (const auto& [name, histogram] : histograms_) {
+    const SplitName split = split_name(name);
+    append_type_line(out, last_base, split.base, "histogram");
+    // Cumulative buckets up to the last non-empty one, then +Inf.
+    int highest = -1;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (histogram.bucket_count(b) > 0) highest = b;
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b <= highest; ++b) {
+      cumulative += histogram.bucket_count(b);
+      append_bucket_line(out, split, 1e-9 * static_cast<double>(Histogram::bucket_upper_ns(b)),
+                         cumulative);
+    }
+    append_inf_bucket_line(out, split, histogram.count());
+    append_suffixed_name(out, split, "_sum");
+    out += ' ';
+    append_double(out, histogram.sum_seconds());
+    out += '\n';
+    append_suffixed_name(out, split, "_count");
+    out += ' ';
+    append_u64(out, histogram.count());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Registry::json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": ";
+    append_u64(out, counter.value());
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, gauge.value());
+    out += buf;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\": {\"count\": ";
+    append_u64(out, histogram.count());
+    out += ", \"sum_seconds\": ";
+    append_double(out, histogram.sum_seconds());
+    out += ", \"p50\": ";
+    append_double(out, histogram.quantile(0.5));
+    out += ", \"p90\": ";
+    append_double(out, histogram.quantile(0.9));
+    out += ", \"p99\": ";
+    append_double(out, histogram.quantile(0.99));
+    out += ", \"buckets\": {";
+    bool first_bucket = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const std::uint64_t count = histogram.bucket_count(b);
+      if (count == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += '"';
+      append_u64(out, static_cast<std::uint64_t>(b));
+      out += "\": ";
+      append_u64(out, count);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, histogram] : histograms_) histogram.reset();
+}
+
+Registry& registry() {
+  // Leaked on purpose: handles into the process-wide registry must stay
+  // valid through static destruction (worker threads may still record).
+  static Registry* const instance = new Registry();
+  return *instance;
+}
+
+}  // namespace pandora::obs

@@ -1,0 +1,192 @@
+#pragma once
+
+// Process-wide metrics registry: counters, gauges and log2-bucketed latency
+// histograms behind pre-registered handles.
+//
+// Design contract (the warm-path zero-heap CI gates depend on it):
+//
+//   * Registration (`Registry::counter/gauge/histogram`) takes a mutex and
+//     may allocate — do it once, up front, and keep the returned reference
+//     (handles are stable for the registry's lifetime; the process-wide
+//     `obs::registry()` never dies).
+//   * Recording on a handle (`inc`, `add`, `set`, `observe`) is a relaxed
+//     atomic RMW: lock-free, allocation-free, signal-safe-ish, safe from any
+//     thread.
+//   * Export (`prometheus_text`, `json`) walks the registry under the mutex
+//     and reads every atomic relaxed — values are per-cell exact but the
+//     snapshot is not cross-metric atomic, which is the usual scrape
+//     contract.
+//
+// Histograms use 64 fixed log2-scale buckets over nanoseconds: bucket 0
+// holds the value 0, bucket b (b >= 1) holds durations with bit_width b,
+// i.e. [2^(b-1), 2^b) ns.  Bucket counts are exact; p50/p90/p99 are derived
+// at export time from the cumulative counts and quoted as the containing
+// bucket's inclusive upper bound (2^b - 1 ns), so a quantile is never
+// under-reported by more than one octave.
+//
+// Label sets are encoded in the metric name itself, Prometheus-style:
+//
+//   registry().counter("pandora_serve_jobs_total{outcome=\"ok\"}")
+//
+// The text exposition splits the name at '{' to emit one `# TYPE` line per
+// base name and merges `le` into existing labels for histogram buckets.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace pandora::obs {
+
+/// Monotonically increasing event count.  Recording is one relaxed fetch_add.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (live pins, bytes in flight, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log2-scale latency histogram (see file comment).  Concurrent
+/// `observe` calls are safe; bucket counts stay exact because every cell is
+/// an independent relaxed atomic.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index for a duration in nanoseconds: 0 for 0, else bit_width
+  /// clamped to the last bucket (which absorbs everything >= 2^62 ns).
+  [[nodiscard]] static constexpr int bucket_index(std::uint64_t ns) noexcept {
+    const int width = std::bit_width(ns);
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket b in nanoseconds (the value quantiles
+  /// quote).  The last bucket is unbounded and reports 2^63 ns as a stand-in.
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper_ns(int b) noexcept {
+    if (b <= 0) return 0;
+    if (b >= kNumBuckets - 1) return std::uint64_t{1} << 63;
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void observe_ns(std::uint64_t ns) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_index(ns))].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void observe(double seconds) noexcept {
+    observe_ns(seconds > 0 ? static_cast<std::uint64_t>(std::llround(seconds * 1e9)) : 0);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum_seconds() const noexcept {
+    return 1e-9 * static_cast<double>(sum_ns_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::uint64_t bucket_count(int b) const noexcept {
+    return buckets_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+  }
+
+  /// q-quantile in seconds (q in [0, 1]), derived from the bucket counts:
+  /// the inclusive upper bound of the bucket holding the ceil(q * count)-th
+  /// smallest sample.  0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      cumulative += bucket_count(b);
+      if (cumulative >= rank) return 1e-9 * static_cast<double>(bucket_upper_ns(b));
+    }
+    return 1e-9 * static_cast<double>(bucket_upper_ns(kNumBuckets - 1));
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Named metric store.  Handles returned by the registration calls stay
+/// valid for the registry's lifetime (node-based storage; nothing moves).
+/// Most code uses the process-wide `obs::registry()`; tests construct their
+/// own instances for isolation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Find-or-create.  Takes the registry mutex; call once and keep the ref.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Read-side lookups for tests and gates: current value, or 0 / nullptr
+  /// when the metric was never registered.
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  /// Prometheus text exposition (`# TYPE` + samples; histograms as
+  /// cumulative `_bucket{le=...}` series plus `_sum` / `_count`).
+  [[nodiscard]] std::string prometheus_text() const;
+
+  /// One JSON object:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges":   {name: value, ...},
+  ///    "histograms": {name: {"count": n, "sum_seconds": s,
+  ///                          "p50": q, "p90": q, "p99": q,
+  ///                          "buckets": {"<index>": count, ...}}, ...}}
+  /// with only non-zero buckets listed.
+  [[nodiscard]] std::string json() const;
+
+  /// Zero every counter and histogram (gauges track live state and are left
+  /// alone).  Benches call this to scope a snapshot to one run.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  // std::map: node-based, so handle references survive later registrations,
+  // and iteration is name-sorted for deterministic exposition.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// The process-wide registry every subsystem records into.
+Registry& registry();
+
+}  // namespace pandora::obs

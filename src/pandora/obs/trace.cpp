@@ -1,0 +1,143 @@
+#include "pandora/obs/trace.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pandora::obs {
+
+namespace {
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// One-entry per-thread cache mapping the last-used recorder to this
+/// thread's ring.  Keyed by the recorder's process-unique id (not its
+/// address) so a recorder reallocated at a stale address can never alias a
+/// dead ring pointer.
+struct ThreadCache {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local ThreadCache t_ring_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceOptions options)
+    : id_(next_recorder_id()), epoch_(clock::now()), options_(options) {
+  rings_.resize(options_.max_threads > 0 ? options_.max_threads : 1);
+}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Ring* TraceRecorder::claim_ring() const noexcept {
+  const std::thread::id self = std::this_thread::get_id();
+  const std::lock_guard<std::mutex> lock(claim_mutex_);
+  Ring* free_slot = nullptr;
+  for (Ring& ring : rings_) {
+    if (ring.claimed && ring.owner == self) {
+      t_ring_cache = {id_, &ring};
+      return &ring;
+    }
+    if (!ring.claimed && free_slot == nullptr) free_slot = &ring;
+  }
+  if (free_slot == nullptr) return nullptr;  // every slot taken: drop
+  free_slot->claimed = true;
+  free_slot->owner = self;
+  free_slot->events.resize(options_.events_per_thread > 0 ? options_.events_per_thread : 1);
+  t_ring_cache = {id_, free_slot};
+  return free_slot;
+}
+
+void TraceRecorder::record(std::string_view name, std::uint64_t start_ns,
+                           std::uint64_t end_ns) noexcept {
+  Ring* ring = t_ring_cache.recorder_id == id_ ? static_cast<Ring*>(t_ring_cache.ring)
+                                               : claim_ring();
+  if (ring == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event& event = ring->events[ring->next];
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns > start_ns ? end_ns - start_ns : 0;
+  const std::size_t len = name.size() < sizeof(event.name) - 1 ? name.size()
+                                                               : sizeof(event.name) - 1;
+  std::memcpy(event.name, name.data(), len);
+  event.name[len] = '\0';
+  ring->next = (ring->next + 1) % ring->events.size();
+  ++ring->total;
+}
+
+std::size_t TraceRecorder::events_recorded() const {
+  const std::lock_guard<std::mutex> lock(claim_mutex_);
+  std::size_t retained = 0;
+  for (const Ring& ring : rings_) {
+    if (!ring.claimed) continue;
+    retained += ring.total < ring.events.size() ? static_cast<std::size_t>(ring.total)
+                                                : ring.events.size();
+  }
+  return retained;
+}
+
+std::uint64_t TraceRecorder::events_dropped() const {
+  const std::lock_guard<std::mutex> lock(claim_mutex_);
+  std::uint64_t dropped = rejected_.load(std::memory_order_relaxed);
+  for (const Ring& ring : rings_) {
+    if (ring.claimed && ring.total > ring.events.size()) {
+      dropped += ring.total - ring.events.size();
+    }
+  }
+  return dropped;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  const std::lock_guard<std::mutex> lock(claim_mutex_);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  int tid = 0;
+  for (const Ring& ring : rings_) {
+    ++tid;
+    if (!ring.claimed || ring.total == 0) continue;
+    const std::size_t retained = ring.total < ring.events.size()
+                                     ? static_cast<std::size_t>(ring.total)
+                                     : ring.events.size();
+    // Oldest-first: with a wrapped ring, `next` points at the oldest event.
+    const std::size_t begin = ring.total < ring.events.size() ? 0 : ring.next;
+    for (std::size_t i = 0; i < retained; ++i) {
+      const Event& event = ring.events[(begin + i) % ring.events.size()];
+      if (!first) out += ',';
+      first = false;
+      char buf[192];
+      std::snprintf(buf, sizeof buf,
+                    "\n  {\"name\": \"%s\", \"cat\": \"pandora\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}",
+                    event.name, 1e-3 * static_cast<double>(event.start_ns),
+                    1e-3 * static_cast<double>(event.dur_ns), tid);
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  const std::string json = chrome_trace_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0) return false;
+  if (!ok) std::remove(path.c_str());
+  return ok;
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(claim_mutex_);
+  for (Ring& ring : rings_) {
+    ring.next = 0;
+    ring.total = 0;
+  }
+  rejected_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pandora::obs

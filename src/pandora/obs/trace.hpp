@@ -1,0 +1,98 @@
+#pragma once
+
+// Preallocated per-thread ring-buffer trace recorder with Chrome
+// `trace_event` JSON export (load the file in chrome://tracing or Perfetto).
+//
+// Lifecycle:
+//
+//   obs::TraceRecorder recorder;                    // owns the rings
+//   { exec::ScopedTrace trace(executor, &recorder); // enable on an Executor
+//     ... queries: phases and run_chunks launches become spans ... }
+//   recorder.write_chrome_trace("trace.json");
+//
+// Hot-path contract: `record()` is allocation-free and lock-free once a
+// thread has claimed its ring (the first record from a thread takes a mutex
+// and allocates the ring storage — warm it before entering a zero-alloc
+// region).  A full ring wraps, overwriting the oldest events and counting
+// them as dropped; when every ring slot is taken new threads drop events
+// outright.  Spans are "X" (complete) events — overlapping spans on one
+// thread render nested in the viewers, giving query -> phase -> run_chunks
+// without explicit parent links.
+//
+// Export / clear are not synchronized against in-flight `record()` calls:
+// quiesce recording threads (e.g. finish the batch) before exporting.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace pandora::obs {
+
+struct TraceOptions {
+  std::size_t events_per_thread = 4096;  ///< ring capacity per claimed thread
+  std::size_t max_threads = 64;          ///< ring slots (threads beyond this drop)
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceOptions options = {});
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder();
+
+  /// Nanoseconds since this recorder's construction (the span timebase).
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch_).count());
+  }
+
+  /// Records one completed span.  Allocation-free on a warm thread; names
+  /// longer than the inline capacity (31 chars) are truncated.
+  void record(std::string_view name, std::uint64_t start_ns, std::uint64_t end_ns) noexcept;
+
+  /// Events currently retained across all rings (wrapped events excluded).
+  [[nodiscard]] std::size_t events_recorded() const;
+  /// Events lost: wrapped by a full ring or rejected for want of a ring slot.
+  [[nodiscard]] std::uint64_t events_dropped() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}); ts/dur microseconds.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  /// Writes the JSON to `path`; false (with no partial file kept) on IO error.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Forgets every recorded event; thread ring claims survive.
+  void clear();
+
+ private:
+  using clock = std::chrono::steady_clock;
+
+  struct Event {
+    std::uint64_t start_ns;
+    std::uint64_t dur_ns;
+    char name[32];
+  };
+  struct Ring {
+    std::vector<Event> events;  ///< sized at claim time, then fixed
+    std::size_t next = 0;
+    std::uint64_t total = 0;  ///< events ever recorded into this ring
+    std::thread::id owner;
+    bool claimed = false;
+  };
+
+  /// Slow path: finds or claims this thread's ring (mutex + allocation).
+  Ring* claim_ring() const noexcept;
+
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  const clock::time_point epoch_;
+  const TraceOptions options_;
+  mutable std::mutex claim_mutex_;
+  mutable std::vector<Ring> rings_;  ///< fixed size (max_threads); never moves
+  mutable std::atomic<std::uint64_t> rejected_{0};
+};
+
+}  // namespace pandora::obs

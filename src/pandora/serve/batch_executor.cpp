@@ -8,11 +8,58 @@
 #include "pandora/common/expect.hpp"
 #include "pandora/common/timer.hpp"
 #include "pandora/exec/cancellation.hpp"
+#include "pandora/obs/metrics.hpp"
 
 namespace pandora::serve {
 
+namespace {
+
+/// Per-outcome registry handles (see pandora/obs/metrics.hpp for the
+/// handle-caching idiom): one counter and, for jobs that actually ran, one
+/// run-time histogram per JobOutcome, plus the queue-wait histogram.
+obs::Counter& jobs_metric(JobOutcome outcome) {
+  static obs::Counter& ok = obs::registry().counter("pandora_serve_jobs_total{outcome=\"ok\"}");
+  static obs::Counter& cancelled =
+      obs::registry().counter("pandora_serve_jobs_total{outcome=\"cancelled\"}");
+  static obs::Counter& shed =
+      obs::registry().counter("pandora_serve_jobs_total{outcome=\"shed\"}");
+  static obs::Counter& failed =
+      obs::registry().counter("pandora_serve_jobs_total{outcome=\"failed\"}");
+  switch (outcome) {
+    case JobOutcome::ok: return ok;
+    case JobOutcome::cancelled: return cancelled;
+    case JobOutcome::shed: return shed;
+    case JobOutcome::failed: return failed;
+  }
+  return failed;
+}
+
+obs::Histogram& run_metric(JobOutcome outcome) {
+  static obs::Histogram& ok =
+      obs::registry().histogram("pandora_serve_job_run_seconds{outcome=\"ok\"}");
+  static obs::Histogram& cancelled =
+      obs::registry().histogram("pandora_serve_job_run_seconds{outcome=\"cancelled\"}");
+  static obs::Histogram& failed =
+      obs::registry().histogram("pandora_serve_job_run_seconds{outcome=\"failed\"}");
+  switch (outcome) {
+    case JobOutcome::cancelled: return cancelled;
+    case JobOutcome::failed: return failed;
+    default: return ok;
+  }
+}
+
+obs::Histogram& wait_metric() {
+  static obs::Histogram& wait = obs::registry().histogram("pandora_serve_job_wait_seconds");
+  return wait;
+}
+
+}  // namespace
+
 BatchExecutor::BatchExecutor(const exec::Executor& parent, BatchOptions options)
-    : parent_(&parent), options_(options), gate_(std::make_unique<GateState>()) {
+    : parent_(&parent),
+      options_(options),
+      gate_(std::make_unique<GateState>()),
+      adaptive_(std::make_unique<AdaptiveState>()) {
   int slots = options_.num_slots > 0 ? options_.num_slots : parent.num_threads();
   slots = std::max(slots, 1);
   slots_.reserve(static_cast<std::size_t>(slots));
@@ -40,6 +87,9 @@ std::vector<JobResult> BatchExecutor::run_jobs(std::span<Job> jobs) {
   for (const auto& slot : slots_) {
     slot->set_artifact_caching(parent_->artifact_caching());
     slot->set_edge_sort_algorithm(parent_->edge_sort_algorithm());
+    // Tracing enabled on the parent covers the whole batch: slot workers
+    // record into the same (thread-safe) recorder, each on its own ring.
+    slot->set_trace_recorder(parent_->trace_recorder());
   }
 
   const QosPolicy& qos = options_.qos;
@@ -57,10 +107,12 @@ std::vector<JobResult> BatchExecutor::run_jobs(std::span<Job> jobs) {
   // poisoned / slow / oversized query can never abort its batchmates.
   std::vector<JobResult> results(jobs.size());
   std::atomic<std::size_t> unfinished{jobs.size()};
+  const Timer batch_timer;  // queue wait = run_jobs entry -> job pickup
 
   // Runs (or sheds) one job on the executor the scheduler assigned.
   auto run_one = [&](std::size_t j, const exec::Executor& exec) {
     JobResult& result = results[j];
+    wait_metric().observe(batch_timer.seconds());
     // Admission: a spent batch budget sheds everything not yet started, and
     // under pressure (other jobs still pending beyond the threshold) jobs
     // over the size cutoff are shed rather than run.
@@ -68,8 +120,29 @@ std::vector<JobResult> BatchExecutor::run_jobs(std::span<Job> jobs) {
     const bool budget_spent = has_batch_budget && batch_token.cancelled();
     const bool oversized = qos.shed_above > 0 && jobs[j].size_hint > qos.shed_above &&
                            others_pending > qos.pressure_threshold;
-    if (budget_spent || oversized) {
+    // Adaptive admission (QosPolicy::adaptive): both thresholds derived
+    // online — "under pressure" means more other jobs pending than slots to
+    // absorb them, "oversized" means the job's predicted run time (size hint
+    // x the observed seconds-per-size-unit rate) exceeds the rolling p99 of
+    // completed-job latency (x headroom).  Until enough samples accumulate
+    // the model abstains and everything is admitted.
+    bool predicted_slow = false;
+    if (qos.adaptive && !budget_spent && !oversized &&
+        others_pending > static_cast<std::size_t>(num_slots())) {
+      const AdaptiveState& model = *adaptive_;
+      const std::uint64_t total_ns = model.total_ns.load(std::memory_order_relaxed);
+      const std::uint64_t total_size = model.total_size.load(std::memory_order_relaxed);
+      if (model.latency.count() >= qos.adaptive_min_samples && total_ns > 0 && total_size > 0) {
+        const double seconds_per_unit =
+            1e-9 * static_cast<double>(total_ns) / static_cast<double>(total_size);
+        const double predicted =
+            static_cast<double>(std::max<size_type>(jobs[j].size_hint, 1)) * seconds_per_unit;
+        predicted_slow = predicted > qos.adaptive_headroom * model.latency.quantile(0.99);
+      }
+    }
+    if (budget_spent || oversized || predicted_slow) {
       result.outcome = JobOutcome::shed;
+      jobs_metric(JobOutcome::shed).inc();
       unfinished.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
@@ -97,7 +170,10 @@ std::vector<JobResult> BatchExecutor::run_jobs(std::span<Job> jobs) {
     Timer timer;
     try {
       // The job's tenant tag governs cache-quota accounting for every
-      // artifact the job inserts.
+      // artifact the job inserts.  The job-level span wraps the whole run —
+      // phases and run_chunks launches nest inside it — and still records
+      // when the job unwinds with an exception.
+      const exec::ScopedSpan span(exec, "serve.job");
       const exec::ScopedCacheOwner owner(exec, exec::ArtifactCache::Owner{0, jobs[j].tenant});
       const exec::ScopedCancellation scope(exec, cancellable ? &job_token : nullptr);
       jobs[j].run(exec);
@@ -110,6 +186,16 @@ std::vector<JobResult> BatchExecutor::run_jobs(std::span<Job> jobs) {
       result.error = std::current_exception();
     }
     result.seconds = timer.seconds();
+    jobs_metric(result.outcome).inc();
+    run_metric(result.outcome).observe(result.seconds);
+    if (result.outcome == JobOutcome::ok) {
+      adaptive_->latency.observe(result.seconds);
+      adaptive_->total_size.fetch_add(
+          static_cast<std::uint64_t>(std::max<size_type>(jobs[j].size_hint, 1)),
+          std::memory_order_relaxed);
+      adaptive_->total_ns.fetch_add(static_cast<std::uint64_t>(result.seconds * 1e9),
+                                    std::memory_order_relaxed);
+    }
     unfinished.fetch_sub(1, std::memory_order_relaxed);
   };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
@@ -102,6 +103,26 @@ struct QosPolicy {
   /// Pending-job count above which the batch counts as "under pressure"
   /// (see the class comment on how pressure is measured).
   std::size_t pressure_threshold = 0;
+
+  /// Learn the shedding decision from observed latencies instead of the
+  /// static `shed_above` / `pressure_threshold` knobs.  The executor keeps
+  /// a log2 latency histogram of completed jobs plus a running
+  /// size-hint-to-seconds rate (both survive across batches); once
+  /// `adaptive_min_samples` jobs have completed ok, a job picked up while
+  /// more other jobs are pending than there are slots is shed when its
+  /// predicted run time (size_hint x observed seconds-per-unit) exceeds
+  /// `adaptive_headroom` x the rolling p99 of completed-job latency — i.e.
+  /// both thresholds are derived online, none of the static knobs need
+  /// tuning.  Composes with the static knobs: either can shed a job.
+  bool adaptive = false;
+
+  /// Headroom multiplier on the rolling p99 before a predicted-slow job is
+  /// shed (> 1 sheds less eagerly).  Only meaningful with `adaptive`.
+  double adaptive_headroom = 1.0;
+
+  /// Completed-job samples required before adaptive shedding activates (a
+  /// cold server admits everything while it learns).
+  std::size_t adaptive_min_samples = 16;
 
   /// Under pressure, give up phase overlap so the small queries drain on
   /// the slots *before* the calling thread starts the large ones — large
@@ -276,12 +297,22 @@ class BatchExecutor {
     snapshot::EpochGate epoch_gate;
   };
 
+  /// Rolling latency model behind `QosPolicy::adaptive`, heap-held like
+  /// GateState so the executor stays movable.  Completing ok jobs write it
+  /// (relaxed atomics, from any worker); admission reads it.
+  struct AdaptiveState {
+    obs::Histogram latency;                    ///< completed-job run time
+    std::atomic<std::uint64_t> total_size{0};  ///< sum of completed size hints
+    std::atomic<std::uint64_t> total_ns{0};    ///< sum of completed run time
+  };
+
   const exec::Executor* parent_;
   BatchOptions options_;
   /// Persistent serial executors, one per slot: their Workspace arenas stay
   /// warm across batches.  unique_ptr keeps them address-stable.
   std::vector<std::unique_ptr<exec::Executor>> slots_;
   std::unique_ptr<GateState> gate_;
+  std::unique_ptr<AdaptiveState> adaptive_;
 };
 
 }  // namespace pandora::serve

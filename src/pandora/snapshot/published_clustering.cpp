@@ -2,9 +2,26 @@
 
 #include <utility>
 
+#include "pandora/common/timer.hpp"
 #include "pandora/exec/failpoint.hpp"
+#include "pandora/obs/metrics.hpp"
 
 namespace pandora::snapshot {
+
+namespace {
+
+obs::Counter& publishes_metric() {
+  static obs::Counter& metric = obs::registry().counter("pandora_snapshot_publishes_total");
+  return metric;
+}
+
+obs::Histogram& publish_latency_metric() {
+  static obs::Histogram& metric =
+      obs::registry().histogram("pandora_snapshot_publish_seconds");
+  return metric;
+}
+
+}  // namespace
 
 PublishedClustering::PublishedClustering(const exec::Executor& writer, PublishedOptions options)
     : cache_(std::make_shared<exec::ArtifactCache>(options.cache_slots)),
@@ -35,11 +52,17 @@ void PublishedClustering::publish() {
   // concurrent acquire() never waits on capture work.  A throw anywhere up
   // to the swap (both chaos seams below) leaves `current_` untouched:
   // readers keep being served the previous epoch, never a torn one.
+  const exec::ScopedSpan span(stream_.executor(), "snapshot.publish");
+  const Timer timer;
   PANDORA_FAILPOINT("snapshot.materialise");
   SnapshotPtr next = std::make_shared<const Snapshot>(cache_, stream_.capture_artifacts());
   PANDORA_FAILPOINT("snapshot.publish");
-  const std::lock_guard<std::mutex> lock(current_mutex_);
-  current_ = std::move(next);
+  {
+    const std::lock_guard<std::mutex> lock(current_mutex_);
+    current_ = std::move(next);
+  }
+  publishes_metric().inc();
+  publish_latency_metric().observe(timer.seconds());
 }
 
 std::uint64_t PublishedClustering::recover() {

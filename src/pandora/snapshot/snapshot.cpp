@@ -3,8 +3,27 @@
 #include <utility>
 
 #include "pandora/common/expect.hpp"
+#include "pandora/obs/metrics.hpp"
 
 namespace pandora::snapshot {
+
+namespace {
+
+/// Epoch bundles currently alive — the writer's published snapshot plus
+/// every epoch still pinned by a draining reader; a value stuck above 1
+/// means readers are holding epochs back from reclamation.
+obs::Gauge& live_epochs_metric() {
+  static obs::Gauge& metric = obs::registry().gauge("pandora_snapshot_live_epochs");
+  return metric;
+}
+
+obs::Counter& epochs_reclaimed_metric() {
+  static obs::Counter& metric =
+      obs::registry().counter("pandora_snapshot_epochs_reclaimed_total");
+  return metric;
+}
+
+}  // namespace
 
 /// Installs the reader context on a reader's executor for the duration of
 /// one query: the serving cache (so every reader shares one artifact pool)
@@ -38,9 +57,14 @@ Snapshot::Snapshot(std::shared_ptr<exec::ArtifactCache> cache, dyn::ArtifactBund
                      bundle_.sorted_edges != nullptr && bundle_.dendrogram != nullptr,
                  "Snapshot requires a fully captured ArtifactBundle");
   if (cache_ != nullptr) cache_->pin(bundle_.fingerprint);
+  live_epochs_metric().add(1);
 }
 
 Snapshot::~Snapshot() {
+  // The destructor is RCU-style reclamation itself: it runs when the last
+  // reader of this epoch drains (or the writer republishes an unread one).
+  live_epochs_metric().add(-1);
+  epochs_reclaimed_metric().inc();
   if (cache_ != nullptr) {
     // Purge before unpin: the entries leave the cache while still counted
     // as pinned, and the group refcount drops once nothing references it.
